@@ -1,0 +1,100 @@
+//! Node-attention extraction (Fig. 5): which nodes the trained M7 model
+//! weighs most when building the graph-level embedding.
+
+use design_space::DesignPoint;
+use gdse_gnn::{GraphBatch, GraphInput, PredictionModel};
+use proggraph::{NodeKind, ProgramGraph};
+use serde::{Deserialize, Serialize};
+
+/// Attention score of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeAttention {
+    /// Node index in the program graph.
+    pub node: usize,
+    /// The node's `key_text`.
+    pub key_text: String,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Attention weight (all weights of a graph sum to 1).
+    pub score: f64,
+}
+
+/// Runs the model on one design and returns per-node attention scores,
+/// highest first.
+///
+/// # Panics
+///
+/// Panics if the model has no attention readout (only M7 does).
+pub fn attention_scores(
+    model: &PredictionModel,
+    graph: &ProgramGraph,
+    point: &DesignPoint,
+) -> Vec<NodeAttention> {
+    let input = GraphInput::from_graph(graph, Some(point));
+    let batch = GraphBatch::single(&input, point);
+    let out = model.forward(&batch);
+    let att = out
+        .attention
+        .expect("attention scores require the full (M7) model with node-attention readout");
+    let values = out.graph.value(att);
+    let mut scores: Vec<NodeAttention> = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| NodeAttention {
+            node: i,
+            key_text: n.key_text.clone(),
+            kind: n.kind,
+            score: f64::from(values.get(i, 0)),
+        })
+        .collect();
+    scores.sort_by(|a, b| b.score.total_cmp(&a.score));
+    scores
+}
+
+/// Fraction of total attention received by pragma nodes — the Fig. 5 claim
+/// is that pragma nodes are among the most important.
+pub fn pragma_attention_share(scores: &[NodeAttention]) -> f64 {
+    scores
+        .iter()
+        .filter(|s| s.kind == NodeKind::Pragma)
+        .map(|s| s.score)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_space::DesignSpace;
+    use gdse_gnn::{ModelConfig, ModelKind};
+    use hls_ir::kernels;
+    use proggraph::build_graph_bidirectional;
+
+    #[test]
+    fn scores_are_a_distribution() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let graph = build_graph_bidirectional(&k, &space);
+        let model = PredictionModel::new(ModelKind::Full, ModelConfig::small(), &["latency"]);
+        let scores = attention_scores(&model, &graph, &space.default_point());
+        assert_eq!(scores.len(), graph.num_nodes());
+        let total: f64 = scores.iter().map(|s| s.score).sum();
+        assert!((total - 1.0).abs() < 1e-4, "sums to {total}");
+        // Sorted descending.
+        for w in scores.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let share = pragma_attention_share(&scores);
+        assert!(share >= 0.0 && share <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attention")]
+    fn non_attention_model_panics() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let graph = build_graph_bidirectional(&k, &space);
+        let model = PredictionModel::new(ModelKind::Gcn, ModelConfig::small(), &["latency"]);
+        let _ = attention_scores(&model, &graph, &space.default_point());
+    }
+}

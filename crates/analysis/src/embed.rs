@@ -1,0 +1,120 @@
+//! Graph-embedding extraction for the Fig. 6 t-SNE plots: initial
+//! embeddings (summed node features) vs the embeddings learned by the GNN
+//! encoder.
+
+use design_space::DesignPoint;
+use gdse_gnn::{GraphBatch, GraphInput, PredictionModel};
+use gdse_tensor::Matrix;
+use proggraph::{node_features, ProgramGraph};
+
+/// "Initial embedding" of each design: the sum of its initial node features
+/// (the paper adds the node embeddings to get one graph-level vector).
+/// Returns `[num_points, NODE_FEATS]`.
+pub fn initial_embeddings(graph: &ProgramGraph, points: &[DesignPoint]) -> Matrix {
+    let rows: Vec<Matrix> = points
+        .iter()
+        .map(|p| {
+            let x = node_features(graph, Some(p));
+            let mut sum = Matrix::zeros(1, x.cols());
+            for r in 0..x.rows() {
+                for (o, v) in sum.row_mut(0).iter_mut().zip(x.row(r)) {
+                    *o += v;
+                }
+            }
+            sum
+        })
+        .collect();
+    let refs: Vec<&Matrix> = rows.iter().collect();
+    Matrix::vcat(&refs)
+}
+
+/// Embeddings produced by a trained model's encoder for each design.
+/// Returns `[num_points, hidden]`.
+pub fn learned_embeddings(
+    model: &PredictionModel,
+    graph: &ProgramGraph,
+    points: &[DesignPoint],
+) -> Matrix {
+    let mut out: Vec<Matrix> = Vec::with_capacity(points.len());
+    for chunk in points.chunks(64) {
+        let inputs: Vec<(GraphInput, &DesignPoint)> = chunk
+            .iter()
+            .map(|p| (GraphInput::from_graph(graph, Some(p)), p))
+            .collect();
+        let refs: Vec<(&GraphInput, &DesignPoint)> =
+            inputs.iter().map(|(gi, p)| (gi, *p)).collect();
+        let batch = GraphBatch::new(&refs);
+        let fwd = model.forward(&batch);
+        out.push(fwd.graph.value(fwd.graph_emb).clone());
+    }
+    let refs: Vec<&Matrix> = out.iter().collect();
+    Matrix::vcat(&refs)
+}
+
+/// Quality of a 2-D layout w.r.t. per-point labels (latencies):
+/// the mean relative error of leave-one-out 3-NN label prediction in the
+/// layout. Lower means "nearby points have similar latency" — the property
+/// Fig. 6 claims for the learned embeddings.
+pub fn knn_label_error(layout: &Matrix, labels: &[f64]) -> f64 {
+    assert_eq!(layout.rows(), labels.len(), "one label per point");
+    let n = labels.len();
+    assert!(n >= 4, "need at least 4 points");
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = f64::from(layout.get(i, 0) - layout.get(j, 0));
+                let dy = f64::from(layout.get(i, 1) - layout.get(j, 1));
+                (dx * dx + dy * dy, j)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let pred: f64 = dists.iter().take(3).map(|&(_, j)| labels[j]).sum::<f64>() / 3.0;
+        let denom = labels[i].abs().max(1e-9);
+        total += (pred - labels[i]).abs() / denom;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_space::DesignSpace;
+    use gdse_gnn::{ModelConfig, ModelKind};
+    use hls_ir::kernels;
+    use proggraph::build_graph_bidirectional;
+
+    #[test]
+    fn initial_embeddings_differ_across_points() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let graph = build_graph_bidirectional(&k, &space);
+        let pts = vec![space.default_point(), space.point_at(space.size() - 1)];
+        let e = initial_embeddings(&graph, &pts);
+        assert_eq!(e.rows(), 2);
+        assert_ne!(e.row(0), e.row(1));
+    }
+
+    #[test]
+    fn learned_embeddings_shape() {
+        let k = kernels::spmv_ellpack();
+        let space = DesignSpace::from_kernel(&k);
+        let graph = build_graph_bidirectional(&k, &space);
+        let model = PredictionModel::new(ModelKind::Transformer, ModelConfig::small(), &["latency"]);
+        let pts: Vec<_> = (0..5).map(|i| space.point_at(i)).collect();
+        let e = learned_embeddings(&model, &graph, &pts);
+        assert_eq!(e.shape(), (5, 16));
+        assert!(!e.has_non_finite());
+    }
+
+    #[test]
+    fn knn_error_favors_label_correlated_layouts() {
+        // A layout where x = label exactly.
+        let labels: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let good = Matrix::from_fn(20, 2, |i, j| if j == 0 { i as f32 } else { 0.0 });
+        // A layout with labels scrambled spatially.
+        let bad = Matrix::from_fn(20, 2, |i, j| if j == 0 { ((i * 7) % 20) as f32 } else { 0.0 });
+        assert!(knn_label_error(&good, &labels) < knn_label_error(&bad, &labels));
+    }
+}

@@ -1,0 +1,41 @@
+//! # gdse-analysis
+//!
+//! Analysis utilities for the GNN-DSE reproduction:
+//!
+//! * [`tsne`] — exact 2-D t-SNE for the embedding plots of Fig. 6;
+//! * [`attention`] — node-attention extraction for Fig. 5;
+//! * [`embed`] — initial vs learned graph embeddings and a
+//!   cluster-quality metric that quantifies the Fig. 6 claim;
+//! * [`stats`] — objective correlations (the §5.2.1 analysis motivating the
+//!   split BRAM model).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use design_space::DesignSpace;
+//! use gdse_analysis::{attention, embed, tsne};
+//! use gdse_gnn::{ModelConfig, ModelKind, PredictionModel};
+//! use hls_ir::kernels;
+//! use proggraph::build_graph_bidirectional;
+//!
+//! let kernel = kernels::stencil();
+//! let space = DesignSpace::from_kernel(&kernel);
+//! let graph = build_graph_bidirectional(&kernel, &space);
+//! let model = PredictionModel::new(ModelKind::Full, ModelConfig::small(), &["latency"]);
+//!
+//! let scores = attention::attention_scores(&model, &graph, &space.default_point());
+//! println!("top node: {} ({:.3})", scores[0].key_text, scores[0].score);
+//!
+//! let points: Vec<_> = (0..8).map(|i| space.point_at(i)).collect();
+//! let init = embed::initial_embeddings(&graph, &points);
+//! let layout = tsne::tsne_2d(&init, &tsne::TsneConfig { iterations: 50, ..Default::default() });
+//! assert_eq!(layout.shape(), (8, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod embed;
+pub mod stats;
+pub mod tsne;

@@ -1,0 +1,128 @@
+//! Objective statistics: the §5.2.1 correlation analysis that justifies
+//! predicting BRAM with a separate model.
+
+use gnn_dse::Database;
+use serde::{Deserialize, Serialize};
+
+/// Pearson correlation coefficient of two equally long samples.
+///
+/// Returns 0.0 when either sample has zero variance or fewer than 2 points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must align");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// The five objectives, in the paper's order.
+pub const OBJECTIVES: [&str; 5] = ["latency", "dsp", "lut", "ff", "bram"];
+
+/// Pairwise Pearson correlations of the objectives over the valid designs
+/// of a database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveCorrelations {
+    /// `matrix[i][j]` = correlation of `OBJECTIVES[i]` with `OBJECTIVES[j]`.
+    pub matrix: [[f64; 5]; 5],
+    /// Number of valid designs used.
+    pub samples: usize,
+}
+
+impl ObjectiveCorrelations {
+    /// Computes the correlation matrix from a database's valid entries
+    /// (latency in log2, utilizations as-is).
+    pub fn from_database(db: &Database) -> Self {
+        let mut cols: [Vec<f64>; 5] = Default::default();
+        for e in db.entries().iter().filter(|e| e.result.is_valid()) {
+            cols[0].push((e.result.cycles.max(1) as f64).log2());
+            cols[1].push(e.result.util.dsp);
+            cols[2].push(e.result.util.lut);
+            cols[3].push(e.result.util.ff);
+            cols[4].push(e.result.util.bram);
+        }
+        let mut matrix = [[0.0; 5]; 5];
+        for i in 0..5 {
+            for j in 0..5 {
+                matrix[i][j] = pearson(&cols[i], &cols[j]);
+            }
+        }
+        Self { matrix, samples: cols[0].len() }
+    }
+
+    /// Mean absolute correlation of BRAM with the other four objectives.
+    pub fn bram_coupling(&self) -> f64 {
+        (0..4).map(|i| self.matrix[4][i].abs()).sum::<f64>() / 4.0
+    }
+
+    /// Mean absolute correlation among the non-BRAM objectives.
+    pub fn non_bram_coupling(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    sum += self.matrix[i][j].abs();
+                    n += 1;
+                }
+            }
+        }
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_dse::dbgen;
+    use hls_ir::kernels;
+
+    #[test]
+    fn pearson_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0, "zero variance");
+    }
+
+    #[test]
+    fn diagonal_is_one() {
+        let ks = vec![kernels::gemm_ncubed(), kernels::stencil()];
+        let db = dbgen::generate_database(&ks, &[], 60, 9);
+        let c = ObjectiveCorrelations::from_database(&db);
+        assert!(c.samples > 20);
+        for i in 0..5 {
+            assert!((c.matrix[i][i] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bram_is_the_least_coupled_objective() {
+        // The §5.2.1 observation that motivates the split BRAM model.
+        let ks = kernels::training_kernels();
+        let budgets: Vec<(&str, usize)> = dbgen::small_budgets();
+        let db = dbgen::generate_database(&ks, &budgets, 40, 11);
+        let c = ObjectiveCorrelations::from_database(&db);
+        assert!(
+            c.bram_coupling() < c.non_bram_coupling(),
+            "bram coupling {:.3} should be below non-bram {:.3}",
+            c.bram_coupling(),
+            c.non_bram_coupling()
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 6 embedding
+//! visualizations.
+//!
+//! O(n^2) is plenty for the few hundred design points per kernel the paper
+//! plots. Deterministic under a seed.
+
+use gdse_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity (effective number of neighbors).
+    pub perplexity: f64,
+    /// Gradient iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iterations: 400, learning_rate: 100.0, exaggeration: 8.0, seed: 0 }
+    }
+}
+
+/// Embeds `data` (`n x d`) into 2-D. Returns an `n x 2` matrix.
+///
+/// # Panics
+///
+/// Panics if `data` has fewer than 3 rows.
+pub fn tsne_2d(data: &Matrix, cfg: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let p = joint_probabilities(data, cfg.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen_range(-1e-4..1e-4), rng.gen_range(-1e-4..1e-4)])
+        .collect();
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let exaggerate_until = cfg.iterations / 4;
+
+    for iter in 0..cfg.iterations {
+        let ex = if iter < exaggerate_until { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut q_num = vec![0.0f64; n * n];
+        let mut q_sum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d2 = sq_dist2(&y[i], &y[j]);
+                let v = 1.0 / (1.0 + d2);
+                q_num[i * n + j] = v;
+                q_num[j * n + i] = v;
+                q_sum += 2.0 * v;
+            }
+        }
+        let momentum = if iter < 60 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let num = q_num[i * n + j];
+                let q = (num / q_sum).max(1e-12);
+                let mult = (ex * p[i * n + j] - q) * num;
+                grad[0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                velocity[i][k] = momentum * velocity[i][k] - cfg.learning_rate * grad[k];
+            }
+        }
+        for i in 0..n {
+            y[i][0] += velocity[i][0];
+            y[i][1] += velocity[i][1];
+        }
+        // Re-center.
+        let (mx, my) = y.iter().fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
+        let (mx, my) = (mx / n as f64, my / n as f64);
+        for pt in &mut y {
+            pt[0] -= mx;
+            pt[1] -= my;
+        }
+    }
+
+    Matrix::from_fn(n, 2, |i, j| y[i][j] as f32)
+}
+
+fn sq_dist2(a: &[f64; 2], b: &[f64; 2]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    dx * dx + dy * dy
+}
+
+/// Symmetrized joint probabilities with per-point bandwidths found by
+/// binary search to match the target perplexity.
+fn joint_probabilities(data: &Matrix, perplexity: f64) -> Vec<f64> {
+    let n = data.rows();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0f64;
+            for (a, b) in data.row(i).iter().zip(data.row(j)) {
+                let d = f64::from(a - b);
+                s += d * d;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-20f64, 1e20f64);
+        let mut beta = 1.0f64;
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let e = (-d2[i * n + j] * beta).exp();
+                sum += e;
+                sum_dp += d2[i * n + j] * e;
+            }
+            let sum = sum.max(1e-300);
+            let entropy = beta * sum_dp / sum + sum.ln();
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e20 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let e = (-d2[i * n + j] * beta).exp();
+                p[i * n + j] = e;
+                sum += e;
+            }
+        }
+        let sum = sum.max(1e-300);
+        for j in 0..n {
+            p[i * n + j] /= sum;
+        }
+    }
+    // Symmetrize and normalize.
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 10-D.
+    fn blobs(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                let center = if c == 0 { -5.0 } else { 5.0 };
+                let row: Vec<f32> =
+                    (0..10).map(|_| center + rng.gen_range(-0.5..0.5)).collect();
+                rows.push(row);
+                labels.push(c);
+            }
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (data, labels) = blobs(15, 3);
+        let cfg = TsneConfig { iterations: 400, perplexity: 8.0, learning_rate: 30.0, ..TsneConfig::default() };
+        let y = tsne_2d(&data, &cfg);
+        // Centroid distance between classes should far exceed intra-class
+        // spread.
+        let mut c = [[0.0f64; 2]; 2];
+        for (i, &l) in labels.iter().enumerate() {
+            c[l][0] += f64::from(y.get(i, 0));
+            c[l][1] += f64::from(y.get(i, 1));
+        }
+        for centroid in &mut c {
+            centroid[0] /= 15.0;
+            centroid[1] /= 15.0;
+        }
+        let between = ((c[0][0] - c[1][0]).powi(2) + (c[0][1] - c[1][1]).powi(2)).sqrt();
+        let mut within = 0.0f64;
+        for (i, &l) in labels.iter().enumerate() {
+            within += ((f64::from(y.get(i, 0)) - c[l][0]).powi(2)
+                + (f64::from(y.get(i, 1)) - c[l][1]).powi(2))
+            .sqrt();
+        }
+        within /= labels.len() as f64;
+        assert!(
+            between > 2.0 * within,
+            "blobs should separate: between={between}, within={within}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (data, _) = blobs(8, 5);
+        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        assert_eq!(tsne_2d(&data, &cfg), tsne_2d(&data, &cfg));
+    }
+
+    #[test]
+    fn output_shape() {
+        let (data, _) = blobs(5, 1);
+        let cfg = TsneConfig { iterations: 20, ..TsneConfig::default() };
+        let y = tsne_2d(&data, &cfg);
+        assert_eq!(y.shape(), (10, 2));
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_points_panics() {
+        let data = Matrix::zeros(2, 4);
+        let _ = tsne_2d(&data, &TsneConfig::default());
+    }
+}

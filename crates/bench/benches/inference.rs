@@ -1,0 +1,46 @@
+//! Surrogate inference throughput — the §5.3 claim of "22 inferences per
+//! second" that makes exhaustive DSE feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use design_space::DesignSpace;
+use gnn_dse::trainer::TrainConfig;
+use gnn_dse::{dbgen, Predictor};
+use gnn_dse_bench::Scale;
+use gdse_gnn::ModelKind;
+use hls_ir::kernels;
+use proggraph::build_graph_bidirectional;
+
+fn bench_inference(c: &mut Criterion) {
+    // A lightly trained model is representationally identical for timing.
+    let ks = vec![kernels::gemm_ncubed(), kernels::stencil()];
+    let db = dbgen::generate_database(&ks, &[], 40, 5);
+    let (predictor, _) = Predictor::train(
+        &db,
+        &ks,
+        ModelKind::Full,
+        Scale::Small.model_config(),
+        &TrainConfig::quick().with_epochs(1),
+    );
+
+    let kernel = kernels::stencil();
+    let space = DesignSpace::from_kernel(&kernel);
+    let graph = build_graph_bidirectional(&kernel, &space);
+
+    let mut group = c.benchmark_group("inference");
+    for batch in [1usize, 16, 64] {
+        let points: Vec<_> =
+            (0..batch as u128).map(|i| space.point_at(i * 7 % space.size())).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("predict_batch", batch), &points, |b, pts| {
+            b.iter(|| predictor.predict_batch(&graph, std::hint::black_box(pts)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Merlin/HLS simulator evaluation speed — the substitute for the
+//! minutes-to-hours HLS runs the paper pays per design point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use design_space::DesignSpace;
+use hls_ir::kernels;
+use merlin_sim::MerlinSimulator;
+
+fn bench_simulator(c: &mut Criterion) {
+    let sim = MerlinSimulator::new();
+    let mut group = c.benchmark_group("simulator");
+    for kernel in [kernels::aes(), kernels::gemm_blocked(), kernels::mm2()] {
+        let space = DesignSpace::from_kernel(&kernel);
+        let point = space.point_at(space.size() / 2);
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", kernel.name()),
+            &point,
+            |b, p| b.iter(|| sim.evaluate(&kernel, &space, std::hint::black_box(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! One training epoch (forward + backward + Adam) of each model family on a
+//! 32-sample mini-batch — the unit of cost that dominates the Table 2
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn_dse::dataset::{Dataset, MAIN_TARGETS};
+use gnn_dse::dbgen;
+use gnn_dse::trainer::{train_regression, TrainConfig};
+use gnn_dse_bench::Scale;
+use gdse_gnn::{ModelKind, PredictionModel};
+use hls_ir::kernels;
+
+fn bench_training(c: &mut Criterion) {
+    let ks = vec![kernels::gemm_ncubed(), kernels::atax()];
+    let db = dbgen::generate_database(&ks, &[], 60, 3);
+    let ds = Dataset::from_database(&db, &ks);
+    let valid = ds.valid_indices();
+    let batch: Vec<usize> = valid.iter().copied().take(32).collect();
+
+    let mut group = c.benchmark_group("training");
+    for kind in [ModelKind::Gcn, ModelKind::Transformer, ModelKind::Full] {
+        group.bench_function(BenchmarkId::new("epoch_32samples", format!("{kind:?}")), |b| {
+            b.iter_batched(
+                || PredictionModel::new(kind, Scale::Small.model_config(), &MAIN_TARGETS),
+                |mut model| {
+                    let cfg = TrainConfig {
+                        epochs: 1,
+                        batch_size: 32,
+                        lr: 1e-3,
+                        seed: 0,
+                        grad_clip: 5.0,
+                    };
+                    train_regression(&mut model, &ds, &batch, &cfg)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

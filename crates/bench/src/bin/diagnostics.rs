@@ -1,0 +1,63 @@
+//! Diagnostics: a quick health check of the simulated toolchain and the
+//! surrogate's sensitivity, useful when tuning the cost model or the model
+//! architecture.
+//!
+//! Prints, per kernel: design-space size, the validity mix and QoR ranges
+//! over a random sample, and whether an untrained model's output responds to
+//! pragma changes (a dead pragma path would silently break DSE).
+
+use design_space::DesignSpace;
+use gdse_gnn::{GraphBatch, GraphInput, ModelConfig, ModelKind, PredictionModel};
+use hls_ir::kernels;
+use merlin_sim::MerlinSimulator;
+use proggraph::build_graph_bidirectional;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let sim = MerlinSimulator::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    println!(
+        "{:<14} {:>14} {:>7} {:>12} {:>12} {:>8} {:>8} {:>10}",
+        "kernel", "space", "valid%", "min_cyc", "max_cyc", "maxDSP", "maxBRAM", "sensitive"
+    );
+    for k in kernels::all_kernels() {
+        let space = DesignSpace::from_kernel(&k);
+        let n = 300;
+        let mut valid = 0;
+        let (mut mn, mut mx) = (u64::MAX, 0u64);
+        let (mut dsp, mut bram) = (0u64, 0u64);
+        for _ in 0..n {
+            let p = space.random_point(&mut rng);
+            let r = sim.evaluate(&k, &space, &p);
+            if r.is_valid() {
+                valid += 1;
+                mn = mn.min(r.cycles);
+                mx = mx.max(r.cycles);
+                dsp = dsp.max(r.counts.dsp);
+                bram = bram.max(r.counts.bram18);
+            }
+        }
+        // Pragma sensitivity of an untrained model: outputs must differ
+        // between the default and an extreme configuration.
+        let graph = build_graph_bidirectional(&k, &space);
+        let model = PredictionModel::new(ModelKind::Full, ModelConfig::small(), &["latency"]);
+        let p0 = space.default_point();
+        let p1 = space.point_at(space.size() - 1);
+        let i0 = GraphInput::from_graph(&graph, Some(&p0));
+        let i1 = GraphInput::from_graph(&graph, Some(&p1));
+        let v0 = model.forward(&GraphBatch::single(&i0, &p0)).values()[0];
+        let v1 = model.forward(&GraphBatch::single(&i1, &p1)).values()[0];
+        println!(
+            "{:<14} {:>14} {:>7} {:>12} {:>12} {:>8} {:>8} {:>10}",
+            k.name(),
+            space.size(),
+            valid * 100 / n,
+            if mn == u64::MAX { 0 } else { mn },
+            mx,
+            dsp,
+            bram,
+            if v0 != v1 { "yes" } else { "NO!" }
+        );
+    }
+}

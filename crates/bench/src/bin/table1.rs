@@ -1,0 +1,68 @@
+//! **Table 1** — design space and initial database of the training kernels.
+//!
+//! Prints, per kernel: the number of candidate pragmas, the design-space
+//! size, and the initial database size (total / valid). The paper's final
+//! database (after DSE rounds) is reported by the `fig7` binary, which runs
+//! the augmentation loop.
+//!
+//! Run with `GNNDSE_SCALE=paper` to use the paper's exact per-kernel
+//! evaluation budgets (Table 1 initial totals).
+
+use design_space::DesignSpace;
+use gnn_dse_bench::{human_u128, rule, training_setup, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 1 — design space and training database (scale: {})", scale.label());
+    println!();
+
+    let start = std::time::Instant::now();
+    let (kernels, db) = training_setup(scale, 42);
+
+    println!(
+        "{:<14} {:>9} {:>16} {:>14} {:>14}",
+        "Kernel", "#pragmas", "#Design configs", "DB total", "DB valid"
+    );
+    rule(72);
+    let mut tot_space: u128 = 0;
+    let (mut tot, mut val) = (0usize, 0usize);
+    let stats = db.stats();
+    for k in &kernels {
+        let space = DesignSpace::from_kernel(k);
+        let s = stats
+            .iter()
+            .find(|(name, _)| name == k.name())
+            .map(|&(_, s)| s)
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:>9} {:>16} {:>14} {:>14}",
+            k.name(),
+            space.num_slots(),
+            human_u128(space.size()),
+            s.total,
+            s.valid
+        );
+        tot_space += space.size();
+        tot += s.total;
+        val += s.valid;
+    }
+    rule(72);
+    println!(
+        "{:<14} {:>9} {:>16} {:>14} {:>14}",
+        "Total",
+        kernels.iter().map(|k| k.num_candidate_pragmas()).sum::<usize>(),
+        human_u128(tot_space),
+        tot,
+        val
+    );
+
+    if let Some((lo, hi)) = db.latency_range() {
+        println!();
+        println!("latency range across valid designs: {lo} .. {hi} cycles (paper: 660 .. 12,531,777)");
+    }
+    println!("generated in {:?}", start.elapsed());
+    println!();
+    println!("paper reference (Table 1): #pragmas 3/5/9/7/8/3/3/7/6,");
+    println!("  spaces 45 / 3,354 / 2,314 / 7,792 / 3,059,001 / 114 / 114 / 7,591 / 15,288;");
+    println!("  initial DB 4,428 total / 1,036 valid at paper scale.");
+}

@@ -1,0 +1,129 @@
+//! Shared infrastructure for the experiment harness binaries.
+//!
+//! Every table/figure of the paper has a binary in `src/bin/` that prints
+//! the same rows/series the paper reports. The `GNNDSE_SCALE` environment
+//! variable selects the experiment scale:
+//!
+//! * `tiny` — smoke-test scale (seconds to a few minutes);
+//! * `small` — the default: reduced database and model, preserves every
+//!   qualitative trend (minutes);
+//! * `paper` — Table 1 database budgets and the §5.1 model (6x64 GNN, 4-layer
+//!   MLP heads); expect hours on a CPU.
+
+use gdse_gnn::ModelConfig;
+use gnn_dse::trainer::TrainConfig;
+use gnn_dse::{dbgen, Database};
+use hls_ir::{kernels, Kernel};
+
+/// Experiment scale selected via `GNNDSE_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke test.
+    Tiny,
+    /// Default: reduced but trend-preserving.
+    Small,
+    /// The paper's configuration.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `GNNDSE_SCALE` (default `small`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown value.
+    pub fn from_env() -> Self {
+        match std::env::var("GNNDSE_SCALE").as_deref() {
+            Err(_) | Ok("small") => Scale::Small,
+            Ok("tiny") => Scale::Tiny,
+            Ok("paper") => Scale::Paper,
+            Ok(other) => panic!("unknown GNNDSE_SCALE `{other}` (tiny|small|paper)"),
+        }
+    }
+
+    /// Database budgets per kernel.
+    pub fn budgets(self) -> Vec<(&'static str, usize)> {
+        let full = dbgen::table1_budgets();
+        let div = match self {
+            Scale::Tiny => 20,
+            Scale::Small => 4,
+            Scale::Paper => 1,
+        };
+        full.into_iter().map(|(k, n)| (k, (n / div).max(10))).collect()
+    }
+
+    /// Model hyperparameters.
+    pub fn model_config(self) -> ModelConfig {
+        match self {
+            Scale::Tiny => ModelConfig { hidden: 16, gnn_layers: 3, mlp_layers: 2, seed: 42 },
+            Scale::Small => ModelConfig { hidden: 32, gnn_layers: 4, mlp_layers: 4, seed: 42 },
+            Scale::Paper => ModelConfig::paper(),
+        }
+    }
+
+    /// Training hyperparameters.
+    pub fn train_config(self) -> TrainConfig {
+        match self {
+            Scale::Tiny => TrainConfig { epochs: 6, batch_size: 32, lr: 2e-3, seed: 0, grad_clip: 5.0 },
+            Scale::Small => TrainConfig { epochs: 50, batch_size: 32, lr: 1e-3, seed: 0, grad_clip: 5.0 },
+            Scale::Paper => TrainConfig::paper(),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// The nine training kernels plus their shared initial database.
+pub fn training_setup(scale: Scale, seed: u64) -> (Vec<Kernel>, Database) {
+    let ks = kernels::training_kernels();
+    let budgets = scale.budgets();
+    let db = dbgen::generate_database(&ks, &budgets, 60, seed);
+    (ks, db)
+}
+
+/// Prints a horizontal rule sized for the harness tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a u128 with thousands separators.
+pub fn human_u128(v: u128) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human_u128(0), "0");
+        assert_eq!(human_u128(999), "999");
+        assert_eq!(human_u128(1000), "1,000");
+        assert_eq!(human_u128(3_095_613), "3,095,613");
+    }
+
+    #[test]
+    fn scales_have_increasing_budgets() {
+        let tiny: usize = Scale::Tiny.budgets().iter().map(|(_, n)| n).sum();
+        let small: usize = Scale::Small.budgets().iter().map(|(_, n)| n).sum();
+        let paper: usize = Scale::Paper.budgets().iter().map(|(_, n)| n).sum();
+        assert!(tiny < small && small < paper);
+        assert_eq!(paper, 4428, "paper budgets match Table 1 initial totals");
+    }
+}

@@ -1,0 +1,243 @@
+//! `gnndse` — command-line front end for the GNN-DSE framework.
+//!
+//! ```text
+//! gnndse kernels                                   list kernels and design spaces
+//! gnndse evaluate <kernel> <index>                 evaluate one design with the HLS model
+//! gnndse report <kernel> <index>                   per-loop synthesis report (II, cycles)
+//! gnndse emit <kernel> [index]                     Merlin-annotated C (placeholders or filled)
+//! gnndse gendb <out.json> [budget] [seed]          generate a training database
+//! gnndse train <db.json> <model.json> [epochs]     train the surrogate (M7)
+//! gnndse dse <model.json> <kernel> [top_m]         surrogate-driven DSE
+//! gnndse predict <model.json> <kernel> <index>     predict one design point
+//! ```
+
+use design_space::DesignSpace;
+use gnn_dse::dse::{run_dse, DseConfig};
+use gnn_dse::trainer::TrainConfig;
+use gnn_dse::{dbgen, Database, Predictor};
+use gdse_gnn::{ModelConfig, ModelKind};
+use hls_ir::kernels;
+use merlin_sim::MerlinSimulator;
+use proggraph::build_graph_bidirectional;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("kernels") => cmd_kernels(),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("emit") => cmd_emit(&args[1..]),
+        Some("gendb") => cmd_gendb(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("dse") => cmd_dse(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        _ => {
+            eprintln!("usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict> ...");
+            eprintln!("see the crate docs for details");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn cmd_kernels() -> CliResult {
+    println!("{:<14} {:>9} {:>18} {:>7} {:>7}", "kernel", "#pragmas", "#configs", "loops", "role");
+    for k in kernels::all_kernels() {
+        let space = DesignSpace::from_kernel(&k);
+        let unseen = kernels::unseen_kernels().iter().any(|u| u.name() == k.name());
+        println!(
+            "{:<14} {:>9} {:>18} {:>7} {:>7}",
+            k.name(),
+            space.num_slots(),
+            space.size(),
+            k.loops().len(),
+            if unseen { "unseen" } else { "train" }
+        );
+    }
+    Ok(())
+}
+
+fn lookup_kernel(name: &str) -> Result<hls_ir::Kernel, String> {
+    if name == "toy" {
+        return Ok(kernels::toy());
+    }
+    kernels::kernel_by_name(name).ok_or_else(|| format!("unknown kernel `{name}`"))
+}
+
+fn cmd_evaluate(args: &[String]) -> CliResult {
+    let [kernel, index] = args else {
+        return Err("usage: gnndse evaluate <kernel> <index>".into());
+    };
+    let kernel = lookup_kernel(kernel)?;
+    let space = DesignSpace::from_kernel(&kernel);
+    let index: u128 = index.parse().map_err(|e| format!("bad index: {e}"))?;
+    if index >= space.size() {
+        return Err(format!("index {index} out of space of size {}", space.size()));
+    }
+    let point = space.point_at(index);
+    let r = MerlinSimulator::new().evaluate(&kernel, &space, &point);
+    println!("design : {}", point.describe(space.slots()));
+    println!("status : {}", r.validity);
+    if r.is_valid() {
+        println!("cycles : {}", r.cycles);
+        println!(
+            "counts : {} DSP, {} BRAM18, {} LUT, {} FF",
+            r.counts.dsp, r.counts.bram18, r.counts.lut, r.counts.ff
+        );
+        println!(
+            "util   : dsp {:.3}, bram {:.3}, lut {:.3}, ff {:.3} (fits<0.8: {})",
+            r.util.dsp,
+            r.util.bram,
+            r.util.lut,
+            r.util.ff,
+            r.util.fits(0.8)
+        );
+        println!("tool   : {:.1} modelled minutes", r.synth_minutes);
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> CliResult {
+    let [kernel, index] = args else {
+        return Err("usage: gnndse report <kernel> <index>".into());
+    };
+    let kernel = lookup_kernel(kernel)?;
+    let space = DesignSpace::from_kernel(&kernel);
+    let index: u128 = index.parse().map_err(|e| format!("bad index: {e}"))?;
+    if index >= space.size() {
+        return Err(format!("index {index} out of space of size {}", space.size()));
+    }
+    let point = space.point_at(index);
+    println!("design: {}\n", point.describe(space.slots()));
+    let Some(rows) = MerlinSimulator::new().report(&kernel, &space, &point) else {
+        return Err("design is invalid; no report".into());
+    };
+    println!(
+        "{:<6} {:>8} {:>9} {:>5} {:>9} {:>6} {:>12}",
+        "loop", "trip", "parallel", "tile", "pipeline", "II", "cycles"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:>8} {:>9} {:>5} {:>9} {:>6} {:>12}",
+            r.label, r.trip_count, r.parallel, r.tile, r.pipeline, r.ii, r.cycles
+        );
+    }
+    Ok(())
+}
+
+fn cmd_emit(args: &[String]) -> CliResult {
+    let kernel_name = args.first().ok_or("usage: gnndse emit <kernel> [index]")?;
+    let kernel = lookup_kernel(kernel_name)?;
+    match args.get(1) {
+        None => print!("{}", hls_ir::emit::emit_c(&kernel)),
+        Some(index) => {
+            let space = DesignSpace::from_kernel(&kernel);
+            let index: u128 = index.parse().map_err(|e| format!("bad index: {e}"))?;
+            if index >= space.size() {
+                return Err(format!("index {index} out of space of size {}", space.size()));
+            }
+            let point = space.point_at(index);
+            print!("{}", design_space::emit::emit_configured(&kernel, &space, &point));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gendb(args: &[String]) -> CliResult {
+    let out = args.first().ok_or("usage: gnndse gendb <out.json> [budget] [seed]")?;
+    let budget: usize = args.get(1).map_or(Ok(60), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let seed: u64 = args.get(2).map_or(Ok(42), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let ks = kernels::training_kernels();
+    let db = dbgen::generate_database(&ks, &[], budget, seed);
+    db.save(Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {} designs ({} valid) to {out}", db.len(), db.valid_count());
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> CliResult {
+    let [db_path, model_path, rest @ ..] = args else {
+        return Err("usage: gnndse train <db.json> <model.json> [epochs]".into());
+    };
+    let epochs: usize =
+        rest.first().map_or(Ok(40), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let db = Database::load(Path::new(db_path)).map_err(|e| e.to_string())?;
+    let ks = kernels::all_kernels();
+    let referenced: Vec<_> = ks
+        .into_iter()
+        .filter(|k| db.entries().iter().any(|e| e.kernel == k.name()))
+        .collect();
+    let cfg = TrainConfig { epochs, ..TrainConfig::paper() };
+    println!("training M7 on {} designs for {epochs} epochs...", db.len());
+    let model_cfg = ModelConfig { hidden: 32, gnn_layers: 4, mlp_layers: 4, seed: 42 };
+    let (p, _) = Predictor::train(&db, &referenced, ModelKind::Full, model_cfg, &cfg);
+    p.save(Path::new(model_path)).map_err(|e| e.to_string())?;
+    println!("saved model to {model_path}");
+    Ok(())
+}
+
+fn cmd_dse(args: &[String]) -> CliResult {
+    let [model_path, kernel, rest @ ..] = args else {
+        return Err("usage: gnndse dse <model.json> <kernel> [top_m]".into());
+    };
+    let top_m: usize = rest.first().map_or(Ok(10), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let predictor = Predictor::load(Path::new(model_path)).map_err(|e| e.to_string())?;
+    let kernel = lookup_kernel(kernel)?;
+    let space = DesignSpace::from_kernel(&kernel);
+    let cfg = DseConfig { top_m, ..DseConfig::default() };
+    let outcome = run_dse(&predictor, &kernel, &space, &cfg);
+    println!(
+        "{} inferences in {:?} ({})",
+        outcome.inferences,
+        outcome.wall,
+        if outcome.exhaustive { "exhaustive" } else { "heuristic" }
+    );
+    let sim = MerlinSimulator::new();
+    for (rank, (point, pred)) in outcome.top.iter().enumerate() {
+        let truth = sim.evaluate(&kernel, &space, point);
+        println!(
+            "#{:<3} predicted {:>10} | actual {:>10} ({}) | {}",
+            rank + 1,
+            pred.cycles,
+            truth.cycles,
+            truth.validity,
+            point.describe(space.slots())
+        );
+    }
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> CliResult {
+    let [model_path, kernel, index] = args else {
+        return Err("usage: gnndse predict <model.json> <kernel> <index>".into());
+    };
+    let predictor = Predictor::load(Path::new(model_path)).map_err(|e| e.to_string())?;
+    let kernel = lookup_kernel(kernel)?;
+    let space = DesignSpace::from_kernel(&kernel);
+    let index: u128 = index.parse().map_err(|e| format!("bad index: {e}"))?;
+    if index >= space.size() {
+        return Err(format!("index {index} out of space of size {}", space.size()));
+    }
+    let point = space.point_at(index);
+    let graph = build_graph_bidirectional(&kernel, &space);
+    let start = std::time::Instant::now();
+    let pred = predictor.predict(&graph, &point);
+    println!("design    : {}", point.describe(space.slots()));
+    println!("valid prob: {:.3}", pred.valid_prob);
+    println!("cycles    : {}", pred.cycles);
+    println!(
+        "util      : dsp {:.3}, bram {:.3}, lut {:.3}, ff {:.3}",
+        pred.util.dsp, pred.util.bram, pred.util.lut, pred.util.ff
+    );
+    println!("latency   : {:?} (surrogate wall-clock)", start.elapsed());
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Initial-database generation (§4.1 / Fig. 2): run the three explorers on
+//! every training kernel with per-kernel budgets sized like Table 1.
+
+use crate::db::Database;
+use crate::explorer::{BottleneckExplorer, Budget, HybridExplorer, RandomExplorer};
+use design_space::DesignSpace;
+use hls_ir::Kernel;
+use merlin_sim::MerlinSimulator;
+
+/// Per-kernel evaluation budgets of the paper's *initial* database
+/// (Table 1, "Initial database # Total").
+pub fn table1_budgets() -> Vec<(&'static str, usize)> {
+    vec![
+        ("aes", 15),
+        ("atax", 605),
+        ("gemm-blocked", 616),
+        ("gemm-ncubed", 432),
+        ("mvt", 571),
+        ("spmv-crs", 98),
+        ("spmv-ellpack", 114),
+        ("stencil", 1066),
+        ("nw", 911),
+    ]
+}
+
+/// Scaled-down budgets for fast tests and examples (~15% of Table 1).
+pub fn small_budgets() -> Vec<(&'static str, usize)> {
+    table1_budgets()
+        .into_iter()
+        .map(|(k, n)| (k, (n / 7).max(12)))
+        .collect()
+}
+
+/// Runs the three explorers on one kernel: 40% of the budget to the
+/// bottleneck optimizer, 30% to the hybrid explorer, the rest to random
+/// sampling.
+pub fn explore_kernel(
+    sim: &MerlinSimulator,
+    kernel: &Kernel,
+    space: &DesignSpace,
+    db: &mut Database,
+    budget: usize,
+    seed: u64,
+) {
+    let before = db.len();
+    let greedy_share = (budget * 4) / 10;
+    let hybrid_share = (budget * 3) / 10;
+    BottleneckExplorer::new().explore(sim, kernel, space, db, Budget::evals(greedy_share));
+    HybridExplorer::with_seed(seed).explore(sim, kernel, space, db, Budget::evals(hybrid_share));
+    let used = db.len() - before;
+    let rest = budget.saturating_sub(used);
+    RandomExplorer::new(seed ^ 0x9e37_79b9).explore(sim, kernel, space, db, Budget::evals(rest));
+}
+
+/// Generates the initial database for a set of kernels.
+///
+/// `budgets` maps kernel names to evaluation budgets; kernels without an
+/// entry get `default_budget`.
+pub fn generate_database(
+    kernels: &[Kernel],
+    budgets: &[(&str, usize)],
+    default_budget: usize,
+    seed: u64,
+) -> Database {
+    let sim = MerlinSimulator::new();
+    let mut db = Database::new();
+    for (i, k) in kernels.iter().enumerate() {
+        let space = DesignSpace::from_kernel(k);
+        let budget = budgets
+            .iter()
+            .find(|(name, _)| *name == k.name())
+            .map(|&(_, b)| b)
+            .unwrap_or(default_budget);
+        explore_kernel(&sim, k, &space, &mut db, budget, seed.wrapping_add(i as u64));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+
+    #[test]
+    fn generates_mixed_quality_database() {
+        let ks = vec![kernels::gemm_ncubed(), kernels::spmv_ellpack()];
+        let db = generate_database(&ks, &[("gemm-ncubed", 80), ("spmv-ellpack", 40)], 50, 7);
+        let stats = db.stats();
+        assert_eq!(stats.len(), 2);
+        // Both valid and invalid designs should be present for gemm.
+        let gemm: Vec<_> = db.of_kernel("gemm-ncubed").collect();
+        assert!(gemm.iter().any(|e| e.result.is_valid()));
+        assert!(gemm.len() >= 60);
+        // Latency diversity: at least 10x between best and worst.
+        let (lo, hi) = db.latency_range().unwrap();
+        assert!(hi > 10 * lo, "database should span bad-to-good designs: {lo}..{hi}");
+    }
+
+    #[test]
+    fn budgets_are_approximately_respected() {
+        let ks = vec![kernels::stencil()];
+        let db = generate_database(&ks, &[("stencil", 60)], 60, 1);
+        let total = db.len();
+        assert!(total <= 66, "close to the budget, got {total}");
+        assert!(total >= 40, "should use most of the budget, got {total}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ks = vec![kernels::spmv_crs()];
+        let a = generate_database(&ks, &[], 30, 5);
+        let b = generate_database(&ks, &[], 30, 5);
+        assert_eq!(a.entries(), b.entries());
+    }
+}

@@ -1,0 +1,309 @@
+//! Model-driven design space exploration (§4.4).
+//!
+//! With millisecond inference the DSE enumerates small spaces exhaustively;
+//! enormous spaces are swept in the ordered-pragma priority order (innermost
+//! loops first, parallel > pipeline > tile, dependencies promoted) so the
+//! most promising candidates are evaluated before the budget or time limit
+//! runs out.
+
+use crate::inference::{Prediction, Predictor};
+use design_space::{order::ordered_slots, rules, DesignPoint, DesignSpace};
+use hls_ir::Kernel;
+use merlin_sim::HlsResult;
+use proggraph::{build_graph_bidirectional, ProgramGraph};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// DSE limits and constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseConfig {
+    /// Utilization constraint `T_u` (eq. 7).
+    pub util_threshold: f64,
+    /// How many top designs to return for HLS validation (§5.3: top 10).
+    pub top_m: usize,
+    /// Surrogate batch size.
+    pub batch_size: usize,
+    /// Spaces up to this size are enumerated exhaustively.
+    pub exhaustive_limit: u128,
+    /// Cap on surrogate inferences for huge spaces.
+    pub max_inferences: usize,
+    /// Wall-clock limit (the paper uses 1 hour for `mvt` and `2mm`).
+    pub time_limit: Duration,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        Self {
+            util_threshold: 0.8,
+            top_m: 10,
+            batch_size: 64,
+            exhaustive_limit: 100_000,
+            max_inferences: 60_000,
+            time_limit: Duration::from_secs(3600),
+        }
+    }
+}
+
+impl DseConfig {
+    /// A tiny configuration for tests.
+    pub fn quick() -> Self {
+        Self {
+            exhaustive_limit: 2_000,
+            max_inferences: 1_500,
+            time_limit: Duration::from_secs(30),
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of one DSE run.
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    /// The top-M designs by predicted latency among usable predictions,
+    /// best first.
+    pub top: Vec<(DesignPoint, Prediction)>,
+    /// Surrogate inferences performed.
+    pub inferences: usize,
+    /// Wall-clock spent.
+    pub wall: Duration,
+    /// Whether the whole (canonical) space was covered.
+    pub exhaustive: bool,
+}
+
+/// Runs the surrogate-driven DSE for one kernel.
+pub fn run_dse(
+    predictor: &Predictor,
+    kernel: &Kernel,
+    space: &DesignSpace,
+    cfg: &DseConfig,
+) -> DseOutcome {
+    let graph = build_graph_bidirectional(kernel, space);
+    run_dse_with_graph(predictor, kernel, space, &graph, cfg)
+}
+
+/// [`run_dse`] with a pre-built program graph (avoids rebuilding across
+/// rounds).
+pub fn run_dse_with_graph(
+    predictor: &Predictor,
+    kernel: &Kernel,
+    space: &DesignSpace,
+    graph: &ProgramGraph,
+    cfg: &DseConfig,
+) -> DseOutcome {
+    let start = Instant::now();
+    let exhaustive = space.size() <= cfg.exhaustive_limit;
+    let mut top: Vec<(DesignPoint, Prediction)> = Vec::new();
+    // Best-by-cycles regardless of the usability filter: returned when the
+    // model (e.g. early in the rounds loop) marks nothing as usable, so the
+    // tool validation step always has candidates to refute.
+    let mut fallback: Vec<(DesignPoint, Prediction)> = Vec::new();
+    let mut inferences = 0usize;
+    let mut seen: HashSet<DesignPoint> = HashSet::new();
+    let mut pending: Vec<DesignPoint> = Vec::with_capacity(cfg.batch_size);
+
+    let flush = |pending: &mut Vec<DesignPoint>,
+                     top: &mut Vec<(DesignPoint, Prediction)>,
+                     fallback: &mut Vec<(DesignPoint, Prediction)>,
+                     inferences: &mut usize| {
+        if pending.is_empty() {
+            return;
+        }
+        let preds = predictor.predict_batch(graph, pending);
+        *inferences += pending.len();
+        for (p, pred) in pending.drain(..).zip(preds) {
+            if pred.usable(cfg.util_threshold) {
+                top.push((p, pred));
+            } else {
+                fallback.push((p, pred));
+            }
+        }
+        // Keep both candidate lists bounded.
+        top.sort_by_key(|(_, pr)| pr.cycles);
+        top.truncate(cfg.top_m.max(64));
+        fallback.sort_by_key(|(_, pr)| pr.cycles);
+        fallback.truncate(cfg.top_m);
+    };
+
+    let candidates = candidate_order(kernel, space, exhaustive, cfg);
+    for point in candidates {
+        if start.elapsed() > cfg.time_limit || inferences >= cfg.max_inferences && !exhaustive {
+            break;
+        }
+        let canonical = rules::canonicalize(kernel, space, &point);
+        if !seen.insert(canonical.clone()) {
+            continue;
+        }
+        pending.push(canonical);
+        if pending.len() >= cfg.batch_size {
+            flush(&mut pending, &mut top, &mut fallback, &mut inferences);
+        }
+    }
+    flush(&mut pending, &mut top, &mut fallback, &mut inferences);
+
+    if top.is_empty() {
+        top = fallback;
+    }
+    top.truncate(cfg.top_m);
+    DseOutcome { top, inferences, wall: start.elapsed(), exhaustive }
+}
+
+/// The candidate stream: full enumeration for small spaces, priority-ordered
+/// mixed-radix sweep for large ones.
+fn candidate_order<'a>(
+    kernel: &Kernel,
+    space: &'a DesignSpace,
+    exhaustive: bool,
+    cfg: &DseConfig,
+) -> Box<dyn Iterator<Item = DesignPoint> + 'a> {
+    if exhaustive {
+        return Box::new(space.iter());
+    }
+    // Reordered mixed-radix enumeration: the highest-priority slot varies
+    // fastest, so early candidates sweep the pragmas that matter most while
+    // the rest stay at their defaults.
+    let order = ordered_slots(kernel, space);
+    let limit = (cfg.max_inferences as u128 * 4).min(space.size());
+    let default = space.default_point();
+    Box::new((0..limit).map(move |i| {
+        let mut point = default.clone();
+        let mut rem = i;
+        for &slot in &order {
+            let radix = space.slots()[slot].options.len() as u128;
+            point.set_value(slot, space.slots()[slot].options[(rem % radix) as usize]);
+            rem /= radix;
+            if rem == 0 {
+                break;
+            }
+        }
+        point
+    }))
+}
+
+/// Indices of the Pareto-optimal entries, minimizing cycles and every
+/// resource count jointly.
+pub fn pareto_front(results: &[(DesignPoint, HlsResult)]) -> Vec<usize> {
+    let dominated = |a: &HlsResult, b: &HlsResult| {
+        // b dominates a.
+        let better_eq = b.cycles <= a.cycles
+            && b.counts.dsp <= a.counts.dsp
+            && b.counts.bram18 <= a.counts.bram18
+            && b.counts.lut <= a.counts.lut
+            && b.counts.ff <= a.counts.ff;
+        let strictly = b.cycles < a.cycles
+            || b.counts.dsp < a.counts.dsp
+            || b.counts.bram18 < a.counts.bram18
+            || b.counts.lut < a.counts.lut
+            || b.counts.ff < a.counts.ff;
+        better_eq && strictly
+    };
+    (0..results.len())
+        .filter(|&i| {
+            results[i].1.is_valid()
+                && !results
+                    .iter()
+                    .enumerate()
+                    .any(|(j, (_, rj))| j != i && rj.is_valid() && dominated(&results[i].1, rj))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::generate_database;
+    use crate::trainer::TrainConfig;
+    use gdse_gnn::{ModelConfig, ModelKind};
+    use hls_ir::kernels;
+    use merlin_sim::MerlinSimulator;
+
+    fn trained(kernel_fn: fn() -> Kernel, budget: usize) -> (Predictor, Kernel, DesignSpace) {
+        let k = kernel_fn();
+        let ks = vec![kernel_fn()];
+        let db = generate_database(&ks, &[], budget, 23);
+        let (p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(5),
+        );
+        let space = DesignSpace::from_kernel(&k);
+        (p, k, space)
+    }
+
+    #[test]
+    fn exhaustive_dse_covers_small_space() {
+        let (p, k, space) = trained(kernels::aes, 30);
+        let out = run_dse(&p, &k, &space, &DseConfig::quick());
+        assert!(out.exhaustive);
+        assert!(out.inferences > 0);
+        assert!(out.top.len() <= 10);
+    }
+
+    #[test]
+    fn heuristic_dse_respects_inference_cap() {
+        let (p, k, space) = trained(kernels::gemm_ncubed, 40);
+        let mut cfg = DseConfig::quick();
+        cfg.exhaustive_limit = 10; // force the heuristic path
+        cfg.max_inferences = 300;
+        let out = run_dse(&p, &k, &space, &cfg);
+        assert!(!out.exhaustive);
+        assert!(out.inferences <= 300 + cfg.batch_size);
+    }
+
+    #[test]
+    fn top_designs_are_sorted_by_predicted_cycles() {
+        let (p, k, space) = trained(kernels::spmv_ellpack, 40);
+        let out = run_dse(&p, &k, &space, &DseConfig::quick());
+        for w in out.top.windows(2) {
+            assert!(w[0].1.cycles <= w[1].1.cycles);
+        }
+    }
+
+    #[test]
+    fn impossible_threshold_falls_back_to_best_predicted() {
+        // With an unsatisfiable utilization threshold nothing is "usable",
+        // but the DSE must still return ranked candidates so the validation
+        // step has something to refute.
+        let (p, k, space) = trained(kernels::spmv_ellpack, 30);
+        let mut cfg = DseConfig::quick();
+        cfg.util_threshold = -1.0;
+        let out = run_dse(&p, &k, &space, &cfg);
+        assert!(!out.top.is_empty(), "fallback candidates expected");
+        for w in out.top.windows(2) {
+            assert!(w[0].1.cycles <= w[1].1.cycles, "fallback is sorted too");
+        }
+    }
+
+    #[test]
+    fn pareto_front_filters_dominated() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let results: Vec<(DesignPoint, HlsResult)> = (0..space.size())
+            .map(|i| {
+                let pt = space.point_at(i);
+                let r = sim.evaluate(&k, &space, &pt);
+                (pt, r)
+            })
+            .collect();
+        let front = pareto_front(&results);
+        assert!(!front.is_empty());
+        // No front member dominates another.
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    let (a, b) = (&results[i].1, &results[j].1);
+                    let dominates = b.cycles <= a.cycles
+                        && b.counts.dsp <= a.counts.dsp
+                        && b.counts.lut <= a.counts.lut
+                        && (b.cycles < a.cycles || b.counts.dsp < a.counts.dsp);
+                    assert!(
+                        !(dominates && b.counts.bram18 <= a.counts.bram18 && b.counts.ff <= a.counts.ff),
+                        "front member {i} dominated by {j}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulated-annealing explorer — the classic model-free DSE baseline the
+//! paper's related work cites (Mahapatra & Schafer's ML-SA line), included
+//! for baseline comparisons against the bottleneck optimizer and the
+//! GNN-driven DSE.
+
+use super::{evaluate_into_db, Budget};
+use crate::db::Database;
+use crate::explorer::ExplorationLog;
+use design_space::{DesignPoint, DesignSpace};
+use hls_ir::Kernel;
+use merlin_sim::{HlsResult, MerlinSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated annealing over the pragma space: single-slot mutations,
+/// latency-based energy, geometric cooling. Infeasible designs (invalid or
+/// over the utilization threshold) get a large penalty energy instead of
+/// outright rejection so the walk can traverse them.
+#[derive(Debug, Clone)]
+pub struct AnnealingExplorer {
+    /// Utilization constraint.
+    pub util_threshold: f64,
+    /// Initial temperature as a fraction of the default design's latency.
+    pub initial_temp_frac: f64,
+    /// Geometric cooling factor per evaluation.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealingExplorer {
+    fn default() -> Self {
+        Self { util_threshold: 0.8, initial_temp_frac: 0.5, cooling: 0.97, seed: 0 }
+    }
+}
+
+impl AnnealingExplorer {
+    /// Creates an annealing explorer with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    fn energy(&self, r: &HlsResult, penalty: f64) -> f64 {
+        if r.is_valid() && r.util.fits(self.util_threshold) {
+            r.cycles as f64
+        } else {
+            penalty
+        }
+    }
+
+    /// Runs the annealing walk, recording every evaluation into `db`.
+    pub fn explore(
+        &self,
+        sim: &MerlinSimulator,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
+        let mut log = ExplorationLog::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut current: DesignPoint = space.default_point();
+        let (mut cur_res, fresh) = evaluate_into_db(sim, kernel, space, &current, db);
+        if fresh {
+            log.evals += 1;
+            log.tool_minutes += cur_res.synth_minutes;
+        }
+        let penalty = (cur_res.cycles.max(1) as f64) * 10.0;
+        let mut cur_energy = self.energy(&cur_res, penalty);
+        let mut temp = penalty * self.initial_temp_frac;
+
+        let mut best: Option<(DesignPoint, HlsResult)> =
+            if cur_res.is_valid() && cur_res.util.fits(self.util_threshold) {
+                log.trace.push((log.evals, cur_res.cycles));
+                Some((current.clone(), cur_res))
+            } else {
+                None
+            };
+
+        while log.evals < budget.max_evals {
+            // Single-slot mutation.
+            let slot = rng.gen_range(0..space.num_slots());
+            let opts = &space.slots()[slot].options;
+            let cand = current.with_value(slot, opts[rng.gen_range(0..opts.len())]);
+            if cand == current {
+                continue;
+            }
+            let (r, fresh) = evaluate_into_db(sim, kernel, space, &cand, db);
+            if fresh {
+                log.evals += 1;
+                log.tool_minutes += r.synth_minutes;
+            }
+            let e = self.energy(&r, penalty);
+            let accept = e <= cur_energy
+                || rng.gen::<f64>() < ((cur_energy - e) / temp.max(1e-9)).exp();
+            if accept {
+                current = cand.clone();
+                cur_res = r;
+                cur_energy = e;
+                let improved = cur_res.is_valid()
+                    && cur_res.util.fits(self.util_threshold)
+                    && best.as_ref().map(|(_, b)| cur_res.cycles < b.cycles).unwrap_or(true);
+                if improved {
+                    log.trace.push((log.evals, cur_res.cycles));
+                    best = Some((cand, cur_res));
+                }
+            }
+            temp *= self.cooling;
+        }
+        log.best = best;
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+
+    #[test]
+    fn annealing_improves_over_default() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut db = Database::new();
+        let log =
+            AnnealingExplorer::with_seed(3).explore(&sim, &k, &space, &mut db, Budget::evals(150));
+        let default = sim.evaluate(&k, &space, &space.default_point());
+        let (_, best) = log.best.expect("finds a valid design");
+        assert!(best.cycles < default.cycles, "{} !< {}", best.cycles, default.cycles);
+        assert!(best.util.fits(0.8));
+    }
+
+    #[test]
+    fn respects_budget_and_records_evals() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut db = Database::new();
+        let log =
+            AnnealingExplorer::with_seed(5).explore(&sim, &k, &space, &mut db, Budget::evals(40));
+        assert!(log.evals <= 40);
+        assert_eq!(db.len(), log.evals);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let k = kernels::spmv_ellpack();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut a = Database::new();
+        let mut b = Database::new();
+        let la = AnnealingExplorer::with_seed(9).explore(&sim, &k, &space, &mut a, Budget::evals(30));
+        let lb = AnnealingExplorer::with_seed(9).explore(&sim, &k, &space, &mut b, Budget::evals(30));
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(la.best.map(|(_, r)| r.cycles), lb.best.map(|(_, r)| r.cycles));
+    }
+}

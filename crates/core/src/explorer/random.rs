@@ -1,0 +1,91 @@
+//! Random explorer (§4.1): uniform configurations the guided explorers skip.
+
+use super::{evaluate_into_db, Budget};
+use crate::db::Database;
+use design_space::DesignSpace;
+use hls_ir::Kernel;
+use merlin_sim::MerlinSimulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform random sampler over the design space (deduplicated, canonical).
+#[derive(Debug, Clone)]
+pub struct RandomExplorer {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomExplorer {
+    /// Creates a random explorer.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Samples random points until the budget is spent, recording every
+    /// evaluation into `db`. Returns the number of fresh evaluations.
+    pub fn explore(
+        &self,
+        sim: &MerlinSimulator,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> usize {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evals = 0;
+        // Sampling may hit duplicates; bound the attempts so tiny spaces
+        // terminate.
+        let max_attempts = budget.max_evals.saturating_mul(20).max(64);
+        let mut attempts = 0;
+        while evals < budget.max_evals && attempts < max_attempts {
+            attempts += 1;
+            let p = space.random_point(&mut rng);
+            let (_, fresh) = evaluate_into_db(sim, kernel, space, &p, db);
+            if fresh {
+                evals += 1;
+            }
+        }
+        evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+
+    #[test]
+    fn random_fills_the_budget_on_large_spaces() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut db = Database::new();
+        let n = RandomExplorer::new(3).explore(&sim, &k, &space, &mut db, Budget::evals(40));
+        assert_eq!(n, 40);
+        assert_eq!(db.len(), 40);
+    }
+
+    #[test]
+    fn random_terminates_on_tiny_spaces() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut db = Database::new();
+        // Budget exceeds the canonical space; attempts cap must stop it.
+        let n = RandomExplorer::new(4).explore(&sim, &k, &space, &mut db, Budget::evals(1000));
+        assert!(n <= 45);
+        assert!(db.len() <= 45);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let k = kernels::spmv_ellpack();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut a = Database::new();
+        let mut b = Database::new();
+        RandomExplorer::new(9).explore(&sim, &k, &space, &mut a, Budget::evals(20));
+        RandomExplorer::new(9).explore(&sim, &k, &space, &mut b, Budget::evals(20));
+        assert_eq!(a.entries(), b.entries());
+    }
+}

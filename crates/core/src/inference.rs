@@ -1,0 +1,333 @@
+//! The trained surrogate: millisecond QoR prediction without the HLS tool.
+
+use crate::dataset::{Dataset, Normalizer, BRAM_TARGET, CLASS_TARGET, MAIN_TARGETS};
+use crate::db::Database;
+use crate::trainer::{train_classifier, train_regression, TrainConfig};
+use design_space::DesignPoint;
+use gdse_gnn::{GraphBatch, GraphInput, ModelConfig, ModelKind, PredictionModel};
+use hls_ir::Kernel;
+use merlin_sim::Utilization;
+use proggraph::ProgramGraph;
+use serde::{Deserialize, Serialize};
+
+/// Predicted quality of one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Probability the design synthesizes successfully.
+    pub valid_prob: f64,
+    /// Predicted latency in cycles (inverse of eq. 11).
+    pub cycles: u64,
+    /// Predicted resource utilization.
+    pub util: Utilization,
+}
+
+impl Prediction {
+    /// Whether the surrogate considers the design usable: predicted valid
+    /// and every utilization under `threshold`.
+    pub fn usable(&self, threshold: f64) -> bool {
+        self.valid_prob >= 0.5 && self.util.fits(threshold)
+    }
+}
+
+/// The GNN-DSE surrogate of the HLS tool: a validity classifier, a main
+/// regressor (latency/DSP/LUT/FF) and a separate BRAM regressor (§5.2.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Predictor {
+    classifier: PredictionModel,
+    regressor: PredictionModel,
+    bram_model: PredictionModel,
+    normalizer: Normalizer,
+}
+
+impl Predictor {
+    /// Builds an untrained predictor of the given model kind.
+    pub fn untrained(kind: ModelKind, config: ModelConfig, normalizer: Normalizer) -> Self {
+        let cls_cfg = config.clone().with_seed(config.seed ^ 1);
+        let bram_cfg = config.clone().with_seed(config.seed ^ 2);
+        Self {
+            classifier: PredictionModel::new(kind, cls_cfg, &CLASS_TARGET),
+            regressor: PredictionModel::new(kind, config, &MAIN_TARGETS),
+            bram_model: PredictionModel::new(kind, bram_cfg, &BRAM_TARGET),
+            normalizer,
+        }
+    }
+
+    /// Trains classifier + regressors from a database (the "Trainer" box of
+    /// Fig. 1a). Returns the predictor and the dataset it was trained on.
+    pub fn train(
+        db: &Database,
+        kernels: &[Kernel],
+        kind: ModelKind,
+        model_cfg: ModelConfig,
+        train_cfg: &TrainConfig,
+    ) -> (Self, Dataset) {
+        let ds = Dataset::from_database(db, kernels);
+        let mut p = Self::untrained(kind, model_cfg, *ds.normalizer());
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let valid = ds.valid_indices();
+        train_classifier(&mut p.classifier, &ds, &all, train_cfg);
+        train_regression(&mut p.regressor, &ds, &valid, train_cfg);
+        train_regression(&mut p.bram_model, &ds, &valid, train_cfg);
+        (p, ds)
+    }
+
+    /// Trains `n_seeds` predictors with different initializations and keeps
+    /// the one with the lowest validation RMSE (internal 90/10 split) plus
+    /// classifier accuracy. CPU-scale training of deep attention stacks has
+    /// seed variance that GPU-scale budgets hide; model selection restores
+    /// the paper's effective behaviour.
+    pub fn train_best_of(
+        db: &Database,
+        kernels: &[Kernel],
+        kind: ModelKind,
+        model_cfg: ModelConfig,
+        train_cfg: &TrainConfig,
+        n_seeds: u64,
+    ) -> (Self, Dataset) {
+        assert!(n_seeds >= 1, "need at least one seed");
+        let ds = Dataset::from_database(db, kernels);
+        let (train, val) = ds.split(0.9, train_cfg.seed ^ 0xD5);
+        let train_valid: Vec<usize> =
+            train.iter().copied().filter(|&i| ds.samples()[i].valid).collect();
+        let val_valid: Vec<usize> =
+            val.iter().copied().filter(|&i| ds.samples()[i].valid).collect();
+
+        let mut best: Option<(f64, Predictor)> = None;
+        for s in 0..n_seeds {
+            let cfg = model_cfg.clone().with_seed(model_cfg.seed.wrapping_add(s * 101));
+            let mut p = Self::untrained(kind, cfg, *ds.normalizer());
+            train_classifier(&mut p.classifier, &ds, &train, train_cfg);
+            train_regression(&mut p.regressor, &ds, &train_valid, train_cfg);
+            train_regression(&mut p.bram_model, &ds, &train_valid, train_cfg);
+            let score = if val_valid.is_empty() {
+                0.0
+            } else {
+                crate::trainer::eval_regression(&p.regressor, &ds, &val_valid).total()
+                    + crate::trainer::eval_regression(&p.bram_model, &ds, &val_valid).total()
+                    + (1.0 - crate::trainer::eval_classifier(&p.classifier, &ds, &val).accuracy)
+            };
+            if best.as_ref().map(|(b, _)| score < *b).unwrap_or(true) {
+                best = Some((score, p));
+            }
+        }
+        (best.expect("n_seeds >= 1").1, ds)
+    }
+
+    /// Continues training this predictor on a (typically augmented)
+    /// database — the cheap alternative to retraining from scratch that the
+    /// rounds loop (§4.4) and cross-application transfer use. The latency
+    /// normalizer is kept (targets must stay comparable across rounds).
+    pub fn fine_tune(
+        &mut self,
+        db: &Database,
+        kernels: &[Kernel],
+        train_cfg: &TrainConfig,
+    ) -> Dataset {
+        let ds = Dataset::from_database_with_normalizer(db, kernels, self.normalizer);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let valid = ds.valid_indices();
+        train_classifier(&mut self.classifier, &ds, &all, train_cfg);
+        train_regression(&mut self.regressor, &ds, &valid, train_cfg);
+        train_regression(&mut self.bram_model, &ds, &valid, train_cfg);
+        ds
+    }
+
+    /// The latency normalizer.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// The validity classifier.
+    pub fn classifier(&self) -> &PredictionModel {
+        &self.classifier
+    }
+
+    /// The main (latency/DSP/LUT/FF) regressor.
+    pub fn regressor(&self) -> &PredictionModel {
+        &self.regressor
+    }
+
+    /// The BRAM regressor.
+    pub fn bram_model(&self) -> &PredictionModel {
+        &self.bram_model
+    }
+
+    /// Predicts a batch of design points of one kernel.
+    pub fn predict_batch(&self, graph: &ProgramGraph, points: &[DesignPoint]) -> Vec<Prediction> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let inputs: Vec<(GraphInput, &DesignPoint)> = points
+            .iter()
+            .map(|p| (GraphInput::from_graph(graph, Some(p)), p))
+            .collect();
+        let refs: Vec<(&GraphInput, &DesignPoint)> =
+            inputs.iter().map(|(gi, p)| (gi, *p)).collect();
+        let batch = GraphBatch::new(&refs);
+
+        let cls = self.classifier.forward(&batch);
+        let reg = self.regressor.forward(&batch);
+        let bram = self.bram_model.forward(&batch);
+
+        (0..points.len())
+            .map(|i| {
+                let logit = cls.graph.value(cls.outputs[0]).get(i, 0);
+                let valid_prob = f64::from(1.0 / (1.0 + (-logit).exp()));
+                let t_lat = f64::from(reg.graph.value(reg.outputs[0]).get(i, 0));
+                let util = Utilization {
+                    dsp: f64::from(reg.graph.value(reg.outputs[1]).get(i, 0)),
+                    lut: f64::from(reg.graph.value(reg.outputs[2]).get(i, 0)),
+                    ff: f64::from(reg.graph.value(reg.outputs[3]).get(i, 0)),
+                    bram: f64::from(bram.graph.value(bram.outputs[0]).get(i, 0)),
+                };
+                Prediction { valid_prob, cycles: self.normalizer.inverse(t_lat), util }
+            })
+            .collect()
+    }
+
+    /// Predicts a single design point.
+    pub fn predict(&self, graph: &ProgramGraph, point: &DesignPoint) -> Prediction {
+        self.predict_batch(graph, std::slice::from_ref(point))[0]
+    }
+
+    /// Saves the trained predictor (all three models + normalizer) as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a predictor saved by [`Predictor::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or deserialization error.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::generate_database;
+    use design_space::DesignSpace;
+    use hls_ir::kernels;
+    use proggraph::build_graph_bidirectional;
+
+    #[test]
+    fn trained_predictor_produces_sane_predictions() {
+        let ks = vec![kernels::gemm_ncubed()];
+        let db = generate_database(&ks, &[], 50, 17);
+        let (p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(4),
+        );
+        let space = DesignSpace::from_kernel(&ks[0]);
+        let graph = build_graph_bidirectional(&ks[0], &space);
+        let preds = p.predict_batch(&graph, &[space.default_point(), space.point_at(7)]);
+        assert_eq!(preds.len(), 2);
+        for pr in preds {
+            assert!(pr.valid_prob >= 0.0 && pr.valid_prob <= 1.0);
+            assert!(pr.cycles >= 1);
+            assert!(pr.util.dsp.is_finite());
+        }
+    }
+
+    #[test]
+    fn best_of_seeds_never_worse_than_single_on_validation() {
+        use crate::trainer::eval_regression;
+        let ks = vec![kernels::spmv_ellpack(), kernels::gemm_ncubed()];
+        let db = generate_database(&ks, &[], 40, 37);
+        let tcfg = TrainConfig::quick().with_epochs(3);
+        let (single, ds) =
+            Predictor::train(&db, &ks, ModelKind::Transformer, ModelConfig::small(), &tcfg);
+        let (best, _) = Predictor::train_best_of(
+            &db,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &tcfg,
+            2,
+        );
+        let valid = ds.valid_indices();
+        let rs = eval_regression(single.regressor(), &ds, &valid).total();
+        let rb = eval_regression(best.regressor(), &ds, &valid).total();
+        // Model selection optimizes a validation score; on the full dataset
+        // it should land in the same regime or better — never catastrophic.
+        assert!(rb < rs * 2.0 + 1.0, "best-of ({rb}) far worse than single ({rs})");
+    }
+
+    #[test]
+    fn fine_tuning_improves_fit_on_new_data() {
+        use crate::trainer::eval_regression;
+        let ks = vec![kernels::gemm_ncubed()];
+        let db = generate_database(&ks, &[], 40, 29);
+        let (mut p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(4),
+        );
+        // Augment with fresh designs from a different region of the space.
+        let mut db2 = db.clone();
+        let extra = generate_database(&ks, &[], 40, 31);
+        db2.merge(&extra);
+        let ds = Dataset::from_database_with_normalizer(&db2, &ks, *p.normalizer());
+        let valid = ds.valid_indices();
+        let before = eval_regression(p.regressor(), &ds, &valid).total();
+        p.fine_tune(&db2, &ks, &TrainConfig::quick().with_epochs(4));
+        let after = eval_regression(p.regressor(), &ds, &valid).total();
+        assert!(after < before, "fine-tuning should reduce error: {after} !< {before}");
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let ks = vec![kernels::aes()];
+        let db = generate_database(&ks, &[], 20, 21);
+        let (p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(2),
+        );
+        let dir = std::env::temp_dir().join("gnn_dse_predictor_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("predictor.json");
+        p.save(&path).unwrap();
+        let loaded = Predictor::load(&path).unwrap();
+        let space = DesignSpace::from_kernel(&ks[0]);
+        let graph = build_graph_bidirectional(&ks[0], &space);
+        let pt = space.point_at(3);
+        assert_eq!(p.predict(&graph, &pt), loaded.predict(&graph, &pt));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn predict_single_matches_batch() {
+        let ks = vec![kernels::spmv_ellpack()];
+        let db = generate_database(&ks, &[], 30, 19);
+        let (p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Gcn,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(2),
+        );
+        let space = DesignSpace::from_kernel(&ks[0]);
+        let graph = build_graph_bidirectional(&ks[0], &space);
+        let pt = space.point_at(5);
+        let single = p.predict(&graph, &pt);
+        let batch = p.predict_batch(&graph, &[pt.clone(), space.default_point()]);
+        assert_eq!(single.cycles, batch[0].cycles);
+    }
+}

@@ -1,0 +1,61 @@
+//! # gnn-dse
+//!
+//! The GNN-DSE framework (DAC 2022): a graph-neural-network surrogate of the
+//! HLS toolchain driving design-space exploration for FPGA accelerators.
+//!
+//! The crate ties the substrates together (Fig. 1a):
+//!
+//! * [`dbgen`] / [`explorer`] — build a [`db::Database`] of evaluated
+//!   designs with the three explorers of §4.1 (bottleneck, hybrid, random);
+//! * [`dataset`] — pre-process targets (§5.2.1: eq. 11 latency transform,
+//!   utilization fractions, BRAM split) into a trainable [`dataset::Dataset`];
+//! * [`trainer`] — train/evaluate the Table 2 models (RMSE, accuracy, F1,
+//!   k-fold cross-validation);
+//! * [`inference`] — the millisecond [`inference::Predictor`] (classifier +
+//!   regressor + BRAM model);
+//! * [`dse`] — exhaustive or priority-ordered surrogate-driven search with
+//!   the eq. 7 utilization constraint and Pareto utilities;
+//! * [`rounds`] — the iterative DSE/database-augmentation loop of Fig. 7.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gnn_dse::{dbgen, dse, inference::Predictor, trainer::TrainConfig};
+//! use gdse_gnn::{ModelConfig, ModelKind};
+//! use design_space::DesignSpace;
+//! use hls_ir::kernels;
+//!
+//! // 1. Build a small database for one kernel.
+//! let ks = vec![kernels::spmv_ellpack()];
+//! let db = dbgen::generate_database(&ks, &[], 30, 7);
+//!
+//! // 2. Train the surrogate.
+//! let (predictor, _) = Predictor::train(
+//!     &db, &ks, ModelKind::Transformer, ModelConfig::small(),
+//!     &TrainConfig::quick().with_epochs(3),
+//! );
+//!
+//! // 3. Explore.
+//! let space = DesignSpace::from_kernel(&ks[0]);
+//! let out = dse::run_dse(&predictor, &ks[0], &space, &dse::DseConfig::quick());
+//! println!("explored {} candidates", out.inferences);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod db;
+pub mod dbgen;
+pub mod dse;
+pub mod explorer;
+pub mod inference;
+pub mod rounds;
+pub mod trainer;
+
+pub use dataset::{Dataset, Normalizer};
+pub use db::{Database, DbEntry};
+pub use dse::{pareto_front, run_dse, DseConfig, DseOutcome};
+pub use inference::{Prediction, Predictor};
+pub use rounds::{run_rounds, RoundReport, RoundsConfig};
+pub use trainer::{ClassificationMetrics, RegressionMetrics, TrainConfig};

@@ -1,0 +1,196 @@
+//! Iterative DSE + database augmentation (§4.4, Fig. 7).
+//!
+//! Each round trains the surrogate on the current database, runs DSE per
+//! kernel, validates the top-M candidates with the HLS tool, and commits the
+//! true results back into the database: mispredicted points are exactly the
+//! ones that make the next round's model better.
+
+use crate::db::Database;
+use crate::dse::{run_dse_with_graph, DseConfig};
+use crate::inference::Predictor;
+use crate::trainer::TrainConfig;
+use design_space::DesignSpace;
+use gdse_gnn::{ModelConfig, ModelKind};
+use hls_ir::Kernel;
+use merlin_sim::MerlinSimulator;
+use proggraph::build_graph_bidirectional;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the round loop.
+#[derive(Debug, Clone)]
+pub struct RoundsConfig {
+    /// Number of DSE rounds (Fig. 7 shows 4).
+    pub rounds: usize,
+    /// Model variant to train (the paper uses M7).
+    pub model: ModelKind,
+    /// Model hyperparameters.
+    pub model_cfg: ModelConfig,
+    /// Training hyperparameters (retraining happens each round).
+    pub train_cfg: TrainConfig,
+    /// Per-kernel DSE limits.
+    pub dse: DseConfig,
+    /// Fine-tune the previous round's predictor on the augmented database
+    /// instead of retraining from scratch (cheaper; the paper retrains).
+    pub fine_tune: bool,
+}
+
+impl RoundsConfig {
+    /// A fast configuration for tests and examples.
+    pub fn quick() -> Self {
+        Self {
+            rounds: 2,
+            model: ModelKind::Transformer,
+            model_cfg: ModelConfig::small(),
+            train_cfg: TrainConfig::quick().with_epochs(4),
+            dse: DseConfig::quick(),
+            fine_tune: false,
+        }
+    }
+}
+
+/// Per-kernel outcome of one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRound {
+    /// Kernel name.
+    pub kernel: String,
+    /// Best valid cycles among DSE-found designs so far (across rounds).
+    pub best_dse_cycles: Option<u64>,
+    /// Best valid cycles in the *initial* database (the Fig. 7 reference).
+    pub initial_best_cycles: u64,
+    /// `initial_best / best_dse` — above 1.0 means the DSE beat the
+    /// initial database.
+    pub speedup: f64,
+    /// Fresh evaluations committed to the database this round.
+    pub added: usize,
+}
+
+/// Outcome of one full round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round number (1-based, like DSE1..DSE4).
+    pub round: usize,
+    /// Per-kernel results.
+    pub kernels: Vec<KernelRound>,
+    /// Arithmetic mean of the per-kernel speedups (the Fig. 7 legend).
+    pub avg_speedup: f64,
+}
+
+/// Runs `cfg.rounds` rounds of train -> DSE -> validate -> augment over all
+/// `kernels`, mutating `db` in place.
+pub fn run_rounds(db: &mut Database, kernels: &[Kernel], cfg: &RoundsConfig) -> Vec<RoundReport> {
+    let sim = MerlinSimulator::new();
+    let initial_best: Vec<(String, u64)> = kernels
+        .iter()
+        .map(|k| {
+            let best = db
+                .best_design(k.name(), cfg.dse.util_threshold)
+                .map(|e| e.result.cycles)
+                .unwrap_or(u64::MAX);
+            (k.name().to_string(), best)
+        })
+        .collect();
+    let spaces: Vec<DesignSpace> = kernels.iter().map(DesignSpace::from_kernel).collect();
+    let graphs: Vec<_> = kernels
+        .iter()
+        .zip(&spaces)
+        .map(|(k, s)| build_graph_bidirectional(k, s))
+        .collect();
+
+    let mut best_dse: Vec<Option<u64>> = vec![None; kernels.len()];
+    let mut reports = Vec::with_capacity(cfg.rounds);
+    let mut carried: Option<Predictor> = None;
+
+    for round in 1..=cfg.rounds {
+        let predictor = match carried.take() {
+            Some(mut p) if cfg.fine_tune => {
+                // Fine-tune the carried model on the augmented database with
+                // a third of the full budget.
+                let ft_cfg = cfg.train_cfg.with_epochs((cfg.train_cfg.epochs / 3).max(2));
+                p.fine_tune(db, kernels, &ft_cfg);
+                p
+            }
+            _ => {
+                let (p, _) = Predictor::train(
+                    db,
+                    kernels,
+                    cfg.model,
+                    cfg.model_cfg
+                        .clone()
+                        .with_seed(cfg.model_cfg.seed.wrapping_add(round as u64)),
+                    &cfg.train_cfg,
+                );
+                p
+            }
+        };
+
+        let mut per_kernel = Vec::with_capacity(kernels.len());
+        for (ki, kernel) in kernels.iter().enumerate() {
+            let outcome =
+                run_dse_with_graph(&predictor, kernel, &spaces[ki], &graphs[ki], &cfg.dse);
+            let mut added = 0;
+            for (point, _) in &outcome.top {
+                if !db.contains(kernel.name(), point) {
+                    let r = sim.evaluate(kernel, &spaces[ki], point);
+                    db.insert(kernel.name(), point.clone(), r);
+                    added += 1;
+                }
+                if let Some(e) = db.get(kernel.name(), point) {
+                    if e.result.is_valid() && e.result.util.fits(cfg.dse.util_threshold) {
+                        let c = e.result.cycles;
+                        best_dse[ki] =
+                            Some(best_dse[ki].map_or(c, |b: u64| b.min(c)));
+                    }
+                }
+            }
+            let initial = initial_best[ki].1;
+            let speedup = match best_dse[ki] {
+                Some(b) if initial != u64::MAX => initial as f64 / b as f64,
+                _ => 0.0,
+            };
+            per_kernel.push(KernelRound {
+                kernel: kernel.name().to_string(),
+                best_dse_cycles: best_dse[ki],
+                initial_best_cycles: initial,
+                speedup,
+                added,
+            });
+        }
+        let avg = per_kernel.iter().map(|k| k.speedup).sum::<f64>() / per_kernel.len() as f64;
+        reports.push(RoundReport { round, kernels: per_kernel, avg_speedup: avg });
+        carried = Some(predictor);
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::generate_database;
+    use hls_ir::kernels;
+
+    #[test]
+    fn fine_tuned_rounds_also_progress() {
+        let ks = vec![kernels::gemm_ncubed()];
+        let mut db = generate_database(&ks, &[("gemm-ncubed", 40)], 40, 51);
+        let cfg = RoundsConfig { fine_tune: true, ..RoundsConfig::quick() };
+        let reports = run_rounds(&mut db, &ks, &cfg);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[1].avg_speedup >= reports[0].avg_speedup);
+    }
+
+    #[test]
+    fn rounds_augment_the_database_and_improve() {
+        let ks = vec![kernels::spmv_ellpack(), kernels::gemm_ncubed()];
+        let mut db = generate_database(&ks, &[("spmv-ellpack", 30), ("gemm-ncubed", 50)], 40, 31);
+        let before = db.len();
+        let reports = run_rounds(&mut db, &ks, &RoundsConfig::quick());
+        assert_eq!(reports.len(), 2);
+        assert!(db.len() > before, "top designs must be committed");
+        // Speedups should not regress across rounds (best-so-far is kept).
+        for ks in reports.windows(2) {
+            for (a, b) in ks[0].kernels.iter().zip(&ks[1].kernels) {
+                assert!(b.speedup >= a.speedup - 1e-12, "{}: {} -> {}", a.kernel, a.speedup, b.speedup);
+            }
+        }
+    }
+}

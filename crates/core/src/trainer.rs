@@ -1,0 +1,366 @@
+//! Training and evaluation loops (§5.1): Adam at lr 0.001, mini-batches,
+//! RMSE reporting for regression and accuracy/F1 for the validity
+//! classifier.
+
+use crate::dataset::Dataset;
+use gdse_gnn::PredictionModel;
+use gdse_tensor::Adam;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate (§5.1: 0.001).
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+}
+
+impl TrainConfig {
+    /// The paper's training setup (lr 0.001), with an epoch count sized for
+    /// this CPU implementation.
+    pub fn paper() -> Self {
+        Self { epochs: 60, batch_size: 32, lr: 1e-3, seed: 0, grad_clip: 5.0 }
+    }
+
+    /// A fast configuration for tests and examples.
+    pub fn quick() -> Self {
+        Self { epochs: 10, batch_size: 16, lr: 3e-3, seed: 0, grad_clip: 5.0 }
+    }
+
+    /// Replaces the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+/// Whether a model is trained on MSE (regression heads) or BCE (validity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loss {
+    Mse,
+    BceLogits,
+}
+
+fn train_loop(
+    model: &mut PredictionModel,
+    ds: &Dataset,
+    idxs: &[usize],
+    cfg: &TrainConfig,
+    loss_kind: Loss,
+) -> Vec<f32> {
+    assert!(!idxs.is_empty(), "empty training set");
+
+    // Some initializations of deep attention stacks start in a collapsed
+    // basin and never learn (the loss plateaus just below its first-epoch
+    // value). Detect the stall early and deterministically re-roll the
+    // weights — a cheap, reproducible form of warm restarts.
+    const STALL_CHECK_EPOCH: usize = 6;
+    const MAX_RESTARTS: u32 = 3;
+    let mut restarts = 0;
+    loop {
+        let losses = train_epochs(model, ds, idxs, cfg, loss_kind);
+        let stalled = loss_kind == Loss::Mse
+            && cfg.epochs > STALL_CHECK_EPOCH
+            && losses.len() > STALL_CHECK_EPOCH
+            && losses[STALL_CHECK_EPOCH] > 0.6 * losses[1].max(1e-6)
+            && restarts < MAX_RESTARTS;
+        if !stalled {
+            return losses;
+        }
+        restarts += 1;
+        let new_seed = model
+            .config()
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(restarts));
+        model.reinitialize(new_seed);
+    }
+}
+
+fn train_epochs(
+    model: &mut PredictionModel,
+    ds: &Dataset,
+    idxs: &[usize],
+    cfg: &TrainConfig,
+    loss_kind: Loss,
+) -> Vec<f32> {
+    let head_names: Vec<String> = model.head_names().to_vec();
+    let mut adam = Adam::new(cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order = idxs.to_vec();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    // Linear learning-rate warmup: the initial loss is dominated by the
+    // (large) latency targets and full-size first steps destabilize deep
+    // attention stacks.
+    const WARMUP_EPOCHS: usize = 2;
+
+    for epoch in 0..cfg.epochs {
+        let warm = ((epoch + 1) as f32 / WARMUP_EPOCHS as f32).min(1.0);
+        adam.set_learning_rate(cfg.lr * warm);
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let batch = ds.batch(chunk);
+            let mut out = model.forward(&batch);
+            // Sum per-head losses on the tape.
+            let mut total = None;
+            for (h, name) in head_names.iter().enumerate() {
+                let target = ds.targets(chunk, name);
+                let l = match loss_kind {
+                    Loss::Mse => out.graph.mse_loss(out.outputs[h], target),
+                    Loss::BceLogits => out.graph.bce_logits_loss(out.outputs[h], target),
+                };
+                total = Some(match total {
+                    None => l,
+                    Some(t) => out.graph.add(t, l),
+                });
+            }
+            let total = total.expect("at least one head");
+            epoch_loss += out.graph.value(total).scalar();
+            batches += 1;
+
+            let mut grads = model.store().zero_grads();
+            out.graph.backward(total, &mut grads);
+            grads.clip_global_norm(cfg.grad_clip);
+            adam.step(model.store_mut(), &grads);
+        }
+        epoch_losses.push(epoch_loss / batches.max(1) as f32);
+    }
+    epoch_losses
+}
+
+/// Trains a regression model (MSE on each head) on the given sample indices
+/// (callers pass valid samples only). Returns the mean loss per epoch.
+pub fn train_regression(
+    model: &mut PredictionModel,
+    ds: &Dataset,
+    idxs: &[usize],
+    cfg: &TrainConfig,
+) -> Vec<f32> {
+    train_loop(model, ds, idxs, cfg, Loss::Mse)
+}
+
+/// Trains the validity classifier (BCE on logits) on all samples.
+pub fn train_classifier(
+    model: &mut PredictionModel,
+    ds: &Dataset,
+    idxs: &[usize],
+    cfg: &TrainConfig,
+) -> Vec<f32> {
+    train_loop(model, ds, idxs, cfg, Loss::BceLogits)
+}
+
+/// Per-head RMSE of a regression model on a test set (the Table 2 metric).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionMetrics {
+    /// Head names.
+    pub heads: Vec<String>,
+    /// RMSE per head.
+    pub rmse: Vec<f64>,
+}
+
+impl RegressionMetrics {
+    /// Sum of the per-head RMSEs (the paper's "All" column combines the
+    /// objectives the same way).
+    pub fn total(&self) -> f64 {
+        self.rmse.iter().sum()
+    }
+
+    /// RMSE of one head by name.
+    pub fn rmse_of(&self, head: &str) -> Option<f64> {
+        self.heads.iter().position(|h| h == head).map(|i| self.rmse[i])
+    }
+}
+
+/// Evaluates a regression model on the given indices.
+pub fn eval_regression(model: &PredictionModel, ds: &Dataset, idxs: &[usize]) -> RegressionMetrics {
+    let heads: Vec<String> = model.head_names().to_vec();
+    let mut sq = vec![0.0f64; heads.len()];
+    let mut n = 0usize;
+    for chunk in idxs.chunks(64) {
+        let batch = ds.batch(chunk);
+        let out = model.forward(&batch);
+        for (h, name) in heads.iter().enumerate() {
+            let target = ds.targets(chunk, name);
+            let pred = out.graph.value(out.outputs[h]);
+            for r in 0..chunk.len() {
+                let d = f64::from(pred.get(r, 0)) - f64::from(target.get(r, 0));
+                sq[h] += d * d;
+            }
+        }
+        n += chunk.len();
+    }
+    let rmse = sq.iter().map(|&s| (s / n.max(1) as f64).sqrt()).collect();
+    RegressionMetrics { heads, rmse }
+}
+
+/// Classifier quality on a test set (Table 2: accuracy and F1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationMetrics {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// Precision on the "valid" class.
+    pub precision: f64,
+    /// Recall on the "valid" class.
+    pub recall: f64,
+    /// F1 score on the "valid" class.
+    pub f1: f64,
+}
+
+/// Evaluates the validity classifier (threshold 0.5 on the sigmoid).
+pub fn eval_classifier(
+    model: &PredictionModel,
+    ds: &Dataset,
+    idxs: &[usize],
+) -> ClassificationMetrics {
+    let (mut tp, mut fp, mut tn, mut fneg) = (0u64, 0u64, 0u64, 0u64);
+    for chunk in idxs.chunks(64) {
+        let batch = ds.batch(chunk);
+        let out = model.forward(&batch);
+        let logits = out.graph.value(out.outputs[0]);
+        let target = ds.targets(chunk, "valid");
+        for r in 0..chunk.len() {
+            let pred = logits.get(r, 0) > 0.0; // sigmoid(z) > 0.5 <=> z > 0
+            let truth = target.get(r, 0) == 1.0;
+            match (pred, truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fneg += 1,
+            }
+        }
+    }
+    let total = (tp + fp + tn + fneg).max(1) as f64;
+    let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
+    let recall = if tp + fneg > 0 { tp as f64 / (tp + fneg) as f64 } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    ClassificationMetrics { accuracy: (tp + tn) as f64 / total, precision, recall, f1 }
+}
+
+/// K-fold cross-validated regression: trains a fresh model per fold and
+/// averages the per-head RMSEs (§5.1: 3-fold cross-validation).
+pub fn cross_validate_regression(
+    make_model: impl Fn() -> PredictionModel,
+    ds: &Dataset,
+    k: usize,
+    cfg: &TrainConfig,
+) -> RegressionMetrics {
+    let folds = ds.kfold(k, cfg.seed);
+    let mut acc: Option<RegressionMetrics> = None;
+    for (train, test) in &folds {
+        let train_valid: Vec<usize> =
+            train.iter().copied().filter(|&i| ds.samples()[i].valid).collect();
+        let test_valid: Vec<usize> =
+            test.iter().copied().filter(|&i| ds.samples()[i].valid).collect();
+        if train_valid.is_empty() || test_valid.is_empty() {
+            continue;
+        }
+        let mut model = make_model();
+        train_regression(&mut model, ds, &train_valid, cfg);
+        let m = eval_regression(&model, ds, &test_valid);
+        acc = Some(match acc {
+            None => m,
+            Some(mut a) => {
+                for (r, x) in a.rmse.iter_mut().zip(&m.rmse) {
+                    *r += x;
+                }
+                a
+            }
+        });
+    }
+    let mut out = acc.expect("at least one usable fold");
+    for r in &mut out.rmse {
+        *r /= folds.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::generate_database;
+    use gdse_gnn::{ModelConfig, ModelKind};
+    use hls_ir::kernels;
+
+    fn dataset() -> Dataset {
+        let ks = vec![kernels::gemm_ncubed(), kernels::spmv_ellpack()];
+        let db = generate_database(&ks, &[("gemm-ncubed", 60), ("spmv-ellpack", 40)], 40, 13);
+        Dataset::from_database(&db, &ks)
+    }
+
+    #[test]
+    fn regression_training_reduces_loss() {
+        let ds = dataset();
+        let idxs = ds.valid_indices();
+        let mut model =
+            PredictionModel::new(ModelKind::Transformer, ModelConfig::small(), &["latency"]);
+        let losses = train_regression(&mut model, &ds, &idxs, &TrainConfig::quick());
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(last < first, "loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn classifier_beats_chance_after_training() {
+        let ds = dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let mut model = PredictionModel::new(ModelKind::Transformer, ModelConfig::small(), &["valid"]);
+        train_classifier(&mut model, &ds, &all, &TrainConfig::quick());
+        let m = eval_classifier(&model, &ds, &all);
+        // Training-set accuracy after training must beat the majority rate
+        // by a little or at least match it.
+        let majority = {
+            let v = ds.valid_indices().len() as f64 / ds.len() as f64;
+            v.max(1.0 - v)
+        };
+        assert!(
+            m.accuracy >= majority - 0.05,
+            "accuracy {} vs majority {majority}",
+            m.accuracy
+        );
+        assert!(m.f1 >= 0.0 && m.f1 <= 1.0);
+    }
+
+    #[test]
+    fn eval_metrics_have_one_rmse_per_head() {
+        let ds = dataset();
+        let idxs = ds.valid_indices();
+        let model = PredictionModel::new(
+            ModelKind::MlpPragma,
+            ModelConfig::small(),
+            &["latency", "dsp"],
+        );
+        let m = eval_regression(&model, &ds, &idxs);
+        assert_eq!(m.heads, vec!["latency", "dsp"]);
+        assert_eq!(m.rmse.len(), 2);
+        assert!(m.total() >= m.rmse[0]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = dataset();
+        let idxs = ds.valid_indices();
+        let cfg = TrainConfig::quick().with_epochs(2);
+        let mut m1 = PredictionModel::new(ModelKind::Gcn, ModelConfig::small(), &["latency"]);
+        let mut m2 = PredictionModel::new(ModelKind::Gcn, ModelConfig::small(), &["latency"]);
+        let l1 = train_regression(&mut m1, &ds, &idxs, &cfg);
+        let l2 = train_regression(&mut m2, &ds, &idxs, &cfg);
+        assert_eq!(l1, l2);
+    }
+}

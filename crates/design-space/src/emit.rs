@@ -1,0 +1,68 @@
+//! Configured-C emission: the "Pragma Fill" step of Fig. 3 applied to
+//! source text — every `auto{...}` placeholder replaced by the design
+//! point's concrete value.
+
+use crate::point::DesignPoint;
+use crate::space::DesignSpace;
+use hls_ir::Kernel;
+
+/// Emits the kernel's Merlin C with the design point's values substituted
+/// for the `auto{...}` placeholders (what the Merlin Compiler would receive
+/// for this configuration).
+///
+/// # Panics
+///
+/// Panics if `point` does not belong to `space`.
+pub fn emit_configured(kernel: &Kernel, space: &DesignSpace, point: &DesignPoint) -> String {
+    assert_eq!(point.len(), space.num_slots(), "point does not match space");
+    let mut text = hls_ir::emit::emit_c(kernel);
+    for (slot, &value) in space.slots().iter().zip(point.values()) {
+        let placeholder = format!("auto{{{}}}", slot.name);
+        text = text.replace(&placeholder, &value.to_string());
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pragma::{PipelineOpt, PragmaValue};
+    use hls_ir::{kernels, PragmaKind};
+
+    #[test]
+    fn placeholders_are_fully_substituted() {
+        let k = kernels::toy();
+        let space = DesignSpace::from_kernel(&k);
+        let l1 = k.loop_by_label("L1").unwrap();
+        let mut p = space.default_point();
+        p.set_value(
+            space.slot_index(l1, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(PipelineOpt::Fine),
+        );
+        p.set_value(space.slot_index(l1, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(8));
+        let c = emit_configured(&k, &space, &p);
+        assert!(c.contains("#pragma ACCEL pipeline fg"));
+        assert!(c.contains("#pragma ACCEL parallel factor=8"));
+        assert!(!c.contains("auto{"), "no placeholder left behind:\n{c}");
+    }
+
+    #[test]
+    fn default_point_emits_neutral_values() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let c = emit_configured(&k, &space, &space.default_point());
+        assert!(c.contains("pipeline off"));
+        assert!(c.contains("parallel factor=1"));
+        assert!(c.contains("tile factor=1"));
+        assert!(!c.contains("auto{"));
+    }
+
+    #[test]
+    fn different_points_emit_different_text() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let a = emit_configured(&k, &space, &space.default_point());
+        let b = emit_configured(&k, &space, &space.point_at(space.size() - 1));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! # design-space
+//!
+//! The Merlin pragma design space of an HLS kernel: pragma values and
+//! option-generation rules, the combinatorial [`DesignSpace`], AutoDSE-style
+//! pruning rules, and the §4.4 ordered-pragma traversal used by GNN-DSE's
+//! heuristic explorer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use design_space::{DesignSpace, rules};
+//! use hls_ir::kernels;
+//!
+//! let kernel = kernels::gemm_ncubed();
+//! let space = DesignSpace::from_kernel(&kernel);
+//! println!("{} pragmas, {} configurations", space.num_slots(), space.size());
+//!
+//! let point = space.point_at(1234 % space.size());
+//! let canonical = rules::canonicalize(&kernel, &space, &point);
+//! assert!(rules::is_canonical(&kernel, &space, &canonical));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod options;
+pub mod order;
+mod point;
+mod pragma;
+pub mod rules;
+mod space;
+
+pub use point::DesignPoint;
+pub use pragma::{PipelineOpt, PragmaSlot, PragmaValue};
+pub use space::{DesignSpace, PointIter};

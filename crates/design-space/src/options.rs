@@ -1,0 +1,139 @@
+//! Option-generation rules: which values each pragma placeholder may take.
+//!
+//! These mirror AutoDSE's design-space generator: parallel factors are the
+//! divisors of the trip count up to a cap (so unrolling divides evenly),
+//! tile factors are small divisors, and pipeline placeholders always offer
+//! `off | cg | fg`. Variable-bound loops (data-dependent trip counts) only
+//! offer small power-of-two parallel factors, since Merlin must guard the
+//! unrolled copies.
+
+use crate::pragma::{PipelineOpt, PragmaValue};
+use hls_ir::LoopInfo;
+
+/// Largest parallel (unroll) factor the generator offers.
+pub const MAX_PARALLEL: u32 = 64;
+/// Largest tile factor the generator offers.
+pub const MAX_TILE: u32 = 8;
+/// Largest parallel factor for variable-bound loops.
+pub const MAX_PARALLEL_VARIABLE: u32 = 8;
+
+/// Divisors of `n` that are `<= cap`, ascending (always contains 1).
+pub fn divisors_up_to(n: u64, cap: u32) -> Vec<u32> {
+    let cap = u64::from(cap).min(n);
+    (1..=cap).filter(|d| n % d == 0).map(|d| d as u32).collect()
+}
+
+/// Powers of two `<= cap.min(n)`, ascending (always contains 1).
+pub fn powers_of_two_up_to(n: u64, cap: u32) -> Vec<u32> {
+    let cap = u64::from(cap).min(n);
+    let mut v = Vec::new();
+    let mut p = 1u64;
+    while p <= cap {
+        v.push(p as u32);
+        p *= 2;
+    }
+    v
+}
+
+/// Legal pipeline options for a loop: always `off | cg | fg`.
+pub fn pipeline_options(_info: &LoopInfo) -> Vec<PragmaValue> {
+    PipelineOpt::ALL.iter().map(|&o| PragmaValue::Pipeline(o)).collect()
+}
+
+/// Legal parallel factors for a loop.
+pub fn parallel_options(info: &LoopInfo) -> Vec<PragmaValue> {
+    let factors = if info.variable_bound {
+        powers_of_two_up_to(info.trip_count, MAX_PARALLEL_VARIABLE)
+    } else {
+        divisors_up_to(info.trip_count, MAX_PARALLEL)
+    };
+    factors.into_iter().map(PragmaValue::Parallel).collect()
+}
+
+/// Legal tile factors for a loop.
+pub fn tile_options(info: &LoopInfo) -> Vec<PragmaValue> {
+    divisors_up_to(info.trip_count, MAX_TILE)
+        .into_iter()
+        .map(PragmaValue::Tile)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{LoopId, PragmaKind};
+
+    fn info(trip: u64, variable: bool) -> LoopInfo {
+        LoopInfo {
+            id: LoopId(0),
+            label: "L0".into(),
+            depth: 0,
+            parent: None,
+            function: "f".into(),
+            trip_count: trip,
+            variable_bound: variable,
+            candidate_pragmas: vec![PragmaKind::Parallel],
+            carried_dep: false,
+            children: vec![],
+        }
+    }
+
+    #[test]
+    fn divisors_basic() {
+        assert_eq!(divisors_up_to(16, 64), vec![1, 2, 4, 8, 16]);
+        assert_eq!(divisors_up_to(400, 64), vec![1, 2, 4, 5, 8, 10, 16, 20, 25, 40, 50]);
+        assert_eq!(divisors_up_to(7, 64), vec![1, 7]);
+    }
+
+    #[test]
+    fn divisors_capped_by_n() {
+        assert_eq!(divisors_up_to(3, 64), vec![1, 3]);
+    }
+
+    #[test]
+    fn powers_of_two() {
+        assert_eq!(powers_of_two_up_to(100, 8), vec![1, 2, 4, 8]);
+        assert_eq!(powers_of_two_up_to(3, 8), vec![1, 2]);
+    }
+
+    #[test]
+    fn parallel_options_static_loop() {
+        let opts = parallel_options(&info(64, false));
+        assert_eq!(opts.len(), 7); // 1,2,4,8,16,32,64
+        assert_eq!(opts[0], PragmaValue::Parallel(1));
+        assert_eq!(*opts.last().unwrap(), PragmaValue::Parallel(64));
+    }
+
+    #[test]
+    fn parallel_options_variable_loop() {
+        let opts = parallel_options(&info(4, true));
+        assert_eq!(opts, vec![PragmaValue::Parallel(1), PragmaValue::Parallel(2), PragmaValue::Parallel(4)]);
+    }
+
+    #[test]
+    fn tile_options_small() {
+        let opts = tile_options(&info(64, false));
+        assert_eq!(
+            opts,
+            vec![
+                PragmaValue::Tile(1),
+                PragmaValue::Tile(2),
+                PragmaValue::Tile(4),
+                PragmaValue::Tile(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn pipeline_always_three() {
+        assert_eq!(pipeline_options(&info(10, false)).len(), 3);
+    }
+
+    #[test]
+    fn first_option_is_neutral() {
+        let i = info(32, false);
+        assert!(parallel_options(&i)[0].is_default());
+        assert!(tile_options(&i)[0].is_default());
+        assert!(pipeline_options(&i)[0].is_default());
+    }
+}

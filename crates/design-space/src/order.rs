@@ -1,0 +1,114 @@
+//! The ordered-pragma traversal of §4.4.
+//!
+//! For design spaces too large to enumerate, GNN-DSE evaluates pragmas in a
+//! priority order: a BFS-like traversal starting from the *innermost* loops
+//! (HLS implements fine-grained optimizations best), with `parallel`
+//! prioritized over `pipeline` over `tile` within one loop level. When a
+//! picked pragma A depends on another pragma B from the same or the next
+//! loop level (e.g. a loop's `parallel` depends on its parent's `pipeline`),
+//! B is moved up right after A.
+
+use crate::rules::dependency_of;
+use crate::space::DesignSpace;
+use hls_ir::{Kernel, PragmaKind};
+
+/// Priority of a pragma kind within one loop level (§4.4: parallel over
+/// pipeline over tile). Lower sorts first.
+fn kind_priority(kind: PragmaKind) -> u8 {
+    match kind {
+        PragmaKind::Parallel => 0,
+        PragmaKind::Pipeline => 1,
+        PragmaKind::Tile => 2,
+    }
+}
+
+/// Produces the ordered list of slot indices the heuristic DSE sweeps.
+///
+/// Innermost loop levels come first; within a level, slots follow
+/// [`kind_priority`]; dependencies are promoted immediately after the slot
+/// that depends on them.
+pub fn ordered_slots(kernel: &Kernel, space: &DesignSpace) -> Vec<usize> {
+    let max_depth = kernel.loops().iter().map(|l| l.depth).max().unwrap_or(0);
+
+    // Collect (depth descending, source order, kind priority).
+    let mut order: Vec<usize> = Vec::with_capacity(space.num_slots());
+    for depth in (0..=max_depth).rev() {
+        // Loops at this depth, in source order.
+        for info in kernel.loops().iter().filter(|l| l.depth == depth) {
+            let mut level_slots = space.slots_of_loop(info.id);
+            level_slots.sort_by_key(|&si| kind_priority(space.slots()[si].kind));
+            for si in level_slots {
+                push_with_dependency(kernel, space, si, &mut order);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), space.num_slots());
+    order
+}
+
+fn push_with_dependency(kernel: &Kernel, space: &DesignSpace, slot: usize, order: &mut Vec<usize>) {
+    if order.contains(&slot) {
+        return;
+    }
+    order.push(slot);
+    if let Some(dep) = dependency_of(kernel, space, slot) {
+        if !order.contains(&dep) {
+            order.push(dep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+
+    #[test]
+    fn covers_every_slot_once() {
+        for k in kernels::all_kernels() {
+            let space = DesignSpace::from_kernel(&k);
+            let order = ordered_slots(&k, &space);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), space.num_slots(), "kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn innermost_parallel_comes_first() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let order = ordered_slots(&k, &space);
+        let first = &space.slots()[order[0]];
+        // L2 is the innermost loop; parallel has top priority.
+        assert_eq!(first.kind, PragmaKind::Parallel);
+        assert_eq!(first.loop_id, k.loop_by_label("L2").unwrap());
+    }
+
+    #[test]
+    fn dependency_promoted_after_dependent() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let order = ordered_slots(&k, &space);
+        let l2 = k.loop_by_label("L2").unwrap();
+        let l1 = k.loop_by_label("L1").unwrap();
+        let para2 = space.slot_index(l2, PragmaKind::Parallel).unwrap();
+        let pipe1 = space.slot_index(l1, PragmaKind::Pipeline).unwrap();
+        let pos_para2 = order.iter().position(|&s| s == para2).unwrap();
+        let pos_pipe1 = order.iter().position(|&s| s == pipe1).unwrap();
+        // L2's parallel depends on L1's pipeline, which is promoted right
+        // after it — well before L1's own (depth-based) turn.
+        assert_eq!(pos_pipe1, pos_para2 + 1);
+    }
+
+    #[test]
+    fn outermost_tile_comes_last_for_gemm() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let order = ordered_slots(&k, &space);
+        let last = &space.slots()[*order.last().unwrap()];
+        assert_eq!(last.kind, PragmaKind::Tile);
+        assert_eq!(last.loop_id, k.loop_by_label("L0").unwrap());
+    }
+}

@@ -1,0 +1,137 @@
+//! Design points: one concrete assignment of values to all pragma slots.
+
+use crate::pragma::{PragmaSlot, PragmaValue};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A design configuration `theta`: one value per pragma slot of the kernel's
+/// design space, in slot order.
+///
+/// Design points are small, hashable value objects used as database keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignPoint {
+    values: Vec<PragmaValue>,
+}
+
+impl DesignPoint {
+    /// Creates a point from per-slot values.
+    pub fn new(values: Vec<PragmaValue>) -> Self {
+        Self { values }
+    }
+
+    /// Values in slot order.
+    pub fn values(&self) -> &[PragmaValue] {
+        &self.values
+    }
+
+    /// Value of slot `i`.
+    pub fn value(&self, i: usize) -> PragmaValue {
+        self.values[i]
+    }
+
+    /// Returns a copy with slot `i` replaced by `v`.
+    pub fn with_value(&self, i: usize, v: PragmaValue) -> Self {
+        let mut values = self.values.clone();
+        values[i] = v;
+        Self { values }
+    }
+
+    /// Sets slot `i` to `v` in place.
+    pub fn set_value(&mut self, i: usize, v: PragmaValue) {
+        self.values[i] = v;
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the point has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether every slot holds its neutral value (the unoptimized design).
+    pub fn is_all_default(&self) -> bool {
+        self.values.iter().all(|v| v.is_default())
+    }
+
+    /// Number of slots whose values differ from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have different lengths.
+    pub fn hamming_distance(&self, other: &DesignPoint) -> usize {
+        assert_eq!(self.len(), other.len(), "points from different spaces");
+        self.values.iter().zip(&other.values).filter(|(a, b)| a != b).count()
+    }
+
+    /// Renders the point as `name=value` pairs using the slot metadata.
+    pub fn describe(&self, slots: &[PragmaSlot]) -> String {
+        slots
+            .iter()
+            .zip(&self.values)
+            .map(|(s, v)| format!("{}={v}", s.name))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pragma::PipelineOpt;
+
+    fn point() -> DesignPoint {
+        DesignPoint::new(vec![
+            PragmaValue::Pipeline(PipelineOpt::Coarse),
+            PragmaValue::Parallel(4),
+            PragmaValue::Tile(1),
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let p = point();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.value(1), PragmaValue::Parallel(4));
+        assert!(!p.is_all_default());
+    }
+
+    #[test]
+    fn with_value_is_persistent() {
+        let p = point();
+        let q = p.with_value(1, PragmaValue::Parallel(8));
+        assert_eq!(p.value(1), PragmaValue::Parallel(4));
+        assert_eq!(q.value(1), PragmaValue::Parallel(8));
+        assert_eq!(p.hamming_distance(&q), 1);
+    }
+
+    #[test]
+    fn all_default_detection() {
+        let d = DesignPoint::new(vec![
+            PragmaValue::Pipeline(PipelineOpt::Off),
+            PragmaValue::Parallel(1),
+            PragmaValue::Tile(1),
+        ]);
+        assert!(d.is_all_default());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(point().to_string(), "[cg, 4, 1]");
+    }
+}

@@ -1,0 +1,145 @@
+//! Pragma values and slots.
+
+use hls_ir::{LoopId, PragmaKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Option of a `#pragma ACCEL pipeline` placeholder: `off | cg | fg`
+/// (coarse-grained / fine-grained, §2.3 and §4.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PipelineOpt {
+    /// No pipelining.
+    Off,
+    /// Coarse-grained pipelining: the loop body's sub-stages are overlapped
+    /// (Merlin dataflow between sub-loops).
+    Coarse,
+    /// Fine-grained pipelining: all sub-loops are completely unrolled and the
+    /// loop is pipelined at the instruction level.
+    Fine,
+}
+
+impl PipelineOpt {
+    /// Source spelling (`off`, `cg`, `fg`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PipelineOpt::Off => "off",
+            PipelineOpt::Coarse => "cg",
+            PipelineOpt::Fine => "fg",
+        }
+    }
+
+    /// All options, in canonical order.
+    pub const ALL: [PipelineOpt; 3] = [PipelineOpt::Off, PipelineOpt::Coarse, PipelineOpt::Fine];
+}
+
+impl fmt::Display for PipelineOpt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A concrete value assigned to one pragma placeholder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PragmaValue {
+    /// Pipeline mode.
+    Pipeline(PipelineOpt),
+    /// Parallel (unroll) factor; `1` means the pragma is absent.
+    Parallel(u32),
+    /// Tile factor; `1` means the pragma is absent.
+    Tile(u32),
+}
+
+impl PragmaValue {
+    /// The pragma kind this value belongs to.
+    pub fn kind(self) -> PragmaKind {
+        match self {
+            PragmaValue::Pipeline(_) => PragmaKind::Pipeline,
+            PragmaValue::Parallel(_) => PragmaKind::Parallel,
+            PragmaValue::Tile(_) => PragmaKind::Tile,
+        }
+    }
+
+    /// The neutral value of a kind (pipeline off / factor 1).
+    pub fn default_of(kind: PragmaKind) -> Self {
+        match kind {
+            PragmaKind::Pipeline => PragmaValue::Pipeline(PipelineOpt::Off),
+            PragmaKind::Parallel => PragmaValue::Parallel(1),
+            PragmaKind::Tile => PragmaValue::Tile(1),
+        }
+    }
+
+    /// Whether this is the neutral (pragma-absent) value.
+    pub fn is_default(self) -> bool {
+        self == Self::default_of(self.kind())
+    }
+
+    /// Numeric factor for parallel/tile, `None` for pipeline.
+    pub fn factor(self) -> Option<u32> {
+        match self {
+            PragmaValue::Parallel(f) | PragmaValue::Tile(f) => Some(f),
+            PragmaValue::Pipeline(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for PragmaValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PragmaValue::Pipeline(o) => write!(f, "{o}"),
+            PragmaValue::Parallel(v) | PragmaValue::Tile(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One tunable pragma placeholder of a kernel, with its legal options.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PragmaSlot {
+    /// Placeholder name as it appears in the source (`__PIPE__L0`, ...).
+    pub name: String,
+    /// The loop the pragma is attached to.
+    pub loop_id: LoopId,
+    /// Pragma kind.
+    pub kind: PragmaKind,
+    /// Legal options, first option is the neutral/default one.
+    pub options: Vec<PragmaValue>,
+}
+
+impl PragmaSlot {
+    /// The neutral value of this slot.
+    pub fn default_value(&self) -> PragmaValue {
+        PragmaValue::default_of(self.kind)
+    }
+
+    /// Index of a value in `options`, if legal for this slot.
+    pub fn option_index(&self, v: PragmaValue) -> Option<usize> {
+        self.options.iter().position(|&o| o == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_spellings() {
+        assert_eq!(PipelineOpt::Off.to_string(), "off");
+        assert_eq!(PipelineOpt::Coarse.to_string(), "cg");
+        assert_eq!(PipelineOpt::Fine.to_string(), "fg");
+    }
+
+    #[test]
+    fn default_values() {
+        assert!(PragmaValue::Pipeline(PipelineOpt::Off).is_default());
+        assert!(PragmaValue::Parallel(1).is_default());
+        assert!(!PragmaValue::Parallel(4).is_default());
+        assert!(PragmaValue::Tile(1).is_default());
+        assert_eq!(PragmaValue::default_of(PragmaKind::Tile), PragmaValue::Tile(1));
+    }
+
+    #[test]
+    fn kinds_and_factors() {
+        assert_eq!(PragmaValue::Parallel(8).kind(), PragmaKind::Parallel);
+        assert_eq!(PragmaValue::Parallel(8).factor(), Some(8));
+        assert_eq!(PragmaValue::Pipeline(PipelineOpt::Fine).factor(), None);
+    }
+}

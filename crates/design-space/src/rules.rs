@@ -1,0 +1,156 @@
+//! AutoDSE pruning rules (§4.1) — canonicalizing redundant configurations.
+//!
+//! The key rule: *fine-grained pipelining of a loop completely unrolls its
+//! sub-loops*, so any pragma on a descendant loop is meaningless. Two
+//! configurations differing only in pragmas under an `fg`-pipelined loop
+//! synthesize to the same design; exploration should visit only the
+//! canonical representative (all-default under `fg`).
+
+use crate::point::DesignPoint;
+use crate::pragma::{PipelineOpt, PragmaValue};
+use crate::space::DesignSpace;
+use hls_ir::{Kernel, LoopId, PragmaKind};
+
+/// Returns all transitive descendants of `loop_id` in the kernel's loop tree.
+pub fn descendants(kernel: &Kernel, loop_id: LoopId) -> Vec<LoopId> {
+    let mut out = Vec::new();
+    let mut stack = kernel.loop_info(loop_id).children.clone();
+    while let Some(id) = stack.pop() {
+        out.push(id);
+        stack.extend(kernel.loop_info(id).children.iter().copied());
+    }
+    out
+}
+
+/// Loops whose pipeline slot is set to `fg` in `point`.
+fn fg_loops(kernel: &Kernel, space: &DesignSpace, point: &DesignPoint) -> Vec<LoopId> {
+    kernel
+        .loops()
+        .iter()
+        .filter_map(|info| {
+            let slot = space.slot_index(info.id, PragmaKind::Pipeline)?;
+            (point.value(slot) == PragmaValue::Pipeline(PipelineOpt::Fine)).then_some(info.id)
+        })
+        .collect()
+}
+
+/// Maps a point to its canonical representative: every slot attached to a
+/// descendant of an `fg`-pipelined loop is reset to its neutral value.
+pub fn canonicalize(kernel: &Kernel, space: &DesignSpace, point: &DesignPoint) -> DesignPoint {
+    let mut out = point.clone();
+    for fg in fg_loops(kernel, space, point) {
+        for d in descendants(kernel, fg) {
+            for si in space.slots_of_loop(d) {
+                out.set_value(si, space.slots()[si].default_value());
+            }
+        }
+    }
+    out
+}
+
+/// Whether `point` is its own canonical representative.
+pub fn is_canonical(kernel: &Kernel, space: &DesignSpace, point: &DesignPoint) -> bool {
+    &canonicalize(kernel, space, point) == point
+}
+
+/// Number of canonical (post-pruning) configurations in a space.
+///
+/// Only call on spaces small enough to enumerate.
+pub fn canonical_count(kernel: &Kernel, space: &DesignSpace) -> u64 {
+    space.iter().filter(|p| is_canonical(kernel, space, p)).count() as u64
+}
+
+/// The pragma dependency of §4.4: the parallel pragma of a loop depends on
+/// the pipeline pragma of its *parent* loop (an `fg` parent subsumes the
+/// child's parallelization). Returns the slot index of the pragma that
+/// `slot` depends on, if any.
+pub fn dependency_of(kernel: &Kernel, space: &DesignSpace, slot: usize) -> Option<usize> {
+    let s = &space.slots()[slot];
+    if s.kind != PragmaKind::Parallel {
+        return None;
+    }
+    let parent = kernel.loop_info(s.loop_id).parent?;
+    space.slot_index(parent, PragmaKind::Pipeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+
+    #[test]
+    fn fg_on_outer_resets_inner_pragmas() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let l0 = k.loop_by_label("L0").unwrap();
+        let l2 = k.loop_by_label("L2").unwrap();
+        let pipe0 = space.slot_index(l0, PragmaKind::Pipeline).unwrap();
+        let para2 = space.slot_index(l2, PragmaKind::Parallel).unwrap();
+
+        let mut p = space.default_point();
+        p.set_value(pipe0, PragmaValue::Pipeline(PipelineOpt::Fine));
+        p.set_value(para2, PragmaValue::Parallel(8));
+        assert!(!is_canonical(&k, &space, &p));
+        let c = canonicalize(&k, &space, &p);
+        assert_eq!(c.value(para2), PragmaValue::Parallel(1));
+        assert_eq!(c.value(pipe0), PragmaValue::Pipeline(PipelineOpt::Fine));
+        assert!(is_canonical(&k, &space, &c));
+    }
+
+    #[test]
+    fn cg_does_not_reset_inner() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let l0 = k.loop_by_label("L0").unwrap();
+        let l2 = k.loop_by_label("L2").unwrap();
+        let pipe0 = space.slot_index(l0, PragmaKind::Pipeline).unwrap();
+        let para2 = space.slot_index(l2, PragmaKind::Parallel).unwrap();
+
+        let mut p = space.default_point();
+        p.set_value(pipe0, PragmaValue::Pipeline(PipelineOpt::Coarse));
+        p.set_value(para2, PragmaValue::Parallel(8));
+        assert!(is_canonical(&k, &space, &p));
+    }
+
+    #[test]
+    fn descendants_transitive() {
+        let k = kernels::gemm_blocked();
+        let l0 = k.loop_by_label("L0").unwrap();
+        assert_eq!(descendants(&k, l0).len(), 4);
+        let l3 = k.loop_by_label("L3").unwrap();
+        assert_eq!(descendants(&k, l3).len(), 1);
+    }
+
+    #[test]
+    fn canonical_count_smaller_than_space() {
+        let k = kernels::spmv_ellpack();
+        let space = DesignSpace::from_kernel(&k);
+        let n = canonical_count(&k, &space);
+        assert!(n < space.size() as u64, "fg on L0 should prune L1 pragmas");
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn call_boundary_limits_pruning() {
+        // aes: L1 lives in the called round function, not nested under L0 in
+        // the loop tree, so fg on L0 prunes nothing and every point is
+        // canonical.
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        assert_eq!(canonical_count(&k, &space), space.size() as u64);
+    }
+
+    #[test]
+    fn parallel_depends_on_parent_pipeline() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let l1 = k.loop_by_label("L1").unwrap();
+        let l0 = k.loop_by_label("L0").unwrap();
+        let para1 = space.slot_index(l1, PragmaKind::Parallel).unwrap();
+        let pipe0 = space.slot_index(l0, PragmaKind::Pipeline).unwrap();
+        assert_eq!(dependency_of(&k, &space, para1), Some(pipe0));
+        // Top-level loop's parallel has no dependency.
+        let para0 = space.slot_index(l0, PragmaKind::Parallel).unwrap();
+        assert_eq!(dependency_of(&k, &space, para0), None);
+    }
+}

@@ -1,0 +1,285 @@
+//! The design space of a kernel: all pragma slots and their option sets.
+
+use crate::options::{parallel_options, pipeline_options, tile_options};
+use crate::point::DesignPoint;
+use crate::pragma::{PragmaSlot, PragmaValue};
+use hls_ir::{Kernel, LoopId, PragmaKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The full combinatorial design space of one kernel.
+///
+/// Slots are ordered by loop (depth-first source order) and, within a loop,
+/// by [`PragmaKind`] order (tile, pipeline, parallel) — matching how the
+/// Merlin source annotation lists them.
+///
+/// # Examples
+///
+/// ```
+/// use design_space::DesignSpace;
+/// use hls_ir::kernels;
+///
+/// let space = DesignSpace::from_kernel(&kernels::aes());
+/// assert_eq!(space.num_slots(), 3);
+/// assert_eq!(space.size(), 45); // matches Table 1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    kernel: String,
+    slots: Vec<PragmaSlot>,
+}
+
+impl DesignSpace {
+    /// Builds the design space of a kernel from its declared pragma
+    /// placeholders and the option-generation rules of [`crate::options`].
+    pub fn from_kernel(kernel: &Kernel) -> Self {
+        let mut slots = Vec::new();
+        for info in kernel.loops() {
+            for &kind in &info.candidate_pragmas {
+                let options = match kind {
+                    PragmaKind::Pipeline => pipeline_options(info),
+                    PragmaKind::Parallel => parallel_options(info),
+                    PragmaKind::Tile => tile_options(info),
+                };
+                slots.push(PragmaSlot {
+                    name: format!("{}{}", kind.placeholder_stem(), info.label),
+                    loop_id: info.id,
+                    kind,
+                    options,
+                });
+            }
+        }
+        Self { kernel: kernel.name().to_string(), slots }
+    }
+
+    /// Name of the kernel this space belongs to.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel
+    }
+
+    /// All slots in canonical order.
+    pub fn slots(&self) -> &[PragmaSlot] {
+        &self.slots
+    }
+
+    /// Number of pragma slots (the paper's "# pragmas").
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of configurations (the paper's "# Design configs"):
+    /// the product of per-slot option counts.
+    pub fn size(&self) -> u128 {
+        self.slots.iter().map(|s| s.options.len() as u128).product()
+    }
+
+    /// The all-default design point (no pragmas applied).
+    pub fn default_point(&self) -> DesignPoint {
+        DesignPoint::new(self.slots.iter().map(|s| s.default_value()).collect())
+    }
+
+    /// The point at a mixed-radix `index` in `[0, size())`, counting the
+    /// last slot fastest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    pub fn point_at(&self, index: u128) -> DesignPoint {
+        assert!(index < self.size(), "index {index} out of space of size {}", self.size());
+        let mut rem = index;
+        let mut values = vec![PragmaValue::Parallel(1); self.slots.len()];
+        for (i, slot) in self.slots.iter().enumerate().rev() {
+            let radix = slot.options.len() as u128;
+            values[i] = slot.options[(rem % radix) as usize];
+            rem /= radix;
+        }
+        DesignPoint::new(values)
+    }
+
+    /// The mixed-radix index of a point, if every value is a legal option.
+    pub fn index_of(&self, point: &DesignPoint) -> Option<u128> {
+        if point.len() != self.slots.len() {
+            return None;
+        }
+        let mut idx: u128 = 0;
+        for (slot, &v) in self.slots.iter().zip(point.values()) {
+            let oi = slot.option_index(v)?;
+            idx = idx * slot.options.len() as u128 + oi as u128;
+        }
+        Some(idx)
+    }
+
+    /// Whether every value of `point` is a legal option of its slot.
+    pub fn contains(&self, point: &DesignPoint) -> bool {
+        self.index_of(point).is_some()
+    }
+
+    /// Iterates over the entire space in index order.
+    ///
+    /// Only call this on spaces known to be small (guard with [`Self::size`]).
+    pub fn iter(&self) -> PointIter<'_> {
+        PointIter { space: self, next: 0 }
+    }
+
+    /// Draws a uniformly random point.
+    pub fn random_point(&self, rng: &mut impl Rng) -> DesignPoint {
+        DesignPoint::new(
+            self.slots
+                .iter()
+                .map(|s| s.options[rng.gen_range(0..s.options.len())])
+                .collect(),
+        )
+    }
+
+    /// All points at Hamming distance 1 from `point` (the local-search
+    /// neighborhood of the hybrid explorer, §4.1).
+    pub fn neighbors(&self, point: &DesignPoint) -> Vec<DesignPoint> {
+        let mut out = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            for &opt in &slot.options {
+                if opt != point.value(i) {
+                    out.push(point.with_value(i, opt));
+                }
+            }
+        }
+        out
+    }
+
+    /// Slot indices attached to a given loop.
+    pub fn slots_of_loop(&self, loop_id: LoopId) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.loop_id == loop_id)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the slot of `kind` on `loop_id`, if declared.
+    pub fn slot_index(&self, loop_id: LoopId, kind: PragmaKind) -> Option<usize> {
+        self.slots.iter().position(|s| s.loop_id == loop_id && s.kind == kind)
+    }
+}
+
+/// Iterator over all points of a [`DesignSpace`] (see [`DesignSpace::iter`]).
+#[derive(Debug)]
+pub struct PointIter<'a> {
+    space: &'a DesignSpace,
+    next: u128,
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = DesignPoint;
+
+    fn next(&mut self) -> Option<DesignPoint> {
+        if self.next >= self.space.size() {
+            return None;
+        }
+        let p = self.space.point_at(self.next);
+        self.next += 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.space.size() - self.next).min(usize::MAX as u128) as usize;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aes_space_matches_table1_exactly() {
+        let space = DesignSpace::from_kernel(&kernels::aes());
+        assert_eq!(space.num_slots(), 3);
+        assert_eq!(space.size(), 45);
+    }
+
+    #[test]
+    fn point_index_round_trip() {
+        let space = DesignSpace::from_kernel(&kernels::aes());
+        for i in 0..space.size() {
+            let p = space.point_at(i);
+            assert_eq!(space.index_of(&p), Some(i));
+        }
+    }
+
+    #[test]
+    fn iter_covers_space_without_duplicates() {
+        let space = DesignSpace::from_kernel(&kernels::spmv_ellpack());
+        let pts: Vec<DesignPoint> = space.iter().collect();
+        assert_eq!(pts.len() as u128, space.size());
+        let mut set = std::collections::HashSet::new();
+        for p in &pts {
+            assert!(set.insert(p.clone()), "duplicate point {p}");
+        }
+    }
+
+    #[test]
+    fn default_point_is_index_zero() {
+        let space = DesignSpace::from_kernel(&kernels::gemm_ncubed());
+        assert_eq!(space.point_at(0), space.default_point());
+        assert!(space.default_point().is_all_default());
+    }
+
+    #[test]
+    fn random_points_are_contained() {
+        let space = DesignSpace::from_kernel(&kernels::stencil());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = space.random_point(&mut rng);
+            assert!(space.contains(&p));
+        }
+    }
+
+    #[test]
+    fn neighbors_have_hamming_distance_one() {
+        let space = DesignSpace::from_kernel(&kernels::aes());
+        let p = space.default_point();
+        let ns = space.neighbors(&p);
+        // 3 slots with 3, 3, 5 options: (3-1)+(3-1)+(5-1) = 8 neighbors.
+        assert_eq!(ns.len(), 8);
+        assert!(ns.iter().all(|n| n.hamming_distance(&p) == 1));
+    }
+
+    #[test]
+    fn slot_lookup_by_loop_and_kind() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let l0 = k.loop_by_label("L0").unwrap();
+        assert_eq!(space.slots_of_loop(l0).len(), 3);
+        assert!(space.slot_index(l0, PragmaKind::Tile).is_some());
+        let l1 = k.loop_by_label("L1").unwrap();
+        assert!(space.slot_index(l1, PragmaKind::Tile).is_none());
+    }
+
+    #[test]
+    fn slot_names_follow_merlin_convention() {
+        let space = DesignSpace::from_kernel(&kernels::aes());
+        let names: Vec<&str> = space.slots().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"__PIPE__L0"));
+        assert!(names.contains(&"__PIPE__L1"));
+        assert!(names.contains(&"__PARA__L1"));
+    }
+
+    #[test]
+    fn mvt_space_is_in_the_millions() {
+        let space = DesignSpace::from_kernel(&kernels::mvt());
+        assert!(space.size() > 1_000_000, "mvt space should need heuristic search");
+    }
+
+    #[test]
+    fn mm2_space_is_the_largest() {
+        let sizes: Vec<(String, u128)> = kernels::all_kernels()
+            .iter()
+            .map(|k| (k.name().to_string(), DesignSpace::from_kernel(k).size()))
+            .collect();
+        let max = sizes.iter().max_by_key(|(_, s)| *s).unwrap();
+        assert_eq!(max.0, "2mm");
+    }
+}

@@ -1,0 +1,132 @@
+//! Coverage tests over all benchmark design spaces: sizes, ordering, and
+//! pruning statistics that the experiments rely on.
+
+use design_space::{options, order, rules, DesignSpace, PragmaValue};
+use hls_ir::{kernels, PragmaKind};
+
+#[test]
+fn space_sizes_are_stable() {
+    // These sizes are quoted in EXPERIMENTS.md; a change to the option-
+    // generation rules must update both places deliberately.
+    let expected: &[(&str, u128)] = &[
+        ("aes", 45),
+        ("atax", 1_125),
+        ("gemm-blocked", 145_152),
+        ("gemm-ncubed", 37_044),
+        ("mvt", 1_185_921),
+        ("spmv-crs", 54),
+        ("spmv-ellpack", 72),
+        ("stencil", 7_920),
+        ("nw", 5_292),
+        ("bicg", 5_445),
+        ("doitgen", 13_824),
+        ("gesummv", 324),
+        ("2mm", 31_442_411_520),
+    ];
+    for &(name, size) in expected {
+        let k = kernels::kernel_by_name(name).unwrap();
+        let space = DesignSpace::from_kernel(&k);
+        assert_eq!(space.size(), size, "space size of {name} drifted");
+    }
+}
+
+#[test]
+fn parallel_factors_divide_trip_counts() {
+    for k in kernels::all_kernels() {
+        let space = DesignSpace::from_kernel(&k);
+        for slot in space.slots() {
+            let info = k.loop_info(slot.loop_id);
+            for &opt in &slot.options {
+                if let PragmaValue::Parallel(f) = opt {
+                    if !info.variable_bound {
+                        assert_eq!(
+                            info.trip_count % u64::from(f),
+                            0,
+                            "{}: parallel {f} does not divide trip {} of {}",
+                            k.name(),
+                            info.trip_count,
+                            info.label
+                        );
+                    }
+                    assert!(f <= options::MAX_PARALLEL);
+                }
+                if let PragmaValue::Tile(f) = opt {
+                    assert!(f <= options::MAX_TILE);
+                    assert_eq!(info.trip_count % u64::from(f), 0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ordered_slots_prioritize_depth_then_kind() {
+    // Among slots of the same loop, parallel precedes pipeline precedes
+    // tile in the §4.4 order (modulo dependency promotion from deeper
+    // levels).
+    for k in kernels::all_kernels() {
+        let space = DesignSpace::from_kernel(&k);
+        let order = order::ordered_slots(&k, &space);
+        for info in k.loops() {
+            let of_loop: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&si| space.slots()[si].loop_id == info.id)
+                .collect();
+            // Check relative order of parallel vs tile on the same loop —
+            // tile can never be promoted (it is not a dependency target).
+            let pos = |kind: PragmaKind| {
+                of_loop
+                    .iter()
+                    .position(|&si| space.slots()[si].kind == kind)
+            };
+            if let (Some(pa), Some(ti)) = (pos(PragmaKind::Parallel), pos(PragmaKind::Tile)) {
+                assert!(pa < ti, "{}: tile before parallel on {}", k.name(), info.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn canonical_fraction_is_reasonable() {
+    // Pruning removes some but not all configurations on kernels with
+    // nested pragma-carrying loops.
+    for name in ["gemm-ncubed", "stencil", "spmv-ellpack"] {
+        let k = kernels::kernel_by_name(name).unwrap();
+        let space = DesignSpace::from_kernel(&k);
+        if space.size() > 50_000 {
+            continue;
+        }
+        let canonical = rules::canonical_count(&k, &space);
+        let total = space.size() as u64;
+        assert!(canonical < total, "{name}: fg pruning must remove something");
+        assert!(
+            canonical * 3 > total,
+            "{name}: pruning should not remove most of the space ({canonical}/{total})"
+        );
+    }
+}
+
+#[test]
+fn describe_round_trips_slot_names() {
+    let k = kernels::toy();
+    let space = DesignSpace::from_kernel(&k);
+    let text = space.default_point().describe(space.slots());
+    assert_eq!(text, "__PIPE__L1=off __PARA__L1=1");
+}
+
+#[test]
+fn every_space_has_nontrivial_choice_per_slot() {
+    for k in kernels::all_kernels() {
+        let space = DesignSpace::from_kernel(&k);
+        for slot in space.slots() {
+            assert!(
+                slot.options.len() >= 2,
+                "{}: slot {} offers no real choice",
+                k.name(),
+                slot.name
+            );
+            assert!(slot.options[0].is_default(), "{}: {}", k.name(), slot.name);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Model inputs: program graphs lowered to feature matrices + edge lists,
+//! single or batched as a disjoint union.
+
+use design_space::DesignPoint;
+use gdse_tensor::Matrix;
+use proggraph::{edge_features, node_features, ProgramGraph};
+
+/// One graph lowered to the tensors a GNN consumes.
+///
+/// Built once per (kernel, design point); the node features of different
+/// design points of the same kernel differ only in the pragma rows.
+#[derive(Debug, Clone)]
+pub struct GraphInput {
+    /// Node features `[N, NODE_FEATS]`.
+    pub x: Matrix,
+    /// Edge features `[E, EDGE_FEATS]`.
+    pub edge_attr: Matrix,
+    /// Edge sources.
+    pub src: Vec<usize>,
+    /// Edge destinations.
+    pub dst: Vec<usize>,
+    /// Indices of pragma nodes (for attention inspection).
+    pub pragma_nodes: Vec<usize>,
+}
+
+impl GraphInput {
+    /// Lowers a program graph (optionally filled with a design point).
+    pub fn from_graph(graph: &ProgramGraph, point: Option<&DesignPoint>) -> Self {
+        Self {
+            x: node_features(graph, point),
+            edge_attr: edge_features(graph),
+            src: graph.edge_sources(),
+            dst: graph.edge_destinations(),
+            pragma_nodes: graph.pragma_nodes().iter().map(|&(i, _)| i).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+}
+
+/// A mini-batch: the disjoint union of several lowered graphs.
+///
+/// Batching turns many small matmuls into a few big ones — the difference
+/// between hours and minutes for CPU training — while segment-aware pooling
+/// keeps every graph's readout separate.
+#[derive(Debug, Clone)]
+pub struct GraphBatch {
+    /// Stacked node features `[N_total, NODE_FEATS]`.
+    pub x: Matrix,
+    /// Stacked edge features `[E_total, EDGE_FEATS]`.
+    pub edge_attr: Matrix,
+    /// Global edge sources.
+    pub src: Vec<usize>,
+    /// Global edge destinations.
+    pub dst: Vec<usize>,
+    /// Graph id of each node.
+    pub node_graph: Vec<usize>,
+    /// Number of graphs in the batch.
+    pub num_graphs: usize,
+    /// Per-sample pragma encodings `[B, MAX_SLOTS * SLOT_FEATS]` (M1 input).
+    pub pragma_x: Matrix,
+}
+
+impl GraphBatch {
+    /// Builds a batch from `(lowered graph, design point)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn new(items: &[(&GraphInput, &DesignPoint)]) -> Self {
+        assert!(!items.is_empty(), "empty batch");
+        let mut node_offset = 0usize;
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut node_graph = Vec::new();
+        let mut xs: Vec<&Matrix> = Vec::with_capacity(items.len());
+        let mut es: Vec<&Matrix> = Vec::with_capacity(items.len());
+        let mut pragma_rows: Vec<Matrix> = Vec::with_capacity(items.len());
+        for (gi, (input, point)) in items.iter().enumerate() {
+            xs.push(&input.x);
+            es.push(&input.edge_attr);
+            src.extend(input.src.iter().map(|&s| s + node_offset));
+            dst.extend(input.dst.iter().map(|&d| d + node_offset));
+            node_graph.extend(std::iter::repeat(gi).take(input.num_nodes()));
+            node_offset += input.num_nodes();
+            pragma_rows.push(crate::model::encode_pragmas(point));
+        }
+        let pragma_refs: Vec<&Matrix> = pragma_rows.iter().collect();
+        Self {
+            x: Matrix::vcat(&xs),
+            edge_attr: Matrix::vcat(&es),
+            src,
+            dst,
+            node_graph,
+            num_graphs: items.len(),
+            pragma_x: Matrix::vcat(&pragma_refs),
+        }
+    }
+
+    /// Batch of one sample.
+    pub fn single(input: &GraphInput, point: &DesignPoint) -> Self {
+        Self::new(&[(input, point)])
+    }
+
+    /// Total number of nodes across the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.x.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_space::DesignSpace;
+    use hls_ir::kernels;
+    use proggraph::build_graph_bidirectional;
+
+    #[test]
+    fn lowering_shapes_are_consistent() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let g = build_graph_bidirectional(&k, &space);
+        let input = GraphInput::from_graph(&g, Some(&space.default_point()));
+        assert_eq!(input.num_nodes(), g.num_nodes());
+        assert_eq!(input.num_edges(), g.num_edges());
+        assert_eq!(input.edge_attr.rows(), input.num_edges());
+        assert_eq!(input.pragma_nodes.len(), space.num_slots());
+    }
+
+    #[test]
+    fn batch_offsets_edges_and_segments() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let g = build_graph_bidirectional(&k, &space);
+        let p0 = space.default_point();
+        let p1 = space.point_at(space.size() - 1);
+        let i0 = GraphInput::from_graph(&g, Some(&p0));
+        let i1 = GraphInput::from_graph(&g, Some(&p1));
+        let batch = GraphBatch::new(&[(&i0, &p0), (&i1, &p1)]);
+        let n = g.num_nodes();
+        assert_eq!(batch.num_nodes(), 2 * n);
+        assert_eq!(batch.num_graphs, 2);
+        assert_eq!(batch.node_graph[0], 0);
+        assert_eq!(batch.node_graph[2 * n - 1], 1);
+        // Edges of the second graph point into the second node block.
+        assert!(batch.src[g.num_edges()..].iter().all(|&s| s >= n));
+        assert_eq!(batch.pragma_x.rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = GraphBatch::new(&[]);
+    }
+}

@@ -1,0 +1,7 @@
+//! Neural building blocks: graph convolutions, MLP, pooling.
+
+pub mod gat;
+pub mod gcn;
+pub mod mlp;
+pub mod pool;
+pub mod transformer;

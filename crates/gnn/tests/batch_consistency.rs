@@ -1,0 +1,80 @@
+//! Batching must be semantically transparent: a design's prediction inside
+//! a batch equals its prediction alone (rows of different graphs never
+//! interact through any op).
+
+use design_space::DesignSpace;
+use gdse_gnn::{GraphBatch, GraphInput, ModelConfig, ModelKind, PredictionModel};
+use hls_ir::kernels;
+use proggraph::build_graph_bidirectional;
+
+#[test]
+fn batched_forward_equals_single_forward_for_all_kinds() {
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let graph = build_graph_bidirectional(&k, &space);
+    let points: Vec<_> = (0..4).map(|i| space.point_at(i * 97 % space.size())).collect();
+    let inputs: Vec<GraphInput> = points
+        .iter()
+        .map(|p| GraphInput::from_graph(&graph, Some(p)))
+        .collect();
+
+    for kind in ModelKind::ALL {
+        let model = PredictionModel::new(kind, ModelConfig::small(), &["latency", "dsp"]);
+        let refs: Vec<(&GraphInput, &design_space::DesignPoint)> =
+            inputs.iter().zip(&points).map(|(gi, p)| (gi, p)).collect();
+        let batch = GraphBatch::new(&refs);
+        let batched = model.forward(&batch);
+        for (i, (input, point)) in inputs.iter().zip(&points).enumerate() {
+            let single = model.forward_single(input, point);
+            assert_eq!(
+                single.values(),
+                batched.values_of(i),
+                "{kind:?}: sample {i} differs between batch and single"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_kernel_batches_are_supported() {
+    // Graphs of different kernels (different sizes) share one batch.
+    let ka = kernels::aes();
+    let kb = kernels::stencil();
+    let sa = DesignSpace::from_kernel(&ka);
+    let sb = DesignSpace::from_kernel(&kb);
+    let ga = build_graph_bidirectional(&ka, &sa);
+    let gb = build_graph_bidirectional(&kb, &sb);
+    let pa = sa.default_point();
+    let pb = sb.default_point();
+    let ia = GraphInput::from_graph(&ga, Some(&pa));
+    let ib = GraphInput::from_graph(&gb, Some(&pb));
+
+    let model = PredictionModel::new(ModelKind::Full, ModelConfig::small(), &["latency"]);
+    let batch = GraphBatch::new(&[(&ia, &pa), (&ib, &pb)]);
+    let out = model.forward(&batch);
+    let single_a = model.forward_single(&ia, &pa).values();
+    let single_b = model.forward_single(&ib, &pb).values();
+    assert_eq!(out.values_of(0), single_a);
+    assert_eq!(out.values_of(1), single_b);
+    assert_ne!(single_a, single_b, "different programs get different embeddings");
+}
+
+#[test]
+fn attention_is_normalized_per_graph_in_batches() {
+    let k = kernels::spmv_ellpack();
+    let space = DesignSpace::from_kernel(&k);
+    let graph = build_graph_bidirectional(&k, &space);
+    let p0 = space.default_point();
+    let p1 = space.point_at(space.size() - 1);
+    let i0 = GraphInput::from_graph(&graph, Some(&p0));
+    let i1 = GraphInput::from_graph(&graph, Some(&p1));
+    let model = PredictionModel::new(ModelKind::Full, ModelConfig::small(), &["latency"]);
+    let batch = GraphBatch::new(&[(&i0, &p0), (&i1, &p1)]);
+    let out = model.forward(&batch);
+    let att = out.graph.value(out.attention.expect("M7 exposes attention"));
+    let n = graph.num_nodes();
+    let s0: f32 = (0..n).map(|r| att.get(r, 0)).sum();
+    let s1: f32 = (n..2 * n).map(|r| att.get(r, 0)).sum();
+    assert!((s0 - 1.0).abs() < 1e-4, "graph 0 attention sums to {s0}");
+    assert!((s1 - 1.0).abs() < 1e-4, "graph 1 attention sums to {s1}");
+}

@@ -1,0 +1,105 @@
+//! Array declarations: the memory objects a kernel reads and writes.
+
+use crate::types::ScalarType;
+use serde::{Deserialize, Serialize};
+
+/// Index of an array within its [`crate::Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArrayId(pub usize);
+
+/// Where an array lives and which direction data flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrayKind {
+    /// Kernel input read from off-chip (DDR) memory.
+    Input,
+    /// Kernel output written to off-chip memory.
+    Output,
+    /// Read-modify-write interface array.
+    InOut,
+    /// On-chip scratch local to the kernel (maps to BRAM).
+    Local,
+}
+
+impl ArrayKind {
+    /// Whether the array crosses the off-chip memory interface.
+    pub fn is_interface(self) -> bool {
+        !matches!(self, ArrayKind::Local)
+    }
+}
+
+/// A declared array (interface buffer or on-chip scratch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    name: String,
+    elem: ScalarType,
+    dims: Vec<u64>,
+    kind: ArrayKind,
+}
+
+impl ArrayDecl {
+    /// Declares an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero extent.
+    pub fn new(name: impl Into<String>, elem: ScalarType, dims: &[u64], kind: ArrayKind) -> Self {
+        assert!(!dims.is_empty(), "array must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "array dimensions must be positive");
+        Self { name: name.into(), elem, dims: dims.to_vec(), kind }
+    }
+
+    /// Array name as written in the kernel source.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element scalar type.
+    pub fn elem(&self) -> ScalarType {
+        self.elem
+    }
+
+    /// Dimension extents.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Placement/direction of the array.
+    pub fn kind(&self) -> ArrayKind {
+        self.kind
+    }
+
+    /// Total number of elements.
+    pub fn num_elems(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Total size in bits (elements x element width).
+    pub fn size_bits(&self) -> u64 {
+        self.num_elems() * u64::from(self.elem.bit_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let a = ArrayDecl::new("A", ScalarType::F32, &[16, 32], ArrayKind::Input);
+        assert_eq!(a.num_elems(), 512);
+        assert_eq!(a.size_bits(), 512 * 32);
+        assert!(a.kind().is_interface());
+    }
+
+    #[test]
+    fn local_is_not_interface() {
+        let a = ArrayDecl::new("buf", ScalarType::I32, &[8], ArrayKind::Local);
+        assert!(!a.kind().is_interface());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        let _ = ArrayDecl::new("A", ScalarType::F32, &[0], ArrayKind::Input);
+    }
+}

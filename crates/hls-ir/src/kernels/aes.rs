@@ -1,0 +1,84 @@
+//! MachSuite `aes` — AES-256 ECB encryption of one block.
+//!
+//! The dominant structure is a sequential rounds loop (state is chained
+//! round-to-round, so it carries a dependence) whose body applies the
+//! SubBytes / ShiftRows / MixColumns / AddRoundKey steps over the 16 state
+//! bytes. Candidate pragmas (3): pipeline on the rounds loop, and
+//! pipeline + parallel on the per-byte loop inside the round function.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+/// Number of AES-256 rounds after the initial AddRoundKey.
+const ROUNDS: u64 = 13;
+/// State bytes per block.
+const STATE: u64 = 16;
+
+/// Builds the `aes` kernel.
+pub fn aes() -> Kernel {
+    let mut b = Kernel::builder("aes");
+    let key = b.array("key", ScalarType::I8, &[32], ArrayKind::Input);
+    let buf = b.array("buf", ScalarType::I8, &[STATE], ArrayKind::InOut);
+    let sbox = b.array("sbox", ScalarType::I8, &[256], ArrayKind::Local);
+
+    // One round: sub_bytes + shift_rows + mix_columns + add_round_key over
+    // the 16 state bytes. The S-box lookup is an indirect (data-dependent)
+    // access; the GF(2^8) math is xor/shift logic.
+    let round_body = Loop::new("L1", STATE)
+        .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+        .with_stmt(
+            Statement::new("sub_shift_mix")
+                .with_ops(OpMix { logic: 9, iadd: 2, cmp: 1, ..OpMix::default() })
+                .load(buf, AccessPattern::affine(&[("L1", 1)]))
+                .load(sbox, AccessPattern::Indirect)
+                .load(key, AccessPattern::affine(&[("L1", 1)]))
+                .store(buf, AccessPattern::affine(&[("L1", 1)]))
+                .carried_on("L0"),
+        );
+
+    b.function("aes_round", vec![BodyItem::Loop(round_body)]);
+
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", ROUNDS)
+            .with_pragmas(&[PragmaKind::Pipeline])
+            .with_stmt(
+                // Round-key schedule update, chained across rounds.
+                Statement::new("expand_key")
+                    .with_ops(OpMix { logic: 6, iadd: 1, ..OpMix::default() })
+                    .load(key, AccessPattern::affine(&[("L0", 2)]))
+                    .carried_on("L0"),
+            )
+            .with_call("aes_round"),
+    )]);
+
+    b.build().expect("aes kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_pragmas() {
+        assert_eq!(aes().num_candidate_pragmas(), 3);
+    }
+
+    #[test]
+    fn rounds_loop_is_sequential() {
+        let k = aes();
+        let l0 = k.loop_by_label("L0").unwrap();
+        assert!(k.loop_info(l0).carried_dep, "rounds loop must carry a dependence");
+    }
+
+    #[test]
+    fn round_function_is_called() {
+        let k = aes();
+        assert!(k.function("aes_round").is_some());
+        // The round loop's statements are attributed to L0 via the call.
+        let stmts = k.statements();
+        assert!(stmts.iter().any(|(_, s)| s.name() == "sub_shift_mix"));
+    }
+}

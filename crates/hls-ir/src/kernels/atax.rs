@@ -1,0 +1,92 @@
+//! Polybench `atax` — `y = A^T (A x)`, medium size (M=390, N=410).
+//!
+//! Structure (5 candidate pragmas):
+//! ```c
+//! for (i = 0; i < N; i++) y[i] = 0;                    // L0: [parallel]
+//! for (i = 0; i < M; i++) {                            // L1: [pipeline]
+//!     tmp = 0;
+//!     for (j = 0; j < N; j++) tmp += A[i][j] * x[j];   // L2: [pipeline, parallel]
+//!     for (j = 0; j < N; j++) y[j] += A[i][j] * tmp;   // L3: [parallel]
+//! }
+//! ```
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const M: u64 = 390;
+const N: u64 = 410;
+
+/// Builds the `atax` kernel.
+pub fn atax() -> Kernel {
+    let mut b = Kernel::builder("atax");
+    let a = b.array("A", ScalarType::F32, &[M, N], ArrayKind::Input);
+    let x = b.array("x", ScalarType::F32, &[N], ArrayKind::Input);
+    let y = b.array("y", ScalarType::F32, &[N], ArrayKind::Output);
+    let tmp = b.array("tmp", ScalarType::F32, &[M], ArrayKind::Local);
+
+    b.top_items(vec![
+        BodyItem::Loop(
+            Loop::new("L0", N)
+                .with_pragmas(&[PragmaKind::Parallel])
+                .with_stmt(
+                    Statement::new("init_y")
+                        .with_ops(OpMix::default())
+                        .store(y, AccessPattern::affine(&[("L0", 1)])),
+                ),
+        ),
+        BodyItem::Loop(
+            Loop::new("L1", M)
+                .with_pragmas(&[PragmaKind::Pipeline])
+                .with_loop(
+                    Loop::new("L2", N)
+                        .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                        .with_stmt(
+                            Statement::new("tmp_acc")
+                                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                                .load(a, AccessPattern::affine(&[("L1", N as i64), ("L2", 1)]))
+                                .load(x, AccessPattern::affine(&[("L2", 1)]))
+                                .store(tmp, AccessPattern::affine(&[("L1", 1)]))
+                                .carried_on("L2")
+                                .as_reduction(),
+                        ),
+                )
+                .with_loop(
+                    Loop::new("L3", N)
+                        .with_pragmas(&[PragmaKind::Parallel])
+                        .with_stmt(
+                            Statement::new("y_acc")
+                                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                                .load(a, AccessPattern::affine(&[("L1", N as i64), ("L3", 1)]))
+                                .load(tmp, AccessPattern::affine(&[("L1", 1)]))
+                                .load(y, AccessPattern::affine(&[("L3", 1)]))
+                                .store(y, AccessPattern::affine(&[("L3", 1)]))
+                                .carried_on("L1"),
+                        ),
+                ),
+        ),
+    ]);
+
+    b.build().expect("atax kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_pragmas() {
+        assert_eq!(atax().num_candidate_pragmas(), 5);
+    }
+
+    #[test]
+    fn nest_structure() {
+        let k = atax();
+        let l1 = k.loop_by_label("L1").unwrap();
+        assert_eq!(k.loop_info(l1).children.len(), 2);
+        let l2 = k.loop_by_label("L2").unwrap();
+        assert!(k.loop_info(l2).carried_dep);
+    }
+}

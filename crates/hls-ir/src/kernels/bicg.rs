@@ -1,0 +1,92 @@
+//! Polybench `bicg` — BiCG sub-kernel: `s = r^T A`, `q = A p`
+//! (N=410, M=390). **Unseen** kernel (Table 3).
+//!
+//! Structure (5 candidate pragmas):
+//! ```c
+//! for (i = 0; i < M; i++) s[i] = 0;            // L0: [parallel]
+//! for (i = 0; i < N; i++) {                    // L1: [pipeline, parallel]
+//!   q[i] = 0;
+//!   for (j = 0; j < M; j++) {                  // L2: [pipeline, parallel]
+//!     s[j] += r[i] * A[i][j];
+//!     q[i] += A[i][j] * p[j];
+//!   }
+//! }
+//! ```
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const N: u64 = 410;
+const M: u64 = 390;
+
+/// Builds the `bicg` kernel.
+pub fn bicg() -> Kernel {
+    let mut b = Kernel::builder("bicg");
+    let a = b.array("A", ScalarType::F32, &[N, M], ArrayKind::Input);
+    let s = b.array("s", ScalarType::F32, &[M], ArrayKind::Output);
+    let q = b.array("q", ScalarType::F32, &[N], ArrayKind::Output);
+    let p = b.array("p", ScalarType::F32, &[M], ArrayKind::Input);
+    let r = b.array("r", ScalarType::F32, &[N], ArrayKind::Input);
+
+    let m = M as i64;
+    b.top_items(vec![
+        BodyItem::Loop(
+            Loop::new("L0", M)
+                .with_pragmas(&[PragmaKind::Parallel])
+                .with_stmt(
+                    Statement::new("init_s")
+                        .with_ops(OpMix::default())
+                        .store(s, AccessPattern::affine(&[("L0", 1)])),
+                ),
+        ),
+        BodyItem::Loop(
+            Loop::new("L1", N)
+                .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                .with_loop(
+                    Loop::new("L2", M)
+                        .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                        .with_stmt(
+                            Statement::new("s_acc")
+                                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                                .load(r, AccessPattern::affine(&[("L1", 1)]))
+                                .load(a, AccessPattern::affine(&[("L1", m), ("L2", 1)]))
+                                .load(s, AccessPattern::affine(&[("L2", 1)]))
+                                .store(s, AccessPattern::affine(&[("L2", 1)]))
+                                .carried_on("L1"),
+                        )
+                        .with_stmt(
+                            Statement::new("q_acc")
+                                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                                .load(a, AccessPattern::affine(&[("L1", m), ("L2", 1)]))
+                                .load(p, AccessPattern::affine(&[("L2", 1)]))
+                                .store(q, AccessPattern::affine(&[("L1", 1)]))
+                                .carried_on("L2")
+                                .as_reduction(),
+                        ),
+                ),
+        ),
+    ]);
+
+    b.build().expect("bicg kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_pragmas() {
+        assert_eq!(bicg().num_candidate_pragmas(), 5);
+    }
+
+    #[test]
+    fn both_accumulations_present() {
+        let k = bicg();
+        let names: Vec<&str> = k.statements().iter().map(|(_, s)| s.name()).collect();
+        assert!(names.contains(&"s_acc"));
+        assert!(names.contains(&"q_acc"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Polybench `doitgen` — multi-resolution analysis: 3-D tensor times matrix
+//! (R=25, Q=20, P=30). **Unseen** kernel (Table 3).
+//!
+//! Structure (6 candidate pragmas):
+//! ```c
+//! for (r = 0; r < R; r++)                      // L0: [pipeline]
+//!   for (q = 0; q < Q; q++) {                  // L1: [pipeline]
+//!     for (p = 0; p < P; p++) {                // L2: [pipeline, parallel]
+//!       sum[p] = 0;
+//!       for (s = 0; s < P; s++)                // L3: [parallel]
+//!         sum[p] += A[r][q][s] * C4[s][p];
+//!     }
+//!     for (p = 0; p < P; p++)                  // L4: [parallel]
+//!       A[r][q][p] = sum[p];
+//!   }
+//! ```
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const R: u64 = 25;
+const Q: u64 = 20;
+const P: u64 = 30;
+
+/// Builds the `doitgen` kernel.
+pub fn doitgen() -> Kernel {
+    let mut b = Kernel::builder("doitgen");
+    let a = b.array("A", ScalarType::F32, &[R, Q, P], ArrayKind::InOut);
+    let c4 = b.array("C4", ScalarType::F32, &[P, P], ArrayKind::Input);
+    let sum = b.array("sum", ScalarType::F32, &[P], ArrayKind::Local);
+
+    let p = P as i64;
+    let qp = (Q * P) as i64;
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", R)
+            .with_pragmas(&[PragmaKind::Pipeline])
+            .with_loop(
+                Loop::new("L1", Q)
+                    .with_pragmas(&[PragmaKind::Pipeline])
+                    .with_loop(
+                        Loop::new("L2", P)
+                            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                            .with_loop(
+                                Loop::new("L3", P)
+                                    .with_pragmas(&[PragmaKind::Parallel])
+                                    .with_stmt(
+                                        Statement::new("sum_acc")
+                                            .with_ops(OpMix {
+                                                fadd: 1,
+                                                fmul: 1,
+                                                ..OpMix::default()
+                                            })
+                                            .load(
+                                                a,
+                                                AccessPattern::affine(&[
+                                                    ("L0", qp),
+                                                    ("L1", p),
+                                                    ("L3", 1),
+                                                ]),
+                                            )
+                                            .load(c4, AccessPattern::affine(&[("L3", p), ("L2", 1)]))
+                                            .store(sum, AccessPattern::affine(&[("L2", 1)]))
+                                            .carried_on("L3")
+                                            .as_reduction(),
+                                    ),
+                            ),
+                    )
+                    .with_loop(
+                        Loop::new("L4", P)
+                            .with_pragmas(&[PragmaKind::Parallel])
+                            .with_stmt(
+                                Statement::new("write_back")
+                                    .with_ops(OpMix::default())
+                                    .load(sum, AccessPattern::affine(&[("L4", 1)]))
+                                    .store(
+                                        a,
+                                        AccessPattern::affine(&[("L0", qp), ("L1", p), ("L4", 1)]),
+                                    ),
+                            ),
+                    ),
+            ),
+    )]);
+
+    b.build().expect("doitgen kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_pragmas() {
+        assert_eq!(doitgen().num_candidate_pragmas(), 6);
+    }
+
+    #[test]
+    fn five_loops() {
+        let k = doitgen();
+        assert_eq!(k.loops().len(), 5);
+        let l3 = k.loop_by_label("L3").unwrap();
+        assert_eq!(k.iteration_product(l3), 25 * 20 * 30 * 30);
+    }
+}

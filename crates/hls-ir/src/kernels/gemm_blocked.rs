@@ -1,0 +1,126 @@
+//! MachSuite `gemm-blocked` — 64x64 matrix multiply with 8x8 blocking.
+//!
+//! Structure (9 candidate pragmas):
+//! ```c
+//! for (jj = 0; jj < 8; jj++)          // L0: [pipeline, parallel]
+//!   for (kk = 0; kk < 8; kk++)        // L1: [pipeline, parallel]
+//!     for (i = 0; i < 64; i++)        // L2: [pipeline, parallel]
+//!       for (k = 0; k < 8; k++) {     // L3: [parallel]
+//!         temp = A[i][k + 8*kk];
+//!         for (j = 0; j < 8; j++)     // L4: [pipeline, parallel]
+//!           C[i][j + 8*jj] += temp * B[k + 8*kk][j + 8*jj];
+//!       }
+//! ```
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const DIM: u64 = 64;
+const BLOCK: u64 = 8;
+
+/// Builds the `gemm-blocked` kernel.
+pub fn gemm_blocked() -> Kernel {
+    let mut b = Kernel::builder("gemm-blocked");
+    let a = b.array("A", ScalarType::F32, &[DIM, DIM], ArrayKind::Input);
+    let bm = b.array("B", ScalarType::F32, &[DIM, DIM], ArrayKind::Input);
+    let c = b.array("C", ScalarType::F32, &[DIM, DIM], ArrayKind::InOut);
+
+    let d = DIM as i64;
+    let blk = BLOCK as i64;
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", DIM / BLOCK)
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+            .with_loop(
+                Loop::new("L1", DIM / BLOCK)
+                    .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                    .with_loop(
+                        Loop::new("L2", DIM)
+                            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                            .with_loop(
+                                Loop::new("L3", BLOCK)
+                                    .with_pragmas(&[PragmaKind::Parallel])
+                                    .with_stmt(
+                                        Statement::new("load_temp")
+                                            .with_ops(OpMix { iadd: 1, ..OpMix::default() })
+                                            .load(
+                                                a,
+                                                AccessPattern::affine(&[
+                                                    ("L2", d),
+                                                    ("L1", blk),
+                                                    ("L3", 1),
+                                                ]),
+                                            ),
+                                    )
+                                    .with_loop(
+                                        Loop::new("L4", BLOCK)
+                                            .with_pragmas(&[
+                                                PragmaKind::Pipeline,
+                                                PragmaKind::Parallel,
+                                            ])
+                                            .with_stmt(
+                                                Statement::new("c_acc")
+                                                    .with_ops(OpMix {
+                                                        fadd: 1,
+                                                        fmul: 1,
+                                                        iadd: 2,
+                                                        ..OpMix::default()
+                                                    })
+                                                    .load(
+                                                        bm,
+                                                        AccessPattern::affine(&[
+                                                            ("L1", blk * d),
+                                                            ("L3", d),
+                                                            ("L0", blk),
+                                                            ("L4", 1),
+                                                        ]),
+                                                    )
+                                                    .load(
+                                                        c,
+                                                        AccessPattern::affine(&[
+                                                            ("L2", d),
+                                                            ("L0", blk),
+                                                            ("L4", 1),
+                                                        ]),
+                                                    )
+                                                    .store(
+                                                        c,
+                                                        AccessPattern::affine(&[
+                                                            ("L2", d),
+                                                            ("L0", blk),
+                                                            ("L4", 1),
+                                                        ]),
+                                                    )
+                                                    .carried_on("L1")
+                                                    .carried_on("L3")
+                                                    .as_reduction(),
+                                            ),
+                                    ),
+                            ),
+                    ),
+            ),
+    )]);
+
+    b.build().expect("gemm-blocked kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_pragmas() {
+        assert_eq!(gemm_blocked().num_candidate_pragmas(), 9);
+    }
+
+    #[test]
+    fn five_loops_nested() {
+        let k = gemm_blocked();
+        assert_eq!(k.loops().len(), 5);
+        let l4 = k.loop_by_label("L4").unwrap();
+        assert_eq!(k.loop_info(l4).depth, 4);
+        assert_eq!(k.iteration_product(l4), 8 * 8 * 64 * 8 * 8);
+    }
+}

@@ -1,0 +1,77 @@
+//! MachSuite `gemm-ncubed` — plain 64x64x64 matrix multiply.
+//!
+//! Structure (7 candidate pragmas):
+//! ```c
+//! for (i = 0; i < 64; i++)        // L0: [pipeline, parallel, tile]
+//!   for (j = 0; j < 64; j++) {    // L1: [pipeline, parallel]
+//!     sum = 0;
+//!     for (k = 0; k < 64; k++)    // L2: [pipeline, parallel]
+//!       sum += A[i][k] * B[k][j];
+//!     C[i][j] = sum;
+//!   }
+//! ```
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const DIM: u64 = 64;
+
+/// Builds the `gemm-ncubed` kernel.
+pub fn gemm_ncubed() -> Kernel {
+    let mut b = Kernel::builder("gemm-ncubed");
+    let a = b.array("A", ScalarType::F32, &[DIM, DIM], ArrayKind::Input);
+    let bm = b.array("B", ScalarType::F32, &[DIM, DIM], ArrayKind::Input);
+    let c = b.array("C", ScalarType::F32, &[DIM, DIM], ArrayKind::Output);
+
+    let d = DIM as i64;
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", DIM)
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel, PragmaKind::Tile])
+            .with_loop(
+                Loop::new("L1", DIM)
+                    .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                    .with_loop(
+                        Loop::new("L2", DIM)
+                            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                            .with_stmt(
+                                Statement::new("dot_acc")
+                                    .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                                    .load(a, AccessPattern::affine(&[("L0", d), ("L2", 1)]))
+                                    .load(bm, AccessPattern::affine(&[("L2", d), ("L1", 1)]))
+                                    .carried_on("L2")
+                                    .as_reduction(),
+                            ),
+                    )
+                    .with_stmt(
+                        Statement::new("c_store")
+                            .with_ops(OpMix::default())
+                            .store(c, AccessPattern::affine(&[("L0", d), ("L1", 1)])),
+                    ),
+            ),
+    )]);
+
+    b.build().expect("gemm-ncubed kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_pragmas() {
+        assert_eq!(gemm_ncubed().num_candidate_pragmas(), 7);
+    }
+
+    #[test]
+    fn reduction_on_k() {
+        let k = gemm_ncubed();
+        let l2 = k.loop_by_label("L2").unwrap();
+        assert!(k.loop_info(l2).carried_dep);
+        let stmts = k.statements();
+        let dot = stmts.iter().find(|(_, s)| s.name() == "dot_acc").unwrap();
+        assert!(dot.1.is_reduction());
+    }
+}

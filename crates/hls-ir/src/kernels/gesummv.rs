@@ -1,0 +1,76 @@
+//! Polybench `gesummv` — scalar, vector and matrix multiplication:
+//! `y = alpha*A*x + beta*B*x` (N=250). **Unseen** kernel (Table 3).
+//!
+//! Structure (4 candidate pragmas):
+//! ```c
+//! for (i = 0; i < N; i++) {                    // L0: [pipeline, parallel]
+//!   tmp = 0; yv = 0;
+//!   for (j = 0; j < N; j++) {                  // L1: [pipeline, parallel]
+//!     tmp += A[i][j] * x[j];
+//!     yv  += B[i][j] * x[j];
+//!   }
+//!   y[i] = alpha * tmp + beta * yv;
+//! }
+//! ```
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const N: u64 = 250;
+
+/// Builds the `gesummv` kernel.
+pub fn gesummv() -> Kernel {
+    let mut b = Kernel::builder("gesummv");
+    let a = b.array("A", ScalarType::F32, &[N, N], ArrayKind::Input);
+    let bm = b.array("B", ScalarType::F32, &[N, N], ArrayKind::Input);
+    let x = b.array("x", ScalarType::F32, &[N], ArrayKind::Input);
+    let y = b.array("y", ScalarType::F32, &[N], ArrayKind::Output);
+
+    let n = N as i64;
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", N)
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+            .with_loop(
+                Loop::new("L1", N)
+                    .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                    .with_stmt(
+                        Statement::new("two_mv_acc")
+                            .with_ops(OpMix { fadd: 2, fmul: 2, ..OpMix::default() })
+                            .load(a, AccessPattern::affine(&[("L0", n), ("L1", 1)]))
+                            .load(bm, AccessPattern::affine(&[("L0", n), ("L1", 1)]))
+                            .load(x, AccessPattern::affine(&[("L1", 1)]))
+                            .carried_on("L1")
+                            .as_reduction(),
+                    ),
+            )
+            .with_stmt(
+                Statement::new("combine")
+                    .with_ops(OpMix { fadd: 1, fmul: 2, ..OpMix::default() })
+                    .store(y, AccessPattern::affine(&[("L0", 1)])),
+            ),
+    )]);
+
+    b.build().expect("gesummv kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_pragmas() {
+        assert_eq!(gesummv().num_candidate_pragmas(), 4);
+    }
+
+    #[test]
+    fn double_flops_in_inner_loop() {
+        let k = gesummv();
+        let stmts = k.statements();
+        let (_, acc) = stmts.iter().find(|(_, s)| s.name() == "two_mv_acc").unwrap();
+        assert_eq!(acc.ops().fmul, 2);
+        assert_eq!(acc.ops().fadd, 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Polybench `2mm` — two back-to-back matrix multiplications:
+//! `D = alpha*A*B*C + beta*D` (NI=180, NJ=190, NK=210, NL=220).
+//! **Unseen** kernel (Table 3) with the largest design space (~10^8).
+//!
+//! Structure (14 candidate pragmas): two GEMM nests, each with
+//! `[pipeline, parallel, tile]` on the outer loop and `[pipeline, parallel]`
+//! on the middle and reduction loops.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const NI: u64 = 180;
+const NJ: u64 = 190;
+const NK: u64 = 210;
+const NL: u64 = 220;
+
+/// Builds the `2mm` kernel.
+pub fn mm2() -> Kernel {
+    let mut b = Kernel::builder("2mm");
+    let a = b.array("A", ScalarType::F32, &[NI, NK], ArrayKind::Input);
+    let bm = b.array("B", ScalarType::F32, &[NK, NJ], ArrayKind::Input);
+    let c = b.array("C", ScalarType::F32, &[NJ, NL], ArrayKind::Input);
+    let d = b.array("D", ScalarType::F32, &[NI, NL], ArrayKind::InOut);
+    let tmp = b.array("tmp", ScalarType::F32, &[NI, NJ], ArrayKind::Local);
+
+    let (nj, nk, nl) = (NJ as i64, NK as i64, NL as i64);
+    b.top_items(vec![
+        // tmp = alpha * A * B
+        BodyItem::Loop(
+            Loop::new("L0", NI)
+                .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel, PragmaKind::Tile])
+                .with_loop(
+                    Loop::new("L1", NJ)
+                        .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                        .with_loop(
+                            Loop::new("L2", NK)
+                                .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                                .with_stmt(
+                                    Statement::new("tmp_acc")
+                                        .with_ops(OpMix { fadd: 1, fmul: 2, ..OpMix::default() })
+                                        .load(a, AccessPattern::affine(&[("L0", nk), ("L2", 1)]))
+                                        .load(bm, AccessPattern::affine(&[("L2", nj), ("L1", 1)]))
+                                        .carried_on("L2")
+                                        .as_reduction(),
+                                ),
+                        )
+                        .with_stmt(
+                            Statement::new("tmp_store")
+                                .with_ops(OpMix::default())
+                                .store(tmp, AccessPattern::affine(&[("L0", nj), ("L1", 1)])),
+                        ),
+                ),
+        ),
+        // D = tmp * C + beta * D
+        BodyItem::Loop(
+            Loop::new("L3", NI)
+                .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel, PragmaKind::Tile])
+                .with_loop(
+                    Loop::new("L4", NL)
+                        .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                        .with_stmt(
+                            Statement::new("d_scale")
+                                .with_ops(OpMix { fmul: 1, ..OpMix::default() })
+                                .load(d, AccessPattern::affine(&[("L3", nl), ("L4", 1)]))
+                                .store(d, AccessPattern::affine(&[("L3", nl), ("L4", 1)])),
+                        )
+                        .with_loop(
+                            Loop::new("L5", NJ)
+                                .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                                .with_stmt(
+                                    Statement::new("d_acc")
+                                        .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                                        .load(tmp, AccessPattern::affine(&[("L3", nj), ("L5", 1)]))
+                                        .load(c, AccessPattern::affine(&[("L5", nl), ("L4", 1)]))
+                                        .load(d, AccessPattern::affine(&[("L3", nl), ("L4", 1)]))
+                                        .store(d, AccessPattern::affine(&[("L3", nl), ("L4", 1)]))
+                                        .carried_on("L5")
+                                        .as_reduction(),
+                                ),
+                        ),
+                ),
+        ),
+    ]);
+
+    b.build().expect("2mm kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_pragmas() {
+        assert_eq!(mm2().num_candidate_pragmas(), 14);
+    }
+
+    #[test]
+    fn two_nests_six_loops() {
+        let k = mm2();
+        assert_eq!(k.loops().len(), 6);
+        assert_eq!(
+            k.loops().iter().filter(|l| l.parent.is_none()).count(),
+            2,
+            "two top-level nests"
+        );
+    }
+
+    #[test]
+    fn intermediate_is_local() {
+        let k = mm2();
+        let tmp = k.arrays().iter().find(|a| a.name() == "tmp").unwrap();
+        assert!(!tmp.kind().is_interface());
+    }
+}

@@ -1,0 +1,121 @@
+//! Polybench `3mm` — three chained matrix multiplications:
+//! `G = (A*B) * (C*D)` (NI=180, NJ=190, NK=200, NL=210, NM=220).
+//!
+//! **Extension kernel** (not in the paper's tables): exercises the deepest
+//! chained-dependency structure — two independent GEMMs feeding a third.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const NI: u64 = 180;
+const NJ: u64 = 190;
+const NK: u64 = 200;
+const NL: u64 = 210;
+const NM: u64 = 220;
+
+fn gemm_nest(
+    labels: [&str; 3],
+    trips: [u64; 3],
+    body: Statement,
+    store: Statement,
+) -> BodyItem {
+    BodyItem::Loop(
+        Loop::new(labels[0], trips[0])
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel, PragmaKind::Tile])
+            .with_loop(
+                Loop::new(labels[1], trips[1])
+                    .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                    .with_loop(
+                        Loop::new(labels[2], trips[2])
+                            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                            .with_stmt(body),
+                    )
+                    .with_stmt(store),
+            ),
+    )
+}
+
+/// Builds the `3mm` kernel.
+pub fn mm3() -> Kernel {
+    let mut b = Kernel::builder("3mm");
+    let a = b.array("A", ScalarType::F32, &[NI, NK], ArrayKind::Input);
+    let bm = b.array("B", ScalarType::F32, &[NK, NJ], ArrayKind::Input);
+    let c = b.array("C", ScalarType::F32, &[NJ, NM], ArrayKind::Input);
+    let d = b.array("D", ScalarType::F32, &[NM, NL], ArrayKind::Input);
+    let e = b.array("E", ScalarType::F32, &[NI, NJ], ArrayKind::Local);
+    let f = b.array("F", ScalarType::F32, &[NJ, NL], ArrayKind::Local);
+    let g = b.array("G", ScalarType::F32, &[NI, NL], ArrayKind::Output);
+
+    let (nj, nk, nl, nm) = (NJ as i64, NK as i64, NL as i64, NM as i64);
+    b.top_items(vec![
+        // E = A * B
+        gemm_nest(
+            ["L0", "L1", "L2"],
+            [NI, NJ, NK],
+            Statement::new("e_acc")
+                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                .load(a, AccessPattern::affine(&[("L0", nk), ("L2", 1)]))
+                .load(bm, AccessPattern::affine(&[("L2", nj), ("L1", 1)]))
+                .carried_on("L2")
+                .as_reduction(),
+            Statement::new("e_store")
+                .with_ops(OpMix::default())
+                .store(e, AccessPattern::affine(&[("L0", nj), ("L1", 1)])),
+        ),
+        // F = C * D
+        gemm_nest(
+            ["L3", "L4", "L5"],
+            [NJ, NL, NM],
+            Statement::new("f_acc")
+                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                .load(c, AccessPattern::affine(&[("L3", nm), ("L5", 1)]))
+                .load(d, AccessPattern::affine(&[("L5", nl), ("L4", 1)]))
+                .carried_on("L5")
+                .as_reduction(),
+            Statement::new("f_store")
+                .with_ops(OpMix::default())
+                .store(f, AccessPattern::affine(&[("L3", nl), ("L4", 1)])),
+        ),
+        // G = E * F
+        gemm_nest(
+            ["L6", "L7", "L8"],
+            [NI, NL, NJ],
+            Statement::new("g_acc")
+                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                .load(e, AccessPattern::affine(&[("L6", nj), ("L8", 1)]))
+                .load(f, AccessPattern::affine(&[("L8", nl), ("L7", 1)]))
+                .carried_on("L8")
+                .as_reduction(),
+            Statement::new("g_store")
+                .with_ops(OpMix::default())
+                .store(g, AccessPattern::affine(&[("L6", nl), ("L7", 1)])),
+        ),
+    ]);
+
+    b.build().expect("3mm kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_nests_twenty_one_pragmas() {
+        let k = mm3();
+        assert_eq!(k.loops().len(), 9);
+        assert_eq!(k.num_candidate_pragmas(), 21);
+        assert_eq!(k.loops().iter().filter(|l| l.parent.is_none()).count(), 3);
+    }
+
+    #[test]
+    fn intermediates_are_local() {
+        let k = mm3();
+        for name in ["E", "F"] {
+            let arr = k.arrays().iter().find(|a| a.name() == name).unwrap();
+            assert!(!arr.kind().is_interface());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The benchmark kernels of the paper (§5.1, Tables 1 and 3).
+//!
+//! Nine training kernels come from MachSuite and Polybench: `aes`, `atax`,
+//! `gemm-blocked`, `gemm-ncubed`, `mvt`, `spmv-crs`, `spmv-ellpack`,
+//! `stencil`, `nw`. Four kernels are held out as *unseen* for §5.4: `bicg`,
+//! `doitgen`, `gesummv`, `2mm`.
+//!
+//! Each kernel mirrors the loop structure, trip counts, operation mixes and
+//! array shapes of the original C source, and declares exactly the number of
+//! candidate pragma placeholders reported in the paper (Table 1 column
+//! "# pragmas" and Table 3).
+
+mod aes;
+mod atax;
+mod bicg;
+mod doitgen;
+mod gemm_blocked;
+mod gemm_ncubed;
+mod gesummv;
+mod mm2;
+mod mm3;
+mod mvt;
+mod nw;
+mod spmv_crs;
+mod spmv_ellpack;
+mod stencil;
+mod syrk;
+mod toy;
+
+pub use aes::aes;
+pub use atax::atax;
+pub use bicg::bicg;
+pub use doitgen::doitgen;
+pub use gemm_blocked::gemm_blocked;
+pub use gemm_ncubed::gemm_ncubed;
+pub use gesummv::gesummv;
+pub use mm2::mm2;
+pub use mm3::mm3;
+pub use mvt::mvt;
+pub use nw::nw;
+pub use spmv_crs::spmv_crs;
+pub use spmv_ellpack::spmv_ellpack;
+pub use stencil::stencil;
+pub use syrk::syrk;
+pub use toy::toy;
+
+use crate::kernel::Kernel;
+
+/// The nine kernels used to train the model (Table 1).
+pub fn training_kernels() -> Vec<Kernel> {
+    vec![
+        aes(),
+        atax(),
+        gemm_blocked(),
+        gemm_ncubed(),
+        mvt(),
+        spmv_crs(),
+        spmv_ellpack(),
+        stencil(),
+        nw(),
+    ]
+}
+
+/// The four kernels held out of the database entirely (Table 3, §5.4).
+pub fn unseen_kernels() -> Vec<Kernel> {
+    vec![bicg(), doitgen(), gesummv(), mm2()]
+}
+
+/// All thirteen kernels of the paper (training + unseen).
+pub fn all_kernels() -> Vec<Kernel> {
+    let mut v = training_kernels();
+    v.extend(unseen_kernels());
+    v
+}
+
+/// Extension kernels beyond the paper's benchmark set (the paper's stated
+/// future work is expanding domain coverage): `3mm` and `syrk`.
+pub fn extension_kernels() -> Vec<Kernel> {
+    vec![mm3(), syrk()]
+}
+
+/// Looks a kernel up by name: the paper set (e.g. `"gemm-blocked"`,
+/// `"2mm"`) plus the extension kernels (`"3mm"`, `"syrk"`).
+pub fn kernel_by_name(name: &str) -> Option<Kernel> {
+    all_kernels()
+        .into_iter()
+        .chain(extension_kernels())
+        .find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_counts_match_table1() {
+        let expected = [
+            ("aes", 3),
+            ("atax", 5),
+            ("gemm-blocked", 9),
+            ("gemm-ncubed", 7),
+            ("mvt", 8),
+            ("spmv-crs", 3),
+            ("spmv-ellpack", 3),
+            ("stencil", 7),
+            ("nw", 6),
+        ];
+        for (name, n) in expected {
+            let k = kernel_by_name(name).unwrap_or_else(|| panic!("kernel {name}"));
+            assert_eq!(k.num_candidate_pragmas(), n, "pragma count of {name}");
+        }
+    }
+
+    #[test]
+    fn pragma_counts_match_table3() {
+        let expected = [("bicg", 5), ("doitgen", 6), ("gesummv", 4), ("2mm", 14)];
+        for (name, n) in expected {
+            let k = kernel_by_name(name).unwrap_or_else(|| panic!("kernel {name}"));
+            assert_eq!(k.num_candidate_pragmas(), n, "pragma count of {name}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_validate_and_have_unique_names() {
+        let ks = all_kernels();
+        assert_eq!(ks.len(), 13);
+        let mut names: Vec<&str> = ks.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13, "duplicate kernel names");
+    }
+
+    #[test]
+    fn every_kernel_has_loops_and_statements() {
+        for k in all_kernels() {
+            assert!(!k.loops().is_empty(), "{} has no loops", k.name());
+            assert!(!k.statements().is_empty(), "{} has no statements", k.name());
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_is_none() {
+        assert!(kernel_by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn extension_kernels_resolve_and_validate() {
+        let ext = extension_kernels();
+        assert_eq!(ext.len(), 2);
+        for k in &ext {
+            assert!(!k.statements().is_empty());
+            assert!(kernel_by_name(k.name()).is_some());
+        }
+        // Extensions are not part of the paper's 13-kernel set.
+        assert_eq!(all_kernels().len(), 13);
+    }
+
+    #[test]
+    fn training_and_unseen_are_disjoint() {
+        let train: Vec<String> =
+            training_kernels().iter().map(|k| k.name().to_string()).collect();
+        for k in unseen_kernels() {
+            assert!(!train.contains(&k.name().to_string()));
+        }
+    }
+}

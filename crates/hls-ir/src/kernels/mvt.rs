@@ -1,0 +1,98 @@
+//! Polybench `mvt` — two matrix-vector products (x1 += A y1, x2 += A^T y2),
+//! medium size N=400.
+//!
+//! Structure (8 candidate pragmas): each of the four loops takes
+//! `[pipeline, parallel]`. This is the kernel with the paper's largest
+//! training-set design space (~3M configurations), searched with the §4.4
+//! ordered-pragma heuristic rather than exhaustively.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const N: u64 = 400;
+
+/// Builds the `mvt` kernel.
+pub fn mvt() -> Kernel {
+    let mut b = Kernel::builder("mvt");
+    let a = b.array("A", ScalarType::F32, &[N, N], ArrayKind::Input);
+    let x1 = b.array("x1", ScalarType::F32, &[N], ArrayKind::InOut);
+    let x2 = b.array("x2", ScalarType::F32, &[N], ArrayKind::InOut);
+    let y1 = b.array("y1", ScalarType::F32, &[N], ArrayKind::Input);
+    let y2 = b.array("y2", ScalarType::F32, &[N], ArrayKind::Input);
+
+    let n = N as i64;
+    b.top_items(vec![
+        BodyItem::Loop(
+            Loop::new("L0", N)
+                .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                .with_loop(
+                    Loop::new("L1", N)
+                        .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                        .with_stmt(
+                            Statement::new("x1_acc")
+                                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                                .load(a, AccessPattern::affine(&[("L0", n), ("L1", 1)]))
+                                .load(y1, AccessPattern::affine(&[("L1", 1)]))
+                                .load(x1, AccessPattern::affine(&[("L0", 1)]))
+                                .store(x1, AccessPattern::affine(&[("L0", 1)]))
+                                .carried_on("L1")
+                                .as_reduction(),
+                        ),
+                ),
+        ),
+        BodyItem::Loop(
+            Loop::new("L2", N)
+                .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                .with_loop(
+                    Loop::new("L3", N)
+                        .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                        .with_stmt(
+                            Statement::new("x2_acc")
+                                .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+                                // A^T access: column-major walk, stride N in
+                                // the innermost loop — not burstable.
+                                .load(a, AccessPattern::affine(&[("L3", n), ("L2", 1)]))
+                                .load(y2, AccessPattern::affine(&[("L3", 1)]))
+                                .load(x2, AccessPattern::affine(&[("L2", 1)]))
+                                .store(x2, AccessPattern::affine(&[("L2", 1)]))
+                                .carried_on("L3")
+                                .as_reduction(),
+                        ),
+                ),
+        ),
+    ]);
+
+    b.build().expect("mvt kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_pragmas() {
+        assert_eq!(mvt().num_candidate_pragmas(), 8);
+    }
+
+    #[test]
+    fn two_independent_nests() {
+        let k = mvt();
+        assert_eq!(k.loops().len(), 4);
+        let l0 = k.loop_by_label("L0").unwrap();
+        let l2 = k.loop_by_label("L2").unwrap();
+        assert_eq!(k.loop_info(l0).parent, None);
+        assert_eq!(k.loop_info(l2).parent, None);
+    }
+
+    #[test]
+    fn transpose_access_has_large_inner_stride() {
+        let k = mvt();
+        let stmts = k.statements();
+        let (_, x2) = stmts.iter().find(|(_, s)| s.name() == "x2_acc").unwrap();
+        let a_access = &x2.accesses()[0];
+        assert_eq!(a_access.pattern.stride_of("L3"), Some(400));
+    }
+}

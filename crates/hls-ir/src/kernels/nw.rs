@@ -1,0 +1,111 @@
+//! MachSuite `nw` — Needleman-Wunsch sequence alignment (128x128 dynamic
+//! programming matrix).
+//!
+//! Structure (6 candidate pragmas):
+//! ```c
+//! for (i = 0; i < 256; i++)  M[...] = i * GAP;   // L0 init: [parallel]
+//! for (i = 1; i < 129; i++)                      // L1: [pipeline, tile]
+//!   for (j = 1; j < 129; j++)                    // L2: [pipeline, parallel]
+//!     M[i][j] = max3(M[i-1][j-1]+s, M[i-1][j]+g, M[i][j-1]+g);
+//! for (t = 0; t < 256; t++) traceback step;      // L3: [pipeline]
+//! ```
+//! The DP fill carries dependences on *both* loops (wavefront), so naive
+//! parallelization is illegal — the HLS tool inserts II stalls, and many
+//! aggressive configurations are low-quality or invalid. This is the paper's
+//! dynamic-programming representative.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const SEQ: u64 = 128;
+
+/// Builds the `nw` kernel.
+pub fn nw() -> Kernel {
+    let mut b = Kernel::builder("nw");
+    let seq_a = b.array("SEQA", ScalarType::I8, &[SEQ], ArrayKind::Input);
+    let seq_b = b.array("SEQB", ScalarType::I8, &[SEQ], ArrayKind::Input);
+    let m = b.array("M", ScalarType::I32, &[(SEQ + 1) * (SEQ + 1)], ArrayKind::Local);
+    let ptr = b.array("ptr", ScalarType::I8, &[(SEQ + 1) * (SEQ + 1)], ArrayKind::Local);
+    let align_a = b.array("alignedA", ScalarType::I8, &[2 * SEQ], ArrayKind::Output);
+    let align_b = b.array("alignedB", ScalarType::I8, &[2 * SEQ], ArrayKind::Output);
+
+    let w = (SEQ + 1) as i64;
+    b.top_items(vec![
+        BodyItem::Loop(
+            Loop::new("L0", 2 * SEQ)
+                .with_pragmas(&[PragmaKind::Parallel])
+                .with_stmt(
+                    Statement::new("init_borders")
+                        .with_ops(OpMix { imul: 1, ..OpMix::default() })
+                        .store(m, AccessPattern::affine(&[("L0", 1)])),
+                ),
+        ),
+        BodyItem::Loop(
+            Loop::new("L1", SEQ)
+                .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Tile])
+                .with_loop(
+                    Loop::new("L2", SEQ)
+                        .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                        .with_stmt(
+                            Statement::new("dp_cell")
+                                .with_ops(OpMix {
+                                    iadd: 3,
+                                    cmp: 3,
+                                    logic: 1,
+                                    ..OpMix::default()
+                                })
+                                .load(seq_a, AccessPattern::affine(&[("L1", 1)]))
+                                .load(seq_b, AccessPattern::affine(&[("L2", 1)]))
+                                .load(m, AccessPattern::affine(&[("L1", w), ("L2", 1)]))
+                                .store(m, AccessPattern::affine(&[("L1", w), ("L2", 1)]))
+                                .store(ptr, AccessPattern::affine(&[("L1", w), ("L2", 1)]))
+                                .carried_on("L1")
+                                .carried_on("L2"),
+                        ),
+                ),
+        ),
+        BodyItem::Loop(
+            Loop::new("L3", 2 * SEQ)
+                .with_pragmas(&[PragmaKind::Pipeline])
+                .with_stmt(
+                    Statement::new("traceback")
+                        .with_ops(OpMix { iadd: 2, cmp: 2, ..OpMix::default() })
+                        .load(ptr, AccessPattern::Indirect)
+                        .store(align_a, AccessPattern::affine(&[("L3", 1)]))
+                        .store(align_b, AccessPattern::affine(&[("L3", 1)]))
+                        .carried_on("L3"),
+                ),
+        ),
+    ]);
+
+    b.build().expect("nw kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_pragmas() {
+        assert_eq!(nw().num_candidate_pragmas(), 6);
+    }
+
+    #[test]
+    fn dp_fill_carries_on_both_loops() {
+        let k = nw();
+        let l1 = k.loop_by_label("L1").unwrap();
+        let l2 = k.loop_by_label("L2").unwrap();
+        assert!(k.loop_info(l1).carried_dep);
+        assert!(k.loop_info(l2).carried_dep);
+    }
+
+    #[test]
+    fn dp_matrix_is_on_chip() {
+        let k = nw();
+        let m = k.arrays().iter().find(|a| a.name() == "M").unwrap();
+        assert!(!m.kind().is_interface());
+    }
+}

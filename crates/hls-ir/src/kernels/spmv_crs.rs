@@ -1,0 +1,87 @@
+//! MachSuite `spmv-crs` — sparse matrix-vector multiply in compressed row
+//! storage (494 rows, 1666 non-zeros).
+//!
+//! Structure (3 candidate pragmas):
+//! ```c
+//! for (i = 0; i < 494; i++) {                  // L0: [pipeline, parallel]
+//!   sum = 0;
+//!   for (j = begin[i]; j < end[i]; j++)        // L1 (variable bound): [parallel]
+//!     sum += val[j] * x[cols[j]];
+//!   out[i] = sum;
+//! }
+//! ```
+//! The inner bound is data-dependent and the `x` gather is indirect, which
+//! caps what pipelining and partitioning can achieve — exactly the kind of
+//! tool behaviour the surrogate has to learn.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const ROWS: u64 = 494;
+const NNZ: u64 = 1666;
+/// Average non-zeros per row, used as the inner loop's cost-model trip count.
+const AVG_ROW: u64 = 4;
+
+/// Builds the `spmv-crs` kernel.
+pub fn spmv_crs() -> Kernel {
+    let mut b = Kernel::builder("spmv-crs");
+    let val = b.array("val", ScalarType::F32, &[NNZ], ArrayKind::Input);
+    let cols = b.array("cols", ScalarType::I32, &[NNZ], ArrayKind::Input);
+    let rowd = b.array("rowDelimiters", ScalarType::I32, &[ROWS + 1], ArrayKind::Input);
+    let x = b.array("vec", ScalarType::F32, &[ROWS], ArrayKind::Input);
+    let out = b.array("out", ScalarType::F32, &[ROWS], ArrayKind::Output);
+
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", ROWS)
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+            .with_stmt(
+                Statement::new("row_bounds")
+                    .with_ops(OpMix { iadd: 1, ..OpMix::default() })
+                    .load(rowd, AccessPattern::affine(&[("L0", 1)])),
+            )
+            .with_loop(
+                Loop::new("L1", AVG_ROW)
+                    .with_variable_bound()
+                    .with_pragmas(&[PragmaKind::Parallel])
+                    .with_stmt(
+                        Statement::new("spmv_acc")
+                            .with_ops(OpMix { fadd: 1, fmul: 1, iadd: 1, ..OpMix::default() })
+                            .load(val, AccessPattern::affine(&[("L1", 1)]))
+                            .load(cols, AccessPattern::affine(&[("L1", 1)]))
+                            .load(x, AccessPattern::Indirect)
+                            .carried_on("L1")
+                            .as_reduction(),
+                    ),
+            )
+            .with_stmt(
+                Statement::new("out_store")
+                    .with_ops(OpMix::default())
+                    .store(out, AccessPattern::affine(&[("L0", 1)])),
+            ),
+    )]);
+
+    b.build().expect("spmv-crs kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_pragmas() {
+        assert_eq!(spmv_crs().num_candidate_pragmas(), 3);
+    }
+
+    #[test]
+    fn inner_loop_variable_bound_and_indirect() {
+        let k = spmv_crs();
+        let l1 = k.loop_by_label("L1").unwrap();
+        assert!(k.loop_info(l1).variable_bound);
+        let stmts = k.statements();
+        let (_, acc) = stmts.iter().find(|(_, s)| s.name() == "spmv_acc").unwrap();
+        assert!(acc.accesses().iter().any(|a| a.pattern == AccessPattern::Indirect));
+    }
+}

@@ -1,0 +1,77 @@
+//! MachSuite `spmv-ellpack` — sparse matrix-vector multiply in ELLPACK
+//! format (494 rows, fixed 10 entries per row).
+//!
+//! Structure (3 candidate pragmas):
+//! ```c
+//! for (i = 0; i < 494; i++) {              // L0: [pipeline, parallel]
+//!   sum = 0;
+//!   for (j = 0; j < 10; j++)               // L1: [parallel]
+//!     sum += nzval[i*10+j] * vec[cols[i*10+j]];
+//!   out[i] = sum;
+//! }
+//! ```
+//! Unlike CRS, the inner bound is static (the padding makes every row the
+//! same length), so fine-grained pipelining can fully unroll it — the tool
+//! behaves differently on the two formats and the model must pick that up.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const ROWS: u64 = 494;
+const L: u64 = 10;
+
+/// Builds the `spmv-ellpack` kernel.
+pub fn spmv_ellpack() -> Kernel {
+    let mut b = Kernel::builder("spmv-ellpack");
+    let nzval = b.array("nzval", ScalarType::F32, &[ROWS * L], ArrayKind::Input);
+    let cols = b.array("cols", ScalarType::I32, &[ROWS * L], ArrayKind::Input);
+    let vec = b.array("vec", ScalarType::F32, &[ROWS], ArrayKind::Input);
+    let out = b.array("out", ScalarType::F32, &[ROWS], ArrayKind::Output);
+
+    let l = L as i64;
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", ROWS)
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+            .with_loop(
+                Loop::new("L1", L)
+                    .with_pragmas(&[PragmaKind::Parallel])
+                    .with_stmt(
+                        Statement::new("ell_acc")
+                            .with_ops(OpMix { fadd: 1, fmul: 1, iadd: 1, ..OpMix::default() })
+                            .load(nzval, AccessPattern::affine(&[("L0", l), ("L1", 1)]))
+                            .load(cols, AccessPattern::affine(&[("L0", l), ("L1", 1)]))
+                            .load(vec, AccessPattern::Indirect)
+                            .carried_on("L1")
+                            .as_reduction(),
+                    ),
+            )
+            .with_stmt(
+                Statement::new("out_store")
+                    .with_ops(OpMix::default())
+                    .store(out, AccessPattern::affine(&[("L0", 1)])),
+            ),
+    )]);
+
+    b.build().expect("spmv-ellpack kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_pragmas() {
+        assert_eq!(spmv_ellpack().num_candidate_pragmas(), 3);
+    }
+
+    #[test]
+    fn inner_bound_is_static() {
+        let k = spmv_ellpack();
+        let l1 = k.loop_by_label("L1").unwrap();
+        assert!(!k.loop_info(l1).variable_bound);
+        assert_eq!(k.loop_info(l1).trip_count, 10);
+    }
+}

@@ -1,0 +1,101 @@
+//! MachSuite `stencil` (stencil2d) — 3x3 convolution over a 128x64 grid.
+//!
+//! Structure (7 candidate pragmas):
+//! ```c
+//! for (r = 0; r < 126; r++)            // L0: [pipeline, parallel, tile]
+//!   for (c = 0; c < 62; c++) {         // L1: [pipeline, parallel]
+//!     temp = 0;
+//!     for (k1 = 0; k1 < 3; k1++)       // L2: [parallel]
+//!       for (k2 = 0; k2 < 3; k2++)     // L3: [parallel]
+//!         temp += filter[k1*3+k2] * orig[(r+k1)*64 + c+k2];
+//!     sol[r*64 + c] = temp;
+//!   }
+//! ```
+//! This is the kernel used for the attention visualization (Fig. 5) and the
+//! t-SNE embedding plots (Fig. 6).
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const ROWS: u64 = 128;
+const COLS: u64 = 64;
+const K: u64 = 3;
+
+/// Builds the `stencil` kernel.
+pub fn stencil() -> Kernel {
+    let mut b = Kernel::builder("stencil");
+    let orig = b.array("orig", ScalarType::I32, &[ROWS * COLS], ArrayKind::Input);
+    let sol = b.array("sol", ScalarType::I32, &[ROWS * COLS], ArrayKind::Output);
+    let filter = b.array("filter", ScalarType::I32, &[K * K], ArrayKind::Input);
+
+    let w = COLS as i64;
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", ROWS - 2)
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel, PragmaKind::Tile])
+            .with_loop(
+                Loop::new("L1", COLS - 2)
+                    .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                    .with_loop(
+                        Loop::new("L2", K)
+                            .with_pragmas(&[PragmaKind::Parallel])
+                            .with_loop(
+                                Loop::new("L3", K)
+                                    .with_pragmas(&[PragmaKind::Parallel])
+                                    .with_stmt(
+                                        Statement::new("conv_acc")
+                                            .with_ops(OpMix {
+                                                imul: 1,
+                                                iadd: 2,
+                                                ..OpMix::default()
+                                            })
+                                            .load(
+                                                filter,
+                                                AccessPattern::affine(&[("L2", 3), ("L3", 1)]),
+                                            )
+                                            .load(
+                                                orig,
+                                                AccessPattern::affine(&[
+                                                    ("L0", w),
+                                                    ("L2", w),
+                                                    ("L1", 1),
+                                                    ("L3", 1),
+                                                ]),
+                                            )
+                                            .carried_on("L2")
+                                            .carried_on("L3")
+                                            .as_reduction(),
+                                    ),
+                            ),
+                    )
+                    .with_stmt(
+                        Statement::new("sol_store")
+                            .with_ops(OpMix::default())
+                            .store(sol, AccessPattern::affine(&[("L0", w), ("L1", 1)])),
+                    ),
+            ),
+    )]);
+
+    b.build().expect("stencil kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_pragmas() {
+        assert_eq!(stencil().num_candidate_pragmas(), 7);
+    }
+
+    #[test]
+    fn four_level_nest() {
+        let k = stencil();
+        assert_eq!(k.loops().len(), 4);
+        let l3 = k.loop_by_label("L3").unwrap();
+        assert_eq!(k.loop_info(l3).depth, 3);
+        assert_eq!(k.iteration_product(l3), 126 * 62 * 3 * 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! Polybench `syrk` — symmetric rank-k update: `C = alpha*A*A^T + beta*C`
+//! (N=240, M=200).
+//!
+//! **Extension kernel** (not in the paper's tables): the `A^T` operand makes
+//! one of the two `A` reads column-strided — the same burst-defeating
+//! pattern as `mvt`'s second nest, in a three-deep nest.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const N: u64 = 240;
+const M: u64 = 200;
+
+/// Builds the `syrk` kernel.
+pub fn syrk() -> Kernel {
+    let mut b = Kernel::builder("syrk");
+    let a = b.array("A", ScalarType::F32, &[N, M], ArrayKind::Input);
+    let c = b.array("C", ScalarType::F32, &[N, N], ArrayKind::InOut);
+
+    let (n, m) = (N as i64, M as i64);
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L0", N)
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel, PragmaKind::Tile])
+            .with_loop(
+                Loop::new("L1", N)
+                    .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                    .with_stmt(
+                        Statement::new("c_scale")
+                            .with_ops(OpMix { fmul: 1, ..OpMix::default() })
+                            .load(c, AccessPattern::affine(&[("L0", n), ("L1", 1)]))
+                            .store(c, AccessPattern::affine(&[("L0", n), ("L1", 1)])),
+                    )
+                    .with_loop(
+                        Loop::new("L2", M)
+                            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+                            .with_stmt(
+                                Statement::new("rank_update")
+                                    .with_ops(OpMix { fadd: 1, fmul: 2, ..OpMix::default() })
+                                    .load(a, AccessPattern::affine(&[("L0", m), ("L2", 1)]))
+                                    // A^T read: row L1, column L2 — strided.
+                                    .load(a, AccessPattern::affine(&[("L1", m), ("L2", 1)]))
+                                    .load(c, AccessPattern::affine(&[("L0", n), ("L1", 1)]))
+                                    .store(c, AccessPattern::affine(&[("L0", n), ("L1", 1)]))
+                                    .carried_on("L2")
+                                    .as_reduction(),
+                            ),
+                    ),
+            ),
+    )]);
+
+    b.build().expect("syrk kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_pragmas_three_loops() {
+        let k = syrk();
+        assert_eq!(k.loops().len(), 3);
+        assert_eq!(k.num_candidate_pragmas(), 7);
+    }
+
+    #[test]
+    fn rank_update_is_a_reduction() {
+        let k = syrk();
+        let stmts = k.statements();
+        let (_, s) = stmts.iter().find(|(_, s)| s.name() == "rank_update").unwrap();
+        assert!(s.is_reduction());
+        assert!(s.carries_on("L2"));
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's Code 1 toy example (Fig. 1b):
+//!
+//! ```c
+//! void foo(int input[N]) {
+//! #pragma ACCEL pipeline auto{_PIPE_L1}
+//! #pragma ACCEL parallel factor=auto{_PARA_L1}
+//!     for (int i = 0; i < N; i++) { input[i] += 1; }
+//! }
+//! ```
+//!
+//! Used in documentation and graph-schema tests; not part of the training
+//! or unseen benchmark sets.
+
+use crate::array::ArrayKind;
+use crate::body::{BodyItem, Loop, PragmaKind};
+use crate::kernel::Kernel;
+use crate::stmt::{AccessPattern, OpMix, Statement};
+use crate::types::ScalarType;
+
+const N: u64 = 64;
+
+/// Builds the `toy` kernel of Code 1.
+pub fn toy() -> Kernel {
+    let mut b = Kernel::builder("toy");
+    let input = b.array("input", ScalarType::I32, &[N], ArrayKind::InOut);
+    b.top_items(vec![BodyItem::Loop(
+        Loop::new("L1", N)
+            .with_pragmas(&[PragmaKind::Pipeline, PragmaKind::Parallel])
+            .with_stmt(
+                Statement::new("increment")
+                    .with_ops(OpMix { iadd: 1, ..OpMix::default() })
+                    .load(input, AccessPattern::affine(&[("L1", 1)]))
+                    .store(input, AccessPattern::affine(&[("L1", 1)])),
+            ),
+    )]);
+    b.build().expect("toy kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_code_1() {
+        let k = toy();
+        assert_eq!(k.num_candidate_pragmas(), 2, "_PIPE_L1 and _PARA_L1");
+        assert_eq!(k.loops().len(), 1);
+        let l1 = k.loop_by_label("L1").unwrap();
+        assert_eq!(
+            k.loop_info(l1).candidate_pragmas,
+            vec![PragmaKind::Pipeline, PragmaKind::Parallel]
+        );
+    }
+}

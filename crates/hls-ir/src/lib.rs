@@ -1,0 +1,42 @@
+//! # hls-ir
+//!
+//! A loop-nest intermediate representation for High-Level Synthesis (HLS)
+//! kernels, plus the thirteen MachSuite/Polybench benchmark kernels used by
+//! the GNN-DSE (DAC 2022) reproduction.
+//!
+//! A [`Kernel`] declares its memory interface ([`ArrayDecl`]) and a set of
+//! functions whose bodies are trees of [`Loop`]s and [`Statement`]s. Loops
+//! carry *candidate pragma placeholders* ([`PragmaKind`]) — the
+//! `#pragma ACCEL ... auto{...}` annotations of the Merlin Compiler flow —
+//! and statements carry the per-iteration operation mix, array access
+//! patterns and loop-carried dependences the downstream cost model and
+//! program-graph builder need.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hls_ir::kernels;
+//!
+//! let k = kernels::gemm_ncubed();
+//! assert_eq!(k.num_candidate_pragmas(), 7);
+//! for info in k.loops() {
+//!     println!("{} trip={} pragmas={:?}", info.label, info.trip_count, info.candidate_pragmas);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod body;
+pub mod emit;
+mod kernel;
+pub mod kernels;
+mod stmt;
+mod types;
+
+pub use array::{ArrayDecl, ArrayId, ArrayKind};
+pub use body::{BodyItem, Function, Loop, PragmaKind};
+pub use kernel::{Kernel, KernelBuilder, LoopId, LoopInfo, ValidateKernelError};
+pub use stmt::{AccessPattern, ArrayAccess, OpMix, Statement};
+pub use types::ScalarType;

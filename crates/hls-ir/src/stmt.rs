@@ -1,0 +1,222 @@
+//! Statements: the straight-line work inside a loop body.
+//!
+//! A [`Statement`] summarizes one source statement (or a small basic block)
+//! by its per-iteration operation mix and its array accesses. This is the
+//! granularity the HLS cost model and the program-graph builder both consume:
+//! enough to know what hardware the statement instantiates and how it touches
+//! memory, without modelling full expression trees.
+
+use crate::array::ArrayId;
+use serde::{Deserialize, Serialize};
+
+/// Per-iteration operation counts of a statement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Integer additions/subtractions.
+    pub iadd: u32,
+    /// Integer multiplications.
+    pub imul: u32,
+    /// Floating-point additions/subtractions.
+    pub fadd: u32,
+    /// Floating-point multiplications.
+    pub fmul: u32,
+    /// Floating-point divisions.
+    pub fdiv: u32,
+    /// Comparisons (max/min/select/icmp/fcmp).
+    pub cmp: u32,
+    /// Bitwise logic, shifts, table lookups and other cheap ops.
+    pub logic: u32,
+}
+
+impl OpMix {
+    /// Total number of operations.
+    pub fn total(&self) -> u32 {
+        self.iadd + self.imul + self.fadd + self.fmul + self.fdiv + self.cmp + self.logic
+    }
+
+    /// Whether any floating-point operator is present.
+    pub fn has_float(&self) -> bool {
+        self.fadd + self.fmul + self.fdiv > 0
+    }
+}
+
+/// How a statement indexes an array, relative to the enclosing loops.
+///
+/// Loops are referred to by their *labels* (e.g. `"L1"`); labels are resolved
+/// to loop ids when the kernel is finalized.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Affine index: a sum of `stride * loop_var` terms. A stride of 1 on the
+    /// innermost loop means the access is unit-stride (burstable); larger
+    /// strides defeat coalescing.
+    Affine {
+        /// `(loop_label, stride)` terms; loops not listed contribute 0.
+        strides: Vec<(String, i64)>,
+    },
+    /// Data-dependent (indirect) index, e.g. `val[col[j]]` in SpMV. Never
+    /// burstable and blocks array partitioning from helping.
+    Indirect,
+    /// Same element every iteration (scalar-like access).
+    Uniform,
+}
+
+impl AccessPattern {
+    /// Convenience constructor for an affine pattern.
+    pub fn affine(strides: &[(&str, i64)]) -> Self {
+        AccessPattern::Affine {
+            strides: strides.iter().map(|&(l, s)| (l.to_string(), s)).collect(),
+        }
+    }
+
+    /// Stride with respect to the loop with the given label (0 if absent,
+    /// `None` for non-affine patterns).
+    pub fn stride_of(&self, label: &str) -> Option<i64> {
+        match self {
+            AccessPattern::Affine { strides } => Some(
+                strides
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .map(|&(_, s)| s)
+                    .unwrap_or(0),
+            ),
+            AccessPattern::Uniform => Some(0),
+            AccessPattern::Indirect => None,
+        }
+    }
+}
+
+/// One array access performed by a statement on each iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayAccess {
+    /// Which array is touched.
+    pub array: ArrayId,
+    /// Index expression relative to the enclosing loops.
+    pub pattern: AccessPattern,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+}
+
+/// A statement: per-iteration op mix plus array accesses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Statement {
+    name: String,
+    ops: OpMix,
+    accesses: Vec<ArrayAccess>,
+    /// Labels of loops that carry a true dependence through this statement
+    /// (e.g. an accumulation `sum += ...` carries on the reduction loop).
+    carried_on: Vec<String>,
+    /// Whether the carried dependence is a *reduction* (associative update),
+    /// which Merlin can still parallelize with a reduction tree.
+    reduction: bool,
+}
+
+impl Statement {
+    /// Creates a statement with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: OpMix::default(),
+            accesses: Vec::new(),
+            carried_on: Vec::new(),
+            reduction: false,
+        }
+    }
+
+    /// Sets the operation mix.
+    pub fn with_ops(mut self, ops: OpMix) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Adds a load.
+    pub fn load(mut self, array: ArrayId, pattern: AccessPattern) -> Self {
+        self.accesses.push(ArrayAccess { array, pattern, write: false });
+        self
+    }
+
+    /// Adds a store.
+    pub fn store(mut self, array: ArrayId, pattern: AccessPattern) -> Self {
+        self.accesses.push(ArrayAccess { array, pattern, write: true });
+        self
+    }
+
+    /// Marks a loop-carried dependence on the loop with the given label.
+    pub fn carried_on(mut self, label: &str) -> Self {
+        self.carried_on.push(label.to_string());
+        self
+    }
+
+    /// Marks the carried dependence as an associative reduction.
+    pub fn as_reduction(mut self) -> Self {
+        self.reduction = true;
+        self
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operation mix.
+    pub fn ops(&self) -> &OpMix {
+        &self.ops
+    }
+
+    /// Array accesses.
+    pub fn accesses(&self) -> &[ArrayAccess] {
+        &self.accesses
+    }
+
+    /// Whether this statement carries a dependence on the loop `label`.
+    pub fn carries_on(&self, label: &str) -> bool {
+        self.carried_on.iter().any(|l| l == label)
+    }
+
+    /// Labels of all loops this statement carries a dependence on.
+    pub fn carried_labels(&self) -> &[String] {
+        &self.carried_on
+    }
+
+    /// Whether the carried dependence is an associative reduction.
+    pub fn is_reduction(&self) -> bool {
+        self.reduction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_mix_totals() {
+        let m = OpMix { iadd: 1, fmul: 2, fadd: 1, ..OpMix::default() };
+        assert_eq!(m.total(), 4);
+        assert!(m.has_float());
+        assert!(!OpMix { iadd: 3, ..OpMix::default() }.has_float());
+    }
+
+    #[test]
+    fn affine_stride_lookup() {
+        let p = AccessPattern::affine(&[("L0", 64), ("L1", 1)]);
+        assert_eq!(p.stride_of("L1"), Some(1));
+        assert_eq!(p.stride_of("L0"), Some(64));
+        assert_eq!(p.stride_of("L9"), Some(0));
+        assert_eq!(AccessPattern::Indirect.stride_of("L0"), None);
+        assert_eq!(AccessPattern::Uniform.stride_of("L0"), Some(0));
+    }
+
+    #[test]
+    fn statement_builder() {
+        let s = Statement::new("acc")
+            .with_ops(OpMix { fadd: 1, fmul: 1, ..OpMix::default() })
+            .load(ArrayId(0), AccessPattern::affine(&[("L1", 1)]))
+            .store(ArrayId(1), AccessPattern::Uniform)
+            .carried_on("L1")
+            .as_reduction();
+        assert_eq!(s.accesses().len(), 2);
+        assert!(s.carries_on("L1"));
+        assert!(!s.carries_on("L0"));
+        assert!(s.is_reduction());
+        assert!(s.accesses()[1].write);
+    }
+}

@@ -1,0 +1,95 @@
+//! Scalar element types for kernel arrays and operations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scalar data type of an array element or an arithmetic operation.
+///
+/// The HLS cost model cares about the bit width (BRAM packing, DSP usage)
+/// and integer-vs-float (operator latency and resource cost), so the IR
+/// tracks both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarType {
+    /// 8-bit integer (e.g. AES state bytes).
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float (Polybench default `double`).
+    F64,
+}
+
+impl ScalarType {
+    /// Bit width of the type.
+    pub fn bit_width(self) -> u32 {
+        match self {
+            ScalarType::I8 => 8,
+            ScalarType::I16 => 16,
+            ScalarType::I32 => 32,
+            ScalarType::I64 => 64,
+            ScalarType::F32 => 32,
+            ScalarType::F64 => 64,
+        }
+    }
+
+    /// Whether the type is floating point.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    /// LLVM-style type string, used as the `key_text` of variable nodes in
+    /// the program graph (`i32`, `float`, ...).
+    pub fn llvm_name(self) -> &'static str {
+        match self {
+            ScalarType::I8 => "i8",
+            ScalarType::I16 => "i16",
+            ScalarType::I32 => "i32",
+            ScalarType::I64 => "i64",
+            ScalarType::F32 => "float",
+            ScalarType::F64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.llvm_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(ScalarType::I8.bit_width(), 8);
+        assert_eq!(ScalarType::I32.bit_width(), 32);
+        assert_eq!(ScalarType::F64.bit_width(), 64);
+    }
+
+    #[test]
+    fn float_detection() {
+        assert!(ScalarType::F32.is_float());
+        assert!(!ScalarType::I64.is_float());
+    }
+
+    #[test]
+    fn llvm_names_match_display() {
+        for t in [
+            ScalarType::I8,
+            ScalarType::I16,
+            ScalarType::I32,
+            ScalarType::I64,
+            ScalarType::F32,
+            ScalarType::F64,
+        ] {
+            assert_eq!(t.to_string(), t.llvm_name());
+        }
+    }
+}

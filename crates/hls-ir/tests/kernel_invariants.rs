@@ -1,0 +1,222 @@
+//! Structural invariants that must hold for every benchmark kernel — these
+//! protect downstream crates (graph builder, cost model, design space) from
+//! malformed IR.
+
+use hls_ir::{kernels, AccessPattern, ArrayKind, BodyItem, Kernel};
+
+fn for_each_kernel(f: impl Fn(&Kernel)) {
+    for k in kernels::all_kernels() {
+        f(&k);
+    }
+}
+
+#[test]
+fn loop_ids_are_dense_and_ordered() {
+    for_each_kernel(|k| {
+        for (i, info) in k.loops().iter().enumerate() {
+            assert_eq!(info.id.0, i, "{}: loop ids must be dense", k.name());
+        }
+    });
+}
+
+#[test]
+fn parents_and_children_are_consistent() {
+    for_each_kernel(|k| {
+        for info in k.loops() {
+            for &c in &info.children {
+                assert_eq!(
+                    k.loop_info(c).parent,
+                    Some(info.id),
+                    "{}: child/parent mismatch",
+                    k.name()
+                );
+                assert_eq!(k.loop_info(c).depth, info.depth + 1);
+            }
+            if let Some(p) = info.parent {
+                assert!(
+                    k.loop_info(p).children.contains(&info.id),
+                    "{}: parent does not list child",
+                    k.name()
+                );
+            }
+        }
+    });
+}
+
+/// Walks the execution tree (calls inlined), calling `f` with the dynamic
+/// stack of enclosing loop labels for each statement.
+fn visit_execution(k: &Kernel, f: &mut impl FnMut(&[String], &hls_ir::Statement)) {
+    fn walk(
+        k: &Kernel,
+        items: &[BodyItem],
+        stack: &mut Vec<String>,
+        f: &mut impl FnMut(&[String], &hls_ir::Statement),
+    ) {
+        for item in items {
+            match item {
+                BodyItem::Stmt(s) => f(stack, s),
+                BodyItem::Loop(l) => {
+                    stack.push(l.label().to_string());
+                    walk(k, l.body(), stack, f);
+                    stack.pop();
+                }
+                BodyItem::Call(c) => {
+                    if let Some(func) = k.function(c) {
+                        walk(k, func.body(), stack, f);
+                    }
+                }
+            }
+        }
+    }
+    let body: Vec<BodyItem> = k.top_function().body().to_vec();
+    walk(k, &body, &mut Vec::new(), f);
+}
+
+#[test]
+fn carried_labels_reference_enclosing_loops() {
+    // A statement that claims a carried dependence on label L must actually
+    // execute (transitively, through calls) inside loop L — otherwise the
+    // dependence is meaningless and the cost model would mis-handle it.
+    for_each_kernel(|k| {
+        visit_execution(k, &mut |stack, stmt| {
+            for label in stmt.carried_labels() {
+                assert!(
+                    stack.contains(label),
+                    "{}: stmt `{}` carries on {label} but executes under {stack:?}",
+                    k.name(),
+                    stmt.name()
+                );
+            }
+        });
+    });
+}
+
+#[test]
+fn affine_strides_reference_enclosing_loops() {
+    for_each_kernel(|k| {
+        visit_execution(k, &mut |stack, stmt| {
+            for access in stmt.accesses() {
+                if let AccessPattern::Affine { strides } = &access.pattern {
+                    for (label, stride) in strides {
+                        assert_ne!(*stride, 0, "{}: zero stride is meaningless", k.name());
+                        assert!(
+                            stack.contains(label),
+                            "{}: stmt `{}` indexes with {label} outside that loop",
+                            k.name(),
+                            stmt.name()
+                        );
+                    }
+                }
+            }
+        });
+    });
+}
+
+#[test]
+fn every_interface_array_is_accessed() {
+    for_each_kernel(|k| {
+        for (i, arr) in k.arrays().iter().enumerate() {
+            if arr.kind() == ArrayKind::Local {
+                continue;
+            }
+            let used = k
+                .statements()
+                .iter()
+                .any(|(_, s)| s.accesses().iter().any(|a| a.array.0 == i));
+            assert!(used, "{}: interface array `{}` is never accessed", k.name(), arr.name());
+        }
+    });
+}
+
+#[test]
+fn outputs_are_written_inputs_are_read() {
+    for_each_kernel(|k| {
+        for (i, arr) in k.arrays().iter().enumerate() {
+            let written = k
+                .statements()
+                .iter()
+                .any(|(_, s)| s.accesses().iter().any(|a| a.array.0 == i && a.write));
+            let read = k
+                .statements()
+                .iter()
+                .any(|(_, s)| s.accesses().iter().any(|a| a.array.0 == i && !a.write));
+            match arr.kind() {
+                ArrayKind::Output => {
+                    assert!(written, "{}: output `{}` never written", k.name(), arr.name())
+                }
+                ArrayKind::Input => {
+                    assert!(read, "{}: input `{}` never read", k.name(), arr.name())
+                }
+                ArrayKind::InOut | ArrayKind::Local => {
+                    assert!(written || read, "{}: `{}` unused", k.name(), arr.name())
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn candidate_pragmas_only_on_reasonable_loops() {
+    // Tile pragmas only make sense on loops with sub-structure or long
+    // trips; every declared candidate must at least be attachable (trip > 1).
+    for_each_kernel(|k| {
+        for info in k.loops() {
+            if !info.candidate_pragmas.is_empty() {
+                assert!(
+                    info.trip_count > 1,
+                    "{}: pragma on trivial loop {}",
+                    k.name(),
+                    info.label
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn iteration_products_match_nesting() {
+    let k = kernels::gemm_blocked();
+    // jj(8) kk(8) i(64) k(8) j(8)
+    let l4 = k.loop_by_label("L4").unwrap();
+    assert_eq!(k.iteration_product(l4), 8 * 8 * 64 * 8 * 8);
+    let l0 = k.loop_by_label("L0").unwrap();
+    assert_eq!(k.iteration_product(l0), 8);
+}
+
+#[test]
+fn top_function_body_is_reachable() {
+    for_each_kernel(|k| {
+        assert!(!k.top_function().body().is_empty(), "{}: empty top", k.name());
+        // All declared functions are reachable from the top via calls.
+        let mut reached = vec![k.top_function().name().to_string()];
+        let mut frontier = vec![k.top_function().name().to_string()];
+        while let Some(name) = frontier.pop() {
+            let f = k.function(&name).unwrap();
+            fn walk(items: &[BodyItem], out: &mut Vec<String>) {
+                for i in items {
+                    match i {
+                        BodyItem::Call(c) => out.push(c.clone()),
+                        BodyItem::Loop(l) => walk(l.body(), out),
+                        BodyItem::Stmt(_) => {}
+                    }
+                }
+            }
+            let mut callees = Vec::new();
+            walk(f.body(), &mut callees);
+            for c in callees {
+                if !reached.contains(&c) {
+                    reached.push(c.clone());
+                    frontier.push(c);
+                }
+            }
+        }
+        for f in k.functions() {
+            assert!(
+                reached.contains(&f.name().to_string()),
+                "{}: function `{}` unreachable",
+                k.name(),
+                f.name()
+            );
+        }
+    });
+}

@@ -1,0 +1,200 @@
+//! Operator and memory cost tables.
+//!
+//! Latencies and resource footprints approximate Vitis HLS operator
+//! characterization at ~250 MHz on UltraScale+: single-precision adders take
+//! a few cycles and a couple of DSPs, dividers are long and LUT-hungry,
+//! narrow integer math is cheap. Absolute values matter less than their
+//! *ratios*, which shape the nonlinear pragma/latency/resource interactions
+//! the GNN has to learn.
+
+use hls_ir::{OpMix, ScalarType};
+use serde::{Deserialize, Serialize};
+
+/// Latency (cycles) and resource cost of one operator instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Pipeline latency in cycles.
+    pub latency: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// LUTs.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+}
+
+/// Cost of a floating-point add/sub.
+pub fn fadd_cost(ty: ScalarType) -> OpCost {
+    if ty == ScalarType::F64 {
+        OpCost { latency: 5, dsp: 3, lut: 420, ff: 650 }
+    } else {
+        OpCost { latency: 4, dsp: 2, lut: 250, ff: 400 }
+    }
+}
+
+/// Cost of a floating-point multiply.
+pub fn fmul_cost(ty: ScalarType) -> OpCost {
+    if ty == ScalarType::F64 {
+        OpCost { latency: 4, dsp: 8, lut: 220, ff: 330 }
+    } else {
+        OpCost { latency: 3, dsp: 3, lut: 120, ff: 200 }
+    }
+}
+
+/// Cost of a floating-point divide.
+pub fn fdiv_cost(ty: ScalarType) -> OpCost {
+    if ty == ScalarType::F64 {
+        OpCost { latency: 28, dsp: 0, lut: 1800, ff: 2800 }
+    } else {
+        OpCost { latency: 14, dsp: 0, lut: 900, ff: 1400 }
+    }
+}
+
+/// Cost of an integer add/sub at the given width.
+pub fn iadd_cost(ty: ScalarType) -> OpCost {
+    let w = u64::from(ty.bit_width());
+    OpCost { latency: 1, dsp: 0, lut: w, ff: w }
+}
+
+/// Cost of an integer multiply: narrow multipliers fit one DSP, wide ones
+/// need three.
+pub fn imul_cost(ty: ScalarType) -> OpCost {
+    let w = u64::from(ty.bit_width());
+    let (latency, dsp) = if w <= 18 { (1, 1) } else { (3, 3) };
+    OpCost { latency, dsp, lut: w * 2, ff: w * 2 }
+}
+
+/// Cost of a comparison / select.
+pub fn cmp_cost(ty: ScalarType) -> OpCost {
+    let w = u64::from(ty.bit_width());
+    OpCost { latency: 1, dsp: 0, lut: w / 2 + 8, ff: w / 2 }
+}
+
+/// Cost of bitwise logic / shift / table-index math.
+pub fn logic_cost(ty: ScalarType) -> OpCost {
+    let w = u64::from(ty.bit_width());
+    OpCost { latency: 1, dsp: 0, lut: w / 2 + 4, ff: w / 4 }
+}
+
+/// Aggregate op-instance counts of a statement, element type `ty`,
+/// replicated `copies` times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpInstances {
+    /// Total operator instances.
+    pub count: u64,
+    /// Summed resource cost.
+    pub dsp: u64,
+    /// Summed LUTs.
+    pub lut: u64,
+    /// Summed FFs.
+    pub ff: u64,
+    /// Critical-path latency of one statement instance.
+    pub critical_path: u64,
+}
+
+impl OpInstances {
+    /// Accumulates another instance block.
+    pub fn add(&mut self, other: &OpInstances) {
+        self.count += other.count;
+        self.dsp += other.dsp;
+        self.lut += other.lut;
+        self.ff += other.ff;
+        self.critical_path = self.critical_path.max(other.critical_path);
+    }
+}
+
+/// Expands an [`OpMix`] into operator instances for `copies` replicas.
+///
+/// The critical path of one statement approximates a balanced expression
+/// tree: the slowest operator's latency plus `log2(#ops + 1)` chaining
+/// levels.
+pub fn expand_ops(ops: &OpMix, ty: ScalarType, copies: u64) -> OpInstances {
+    let table: [(u32, OpCost); 7] = [
+        (ops.fadd, fadd_cost(ty)),
+        (ops.fmul, fmul_cost(ty)),
+        (ops.fdiv, fdiv_cost(ty)),
+        (ops.iadd, iadd_cost(ty)),
+        (ops.imul, imul_cost(ty)),
+        (ops.cmp, cmp_cost(ty)),
+        (ops.logic, logic_cost(ty)),
+    ];
+    let mut out = OpInstances::default();
+    let mut max_lat = 0u64;
+    for (n, cost) in table {
+        let n = u64::from(n);
+        if n == 0 {
+            continue;
+        }
+        out.count += n * copies;
+        out.dsp += n * copies * cost.dsp;
+        out.lut += n * copies * cost.lut;
+        out.ff += n * copies * cost.ff;
+        max_lat = max_lat.max(cost.latency);
+    }
+    let total = u64::from(ops.total());
+    out.critical_path = if total == 0 {
+        1
+    } else {
+        max_lat + (64 - (total + 1).leading_zeros() as u64).max(1)
+    };
+    out
+}
+
+/// Off-chip (DDR/AXI) memory parameters.
+pub mod mem {
+    /// AXI data bus width in bits (one 512-bit beat per cycle when bursting).
+    pub const BUS_BITS: u64 = 512;
+    /// Cycles to set up a burst transaction.
+    pub const BURST_SETUP: u64 = 40;
+    /// Latency of an isolated (non-burst) DDR access.
+    pub const RANDOM_LAT: u64 = 60;
+    /// Latency of an on-chip (BRAM) access.
+    pub const ON_CHIP_LAT: u64 = 2;
+    /// Read/write ports per BRAM bank.
+    pub const PORTS_PER_BANK: u64 = 2;
+    /// Largest interface array (in bits) Merlin fully caches on-chip.
+    pub const CACHE_LIMIT_BITS: u64 = 1 << 20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_ops_use_dsps() {
+        assert!(fadd_cost(ScalarType::F32).dsp > 0);
+        assert!(fmul_cost(ScalarType::F64).dsp > fmul_cost(ScalarType::F32).dsp);
+        assert_eq!(fdiv_cost(ScalarType::F32).dsp, 0);
+    }
+
+    #[test]
+    fn narrow_integer_mul_is_cheap() {
+        assert!(imul_cost(ScalarType::I8).dsp < imul_cost(ScalarType::I32).dsp);
+        assert!(imul_cost(ScalarType::I8).latency < imul_cost(ScalarType::I32).latency);
+    }
+
+    #[test]
+    fn expand_scales_with_copies() {
+        let mix = OpMix { fadd: 1, fmul: 1, ..OpMix::default() };
+        let one = expand_ops(&mix, ScalarType::F32, 1);
+        let eight = expand_ops(&mix, ScalarType::F32, 8);
+        assert_eq!(eight.count, 8 * one.count);
+        assert_eq!(eight.dsp, 8 * one.dsp);
+        // Critical path is per-instance, not per-copy.
+        assert_eq!(eight.critical_path, one.critical_path);
+    }
+
+    #[test]
+    fn empty_mix_has_unit_path() {
+        let e = expand_ops(&OpMix::default(), ScalarType::F32, 4);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.critical_path, 1);
+    }
+
+    #[test]
+    fn critical_path_grows_with_op_count() {
+        let small = expand_ops(&OpMix { fadd: 1, ..OpMix::default() }, ScalarType::F32, 1);
+        let big = expand_ops(&OpMix { fadd: 15, ..OpMix::default() }, ScalarType::F32, 1);
+        assert!(big.critical_path > small.critical_path);
+    }
+}

@@ -1,0 +1,72 @@
+//! FPGA resource targets.
+
+use serde::{Deserialize, Serialize};
+
+/// Available resources of a target FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fpga {
+    /// Lookup tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+    /// 18Kb block-RAM units.
+    pub bram18: u64,
+}
+
+impl Fpga {
+    /// Xilinx Virtex UltraScale+ VCU1525 (XCVU9P) — the paper's target
+    /// board (§5.1).
+    pub fn vcu1525() -> Self {
+        Self { lut: 1_182_240, ff: 2_364_480, dsp: 6_840, bram18: 4_320 }
+    }
+
+    /// Xilinx Alveo U250 (XCU250) — a larger data-center card, useful for
+    /// studying how the utilization constraint shifts the Pareto frontier.
+    pub fn u250() -> Self {
+        Self { lut: 1_728_000, ff: 3_456_000, dsp: 12_288, bram18: 5_376 }
+    }
+
+    /// A small edge-class device (Zynq UltraScale+ ZU7EV ballpark) where
+    /// many of the paper's mid-size designs no longer fit.
+    pub fn zu7ev() -> Self {
+        Self { lut: 230_400, ff: 460_800, dsp: 1_728, bram18: 624 }
+    }
+
+    /// Total BRAM capacity in bits.
+    pub fn bram_bits(&self) -> u64 {
+        self.bram18 * 18 * 1024
+    }
+}
+
+impl Default for Fpga {
+    fn default() -> Self {
+        Self::vcu1525()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcu1525_resources() {
+        let f = Fpga::vcu1525();
+        assert_eq!(f.dsp, 6840);
+        assert_eq!(f.bram18, 4320);
+        assert!(f.bram_bits() > 75_000_000);
+    }
+
+    #[test]
+    fn default_is_vcu1525() {
+        assert_eq!(Fpga::default(), Fpga::vcu1525());
+    }
+
+    #[test]
+    fn targets_are_ordered_by_size() {
+        assert!(Fpga::zu7ev().dsp < Fpga::vcu1525().dsp);
+        assert!(Fpga::vcu1525().dsp < Fpga::u250().dsp);
+        assert!(Fpga::zu7ev().bram_bits() < Fpga::u250().bram_bits());
+    }
+}

@@ -1,0 +1,528 @@
+//! The cycle-count model.
+//!
+//! A recursive walk over the (call-inlined) execution tree. Each loop's
+//! latency follows its pragma configuration:
+//!
+//! * `pipeline fg` — sub-loops fully unrolled, the loop runs at an initiation
+//!   interval II = max(memory-port II, recurrence II); latency is
+//!   `II * (trips - 1) + depth`.
+//! * `pipeline cg` — sub-stages overlap; latency is
+//!   `max_stage * (trips - 1) + sum(stages)`.
+//! * `off` — sequential: `trips * body + overhead`.
+//!
+//! `parallel` divides the sequential trip count when legal (reductions get a
+//! combining-tree epilogue; true loop-carried dependences get *no* speedup),
+//! and memory behaviour follows the [`crate::memory::MemoryPlan`]: on-chip
+//! accesses are cheap and banked, DDR accesses burst only when unit-stride,
+//! and tiled caches insert per-tile burst transfers.
+
+use crate::cost::{expand_ops, mem};
+use crate::memory::{MemoryPlan, Placement};
+use crate::settings::loop_setting;
+use design_space::{DesignPoint, DesignSpace, PipelineOpt};
+use hls_ir::{
+    AccessPattern, ArrayAccess, ArrayId, BodyItem, Kernel, Loop, ScalarType, Statement,
+};
+use std::collections::HashMap;
+
+/// Loop-entry/exit control overhead in cycles.
+const LOOP_OVERHEAD: u64 = 2;
+/// Amortized cost of a unit-stride DDR access outside a pipeline.
+const DDR_SEQ_LAT: u64 = 4;
+
+/// How one array access behaves under the memory plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AccClass {
+    OnChip,
+    DdrSeq,
+    DdrRand,
+}
+
+/// Per-loop entry of a design's synthesis report — what Vitis HLS's loop
+/// table shows: applied pragmas, achieved II, and the loop's contribution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoopReport {
+    /// Loop label.
+    pub label: String,
+    /// Trip count.
+    pub trip_count: u64,
+    /// Applied parallel factor.
+    pub parallel: u32,
+    /// Applied tile factor.
+    pub tile: u32,
+    /// Applied pipeline mode (`off`/`cg`/`fg`).
+    pub pipeline: String,
+    /// Achieved initiation interval (1 for non-pipelined loops' bodies).
+    pub ii: u64,
+    /// Cycles for one execution of this loop (including sub-loops).
+    pub cycles: u64,
+}
+
+struct LatCtx<'a> {
+    kernel: &'a Kernel,
+    space: &'a DesignSpace,
+    point: &'a DesignPoint,
+    plan: &'a MemoryPlan,
+    /// (label, |stride| == 1 possible) stack of enclosing loop labels.
+    labels: Vec<String>,
+    /// Per-loop report rows collected during the walk.
+    reports: Vec<LoopReport>,
+}
+
+impl LatCtx<'_> {
+    fn classify(&self, access: &ArrayAccess) -> AccClass {
+        let on_chip = !matches!(self.plan.plan(access.array).placement, Placement::Ddr);
+        if on_chip {
+            return AccClass::OnChip;
+        }
+        let seq = match &access.pattern {
+            AccessPattern::Affine { .. } => self
+                .labels
+                .iter()
+                .any(|l| access.pattern.stride_of(l).unwrap_or(0).abs() == 1),
+            AccessPattern::Uniform => true,
+            AccessPattern::Indirect => false,
+        };
+        if seq {
+            AccClass::DdrSeq
+        } else {
+            AccClass::DdrRand
+        }
+    }
+
+    fn elem_bits(&self, id: ArrayId) -> u64 {
+        u64::from(self.kernel.array(id).elem().bit_width())
+    }
+
+    fn float_ty(&self, stmt: &Statement) -> ScalarType {
+        stmt.accesses()
+            .iter()
+            .map(|a| self.kernel.array(a.array).elem())
+            .filter(|t| t.is_float())
+            .max_by_key(|t| t.bit_width())
+            .unwrap_or(ScalarType::F32)
+    }
+}
+
+/// Latency of one statement executed sequentially (not inside a pipeline).
+fn stmt_seq_cycles(ctx: &LatCtx<'_>, stmt: &Statement) -> u64 {
+    let ty = ctx.float_ty(stmt);
+    let cp = expand_ops(stmt.ops(), ty, 1).critical_path;
+    let mut max_mem = 0u64;
+    let mut count = 0u64;
+    for a in stmt.accesses() {
+        let lat = match ctx.classify(a) {
+            AccClass::OnChip => mem::ON_CHIP_LAT,
+            AccClass::DdrSeq => DDR_SEQ_LAT,
+            AccClass::DdrRand => mem::RANDOM_LAT,
+        };
+        max_mem = max_mem.max(lat);
+        count += 1;
+    }
+    cp + max_mem + count.saturating_sub(1)
+}
+
+/// Statistics of a fully unrolled (fg-pipelined) loop body.
+#[derive(Debug, Default)]
+struct UnrolledStats {
+    /// Per-(array, class) access counts per II-iteration.
+    accesses: HashMap<(ArrayId, AccClass), u64>,
+    /// Critical path of the unrolled body.
+    depth: u64,
+    /// A statement carries a true (non-reduction) dependence on the fg loop.
+    serial_on_root: bool,
+    /// A statement carries a reduction on the fg loop.
+    reduction_on_root: bool,
+    /// Chain latency to use as recurrence II when `serial_on_root`.
+    chain: u64,
+}
+
+fn unrolled_stats(
+    ctx: &mut LatCtx<'_>,
+    items: &[BodyItem],
+    copies: u64,
+    root_label: &str,
+    stats: &mut UnrolledStats,
+) {
+    for item in items {
+        match item {
+            BodyItem::Stmt(stmt) => {
+                let ty = ctx.float_ty(stmt);
+                let cp = expand_ops(stmt.ops(), ty, 1).critical_path;
+                let mut stmt_depth = cp;
+                for a in stmt.accesses() {
+                    let class = ctx.classify(a);
+                    *stats.accesses.entry((a.array, class)).or_insert(0) += copies;
+                    let lat = match class {
+                        AccClass::OnChip => mem::ON_CHIP_LAT,
+                        AccClass::DdrSeq => 1,
+                        AccClass::DdrRand => mem::RANDOM_LAT,
+                    };
+                    stmt_depth = stmt_depth.max(cp + lat);
+                }
+                stats.depth = stats.depth.max(stmt_depth);
+                if stmt.carries_on(root_label) {
+                    if stmt.is_reduction() {
+                        stats.reduction_on_root = true;
+                    } else {
+                        stats.serial_on_root = true;
+                    }
+                    stats.chain = stats.chain.max(stmt_depth);
+                }
+            }
+            BodyItem::Call(callee) => {
+                if let Some(f) = ctx.kernel.function(callee) {
+                    let body: Vec<BodyItem> = f.body().to_vec();
+                    unrolled_stats(ctx, &body, copies, root_label, stats);
+                }
+            }
+            BodyItem::Loop(l) => {
+                ctx.labels.push(l.label().to_string());
+                let mut sub = UnrolledStats::default();
+                unrolled_stats(ctx, l.body(), copies * l.trip_count(), l.label(), &mut sub);
+                // Merge access counts.
+                for (k, v) in sub.accesses {
+                    *stats.accesses.entry(k).or_insert(0) += v;
+                }
+                // The unrolled inner loop contributes depth: a true carried
+                // chain serializes its (former) iterations; a reduction
+                // costs a combining tree; otherwise it is flat.
+                let sub_depth = if sub.serial_on_root {
+                    sub.chain.saturating_mul(l.trip_count())
+                } else if sub.reduction_on_root {
+                    sub.depth + 4 * ilog2_ceil(l.trip_count())
+                } else {
+                    sub.depth
+                };
+                stats.depth = stats.depth.max(sub_depth);
+                // Carried deps on the *root* label detected inside sub-loops.
+                if sub_carries(l, root_label, false) {
+                    stats.serial_on_root = true;
+                    stats.chain = stats.chain.max(sub_depth.max(1));
+                }
+                if sub_carries(l, root_label, true) {
+                    stats.reduction_on_root = true;
+                }
+                ctx.labels.pop();
+            }
+        }
+    }
+}
+
+/// Whether a body item's subtree carries a true (non-reduction) dependence
+/// on `label`, following calls.
+fn item_carries(kernel: &Kernel, item: &BodyItem, label: &str) -> bool {
+    match item {
+        BodyItem::Stmt(s) => s.carries_on(label) && !s.is_reduction(),
+        BodyItem::Loop(l) => sub_carries(l, label, false),
+        BodyItem::Call(callee) => kernel
+            .function(callee)
+            .map(|f| f.body().iter().any(|i| item_carries(kernel, i, label)))
+            .unwrap_or(false),
+    }
+}
+
+/// Whether any statement under `l` carries on `label` (reduction or not).
+fn sub_carries(l: &Loop, label: &str, reduction: bool) -> bool {
+    fn walk(items: &[BodyItem], label: &str, reduction: bool) -> bool {
+        items.iter().any(|i| match i {
+            BodyItem::Stmt(s) => s.carries_on(label) && s.is_reduction() == reduction,
+            BodyItem::Loop(l) => walk(l.body(), label, reduction),
+            BodyItem::Call(_) => false,
+        })
+    }
+    walk(l.body(), label, reduction)
+}
+
+fn ilog2_ceil(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+/// Memory-port initiation interval of an fg pipeline with the given
+/// per-iteration access profile.
+fn memory_ii(ctx: &LatCtx<'_>, stats: &UnrolledStats) -> u64 {
+    let mut ii = 1u64;
+    for (&(array, class), &cnt) in &stats.accesses {
+        let this = match class {
+            AccClass::OnChip => {
+                let banks = ctx.plan.plan(array).banks.max(1);
+                let indirect_penalty = 1; // banked unless gather; gathers have banks 1 anyway
+                cnt.div_ceil(mem::PORTS_PER_BANK * banks) * indirect_penalty
+            }
+            AccClass::DdrSeq => {
+                let bits = cnt * ctx.elem_bits(array);
+                bits.div_ceil(mem::BUS_BITS)
+            }
+            AccClass::DdrRand => cnt.saturating_mul(mem::RANDOM_LAT),
+        };
+        ii = ii.max(this);
+    }
+    ii
+}
+
+/// Carried-dependence class of a loop w.r.t. its own label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CarryKind {
+    None,
+    Reduction,
+    Serial,
+}
+
+fn carry_kind(l: &Loop) -> CarryKind {
+    if sub_carries(l, l.label(), false) {
+        CarryKind::Serial
+    } else if sub_carries(l, l.label(), true) {
+        CarryKind::Reduction
+    } else {
+        CarryKind::None
+    }
+}
+
+fn eval_loop(ctx: &mut LatCtx<'_>, l: &Loop) -> u64 {
+    let id = ctx.kernel.loop_by_label(l.label()).expect("indexed loop");
+    let set = loop_setting(ctx.space, ctx.point, id);
+    let p = u64::from(set.parallel).min(l.trip_count()).max(1);
+    let carry = carry_kind(l);
+    // Effective sequential trips: a true carried dependence defeats
+    // parallelization entirely.
+    let eff_trips = match carry {
+        CarryKind::Serial => l.trip_count(),
+        _ => l.trip_count().div_ceil(p),
+    };
+    let reduction_epilogue = if p > 1 && carry == CarryKind::Reduction {
+        4 * ilog2_ceil(p)
+    } else {
+        0
+    };
+
+    ctx.labels.push(l.label().to_string());
+    let mut achieved_ii = 1u64;
+    let cycles = match set.pipeline {
+        PipelineOpt::Fine => {
+            let mut stats = UnrolledStats::default();
+            // Body with all sub-loops unrolled; `p` replicas of the body run
+            // per II-iteration.
+            let body: Vec<BodyItem> = l.body().to_vec();
+            unrolled_stats(ctx, &body, p, l.label(), &mut stats);
+            let mut ii = memory_ii(ctx, &stats);
+            if stats.serial_on_root {
+                ii = ii.max(stats.chain.max(1));
+            }
+            achieved_ii = ii;
+            let depth = stats.depth + LOOP_OVERHEAD;
+            ii * eff_trips.saturating_sub(1) + depth + reduction_epilogue
+        }
+        PipelineOpt::Coarse => {
+            let stages = eval_stages(ctx, l.body());
+            let total: u64 = stages.iter().sum();
+            // Stage-level II: stages overlap across iterations, but every
+            // stage whose subtree carries a true dependence on this loop must
+            // finish before the next iteration's copy starts — a dependence
+            // chain *through several stages* serializes their sum, while a
+            // dependence confined to one stage only pins the II to that
+            // stage's latency.
+            let carried_sum: u64 = l
+                .body()
+                .iter()
+                .zip(&stages)
+                .filter(|(item, _)| item_carries(ctx.kernel, item, l.label()))
+                .map(|(_, &c)| c)
+                .sum();
+            let max_stage = stages.iter().copied().max().unwrap_or(1);
+            let ii = max_stage.max(carried_sum).max(1);
+            achieved_ii = ii;
+            ii * eff_trips.saturating_sub(1) + total + LOOP_OVERHEAD + reduction_epilogue
+        }
+        PipelineOpt::Off => {
+            let stages = eval_stages(ctx, l.body());
+            let body: u64 = stages.iter().sum();
+            eff_trips * (body + 1) + LOOP_OVERHEAD + reduction_epilogue
+        }
+    };
+    ctx.labels.pop();
+
+    // Per-tile burst transfers for arrays tile-cached at this loop.
+    let mut tile_cycles = 0u64;
+    for ap in ctx.plan.plans() {
+        if let Placement::TiledCache { tile_loop, per_tile_transfer, num_tiles } = ap.placement {
+            if tile_loop == id {
+                tile_cycles += per_tile_transfer * num_tiles;
+            }
+        }
+    }
+    // Burst setup for DDR streams entered at this loop level.
+    let ddr_setup = if l
+        .statements()
+        .any(|s| s.accesses().iter().any(|a| ctx.classify(a) != AccClass::OnChip))
+    {
+        mem::BURST_SETUP
+    } else {
+        0
+    };
+    let total = cycles + tile_cycles + ddr_setup;
+    ctx.reports.push(LoopReport {
+        label: l.label().to_string(),
+        trip_count: l.trip_count(),
+        parallel: set.parallel,
+        tile: set.tile,
+        pipeline: set.pipeline.as_str().to_string(),
+        ii: achieved_ii,
+        cycles: total,
+    });
+    total
+}
+
+/// Cycles of each body item, in order (the `cg` pipeline stages).
+fn eval_stages(ctx: &mut LatCtx<'_>, items: &[BodyItem]) -> Vec<u64> {
+    let mut stages = Vec::new();
+    for item in items {
+        match item {
+            BodyItem::Stmt(s) => stages.push(stmt_seq_cycles(ctx, s)),
+            BodyItem::Loop(l) => stages.push(eval_loop(ctx, l)),
+            BodyItem::Call(callee) => {
+                if let Some(f) = ctx.kernel.function(callee) {
+                    let body: Vec<BodyItem> = f.body().to_vec();
+                    stages.push(eval_stages(ctx, &body).iter().sum());
+                }
+            }
+        }
+    }
+    stages
+}
+
+/// Total kernel latency in cycles (before tool-noise jitter).
+pub fn kernel_cycles(
+    kernel: &Kernel,
+    space: &DesignSpace,
+    point: &DesignPoint,
+    plan: &MemoryPlan,
+) -> u64 {
+    kernel_cycles_with_report(kernel, space, point, plan).0
+}
+
+/// Total kernel latency plus the per-loop report rows, in loop-completion
+/// order (innermost loops first).
+pub fn kernel_cycles_with_report(
+    kernel: &Kernel,
+    space: &DesignSpace,
+    point: &DesignPoint,
+    plan: &MemoryPlan,
+) -> (u64, Vec<LoopReport>) {
+    let mut ctx =
+        LatCtx { kernel, space, point, plan, labels: Vec::new(), reports: Vec::new() };
+    let body: u64 = eval_stages(&mut ctx, kernel.top_function().body()).iter().sum();
+    // One-time burst transfers for fully cached interface arrays.
+    let transfers: u64 = plan
+        .plans()
+        .iter()
+        .map(|ap| match ap.placement {
+            Placement::Cached { transfer_cycles } => transfer_cycles,
+            _ => 0,
+        })
+        .sum();
+    (body + transfers + 10, ctx.reports) // +10: kernel invocation overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::plan_memory;
+    use design_space::PragmaValue;
+    use hls_ir::{kernels, PragmaKind};
+
+    fn cycles_of(kernel: &Kernel, point: &DesignPoint) -> u64 {
+        let space = DesignSpace::from_kernel(kernel);
+        let plan = plan_memory(kernel, &space, point);
+        kernel_cycles(kernel, &space, point, &plan)
+    }
+
+    #[test]
+    fn default_gemm_latency_scales_with_iterations() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let c = cycles_of(&k, &space.default_point());
+        // 64^3 iterations of a ~10-cycle body: must be in the millions.
+        assert!(c > 1_000_000, "got {c}");
+        assert!(c < 100_000_000, "got {c}");
+    }
+
+    #[test]
+    fn parallel_reduces_latency() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let base = cycles_of(&k, &space.default_point());
+        let l1 = k.loop_by_label("L1").unwrap();
+        let mut p = space.default_point();
+        p.set_value(space.slot_index(l1, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(8));
+        let par = cycles_of(&k, &p);
+        assert!(par < base, "parallel must speed up: {par} !< {base}");
+        assert!(par * 4 < base, "8x unroll should give >4x: {par} vs {base}");
+    }
+
+    #[test]
+    fn fine_pipeline_beats_sequential() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let base = cycles_of(&k, &space.default_point());
+        let l1 = k.loop_by_label("L1").unwrap();
+        let mut p = space.default_point();
+        p.set_value(
+            space.slot_index(l1, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(PipelineOpt::Fine),
+        );
+        let piped = cycles_of(&k, &p);
+        assert!(piped * 10 < base, "fg pipeline unrolls the dot loop: {piped} vs {base}");
+    }
+
+    #[test]
+    fn serial_loop_gets_no_parallel_speedup() {
+        let k = kernels::nw();
+        let space = DesignSpace::from_kernel(&k);
+        let base = cycles_of(&k, &space.default_point());
+        // L2 carries a true dependence; parallelizing it should not help.
+        let l2 = k.loop_by_label("L2").unwrap();
+        let mut p = space.default_point();
+        p.set_value(space.slot_index(l2, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(64));
+        let par = cycles_of(&k, &p);
+        assert!(par as f64 > base as f64 * 0.9, "no real speedup expected: {par} vs {base}");
+    }
+
+    #[test]
+    fn reduction_parallel_is_legal_and_fast() {
+        let k = kernels::gesummv();
+        let space = DesignSpace::from_kernel(&k);
+        let base = cycles_of(&k, &space.default_point());
+        let l1 = k.loop_by_label("L1").unwrap();
+        let mut p = space.default_point();
+        p.set_value(space.slot_index(l1, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(50));
+        let par = cycles_of(&k, &p);
+        assert!((par as f64) < base as f64 / 8.0, "reduction tree should scale: {par} vs {base}");
+    }
+
+    #[test]
+    fn coarse_pipeline_overlaps_stages() {
+        let k = kernels::atax();
+        let space = DesignSpace::from_kernel(&k);
+        let base = cycles_of(&k, &space.default_point());
+        let l1 = k.loop_by_label("L1").unwrap();
+        let mut p = space.default_point();
+        p.set_value(
+            space.slot_index(l1, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(PipelineOpt::Coarse),
+        );
+        let cg = cycles_of(&k, &p);
+        assert!(cg < base, "cg should overlap the two inner loops: {cg} vs {base}");
+    }
+
+    #[test]
+    fn latency_is_deterministic() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let p = space.point_at(space.size() / 2);
+        assert_eq!(cycles_of(&k, &p), cycles_of(&k, &p));
+    }
+}

@@ -1,0 +1,60 @@
+//! # merlin-sim
+//!
+//! A deterministic analytical model of the Merlin Compiler + Xilinx HLS
+//! toolchain — the ground-truth oracle `H(P(theta))` of the GNN-DSE
+//! reproduction.
+//!
+//! Given a kernel ([`hls_ir::Kernel`]) and a pragma configuration
+//! ([`design_space::DesignPoint`]), [`MerlinSimulator::evaluate`] returns the
+//! design's validity, cycle count, resource counts/utilization, and a
+//! modelled toolchain wall-clock. The model reproduces the *mechanisms* the
+//! real stack applies:
+//!
+//! * fine-grained pipelining fully unrolls sub-loops and runs at an II set by
+//!   memory ports and recurrences;
+//! * coarse-grained pipelining overlaps sub-loop stages;
+//! * `parallel` replicates hardware — a real speedup for independent or
+//!   reduction loops, useless for true loop-carried dependences;
+//! * Merlin's automatic memory optimizations: small interface arrays are
+//!   burst-cached on-chip, `tile` creates per-tile caches, unit-stride DDR
+//!   accesses coalesce onto the 512-bit bus, indirect gathers do not bank;
+//! * invalid configurations are classified as synthesis timeouts, refused
+//!   parallelization/partitioning, or Merlin transformation errors.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use design_space::DesignSpace;
+//! use hls_ir::kernels;
+//! use merlin_sim::MerlinSimulator;
+//!
+//! let kernel = kernels::stencil();
+//! let space = DesignSpace::from_kernel(&kernel);
+//! let sim = MerlinSimulator::new();
+//!
+//! let result = sim.evaluate(&kernel, &space, &space.default_point());
+//! println!("{} cycles, {} DSPs, valid={}", result.cycles, result.counts.dsp, result.is_valid());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+mod fpga;
+mod latency;
+pub mod memory;
+mod resource;
+mod result;
+mod settings;
+mod sim;
+mod walk;
+
+pub use fpga::Fpga;
+pub use latency::LoopReport;
+pub use result::{HlsResult, ResourceCounts, Utilization, Validity};
+pub use settings::{loop_setting, LoopSetting};
+pub use sim::{
+    MerlinSimulator, REFUSE_NEST_PARALLEL, REFUSE_PARTITION, TIMEOUT_MINUTES,
+    TIMEOUT_OP_INSTANCES,
+};
+pub use walk::{total_op_instances, visit_statements, Frame};

@@ -1,0 +1,162 @@
+//! The resource model: DSP / BRAM / LUT / FF counts of a configured design.
+
+use crate::cost::expand_ops;
+use crate::memory::MemoryPlan;
+use crate::result::ResourceCounts;
+use crate::settings::loop_setting;
+use crate::walk::visit_statements;
+use design_space::{DesignPoint, DesignSpace, PipelineOpt};
+use hls_ir::{Kernel, ScalarType};
+
+/// Static per-kernel infrastructure (AXI interconnect, control state
+/// machine, Merlin runtime glue).
+const BASE_LUT: u64 = 40_000;
+const BASE_FF: u64 = 50_000;
+const BASE_BRAM: u64 = 60;
+const BASE_DSP: u64 = 4;
+
+/// Per interface-array AXI master adapter.
+const AXI_LUT: u64 = 4_000;
+const AXI_FF: u64 = 6_000;
+const AXI_BRAM: u64 = 8;
+
+/// Per-loop control logic, extra when pipelined.
+const LOOP_LUT: u64 = 150;
+const LOOP_FF: u64 = 200;
+const PIPE_LUT: u64 = 250;
+const PIPE_FF: u64 = 400;
+
+/// Computes resource counts of a design: replicated operators, memory plan
+/// BRAMs, per-loop control and static infrastructure.
+pub fn kernel_resources(
+    kernel: &Kernel,
+    space: &DesignSpace,
+    point: &DesignPoint,
+    plan: &MemoryPlan,
+) -> ResourceCounts {
+    let mut counts = ResourceCounts {
+        dsp: BASE_DSP,
+        bram18: BASE_BRAM,
+        lut: BASE_LUT,
+        ff: BASE_FF,
+    };
+
+    // Operators, replicated by the enclosing unroll factors.
+    visit_statements(kernel, space, point, |frames, stmt| {
+        let copies: u64 = frames.iter().map(|fr| fr.factor).product();
+        let float_ty = stmt
+            .accesses()
+            .iter()
+            .map(|a| kernel.array(a.array).elem())
+            .filter(|t| t.is_float())
+            .max_by_key(|t| t.bit_width())
+            .unwrap_or(ScalarType::F32);
+        // Integer/logic ops sized by the widest integer array touched.
+        let int_ty = stmt
+            .accesses()
+            .iter()
+            .map(|a| kernel.array(a.array).elem())
+            .filter(|t| !t.is_float())
+            .max_by_key(|t| t.bit_width())
+            .unwrap_or(ScalarType::I32);
+        let mut fl = *stmt.ops();
+        fl.iadd = 0;
+        fl.imul = 0;
+        fl.cmp = 0;
+        fl.logic = 0;
+        let mut int = *stmt.ops();
+        int.fadd = 0;
+        int.fmul = 0;
+        int.fdiv = 0;
+        let f = expand_ops(&fl, float_ty, copies);
+        let i = expand_ops(&int, int_ty, copies);
+        counts.dsp += f.dsp + i.dsp;
+        counts.lut += f.lut + i.lut;
+        counts.ff += f.ff + i.ff;
+    });
+
+    // Memory plan BRAMs.
+    counts.bram18 += plan.total_brams();
+
+    // Interface adapters.
+    let n_iface = kernel.arrays().iter().filter(|a| a.kind().is_interface()).count() as u64;
+    counts.lut += AXI_LUT * n_iface;
+    counts.ff += AXI_FF * n_iface;
+    counts.bram18 += AXI_BRAM * n_iface;
+
+    // Loop control.
+    for info in kernel.loops() {
+        let set = loop_setting(space, point, info.id);
+        counts.lut += LOOP_LUT;
+        counts.ff += LOOP_FF;
+        if set.pipeline != PipelineOpt::Off {
+            counts.lut += PIPE_LUT;
+            counts.ff += PIPE_FF;
+        }
+    }
+
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::plan_memory;
+    use design_space::PragmaValue;
+    use hls_ir::{kernels, PragmaKind};
+
+    fn resources_of(kernel: &Kernel, point: &DesignPoint) -> ResourceCounts {
+        let space = DesignSpace::from_kernel(kernel);
+        let plan = plan_memory(kernel, &space, point);
+        kernel_resources(kernel, &space, point, &plan)
+    }
+
+    #[test]
+    fn default_design_is_small() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let c = resources_of(&k, &space.default_point());
+        assert!(c.dsp < 100, "got {} DSPs", c.dsp);
+        assert!(c.lut < 200_000);
+    }
+
+    #[test]
+    fn unrolling_multiplies_dsps() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let base = resources_of(&k, &space.default_point());
+        let l2 = k.loop_by_label("L2").unwrap();
+        let mut p = space.default_point();
+        p.set_value(space.slot_index(l2, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(32));
+        let unrolled = resources_of(&k, &p);
+        assert!(unrolled.dsp > base.dsp + 100, "32x fmul+fadd: {} vs {}", unrolled.dsp, base.dsp);
+    }
+
+    #[test]
+    fn partitioning_multiplies_brams() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let base = resources_of(&k, &space.default_point());
+        let l2 = k.loop_by_label("L2").unwrap();
+        let mut p = space.default_point();
+        p.set_value(space.slot_index(l2, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(64));
+        let unrolled = resources_of(&k, &p);
+        assert!(unrolled.bram18 > base.bram18, "{} vs {}", unrolled.bram18, base.bram18);
+    }
+
+    #[test]
+    fn pipelining_adds_control_logic() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let base = resources_of(&k, &space.default_point());
+        let l0 = k.loop_by_label("L0").unwrap();
+        let mut p = space.default_point();
+        p.set_value(
+            space.slot_index(l0, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(design_space::PipelineOpt::Coarse),
+        );
+        let piped = resources_of(&k, &p);
+        assert!(piped.lut > base.lut);
+        assert!(piped.ff > base.ff);
+    }
+}

@@ -1,0 +1,161 @@
+//! Evaluation results: validity, latency, resources, modelled tool runtime.
+
+use crate::fpga::Fpga;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a configuration failed to synthesize (the classification targets of
+/// §4.3.2: timeouts, refused parallelization, infeasible combinations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Validity {
+    /// Synthesis succeeded.
+    Valid,
+    /// Synthesis would not finish within the 4-hour budget.
+    Timeout,
+    /// The tool refused the configuration (e.g. excessive parallel or
+    /// partition factors).
+    Refused,
+    /// Merlin could not apply a transformation (e.g. fine-grained pipelining
+    /// over a data-dependent sub-loop bound).
+    MerlinError,
+}
+
+impl Validity {
+    /// `true` only for [`Validity::Valid`].
+    pub fn is_valid(self) -> bool {
+        self == Validity::Valid
+    }
+}
+
+impl fmt::Display for Validity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Validity::Valid => "valid",
+            Validity::Timeout => "timeout",
+            Validity::Refused => "refused",
+            Validity::MerlinError => "merlin-error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Absolute resource counts of a synthesized design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceCounts {
+    /// DSP slices.
+    pub dsp: u64,
+    /// 18Kb BRAM units.
+    pub bram18: u64,
+    /// LUTs.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+}
+
+impl ResourceCounts {
+    /// Componentwise accumulation.
+    pub fn add(&mut self, other: &ResourceCounts) {
+        self.dsp += other.dsp;
+        self.bram18 += other.bram18;
+        self.lut += other.lut;
+        self.ff += other.ff;
+    }
+
+    /// Utilization fractions against an FPGA's available resources.
+    pub fn utilization(&self, fpga: &Fpga) -> Utilization {
+        Utilization {
+            dsp: self.dsp as f64 / fpga.dsp as f64,
+            bram: self.bram18 as f64 / fpga.bram18 as f64,
+            lut: self.lut as f64 / fpga.lut as f64,
+            ff: self.ff as f64 / fpga.ff as f64,
+        }
+    }
+}
+
+/// Resource utilization as a fraction of the target FPGA (may exceed 1.0 for
+/// designs that do not fit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// DSP fraction.
+    pub dsp: f64,
+    /// BRAM fraction.
+    pub bram: f64,
+    /// LUT fraction.
+    pub lut: f64,
+    /// FF fraction.
+    pub ff: f64,
+}
+
+impl Utilization {
+    /// The largest of the four fractions.
+    pub fn max_fraction(&self) -> f64 {
+        self.dsp.max(self.bram).max(self.lut).max(self.ff)
+    }
+
+    /// Whether every fraction is below `threshold` (the DSE constraint of
+    /// eq. 7).
+    pub fn fits(&self, threshold: f64) -> bool {
+        self.max_fraction() < threshold
+    }
+}
+
+/// Full result of evaluating one design point with the simulated toolchain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HlsResult {
+    /// Synthesis outcome.
+    pub validity: Validity,
+    /// Execution latency in cycles (meaningful only when valid).
+    pub cycles: u64,
+    /// Absolute resource counts.
+    pub counts: ResourceCounts,
+    /// Utilization fractions.
+    pub util: Utilization,
+    /// Modelled toolchain wall-clock in minutes (what AutoDSE would pay to
+    /// evaluate this point with the real HLS tool).
+    pub synth_minutes: f64,
+}
+
+impl HlsResult {
+    /// Shorthand for `self.validity.is_valid()`.
+    pub fn is_valid(&self) -> bool {
+        self.validity.is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_display() {
+        assert_eq!(Validity::Valid.to_string(), "valid");
+        assert_eq!(Validity::Timeout.to_string(), "timeout");
+        assert!(Validity::Valid.is_valid());
+        assert!(!Validity::Refused.is_valid());
+    }
+
+    #[test]
+    fn utilization_math() {
+        let c = ResourceCounts { dsp: 684, bram18: 432, lut: 118_224, ff: 236_448 };
+        let u = c.utilization(&Fpga::vcu1525());
+        assert!((u.dsp - 0.1).abs() < 1e-9);
+        assert!((u.bram - 0.1).abs() < 1e-9);
+        assert!(u.fits(0.8));
+        assert!((u.max_fraction() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscribed_does_not_fit() {
+        let c = ResourceCounts { dsp: 20_000, ..ResourceCounts::default() };
+        let u = c.utilization(&Fpga::vcu1525());
+        assert!(!u.fits(0.8));
+        assert!(u.max_fraction() > 1.0);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut a = ResourceCounts { dsp: 1, bram18: 2, lut: 3, ff: 4 };
+        a.add(&ResourceCounts { dsp: 10, bram18: 20, lut: 30, ff: 40 });
+        assert_eq!(a, ResourceCounts { dsp: 11, bram18: 22, lut: 33, ff: 44 });
+    }
+}

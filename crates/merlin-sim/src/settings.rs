@@ -1,0 +1,132 @@
+//! Per-loop effective pragma settings for one design point.
+
+use design_space::{DesignPoint, DesignSpace, PipelineOpt, PragmaValue};
+use hls_ir::{Kernel, LoopId};
+
+/// The pragma configuration applied to one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopSetting {
+    /// Unroll factor (1 = none).
+    pub parallel: u32,
+    /// Tile factor (1 = none).
+    pub tile: u32,
+    /// Pipeline mode.
+    pub pipeline: PipelineOpt,
+}
+
+impl Default for LoopSetting {
+    fn default() -> Self {
+        Self { parallel: 1, tile: 1, pipeline: PipelineOpt::Off }
+    }
+}
+
+/// Reads the setting of `loop_id` out of a design point (neutral values for
+/// kinds the loop has no slot for).
+pub fn loop_setting(space: &DesignSpace, point: &DesignPoint, loop_id: LoopId) -> LoopSetting {
+    let mut s = LoopSetting::default();
+    for si in space.slots_of_loop(loop_id) {
+        match point.value(si) {
+            PragmaValue::Parallel(f) => s.parallel = f,
+            PragmaValue::Tile(f) => s.tile = f,
+            PragmaValue::Pipeline(o) => s.pipeline = o,
+        }
+    }
+    s
+}
+
+/// Product of parallel factors along a root-to-leaf loop path, maximized
+/// over all paths — the "nest parallelism" the tool refuses when excessive.
+pub fn max_nest_parallel(kernel: &Kernel, space: &DesignSpace, point: &DesignPoint) -> u64 {
+    fn walk(
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+        id: LoopId,
+        acc: u64,
+    ) -> u64 {
+        let s = loop_setting(space, point, id);
+        let acc = acc * u64::from(s.parallel);
+        let info = kernel.loop_info(id);
+        if info.children.is_empty() {
+            acc
+        } else {
+            info.children
+                .iter()
+                .map(|&c| walk(kernel, space, point, c, acc))
+                .max()
+                .unwrap_or(acc)
+        }
+    }
+    kernel
+        .loops()
+        .iter()
+        .filter(|l| l.parent.is_none())
+        .map(|l| walk(kernel, space, point, l.id, 1))
+        .max()
+        .unwrap_or(1)
+}
+
+/// Whether `loop_id`'s subtree (within its function) contains a loop with a
+/// data-dependent bound — which makes fine-grained pipelining (full unroll
+/// of sub-loops) impossible for Merlin.
+pub fn subtree_has_variable_bound(kernel: &Kernel, loop_id: LoopId) -> bool {
+    kernel
+        .loop_info(loop_id)
+        .children
+        .iter()
+        .any(|&c| kernel.loop_info(c).variable_bound || subtree_has_variable_bound(kernel, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{kernels, PragmaKind};
+
+    #[test]
+    fn default_point_has_neutral_settings() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let p = space.default_point();
+        for info in k.loops() {
+            assert_eq!(loop_setting(&space, &p, info.id), LoopSetting::default());
+        }
+    }
+
+    #[test]
+    fn settings_read_back() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let l0 = k.loop_by_label("L0").unwrap();
+        let mut p = space.default_point();
+        p.set_value(space.slot_index(l0, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(8));
+        p.set_value(space.slot_index(l0, PragmaKind::Tile).unwrap(), PragmaValue::Tile(4));
+        let s = loop_setting(&space, &p, l0);
+        assert_eq!(s.parallel, 8);
+        assert_eq!(s.tile, 4);
+        assert_eq!(s.pipeline, PipelineOpt::Off);
+    }
+
+    #[test]
+    fn nest_parallel_multiplies_down_the_nest() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let mut p = space.default_point();
+        for label in ["L0", "L1", "L2"] {
+            let id = k.loop_by_label(label).unwrap();
+            p.set_value(
+                space.slot_index(id, PragmaKind::Parallel).unwrap(),
+                PragmaValue::Parallel(4),
+            );
+        }
+        assert_eq!(max_nest_parallel(&k, &space, &p), 64);
+    }
+
+    #[test]
+    fn variable_bound_detected_in_subtree() {
+        let k = kernels::spmv_crs();
+        let l0 = k.loop_by_label("L0").unwrap();
+        let l1 = k.loop_by_label("L1").unwrap();
+        assert!(subtree_has_variable_bound(&k, l0));
+        assert!(!subtree_has_variable_bound(&k, l1));
+    }
+}

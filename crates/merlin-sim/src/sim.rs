@@ -1,0 +1,348 @@
+//! The public simulator: validity rules, evaluation, tool-runtime model.
+
+use crate::fpga::Fpga;
+use crate::latency::{kernel_cycles, kernel_cycles_with_report, LoopReport};
+use crate::memory::plan_memory;
+use crate::resource::kernel_resources;
+use crate::result::{HlsResult, ResourceCounts, Utilization, Validity};
+use crate::settings::{loop_setting, max_nest_parallel, subtree_has_variable_bound};
+use crate::walk::total_op_instances;
+use design_space::{rules, DesignPoint, DesignSpace, PipelineOpt};
+use hls_ir::Kernel;
+
+/// Synthesis is declared timed-out (> 4 h) beyond this many replicated
+/// operator instances.
+pub const TIMEOUT_OP_INSTANCES: u64 = 1 << 17;
+/// The tool refuses nests whose combined parallel factor exceeds this.
+pub const REFUSE_NEST_PARALLEL: u64 = 4096;
+/// The tool refuses array partitioning beyond this many banks.
+pub const REFUSE_PARTITION: u64 = 1024;
+/// Modelled wall-clock (minutes) of a synthesis that hits the timeout.
+pub const TIMEOUT_MINUTES: f64 = 240.0;
+
+/// Deterministic analytical model of the Merlin Compiler + HLS toolchain.
+///
+/// # Examples
+///
+/// ```
+/// use design_space::DesignSpace;
+/// use hls_ir::kernels;
+/// use merlin_sim::MerlinSimulator;
+///
+/// let kernel = kernels::gemm_ncubed();
+/// let space = DesignSpace::from_kernel(&kernel);
+/// let sim = MerlinSimulator::new();
+/// let result = sim.evaluate(&kernel, &space, &space.default_point());
+/// assert!(result.is_valid());
+/// assert!(result.cycles > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MerlinSimulator {
+    fpga: Fpga,
+}
+
+impl MerlinSimulator {
+    /// Creates a simulator targeting the paper's VCU1525 board.
+    pub fn new() -> Self {
+        Self { fpga: Fpga::vcu1525() }
+    }
+
+    /// Creates a simulator for a custom FPGA target.
+    pub fn with_fpga(fpga: Fpga) -> Self {
+        Self { fpga }
+    }
+
+    /// The FPGA target.
+    pub fn fpga(&self) -> &Fpga {
+        &self.fpga
+    }
+
+    /// Classifies a configuration. Fast structural checks (Merlin errors,
+    /// refused factors) come first; the timeout check models synthesis
+    /// effort, which grows with replicated operators and netlist size.
+    pub fn check_validity(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Validity {
+        let point = rules::canonicalize(kernel, space, point);
+
+        // Merlin cannot fully unroll data-dependent sub-loop bounds under fg.
+        for info in kernel.loops() {
+            let set = loop_setting(space, &point, info.id);
+            if set.pipeline == PipelineOpt::Fine && subtree_has_variable_bound(kernel, info.id) {
+                return Validity::MerlinError;
+            }
+        }
+        if max_nest_parallel(kernel, space, &point) > REFUSE_NEST_PARALLEL {
+            return Validity::Refused;
+        }
+        let plan = plan_memory(kernel, space, &point);
+        if plan.max_banks() > REFUSE_PARTITION {
+            return Validity::Refused;
+        }
+        if total_op_instances(kernel, space, &point) > TIMEOUT_OP_INSTANCES {
+            return Validity::Timeout;
+        }
+        let counts = kernel_resources(kernel, space, &point, &plan);
+        if synth_minutes(total_op_instances(kernel, space, &point), plan.total_brams(), &counts)
+            >= TIMEOUT_MINUTES
+        {
+            return Validity::Timeout;
+        }
+        Validity::Valid
+    }
+
+    /// Produces the per-loop synthesis report of a valid design (pragmas
+    /// applied, achieved II, per-loop cycles) — the information Vitis HLS's
+    /// loop table exposes, useful for explaining *why* a design is fast or
+    /// slow.
+    ///
+    /// Returns `None` for invalid configurations.
+    pub fn report(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Option<Vec<LoopReport>> {
+        let canonical = rules::canonicalize(kernel, space, point);
+        if self.check_validity(kernel, space, &canonical) != Validity::Valid {
+            return None;
+        }
+        let plan = plan_memory(kernel, space, &canonical);
+        let (_, reports) = kernel_cycles_with_report(kernel, space, &canonical, &plan);
+        Some(reports)
+    }
+
+    /// Evaluates a design point: validity, cycles, resources, utilization
+    /// and the modelled toolchain wall-clock.
+    ///
+    /// The point is canonicalized first (pragmas under an `fg` pipeline are
+    /// ignored), matching the real tool's behaviour.
+    pub fn evaluate(&self, kernel: &Kernel, space: &DesignSpace, point: &DesignPoint) -> HlsResult {
+        let canonical = rules::canonicalize(kernel, space, point);
+        let validity = self.check_validity(kernel, space, &canonical);
+        let instances = total_op_instances(kernel, space, &canonical);
+
+        match validity {
+            Validity::Valid => {
+                let plan = plan_memory(kernel, space, &canonical);
+                let raw_cycles = kernel_cycles(kernel, space, &canonical, &plan);
+                let cycles = apply_tool_noise(kernel.name(), &canonical, raw_cycles);
+                let counts = kernel_resources(kernel, space, &canonical, &plan);
+                let util = counts.utilization(&self.fpga);
+                let synth_minutes = synth_minutes(instances, plan.total_brams(), &counts);
+                HlsResult { validity, cycles, counts, util, synth_minutes }
+            }
+            Validity::Timeout => HlsResult {
+                validity,
+                cycles: 0,
+                counts: ResourceCounts::default(),
+                util: Utilization::default(),
+                synth_minutes: TIMEOUT_MINUTES,
+            },
+            Validity::Refused | Validity::MerlinError => HlsResult {
+                validity,
+                cycles: 0,
+                counts: ResourceCounts::default(),
+                util: Utilization::default(),
+                synth_minutes: 10.0,
+            },
+        }
+    }
+}
+
+/// Modelled synthesis wall-clock in minutes, growing with design complexity:
+/// replicated operators dominate HLS scheduling time, while huge netlists
+/// (DSP/LUT counts several times the device) stall logic synthesis.
+fn synth_minutes(op_instances: u64, brams: u64, counts: &ResourceCounts) -> f64 {
+    (3.0
+        + op_instances as f64 / 600.0
+        + brams as f64 / 50.0
+        + counts.dsp as f64 / 200.0
+        + counts.lut as f64 / 40_000.0)
+        .min(TIMEOUT_MINUTES)
+}
+
+/// Deterministic +/-4% jitter emulating tool heuristics (placement luck,
+/// scheduling tie-breaks) that no analytical model captures.
+fn apply_tool_noise(kernel: &str, point: &DesignPoint, cycles: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in kernel.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    for v in point.values() {
+        let tag = format!("{v}");
+        for b in tag.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    let jitter = (h % 81) as i64 - 40; // in [-40, 40] per-mille
+    let adjusted = cycles as i64 + (cycles as i64 * jitter) / 1000;
+    adjusted.max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_space::PragmaValue;
+    use hls_ir::{kernels, PragmaKind};
+
+    #[test]
+    fn default_points_are_valid_for_all_kernels() {
+        let sim = MerlinSimulator::new();
+        for k in kernels::all_kernels() {
+            let space = DesignSpace::from_kernel(&k);
+            let r = sim.evaluate(&k, &space, &space.default_point());
+            assert!(r.is_valid(), "{} default invalid: {:?}", k.name(), r.validity);
+            assert!(r.cycles > 0);
+            assert!(r.util.fits(0.8), "{} default should fit easily", k.name());
+        }
+    }
+
+    #[test]
+    fn fg_over_variable_bound_is_merlin_error() {
+        let k = kernels::spmv_crs();
+        let space = DesignSpace::from_kernel(&k);
+        let l0 = k.loop_by_label("L0").unwrap();
+        let mut p = space.default_point();
+        p.set_value(
+            space.slot_index(l0, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(PipelineOpt::Fine),
+        );
+        let sim = MerlinSimulator::new();
+        assert_eq!(sim.evaluate(&k, &space, &p).validity, Validity::MerlinError);
+    }
+
+    #[test]
+    fn excessive_unroll_times_out() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let mut p = space.default_point();
+        for label in ["L0", "L1", "L2"] {
+            let id = k.loop_by_label(label).unwrap();
+            p.set_value(
+                space.slot_index(id, PragmaKind::Parallel).unwrap(),
+                PragmaValue::Parallel(64),
+            );
+        }
+        let sim = MerlinSimulator::new();
+        let r = sim.evaluate(&k, &space, &p);
+        assert!(
+            matches!(r.validity, Validity::Timeout | Validity::Refused),
+            "64^3-way replication must not synthesize: {:?}",
+            r.validity
+        );
+        assert!(!r.is_valid());
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn loop_report_covers_every_loop() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut p = space.default_point();
+        let l1 = k.loop_by_label("L1").unwrap();
+        p.set_value(
+            space.slot_index(l1, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(PipelineOpt::Fine),
+        );
+        let report = sim.report(&k, &space, &p).expect("valid design");
+        // fg on L1 swallows L2 into its unrolled body, so L2 has no row; L0
+        // and L1 do.
+        let labels: Vec<&str> = report.iter().map(|r| r.label.as_str()).collect();
+        assert!(labels.contains(&"L0"));
+        assert!(labels.contains(&"L1"));
+        let l1_row = report.iter().find(|r| r.label == "L1").unwrap();
+        assert_eq!(l1_row.pipeline, "fg");
+        assert!(l1_row.ii >= 1);
+        // The outermost loop's cycles dominate.
+        let l0_row = report.iter().find(|r| r.label == "L0").unwrap();
+        assert!(l0_row.cycles >= l1_row.cycles);
+    }
+
+    #[test]
+    fn report_is_none_for_invalid_designs() {
+        let k = kernels::spmv_crs();
+        let space = DesignSpace::from_kernel(&k);
+        let l0 = k.loop_by_label("L0").unwrap();
+        let mut p = space.default_point();
+        p.set_value(
+            space.slot_index(l0, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(PipelineOpt::Fine),
+        );
+        assert!(MerlinSimulator::new().report(&k, &space, &p).is_none());
+    }
+
+    #[test]
+    fn valid_designs_report_synth_time() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let r = sim.evaluate(&k, &space, &space.default_point());
+        assert!(r.synth_minutes >= 3.0);
+        assert!(r.synth_minutes <= TIMEOUT_MINUTES);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let k = kernels::atax();
+        let space = DesignSpace::from_kernel(&k);
+        let p = space.point_at(space.size() - 1);
+        let sim = MerlinSimulator::new();
+        assert_eq!(sim.evaluate(&k, &space, &p), sim.evaluate(&k, &space, &p));
+    }
+
+    #[test]
+    fn pruned_points_evaluate_like_their_canonical_form() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let l0 = k.loop_by_label("L0").unwrap();
+        let l2 = k.loop_by_label("L2").unwrap();
+        let mut p = space.default_point();
+        p.set_value(
+            space.slot_index(l0, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(PipelineOpt::Fine),
+        );
+        let mut q = p.clone();
+        q.set_value(space.slot_index(l2, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(8));
+        let sim = MerlinSimulator::new();
+        assert_eq!(sim.evaluate(&k, &space, &p), sim.evaluate(&k, &space, &q));
+    }
+
+    #[test]
+    fn good_design_is_much_faster_than_default() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let base = sim.evaluate(&k, &space, &space.default_point()).cycles;
+        // A sensible expert configuration: fg-pipeline the j loop (unrolls
+        // the dot-product), parallelize i by 4.
+        let l0 = k.loop_by_label("L0").unwrap();
+        let l1 = k.loop_by_label("L1").unwrap();
+        let mut p = space.default_point();
+        p.set_value(
+            space.slot_index(l1, PragmaKind::Pipeline).unwrap(),
+            PragmaValue::Pipeline(PipelineOpt::Fine),
+        );
+        p.set_value(space.slot_index(l0, PragmaKind::Parallel).unwrap(), PragmaValue::Parallel(4));
+        let r = sim.evaluate(&k, &space, &p);
+        assert!(r.is_valid());
+        assert!(
+            r.cycles * 20 < base,
+            "expert design should be >20x faster: {} vs {}",
+            r.cycles,
+            base
+        );
+    }
+
+    #[test]
+    fn jitter_is_small_and_bounded() {
+        let base = 1_000_000u64;
+        let a = apply_tool_noise("k1", &DesignPoint::new(vec![PragmaValue::Parallel(2)]), base);
+        assert!(a >= base - base * 41 / 1000);
+        assert!(a <= base + base * 41 / 1000);
+    }
+}

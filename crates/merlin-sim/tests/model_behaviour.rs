@@ -1,0 +1,226 @@
+//! Integration tests of the cost model's qualitative behaviours — the
+//! mechanisms the GNN surrogate is expected to learn from the database.
+
+use design_space::{DesignPoint, DesignSpace, PipelineOpt, PragmaValue};
+use hls_ir::{kernels, Kernel, PragmaKind};
+use merlin_sim::{MerlinSimulator, Validity};
+
+fn with(
+    kernel: &Kernel,
+    space: &DesignSpace,
+    settings: &[(&str, PragmaKind, PragmaValue)],
+) -> DesignPoint {
+    let mut p = space.default_point();
+    for &(label, kind, value) in settings {
+        let id = kernel.loop_by_label(label).unwrap();
+        let slot = space
+            .slot_index(id, kind)
+            .unwrap_or_else(|| panic!("{label} has no {kind:?} slot"));
+        p.set_value(slot, value);
+    }
+    p
+}
+
+#[test]
+fn coarse_pipeline_overlaps_sibling_loops() {
+    // atax L1 contains two sequential inner loops (L2, L3): cg on L1 should
+    // overlap them and roughly halve the nest's latency.
+    let k = kernels::atax();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let base = sim.evaluate(&k, &space, &space.default_point()).cycles;
+    let p = with(&k, &space, &[(
+        "L1",
+        PragmaKind::Pipeline,
+        PragmaValue::Pipeline(PipelineOpt::Coarse),
+    )]);
+    let cg = sim.evaluate(&k, &space, &p).cycles;
+    let ratio = base as f64 / cg as f64;
+    assert!(
+        ratio > 1.3 && ratio < 3.0,
+        "cg should overlap the two stages (~2x): got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn deeper_parallelism_eventually_stops_helping() {
+    // gemm L2 (the reduction loop): speedup from parallel should be
+    // noticeably sublinear at the high end (memory ports / reduction tree).
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let cycles = |f: u32| {
+        let p = with(&k, &space, &[("L2", PragmaKind::Parallel, PragmaValue::Parallel(f))]);
+        sim.evaluate(&k, &space, &p).cycles as f64
+    };
+    let s8 = cycles(1) / cycles(8);
+    let s64 = cycles(1) / cycles(64);
+    assert!(s8 > 4.0, "8x unroll should give >4x: {s8:.1}");
+    assert!(s64 < 8.0 * s8, "64x unroll must be sublinear vs 8x: {s64:.1} vs {s8:.1}");
+}
+
+#[test]
+fn aes_rounds_loop_cannot_be_pipelined_away() {
+    // The AES rounds loop carries the state; pipelining it cannot approach
+    // the per-round latency bound.
+    let k = kernels::aes();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let base = sim.evaluate(&k, &space, &space.default_point()).cycles;
+    let p = with(&k, &space, &[(
+        "L0",
+        PragmaKind::Pipeline,
+        PragmaValue::Pipeline(PipelineOpt::Coarse),
+    )]);
+    let piped = sim.evaluate(&k, &space, &p).cycles;
+    assert!(
+        piped as f64 > base as f64 * 0.5,
+        "serial rounds loop should see <2x from pipelining: {piped} vs {base}"
+    );
+}
+
+#[test]
+fn every_kernel_has_a_design_beating_default_by_10x() {
+    // The optimization headroom the whole paper is about: for each kernel
+    // there must exist a configuration much faster than no-pragmas
+    // (found here by a short greedy probe over single-pragma options).
+    let sim = MerlinSimulator::new();
+    for k in kernels::all_kernels() {
+        if k.name() == "aes" || k.name() == "nw" {
+            // Fully serial kernels have bounded headroom; skip.
+            continue;
+        }
+        let space = DesignSpace::from_kernel(&k);
+        let base = sim.evaluate(&k, &space, &space.default_point()).cycles;
+        let mut best = base;
+        let mut current = space.default_point();
+        for pass in 0..2 {
+            let _ = pass;
+            for si in 0..space.num_slots() {
+                let mut best_here = current.clone();
+                for &opt in &space.slots()[si].options {
+                    let cand = current.with_value(si, opt);
+                    let r = sim.evaluate(&k, &space, &cand);
+                    if r.is_valid() && r.util.fits(0.8) && r.cycles < best {
+                        best = r.cycles;
+                        best_here = cand;
+                    }
+                }
+                current = best_here;
+            }
+        }
+        assert!(
+            best * 10 <= base,
+            "{}: expected >10x headroom, best {} vs base {}",
+            k.name(),
+            best,
+            base
+        );
+    }
+}
+
+#[test]
+fn utilization_is_monotone_in_parallel_factor() {
+    let k = kernels::mvt();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let mut last = 0.0f64;
+    for f in [1u32, 2, 5, 10, 25] {
+        let p = with(&k, &space, &[("L1", PragmaKind::Parallel, PragmaValue::Parallel(f))]);
+        let r = sim.evaluate(&k, &space, &p);
+        assert!(r.is_valid(), "factor {f}");
+        assert!(r.util.dsp >= last, "DSP util must not shrink with unroll");
+        last = r.util.dsp;
+    }
+}
+
+#[test]
+fn synth_time_grows_with_complexity() {
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let small = sim.evaluate(&k, &space, &space.default_point()).synth_minutes;
+    let p = with(&k, &space, &[("L1", PragmaKind::Parallel, PragmaValue::Parallel(16))]);
+    let big = sim.evaluate(&k, &space, &p).synth_minutes;
+    assert!(big > small, "16x replication must synthesize slower: {big} vs {small}");
+}
+
+#[test]
+fn invalid_kinds_are_distinguished() {
+    let sim = MerlinSimulator::new();
+    // MerlinError: fg over a data-dependent bound (spmv-crs L0).
+    let k = kernels::spmv_crs();
+    let space = DesignSpace::from_kernel(&k);
+    let p = with(&k, &space, &[(
+        "L0",
+        PragmaKind::Pipeline,
+        PragmaValue::Pipeline(PipelineOpt::Fine),
+    )]);
+    assert_eq!(sim.evaluate(&k, &space, &p).validity, Validity::MerlinError);
+
+    // Timeout: replicate everything in gemm.
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let p = with(
+        &k,
+        &space,
+        &[
+            ("L0", PragmaKind::Parallel, PragmaValue::Parallel(64)),
+            ("L1", PragmaKind::Parallel, PragmaValue::Parallel(64)),
+            ("L2", PragmaKind::Parallel, PragmaValue::Parallel(64)),
+        ],
+    );
+    assert!(matches!(
+        sim.evaluate(&k, &space, &p).validity,
+        Validity::Timeout | Validity::Refused
+    ));
+}
+
+#[test]
+fn spmv_formats_behave_differently_under_fg() {
+    // The same "fg the row loop" decision is a MerlinError on CRS (variable
+    // inner bound) but legal on ELLPACK (padded, static bound) — a
+    // program-semantics distinction only context-aware models can learn.
+    let sim = MerlinSimulator::new();
+
+    let crs = kernels::spmv_crs();
+    let crs_space = DesignSpace::from_kernel(&crs);
+    let p = with(&crs, &crs_space, &[(
+        "L0",
+        PragmaKind::Pipeline,
+        PragmaValue::Pipeline(PipelineOpt::Fine),
+    )]);
+    assert!(!sim.evaluate(&crs, &crs_space, &p).is_valid());
+
+    let ell = kernels::spmv_ellpack();
+    let ell_space = DesignSpace::from_kernel(&ell);
+    let q = with(&ell, &ell_space, &[(
+        "L0",
+        PragmaKind::Pipeline,
+        PragmaValue::Pipeline(PipelineOpt::Fine),
+    )]);
+    assert!(sim.evaluate(&ell, &ell_space, &q).is_valid());
+}
+
+#[test]
+fn smaller_fpga_rejects_designs_that_fit_the_big_one() {
+    use merlin_sim::Fpga;
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let big = MerlinSimulator::new();
+    let small = MerlinSimulator::with_fpga(Fpga::zu7ev());
+    let p = with(
+        &k,
+        &space,
+        &[
+            ("L1", PragmaKind::Parallel, PragmaValue::Parallel(16)),
+            ("L2", PragmaKind::Parallel, PragmaValue::Parallel(64)),
+        ],
+    );
+    let rb = big.evaluate(&k, &space, &p);
+    let rs = small.evaluate(&k, &space, &p);
+    assert!(rb.is_valid() && rs.is_valid(), "synthesis succeeds on both");
+    assert!(rb.util.fits(0.8), "fits the VCU1525");
+    assert!(!rs.util.fits(0.8), "does not fit the edge device");
+    assert_eq!(rb.cycles, rs.cycles, "latency is target-independent");
+}

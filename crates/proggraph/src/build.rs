@@ -1,0 +1,272 @@
+//! Building the program graph from a kernel and its design space.
+//!
+//! The construction follows ProGraML extended with pragma flow (§4.2):
+//!
+//! * every function gets an `entry` instruction node; `call` edges connect a
+//!   call site to the callee's entry;
+//! * every loop becomes `icmp` / `add` / `br` instruction nodes with control
+//!   edges, a constant node feeding the trip count into the `icmp`, and one
+//!   pragma node per candidate pragma connected to the `icmp` by a pragma
+//!   edge whose `position` encodes the pragma kind;
+//! * every statement expands into `load` -> compute -> `store` instruction
+//!   chains with data edges to per-array variable nodes.
+
+use crate::graph::ProgramGraph;
+use crate::node::{Edge, Flow, Node};
+use design_space::DesignSpace;
+use hls_ir::{BodyItem, Kernel, Loop, Statement};
+use std::collections::HashMap;
+
+/// Cap on instruction nodes generated per op kind of one statement (keeps
+/// graphs compact while preserving the op mix signal).
+const MAX_NODES_PER_OP_KIND: u32 = 3;
+
+struct Builder<'a> {
+    kernel: &'a Kernel,
+    space: &'a DesignSpace,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Variable node per array.
+    array_vars: Vec<usize>,
+    /// Entry node per function name.
+    entries: HashMap<String, usize>,
+}
+
+impl<'a> Builder<'a> {
+    fn add_node(&mut self, n: Node) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    fn add_edge(&mut self, src: usize, dst: usize, flow: Flow, position: u32) {
+        self.edges.push(Edge { src, dst, flow, position, reversed: false });
+    }
+
+    fn build(mut self) -> ProgramGraph {
+        // One variable node per array, typed by its element.
+        for arr in self.kernel.arrays() {
+            let id = self.add_node(Node::variable(arr.elem().llvm_name(), 0, 0));
+            self.array_vars.push(id);
+        }
+        // Entry nodes for all functions (top = function 0).
+        let mut fnames: Vec<String> =
+            self.kernel.functions().iter().map(|f| f.name().to_string()).collect();
+        // Keep the top function first for stable function ids.
+        let top = self.kernel.top_function().name().to_string();
+        fnames.retain(|n| n != &top);
+        fnames.insert(0, top);
+        for (fi, name) in fnames.iter().enumerate() {
+            let id = self.add_node(Node::instruction("entry", 0, fi as u32));
+            self.entries.insert(name.clone(), id);
+        }
+        // Bodies.
+        for (fi, name) in fnames.iter().enumerate() {
+            let f = self.kernel.function(name).expect("function exists");
+            let entry = self.entries[name];
+            let body: Vec<BodyItem> = f.body().to_vec();
+            self.walk_items(&body, entry, 0, fi as u32);
+        }
+        ProgramGraph::new(self.kernel.name().to_string(), self.nodes, self.edges)
+    }
+
+    /// Walks body items, chaining control flow from `prev`; returns the last
+    /// control node.
+    fn walk_items(&mut self, items: &[BodyItem], mut prev: usize, block: u32, func: u32) -> usize {
+        for item in items {
+            match item {
+                BodyItem::Loop(l) => prev = self.walk_loop(l, prev, func),
+                BodyItem::Stmt(s) => prev = self.walk_stmt(s, prev, block, func),
+                BodyItem::Call(callee) => {
+                    let call = self.add_node(Node::instruction("call", block, func));
+                    self.add_edge(prev, call, Flow::Control, 0);
+                    let callee_entry = self.entries[callee];
+                    self.add_edge(call, callee_entry, Flow::Call, 0);
+                    prev = call;
+                }
+            }
+        }
+        prev
+    }
+
+    fn walk_loop(&mut self, l: &Loop, prev: usize, func: u32) -> usize {
+        let id = self.kernel.loop_by_label(l.label()).expect("indexed loop");
+        let block = id.0 as u32 + 1;
+
+        let icmp = self.add_node(Node::instruction("icmp", block, func));
+        self.add_edge(prev, icmp, Flow::Control, 0);
+
+        // Trip count feeds the comparison.
+        let trip = self.add_node(Node::constant(l.trip_count(), block, func));
+        self.add_edge(trip, icmp, Flow::Data, 0);
+
+        // Candidate pragma placeholders connect to the icmp; the edge
+        // position is the pragma kind (tile=0, pipeline=1, parallel=2).
+        for &kind in l.candidate_pragmas() {
+            let slot = self
+                .space
+                .slot_index(id, kind)
+                .expect("slot exists for declared candidate pragma");
+            let p = self.add_node(Node::pragma(kind.key_text(), slot, block, func));
+            self.add_edge(p, icmp, Flow::Pragma, kind.position());
+        }
+
+        // Body, then induction increment and back-edge branch.
+        let body_last = self.walk_items(l.body(), icmp, block, func);
+        let add = self.add_node(Node::instruction("add", block, func));
+        self.add_edge(body_last, add, Flow::Control, 0);
+        let br = self.add_node(Node::instruction("br", block, func));
+        self.add_edge(add, br, Flow::Control, 0);
+        self.add_edge(br, icmp, Flow::Control, 1); // back edge
+        br
+    }
+
+    fn walk_stmt(&mut self, s: &Statement, prev: usize, block: u32, func: u32) -> usize {
+        let mut cur = prev;
+        let mut data_sources = Vec::new();
+
+        // Loads.
+        for (pos, access) in s.accesses().iter().filter(|a| !a.write).enumerate() {
+            let load = self.add_node(Node::instruction("load", block, func));
+            self.add_edge(cur, load, Flow::Control, 0);
+            let var = self.array_vars[access.array.0];
+            self.add_edge(var, load, Flow::Data, pos as u32);
+            data_sources.push(load);
+            cur = load;
+        }
+
+        // Compute ops, one instruction node per op (capped per kind).
+        let ops = s.ops();
+        let kinds: [(&str, u32); 7] = [
+            ("fmul", ops.fmul),
+            ("fadd", ops.fadd),
+            ("fdiv", ops.fdiv),
+            ("mul", ops.imul),
+            ("add", ops.iadd),
+            ("cmp", ops.cmp),
+            ("xor", ops.logic),
+        ];
+        for (key, count) in kinds {
+            for _ in 0..count.min(MAX_NODES_PER_OP_KIND) {
+                let op = self.add_node(Node::instruction(key, block, func));
+                self.add_edge(cur, op, Flow::Control, 0);
+                for (pos, &src) in data_sources.iter().enumerate().take(2) {
+                    self.add_edge(src, op, Flow::Data, pos as u32);
+                }
+                cur = op;
+            }
+        }
+
+        // Stores.
+        for access in s.accesses().iter().filter(|a| a.write) {
+            let store = self.add_node(Node::instruction("store", block, func));
+            self.add_edge(cur, store, Flow::Control, 0);
+            let var = self.array_vars[access.array.0];
+            self.add_edge(store, var, Flow::Data, 0);
+            cur = store;
+        }
+        cur
+    }
+}
+
+/// Builds the program graph of `kernel` with pragma placeholder nodes wired
+/// to the slots of `space`.
+///
+/// The graph is *design-point independent*: only the pragma nodes' fill
+/// values (applied at feature-encoding time) differ between configurations —
+/// exactly the property §4.2 describes.
+pub fn build_graph(kernel: &Kernel, space: &DesignSpace) -> ProgramGraph {
+    let builder = Builder {
+        kernel,
+        space,
+        nodes: Vec::new(),
+        edges: Vec::new(),
+        array_vars: Vec::new(),
+        entries: HashMap::new(),
+    };
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+    use hls_ir::kernels;
+
+    #[test]
+    fn pragma_nodes_match_slots() {
+        for k in kernels::all_kernels() {
+            let space = DesignSpace::from_kernel(&k);
+            let g = build_graph(&k, &space);
+            let n_pragma = g.nodes().iter().filter(|n| n.kind == NodeKind::Pragma).count();
+            assert_eq!(n_pragma, space.num_slots(), "kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn one_icmp_per_loop() {
+        let k = kernels::gemm_blocked();
+        let space = DesignSpace::from_kernel(&k);
+        let g = build_graph(&k, &space);
+        let n_icmp = g.nodes().iter().filter(|n| n.key_text == "icmp").count();
+        assert_eq!(n_icmp, k.loops().len());
+    }
+
+    #[test]
+    fn pragma_edges_point_to_icmp_with_kind_position() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let g = build_graph(&k, &space);
+        for e in g.edges().iter().filter(|e| e.flow == Flow::Pragma && !e.reversed) {
+            assert_eq!(g.nodes()[e.dst].key_text, "icmp");
+            assert_eq!(g.nodes()[e.src].kind, NodeKind::Pragma);
+            assert!(e.position <= 2);
+        }
+        let n_pragma_edges =
+            g.edges().iter().filter(|e| e.flow == Flow::Pragma && !e.reversed).count();
+        assert_eq!(n_pragma_edges, 7);
+    }
+
+    #[test]
+    fn call_flow_present_for_aes() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let g = build_graph(&k, &space);
+        assert!(g.edges().iter().any(|e| e.flow == Flow::Call));
+        // Two functions => two entries.
+        let entries = g.nodes().iter().filter(|n| n.key_text == "entry").count();
+        assert_eq!(entries, 2);
+    }
+
+    #[test]
+    fn all_four_flows_present() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let g = build_graph(&k, &space);
+        for flow in [Flow::Control, Flow::Data, Flow::Call, Flow::Pragma] {
+            assert!(
+                g.edges().iter().any(|e| e.flow == flow),
+                "missing {flow:?} edges"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let a = build_graph(&k, &space);
+        let b = build_graph(&k, &space);
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn graphs_are_compact() {
+        for k in kernels::all_kernels() {
+            let space = DesignSpace::from_kernel(&k);
+            let g = build_graph(&k, &space);
+            assert!(g.num_nodes() >= 10, "{} too small", k.name());
+            assert!(g.num_nodes() <= 300, "{} too large: {}", k.name(), g.num_nodes());
+        }
+    }
+}

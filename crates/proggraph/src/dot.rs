@@ -1,0 +1,139 @@
+//! Graphviz DOT export, color-coded like Fig. 1(b): blue instructions, red
+//! variables/constants, purple pragma boxes; edge colors by flow.
+
+use crate::graph::ProgramGraph;
+use crate::node::{Flow, NodeKind};
+use std::fmt::Write as _;
+
+/// Options for the DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Per-node attention scores (e.g. from the trained M7 model); when
+    /// given, node sizes scale with attention like Fig. 5.
+    pub attention: Option<Vec<f64>>,
+    /// Skip the mirrored reverse edges (recommended; they only exist for
+    /// message passing).
+    pub skip_reverse_edges: bool,
+}
+
+/// Renders the graph as a Graphviz `digraph`.
+///
+/// # Panics
+///
+/// Panics if `attention` is given with a length different from the node
+/// count.
+pub fn to_dot(graph: &ProgramGraph, opts: &DotOptions) -> String {
+    if let Some(att) = &opts.attention {
+        assert_eq!(att.len(), graph.num_nodes(), "one attention score per node");
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.kernel_name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    let max_att = opts
+        .attention
+        .as_ref()
+        .map(|a| a.iter().copied().fold(f64::MIN, f64::max).max(1e-12));
+
+    for (i, n) in graph.nodes().iter().enumerate() {
+        let (shape, color) = match n.kind {
+            NodeKind::Instruction => ("ellipse", "#4a7fb5"),
+            NodeKind::Variable => ("diamond", "#c0504d"),
+            NodeKind::Constant => ("diamond", "#d99694"),
+            NodeKind::Pragma => ("box", "#8064a2"),
+        };
+        let label = match n.value {
+            Some(v) => format!("{} {v}", n.key_text),
+            None => n.key_text.clone(),
+        };
+        let size = match (&opts.attention, max_att) {
+            (Some(att), Some(m)) => 0.4 + 1.2 * (att[i] / m),
+            _ => 0.6,
+        };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{label}\", shape={shape}, style=filled, fillcolor=\"{color}\", \
+             fontcolor=white, width={size:.2}, height={size:.2}];"
+        );
+    }
+
+    for e in graph.edges() {
+        if opts.skip_reverse_edges && e.reversed {
+            continue;
+        }
+        let color = match e.flow {
+            Flow::Control => "#4a7fb5",
+            Flow::Data => "#c0504d",
+            Flow::Call => "#77933c",
+            Flow::Pragma => "#8064a2",
+        };
+        let label = if e.position > 0 { format!(" [label=\"{}\"]", e.position) } else { String::new() };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [color=\"{color}\"{}];",
+            e.src,
+            e.dst,
+            if label.is_empty() {
+                String::new()
+            } else {
+                format!(", label=\"{}\"", e.position)
+            }
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_graph_bidirectional;
+    use design_space::DesignSpace;
+    use hls_ir::kernels;
+
+    fn toy_graph() -> ProgramGraph {
+        let k = kernels::toy();
+        let space = DesignSpace::from_kernel(&k);
+        build_graph_bidirectional(&k, &space)
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_forward_edges() {
+        let g = toy_graph();
+        let dot = to_dot(&g, &DotOptions { skip_reverse_edges: true, ..Default::default() });
+        assert!(dot.starts_with("digraph \"toy\""));
+        for i in 0..g.num_nodes() {
+            assert!(dot.contains(&format!("n{i} [")), "node {i} missing");
+        }
+        let arrow_count = dot.matches(" -> ").count();
+        assert_eq!(arrow_count, g.num_edges() / 2, "forward edges only");
+    }
+
+    #[test]
+    fn pragma_nodes_render_as_boxes() {
+        let g = toy_graph();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("PIPELINE"));
+        assert!(dot.contains("shape=box"));
+    }
+
+    #[test]
+    fn attention_scales_node_sizes() {
+        let g = toy_graph();
+        let mut att = vec![0.01; g.num_nodes()];
+        att[0] = 0.9;
+        let dot = to_dot(
+            &g,
+            &DotOptions { attention: Some(att), skip_reverse_edges: true },
+        );
+        assert!(dot.contains("width=1.60"), "top-attention node gets the max size");
+    }
+
+    #[test]
+    #[should_panic(expected = "one attention score per node")]
+    fn wrong_attention_length_panics() {
+        let g = toy_graph();
+        let _ = to_dot(&g, &DotOptions { attention: Some(vec![0.5; 2]), skip_reverse_edges: false });
+    }
+}

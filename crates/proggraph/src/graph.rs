@@ -1,0 +1,137 @@
+//! The program graph container.
+
+use crate::node::{Edge, Node};
+use serde::{Deserialize, Serialize};
+
+/// A ProGraML-style program graph extended with pragma nodes.
+///
+/// Edges are directed. [`ProgramGraph::add_reverse_edges`] appends a
+/// mirrored copy of every edge (marked `reversed`) so that GNN message
+/// passing reaches both endpoints — this is done once at build time by
+/// [`crate::build_graph_bidirectional`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramGraph {
+    kernel: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl ProgramGraph {
+    /// Creates a graph from parts (used by the builder).
+    pub(crate) fn new(kernel: String, nodes: Vec<Node>, edges: Vec<Edge>) -> Self {
+        Self { kernel, nodes, edges }
+    }
+
+    /// Name of the kernel this graph represents.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Indices of the pragma nodes, with their design-space slot.
+    pub fn pragma_nodes(&self) -> Vec<(usize, usize)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.pragma_slot.map(|s| (i, s)))
+            .collect()
+    }
+
+    /// Appends a mirrored (reversed) copy of every edge.
+    ///
+    /// Idempotent: calling it twice is an error guarded by an assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reverse edges were already added.
+    pub fn add_reverse_edges(&mut self) {
+        assert!(
+            self.edges.iter().all(|e| !e.reversed),
+            "reverse edges already present"
+        );
+        let mirrored: Vec<Edge> = self
+            .edges
+            .iter()
+            .map(|e| Edge { src: e.dst, dst: e.src, flow: e.flow, position: e.position, reversed: true })
+            .collect();
+        self.edges.extend(mirrored);
+    }
+
+    /// Edge source indices (for gather).
+    pub fn edge_sources(&self) -> Vec<usize> {
+        self.edges.iter().map(|e| e.src).collect()
+    }
+
+    /// Edge destination indices (for scatter / attention segments).
+    pub fn edge_destinations(&self) -> Vec<usize> {
+        self.edges.iter().map(|e| e.dst).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build_graph;
+    use design_space::DesignSpace;
+    use hls_ir::kernels;
+
+    #[test]
+    fn reverse_edges_double_the_count() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let mut g = build_graph(&k, &space);
+        let before = g.num_edges();
+        g.add_reverse_edges();
+        assert_eq!(g.num_edges(), 2 * before);
+        assert_eq!(g.edges().iter().filter(|e| e.reversed).count(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_reverse_panics() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let mut g = build_graph(&k, &space);
+        g.add_reverse_edges();
+        g.add_reverse_edges();
+    }
+
+    #[test]
+    fn pragma_nodes_report_slots() {
+        let k = kernels::atax();
+        let space = DesignSpace::from_kernel(&k);
+        let g = build_graph(&k, &space);
+        let mut slots: Vec<usize> = g.pragma_nodes().iter().map(|&(_, s)| s).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..space.num_slots()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn edge_index_vectors_align() {
+        let k = kernels::nw();
+        let space = DesignSpace::from_kernel(&k);
+        let g = build_graph(&k, &space);
+        assert_eq!(g.edge_sources().len(), g.num_edges());
+        assert_eq!(g.edge_destinations().len(), g.num_edges());
+        assert!(g.edge_sources().iter().all(|&s| s < g.num_nodes()));
+        assert!(g.edge_destinations().iter().all(|&d| d < g.num_nodes()));
+    }
+}

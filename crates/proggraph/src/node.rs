@@ -1,0 +1,168 @@
+//! Graph elements: nodes, edges, and their attribute schema (§4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Node type, encoded as attribute `type` in the paper:
+/// `0: instruction, 1: variable, 2: constant value, 3: pragma`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// LLVM instruction (control-flow carrying).
+    Instruction,
+    /// Variable (operand) node.
+    Variable,
+    /// Constant value node.
+    Constant,
+    /// Pragma placeholder node.
+    Pragma,
+}
+
+impl NodeKind {
+    /// The paper's numeric `type` attribute.
+    pub fn type_id(self) -> u32 {
+        match self {
+            NodeKind::Instruction => 0,
+            NodeKind::Variable => 1,
+            NodeKind::Constant => 2,
+            NodeKind::Pragma => 3,
+        }
+    }
+}
+
+/// Edge flow type, encoded as attribute `flow`:
+/// `0: control, 1: data, 2: call, 3: pragma`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Flow {
+    /// Control flow between instructions.
+    Control,
+    /// Data flow through variables/constants.
+    Data,
+    /// Call flow into a function's entry.
+    Call,
+    /// Pragma attachment to a loop's `icmp`.
+    Pragma,
+}
+
+impl Flow {
+    /// The paper's numeric `flow` attribute.
+    pub fn flow_id(self) -> u32 {
+        match self {
+            Flow::Control => 0,
+            Flow::Data => 1,
+            Flow::Call => 2,
+            Flow::Pragma => 3,
+        }
+    }
+}
+
+/// A node with the paper's attribute set:
+/// `{'block': .., 'key_text': .., 'function': .., 'type': ..}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node type.
+    pub kind: NodeKind,
+    /// Key task keyword (`icmp`, `load`, `PIPELINE`, `i32`, ...).
+    pub key_text: String,
+    /// Basic-block id (the loop's block for loop-nested nodes).
+    pub block: u32,
+    /// Function id (0 = top).
+    pub function: u32,
+    /// For pragma nodes: the design-space slot this node stands for.
+    pub pragma_slot: Option<usize>,
+    /// For constant nodes: the constant's value.
+    pub value: Option<u64>,
+}
+
+impl Node {
+    /// Creates an instruction node.
+    pub fn instruction(key: &str, block: u32, function: u32) -> Self {
+        Self {
+            kind: NodeKind::Instruction,
+            key_text: key.to_string(),
+            block,
+            function,
+            pragma_slot: None,
+            value: None,
+        }
+    }
+
+    /// Creates a variable node.
+    pub fn variable(key: &str, block: u32, function: u32) -> Self {
+        Self {
+            kind: NodeKind::Variable,
+            key_text: key.to_string(),
+            block,
+            function,
+            pragma_slot: None,
+            value: None,
+        }
+    }
+
+    /// Creates a constant node carrying `value`.
+    pub fn constant(value: u64, block: u32, function: u32) -> Self {
+        Self {
+            kind: NodeKind::Constant,
+            key_text: "const".to_string(),
+            block,
+            function,
+            pragma_slot: None,
+            value: Some(value),
+        }
+    }
+
+    /// Creates a pragma placeholder node for design-space slot `slot`.
+    pub fn pragma(key: &str, slot: usize, block: u32, function: u32) -> Self {
+        Self {
+            kind: NodeKind::Pragma,
+            key_text: key.to_string(),
+            block,
+            function,
+            pragma_slot: Some(slot),
+            value: None,
+        }
+    }
+}
+
+/// A directed edge with the paper's `{'flow': .., 'position': ..}` attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Flow type.
+    pub flow: Flow,
+    /// Ordering / pragma-kind position.
+    pub position: u32,
+    /// Whether this is a mirrored (reverse-direction) copy added so message
+    /// passing reaches both endpoints.
+    pub reversed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_ids_match_paper_table() {
+        assert_eq!(NodeKind::Instruction.type_id(), 0);
+        assert_eq!(NodeKind::Variable.type_id(), 1);
+        assert_eq!(NodeKind::Constant.type_id(), 2);
+        assert_eq!(NodeKind::Pragma.type_id(), 3);
+    }
+
+    #[test]
+    fn flow_ids_match_paper_table() {
+        assert_eq!(Flow::Control.flow_id(), 0);
+        assert_eq!(Flow::Data.flow_id(), 1);
+        assert_eq!(Flow::Call.flow_id(), 2);
+        assert_eq!(Flow::Pragma.flow_id(), 3);
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Node::instruction("icmp", 1, 0).kind, NodeKind::Instruction);
+        assert_eq!(Node::variable("i32", 0, 0).kind, NodeKind::Variable);
+        assert_eq!(Node::constant(64, 0, 0).value, Some(64));
+        assert_eq!(Node::pragma("PIPELINE", 2, 1, 0).pragma_slot, Some(2));
+    }
+}

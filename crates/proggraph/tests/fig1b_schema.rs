@@ -1,0 +1,78 @@
+//! Schema test against the paper's Fig. 1(b): the graph of the Code 1 toy
+//! kernel must contain exactly the node/edge structure the figure shows.
+
+use design_space::DesignSpace;
+use hls_ir::kernels;
+use proggraph::{build_graph, Flow, NodeKind};
+
+#[test]
+fn toy_graph_matches_fig_1b() {
+    let k = kernels::toy();
+    let space = DesignSpace::from_kernel(&k);
+    let g = build_graph(&k, &space);
+
+    // Two pragma nodes: PIPELINE and PARALLEL.
+    let pragmas: Vec<_> = g
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.kind == NodeKind::Pragma)
+        .collect();
+    assert_eq!(pragmas.len(), 2);
+    let keys: Vec<&str> = pragmas.iter().map(|(_, n)| n.key_text.as_str()).collect();
+    assert!(keys.contains(&"PIPELINE"));
+    assert!(keys.contains(&"PARALLEL"));
+
+    // Both connect to the loop's icmp node via pragma-flow edges, with
+    // distinct positions (the numbered edges of Fig. 1b).
+    let icmp = g
+        .nodes()
+        .iter()
+        .position(|n| n.key_text == "icmp")
+        .expect("one icmp for the single loop");
+    let pragma_edges: Vec<_> = g
+        .edges()
+        .iter()
+        .filter(|e| e.flow == Flow::Pragma && !e.reversed)
+        .collect();
+    assert_eq!(pragma_edges.len(), 2);
+    for e in &pragma_edges {
+        assert_eq!(e.dst, icmp);
+    }
+    let mut positions: Vec<u32> = pragma_edges.iter().map(|e| e.position).collect();
+    positions.sort_unstable();
+    assert_eq!(positions, vec![1, 2], "pipeline position 1, parallel position 2");
+
+    // The data path of `input[i] += 1`: load and store instructions wired
+    // to the `i32` variable node via data edges.
+    let var = g
+        .nodes()
+        .iter()
+        .position(|n| n.kind == NodeKind::Variable && n.key_text == "i32")
+        .expect("variable node for input[]");
+    let load = g.nodes().iter().position(|n| n.key_text == "load").expect("load node");
+    let store = g.nodes().iter().position(|n| n.key_text == "store").expect("store node");
+    assert!(g
+        .edges()
+        .iter()
+        .any(|e| e.flow == Flow::Data && e.src == var && e.dst == load && !e.reversed));
+    assert!(g
+        .edges()
+        .iter()
+        .any(|e| e.flow == Flow::Data && e.src == store && e.dst == var && !e.reversed));
+
+    // The add instruction and the loop trip-count constant are present.
+    assert!(g.nodes().iter().any(|n| n.key_text == "add" && n.kind == NodeKind::Instruction));
+    assert!(g.nodes().iter().any(|n| n.kind == NodeKind::Constant && n.value == Some(64)));
+
+    // Control flow forms the loop: icmp has an incoming back-edge from `br`.
+    let br_edges: Vec<_> = g
+        .edges()
+        .iter()
+        .filter(|e| e.flow == Flow::Control && e.dst == icmp && !e.reversed)
+        .collect();
+    assert!(
+        br_edges.iter().any(|e| g.nodes()[e.src].key_text == "br"),
+        "loop back-edge from br to icmp"
+    );
+}

@@ -1,0 +1,1002 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records an eager forward computation over [`Matrix`] values.
+//! Every operation immediately computes its result and pushes a tape node;
+//! [`Graph::backward`] then walks the tape in reverse, accumulating gradients
+//! into a [`GradStore`] for the parameters that participated.
+//!
+//! The op set is exactly what graph neural networks over sparse edge lists
+//! need: dense matmul and elementwise math, plus `gather`/`scatter`,
+//! segment-softmax (per-destination attention normalization), row-dot
+//! (per-edge attention scores), column-broadcast multiply, concatenation and
+//! elementwise max over a set of tensors (Jumping Knowledge).
+
+use crate::matrix::Matrix;
+use crate::params::{GradStore, ParamId, ParamStore};
+
+/// Handle to a value recorded on a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug)]
+enum Backward {
+    /// Constant input; gradient is discarded.
+    Leaf,
+    /// Leaf tied to a trainable parameter; gradient is routed to the store.
+    Param(ParamId),
+    Matmul { a: NodeId, b: NodeId },
+    Add { a: NodeId, b: NodeId },
+    Sub { a: NodeId, b: NodeId },
+    Mul { a: NodeId, b: NodeId },
+    /// `a[N,D] * col[N,1]`, broadcasting the column across D.
+    MulColBroadcast { a: NodeId, col: NodeId },
+    /// `a[N,F] + bias[1,F]`, broadcasting the bias across rows.
+    AddBias { a: NodeId, bias: NodeId },
+    Scale { a: NodeId, k: f32 },
+    Relu { a: NodeId },
+    LeakyRelu { a: NodeId, slope: f32 },
+    Elu { a: NodeId, alpha: f32 },
+    Sigmoid { a: NodeId },
+    Tanh { a: NodeId },
+    /// `out[r] = a[idx[r]]`.
+    GatherRows { a: NodeId, idx: Vec<usize> },
+    /// `out[idx[r]] += a[r]`, output has `rows` rows.
+    ScatterAddRows { a: NodeId, idx: Vec<usize> },
+    /// Column-wise softmax within row segments.
+    SegmentSoftmax { a: NodeId, seg: Vec<usize> },
+    /// `out[r,0] = dot(a.row(r), b.row(r))`.
+    RowDot { a: NodeId, b: NodeId },
+    ConcatCols { parts: Vec<NodeId> },
+    /// Elementwise max across same-shaped tensors; `argmax` saved from forward.
+    MaxStack { parts: Vec<NodeId>, argmax: Vec<u32> },
+    /// Sum over rows: `[N,D] -> [1,D]`.
+    SumRows { a: NodeId },
+    /// Mean over rows: `[N,D] -> [1,D]`.
+    MeanRows { a: NodeId },
+    /// Row-wise layer normalization; saved stats from the forward pass.
+    LayerNorm { a: NodeId, inv_std: Vec<f32> },
+    /// Scalar mean-squared-error against a constant target.
+    MseLoss { pred: NodeId, target: Matrix },
+    /// Scalar binary-cross-entropy on logits against a constant target.
+    BceLogitsLoss { logits: NodeId, target: Matrix },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Matrix,
+    back: Backward,
+}
+
+/// A dynamically built computation graph (tape).
+///
+/// # Examples
+///
+/// Differentiate `loss = mse(x * w, y)` with respect to `w`:
+///
+/// ```
+/// use gdse_tensor::{Graph, Init, Matrix, ParamStore};
+///
+/// let mut store = ParamStore::new(0);
+/// let w = store.add("w", 2, 1, Init::XavierUniform);
+///
+/// let mut g = Graph::new();
+/// let x = g.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+/// let wv = g.param(&store, w);
+/// let pred = g.matmul(x, wv);
+/// let loss = g.mse_loss(pred, Matrix::col_vector(&[1.0, 2.0]));
+///
+/// let mut grads = store.zero_grads();
+/// g.backward(loss, &mut grads);
+/// assert_eq!(grads.grad(w).shape(), (2, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Creates an empty tape with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { nodes: Vec::with_capacity(cap) }
+    }
+
+    fn push(&mut self, value: Matrix, back: Backward) -> NodeId {
+        self.nodes.push(Node { value, back });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Number of nodes recorded on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a constant input (no gradient).
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Backward::Leaf)
+    }
+
+    /// Leafs a parameter's current value into the graph so gradients reach it.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Backward::Param(id))
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Backward::Matmul { a, b })
+    }
+
+    /// Elementwise sum of two same-shape nodes.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        self.push(v, Backward::Add { a, b })
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        self.push(v, Backward::Sub { a, b })
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        self.push(v, Backward::Mul { a, b })
+    }
+
+    /// Broadcasted product of `a: [N, D]` with a column `col: [N, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is not `[a.rows(), 1]`.
+    pub fn mul_col_broadcast(&mut self, a: NodeId, col: NodeId) -> NodeId {
+        let (av, cv) = (self.value(a), self.value(col));
+        assert_eq!(cv.shape(), (av.rows(), 1), "mul_col_broadcast: col must be [N,1]");
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            let k = cv.get(r, 0);
+            for x in v.row_mut(r) {
+                *x *= k;
+            }
+        }
+        self.push(v, Backward::MulColBroadcast { a, col })
+    }
+
+    /// Adds a `[1, F]` bias row to every row of `a: [N, F]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `[1, a.cols()]`.
+    pub fn add_bias(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let (av, bv) = (self.value(a), self.value(bias));
+        assert_eq!(bv.shape(), (1, av.cols()), "add_bias: bias must be [1,F]");
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            for (x, b) in v.row_mut(r).iter_mut().zip(bv.row(0)) {
+                *x += b;
+            }
+        }
+        self.push(v, Backward::AddBias { a, bias })
+    }
+
+    /// Multiplies every entry by the constant `k`.
+    pub fn scale(&mut self, a: NodeId, k: f32) -> NodeId {
+        let v = self.value(a).map(|x| x * k);
+        self.push(v, Backward::Scale { a, k })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Backward::Relu { a })
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: NodeId, slope: f32) -> NodeId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Backward::LeakyRelu { a, slope })
+    }
+
+    /// Exponential linear unit.
+    pub fn elu(&mut self, a: NodeId, alpha: f32) -> NodeId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        self.push(v, Backward::Elu { a, alpha })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(v, Backward::Sigmoid { a })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Backward::Tanh { a })
+    }
+
+    /// Row-wise layer normalization: each row is shifted to zero mean and
+    /// scaled to unit variance (`eps` keeps constant rows finite).
+    ///
+    /// Stabilizes deep message-passing stacks the same way LayerNorm does in
+    /// Transformers.
+    pub fn layer_norm(&mut self, a: NodeId, eps: f32) -> NodeId {
+        let av = self.value(a);
+        let mut v = av.clone();
+        let mut inv_std = Vec::with_capacity(av.rows());
+        let d = av.cols() as f32;
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let mean: f32 = row.iter().sum::<f32>() / d;
+            let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d;
+            let istd = 1.0 / (var + eps).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) * istd;
+            }
+            inv_std.push(istd);
+        }
+        self.push(v, Backward::LayerNorm { a, inv_std })
+    }
+
+    /// Gathers rows: `out[r] = a[idx[r]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&mut self, a: NodeId, idx: &[usize]) -> NodeId {
+        let av = self.value(a);
+        let mut v = Matrix::zeros(idx.len(), av.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            assert!(i < av.rows(), "gather_rows: index {i} out of {} rows", av.rows());
+            v.row_mut(r).copy_from_slice(av.row(i));
+        }
+        self.push(v, Backward::GatherRows { a, idx: idx.to_vec() })
+    }
+
+    /// Scatter-add of rows: `out[idx[r]] += a[r]`; output has `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= rows` or `idx.len() != a.rows()`.
+    pub fn scatter_add_rows(&mut self, a: NodeId, idx: &[usize], rows: usize) -> NodeId {
+        let av = self.value(a);
+        assert_eq!(idx.len(), av.rows(), "scatter_add_rows: one index per input row");
+        let mut v = Matrix::zeros(rows, av.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            assert!(i < rows, "scatter_add_rows: index {i} out of {rows} rows");
+            for (o, x) in v.row_mut(i).iter_mut().zip(av.row(r)) {
+                *o += x;
+            }
+        }
+        self.push(v, Backward::ScatterAddRows { a, idx: idx.to_vec() })
+    }
+
+    /// Column-wise softmax within row segments.
+    ///
+    /// Rows sharing `seg[r]` form one softmax group per column. This is the
+    /// attention normalization of GAT/TransformerConv when `seg` is the edge
+    /// destination array, and a global softmax when all segments are equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg.len() != a.rows()`.
+    pub fn segment_softmax(&mut self, a: NodeId, seg: &[usize]) -> NodeId {
+        let av = self.value(a);
+        assert_eq!(seg.len(), av.rows(), "segment_softmax: one segment per row");
+        let v = segment_softmax_forward(av, seg);
+        self.push(v, Backward::SegmentSoftmax { a, seg: seg.to_vec() })
+    }
+
+    /// Per-row dot product: `out[r, 0] = dot(a.row(r), b.row(r))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn row_dot(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "row_dot shape mismatch");
+        let mut v = Matrix::zeros(av.rows(), 1);
+        for r in 0..av.rows() {
+            v.set(r, 0, av.row_dot(r, bv, r));
+        }
+        self.push(v, Backward::RowDot { a, b })
+    }
+
+    /// Concatenates nodes along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        let values: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Matrix::hcat(&values);
+        self.push(v, Backward::ConcatCols { parts: parts.to_vec() })
+    }
+
+    /// Elementwise maximum across same-shaped nodes (Jumping Knowledge "max").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or shapes differ.
+    pub fn max_stack(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "max_stack requires at least one part");
+        let shape = self.value(parts[0]).shape();
+        for &p in parts {
+            assert_eq!(self.value(p).shape(), shape, "max_stack shape mismatch");
+        }
+        let mut v = self.value(parts[0]).clone();
+        let mut argmax = vec![0u32; v.len()];
+        for (pi, &p) in parts.iter().enumerate().skip(1) {
+            let pv = self.value(p);
+            // Collect winners first to avoid borrowing `v` mutably while reading `pv`.
+            let updates: Vec<(usize, f32)> = pv
+                .as_slice()
+                .iter()
+                .zip(v.as_slice())
+                .enumerate()
+                .filter(|(_, (c, m))| c > m)
+                .map(|(i, (c, _))| (i, *c))
+                .collect();
+            for (i, c) in updates {
+                v.as_mut_slice()[i] = c;
+                argmax[i] = pi as u32;
+            }
+        }
+        self.push(v, Backward::MaxStack { parts: parts.to_vec(), argmax })
+    }
+
+    /// Sums over rows: `[N, D] -> [1, D]`.
+    pub fn sum_rows(&mut self, a: NodeId) -> NodeId {
+        let av = self.value(a);
+        let mut v = Matrix::zeros(1, av.cols());
+        for r in 0..av.rows() {
+            for (o, x) in v.row_mut(0).iter_mut().zip(av.row(r)) {
+                *o += x;
+            }
+        }
+        self.push(v, Backward::SumRows { a })
+    }
+
+    /// Averages over rows: `[N, D] -> [1, D]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has no rows.
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let av = self.value(a);
+        assert!(av.rows() > 0, "mean_rows on empty matrix");
+        let n = av.rows() as f32;
+        let mut v = Matrix::zeros(1, av.cols());
+        for r in 0..av.rows() {
+            for (o, x) in v.row_mut(0).iter_mut().zip(av.row(r)) {
+                *o += x / n;
+            }
+        }
+        self.push(v, Backward::MeanRows { a })
+    }
+
+    /// Scalar mean-squared-error loss against a constant target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mse_loss(&mut self, pred: NodeId, target: Matrix) -> NodeId {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "mse_loss shape mismatch");
+        let n = pv.len() as f32;
+        let loss: f32 = pv
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f32>()
+            / n;
+        self.push(Matrix::filled(1, 1, loss), Backward::MseLoss { pred, target })
+    }
+
+    /// Scalar binary-cross-entropy loss on logits against constant 0/1 targets.
+    ///
+    /// Uses the numerically stable formulation
+    /// `max(z, 0) - z*y + ln(1 + exp(-|z|))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn bce_logits_loss(&mut self, logits: NodeId, target: Matrix) -> NodeId {
+        let zv = self.value(logits);
+        assert_eq!(zv.shape(), target.shape(), "bce_logits_loss shape mismatch");
+        let n = zv.len() as f32;
+        let loss: f32 = zv
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&z, &y)| z.max(0.0) - z * y + (-z.abs()).exp().ln_1p())
+            .sum::<f32>()
+            / n;
+        self.push(Matrix::filled(1, 1, loss), Backward::BceLogitsLoss { logits, target })
+    }
+
+    /// Runs the backward pass from `root` (typically a `1 x 1` loss),
+    /// accumulating parameter gradients into `grads`.
+    ///
+    /// Gradients of multiple `backward` calls accumulate, enabling
+    /// mini-batching across separately built graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not on this tape.
+    pub fn backward(&self, root: NodeId, grads: &mut GradStore) {
+        assert!(root.0 < self.nodes.len(), "backward root not on tape");
+        let mut adj: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        let rv = &self.nodes[root.0].value;
+        adj[root.0] = Some(Matrix::filled(rv.rows(), rv.cols(), 1.0));
+
+        for i in (0..=root.0).rev() {
+            let Some(g) = adj[i].take() else { continue };
+            match &self.nodes[i].back {
+                Backward::Leaf => {}
+                Backward::Param(pid) => grads.accumulate(*pid, &g),
+                Backward::Matmul { a, b } => {
+                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let ga = g.matmul(&bv.transpose());
+                    let gb = av.transpose().matmul(&g);
+                    accumulate(&mut adj, *a, ga);
+                    accumulate(&mut adj, *b, gb);
+                }
+                Backward::Add { a, b } => {
+                    accumulate(&mut adj, *a, g.clone());
+                    accumulate(&mut adj, *b, g);
+                }
+                Backward::Sub { a, b } => {
+                    accumulate(&mut adj, *a, g.clone());
+                    let mut gn = g;
+                    gn.scale_in_place(-1.0);
+                    accumulate(&mut adj, *b, gn);
+                }
+                Backward::Mul { a, b } => {
+                    let ga = g.zip_map(&self.nodes[b.0].value, |x, y| x * y);
+                    let gb = g.zip_map(&self.nodes[a.0].value, |x, y| x * y);
+                    accumulate(&mut adj, *a, ga);
+                    accumulate(&mut adj, *b, gb);
+                }
+                Backward::MulColBroadcast { a, col } => {
+                    let av = &self.nodes[a.0].value;
+                    let cv = &self.nodes[col.0].value;
+                    let mut ga = g.clone();
+                    for r in 0..ga.rows() {
+                        let k = cv.get(r, 0);
+                        for x in ga.row_mut(r) {
+                            *x *= k;
+                        }
+                    }
+                    let mut gc = Matrix::zeros(av.rows(), 1);
+                    for r in 0..av.rows() {
+                        let s: f32 = g.row(r).iter().zip(av.row(r)).map(|(x, y)| x * y).sum();
+                        gc.set(r, 0, s);
+                    }
+                    accumulate(&mut adj, *a, ga);
+                    accumulate(&mut adj, *col, gc);
+                }
+                Backward::AddBias { a, bias } => {
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, x) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut adj, *a, g);
+                    accumulate(&mut adj, *bias, gb);
+                }
+                Backward::Scale { a, k } => {
+                    let mut ga = g;
+                    ga.scale_in_place(*k);
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::Relu { a } => {
+                    let ga = g.zip_map(&self.nodes[a.0].value, |gy, x| if x > 0.0 { gy } else { 0.0 });
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::LeakyRelu { a, slope } => {
+                    let s = *slope;
+                    let ga = g.zip_map(&self.nodes[a.0].value, |gy, x| if x > 0.0 { gy } else { s * gy });
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::Elu { a, alpha } => {
+                    let al = *alpha;
+                    // For x <= 0 the output is alpha*(e^x - 1), so dy/dx = y + alpha.
+                    let ga = g.zip_map(&self.nodes[i].value, |gy, y| if y > 0.0 { gy } else { gy * (y + al) });
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::Sigmoid { a } => {
+                    let ga = g.zip_map(&self.nodes[i].value, |gy, y| gy * y * (1.0 - y));
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::Tanh { a } => {
+                    let ga = g.zip_map(&self.nodes[i].value, |gy, y| gy * (1.0 - y * y));
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::GatherRows { a, idx } => {
+                    let av = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(av.rows(), av.cols());
+                    for (r, &srci) in idx.iter().enumerate() {
+                        for (o, x) in ga.row_mut(srci).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::ScatterAddRows { a, idx } => {
+                    let av = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(av.rows(), av.cols());
+                    for (r, &dsti) in idx.iter().enumerate() {
+                        ga.row_mut(r).copy_from_slice(g.row(dsti));
+                    }
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::SegmentSoftmax { a, seg } => {
+                    let y = &self.nodes[i].value;
+                    let ga = segment_softmax_backward(y, &g, seg);
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::RowDot { a, b } => {
+                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let mut ga = Matrix::zeros(av.rows(), av.cols());
+                    let mut gb = Matrix::zeros(bv.rows(), bv.cols());
+                    for r in 0..av.rows() {
+                        let gr = g.get(r, 0);
+                        for c in 0..av.cols() {
+                            ga.add_at(r, c, gr * bv.get(r, c));
+                            gb.add_at(r, c, gr * av.get(r, c));
+                        }
+                    }
+                    accumulate(&mut adj, *a, ga);
+                    accumulate(&mut adj, *b, gb);
+                }
+                Backward::ConcatCols { parts } => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let pv = &self.nodes[p.0].value;
+                        let mut gp = Matrix::zeros(pv.rows(), pv.cols());
+                        for r in 0..pv.rows() {
+                            gp.row_mut(r).copy_from_slice(&g.row(r)[offset..offset + pv.cols()]);
+                        }
+                        offset += pv.cols();
+                        accumulate(&mut adj, p, gp);
+                    }
+                }
+                Backward::MaxStack { parts, argmax } => {
+                    for (pi, &p) in parts.iter().enumerate() {
+                        let pv = &self.nodes[p.0].value;
+                        let mut gp = Matrix::zeros(pv.rows(), pv.cols());
+                        for (j, (&am, &gy)) in argmax.iter().zip(g.as_slice()).enumerate() {
+                            if am as usize == pi {
+                                gp.as_mut_slice()[j] = gy;
+                            }
+                        }
+                        accumulate(&mut adj, p, gp);
+                    }
+                }
+                Backward::SumRows { a } => {
+                    let av = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(av.rows(), av.cols());
+                    for r in 0..av.rows() {
+                        ga.row_mut(r).copy_from_slice(g.row(0));
+                    }
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::MeanRows { a } => {
+                    let av = &self.nodes[a.0].value;
+                    let n = av.rows() as f32;
+                    let mut ga = Matrix::zeros(av.rows(), av.cols());
+                    for r in 0..av.rows() {
+                        for (o, x) in ga.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *o = x / n;
+                        }
+                    }
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::LayerNorm { a, inv_std } => {
+                    // dL/dx = istd * (g - mean(g) - y * mean(g * y)) per row.
+                    let y = &self.nodes[i].value;
+                    let d = y.cols() as f32;
+                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let gr = g.row(r);
+                        let yr = y.row(r);
+                        let mean_g: f32 = gr.iter().sum::<f32>() / d;
+                        let mean_gy: f32 =
+                            gr.iter().zip(yr).map(|(gi, yi)| gi * yi).sum::<f32>() / d;
+                        for (c, out) in ga.row_mut(r).iter_mut().enumerate() {
+                            *out = inv_std[r] * (gr[c] - mean_g - yr[c] * mean_gy);
+                        }
+                    }
+                    accumulate(&mut adj, *a, ga);
+                }
+                Backward::MseLoss { pred, target } => {
+                    let pv = &self.nodes[pred.0].value;
+                    let n = pv.len() as f32;
+                    let gy = g.scalar();
+                    let gp = pv.zip_map(target, |p, t| gy * 2.0 * (p - t) / n);
+                    accumulate(&mut adj, *pred, gp);
+                }
+                Backward::BceLogitsLoss { logits, target } => {
+                    let zv = &self.nodes[logits.0].value;
+                    let n = zv.len() as f32;
+                    let gy = g.scalar();
+                    let gz = zv.zip_map(target, |z, y| gy * (stable_sigmoid(z) - y) / n);
+                    accumulate(&mut adj, *logits, gz);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(adj: &mut [Option<Matrix>], id: NodeId, g: Matrix) {
+    match &mut adj[id.0] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn segment_softmax_forward(a: &Matrix, seg: &[usize]) -> Matrix {
+    let num_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
+    let cols = a.cols();
+    // Per-segment, per-column max for numerical stability.
+    let mut seg_max = Matrix::filled(num_seg, cols, f32::NEG_INFINITY);
+    for (r, &s) in seg.iter().enumerate() {
+        for c in 0..cols {
+            let v = a.get(r, c);
+            if v > seg_max.get(s, c) {
+                seg_max.set(s, c, v);
+            }
+        }
+    }
+    let mut out = Matrix::zeros(a.rows(), cols);
+    let mut seg_sum = Matrix::zeros(num_seg, cols);
+    for (r, &s) in seg.iter().enumerate() {
+        for c in 0..cols {
+            let e = (a.get(r, c) - seg_max.get(s, c)).exp();
+            out.set(r, c, e);
+            seg_sum.add_at(s, c, e);
+        }
+    }
+    for (r, &s) in seg.iter().enumerate() {
+        for c in 0..cols {
+            let denom = seg_sum.get(s, c);
+            out.set(r, c, out.get(r, c) / denom);
+        }
+    }
+    out
+}
+
+fn segment_softmax_backward(y: &Matrix, g: &Matrix, seg: &[usize]) -> Matrix {
+    let num_seg = seg.iter().copied().max().map_or(0, |m| m + 1);
+    let cols = y.cols();
+    // dot[s][c] = sum_{r in s} y[r,c] * g[r,c]
+    let mut dot = Matrix::zeros(num_seg, cols);
+    for (r, &s) in seg.iter().enumerate() {
+        for c in 0..cols {
+            dot.add_at(s, c, y.get(r, c) * g.get(r, c));
+        }
+    }
+    let mut ga = Matrix::zeros(y.rows(), cols);
+    for (r, &s) in seg.iter().enumerate() {
+        for c in 0..cols {
+            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot.get(s, c)));
+        }
+    }
+    ga
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Init;
+
+    /// Finite-difference check of d loss / d param for a builder closure.
+    fn check_grad(
+        build: impl Fn(&mut Graph, &ParamStore, ParamId) -> NodeId,
+        rows: usize,
+        cols: usize,
+        seed: u64,
+    ) {
+        let mut store = ParamStore::new(seed);
+        let w = store.add("w", rows, cols, Init::Uniform(0.8));
+
+        let mut g = Graph::new();
+        let loss = build(&mut g, &store, w);
+        let mut grads = store.zero_grads();
+        g.backward(loss, &mut grads);
+
+        let eps = 3e-3f32;
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = store.value(w).get(r, c);
+                store.value_mut(w).set(r, c, orig + eps);
+                let mut gp = Graph::new();
+                let lp = build(&mut gp, &store, w);
+                let fp = gp.value(lp).scalar();
+
+                store.value_mut(w).set(r, c, orig - eps);
+                let mut gm = Graph::new();
+                let lm = build(&mut gm, &store, w);
+                let fm = gm.value(lm).scalar();
+                store.value_mut(w).set(r, c, orig);
+
+                let numeric = (fp - fm) / (2.0 * eps);
+                let analytic = grads.grad(w).get(r, c);
+                let denom = numeric.abs().max(analytic.abs()).max(1.0);
+                assert!(
+                    (numeric - analytic).abs() / denom < 3e-2,
+                    "grad mismatch at ({r},{c}): numeric={numeric} analytic={analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul_mse() {
+        check_grad(
+            |g, store, w| {
+                let x = g.input(Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.7]]));
+                let wv = g.param(store, w);
+                let y = g.matmul(x, wv);
+                g.mse_loss(y, Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]))
+            },
+            3,
+            2,
+            11,
+        );
+    }
+
+    #[test]
+    fn grad_activations_chain() {
+        check_grad(
+            |g, store, w| {
+                let x = g.input(Matrix::from_rows(&[&[0.4, -0.8], &[1.2, 0.1]]));
+                let wv = g.param(store, w);
+                let h = g.matmul(x, wv);
+                let h = g.relu(h);
+                let h = g.elu(h, 1.0);
+                let h = g.tanh(h);
+                let h = g.sigmoid(h);
+                g.mse_loss(h, Matrix::from_rows(&[&[0.3, 0.7], &[0.9, 0.2]]))
+            },
+            2,
+            2,
+            13,
+        );
+    }
+
+    #[test]
+    fn grad_leaky_relu() {
+        check_grad(
+            |g, store, w| {
+                let wv = g.param(store, w);
+                let h = g.leaky_relu(wv, 0.2);
+                g.mse_loss(h, Matrix::from_rows(&[&[1.0, -1.0]]))
+            },
+            1,
+            2,
+            17,
+        );
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        check_grad(
+            |g, store, w| {
+                let wv = g.param(store, w);
+                let gathered = g.gather_rows(wv, &[0, 1, 1, 2]);
+                let scattered = g.scatter_add_rows(gathered, &[0, 0, 1, 1], 2);
+                g.mse_loss(scattered, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]))
+            },
+            3,
+            2,
+            19,
+        );
+    }
+
+    #[test]
+    fn grad_segment_softmax() {
+        check_grad(
+            |g, store, w| {
+                let wv = g.param(store, w);
+                let sm = g.segment_softmax(wv, &[0, 0, 1, 1, 1]);
+                g.mse_loss(
+                    sm,
+                    Matrix::from_rows(&[&[0.7], &[0.3], &[0.2], &[0.5], &[0.3]]),
+                )
+            },
+            5,
+            1,
+            23,
+        );
+    }
+
+    #[test]
+    fn grad_row_dot_and_col_broadcast() {
+        check_grad(
+            |g, store, w| {
+                let wv = g.param(store, w);
+                let other = g.input(Matrix::from_rows(&[&[0.2, 0.9, -0.4], &[1.1, -0.6, 0.8]]));
+                let dots = g.row_dot(wv, other);
+                let scaled = g.mul_col_broadcast(wv, dots);
+                g.mse_loss(scaled, Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0]]))
+            },
+            2,
+            3,
+            29,
+        );
+    }
+
+    #[test]
+    fn grad_concat_max_stack() {
+        check_grad(
+            |g, store, w| {
+                let wv = g.param(store, w);
+                let doubled = g.scale(wv, 2.0);
+                let halved = g.scale(wv, 0.5);
+                let m = g.max_stack(&[wv, doubled, halved]);
+                let cc = g.concat_cols(&[m, wv]);
+                let s = g.sum_rows(cc);
+                g.mse_loss(s, Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]))
+            },
+            3,
+            2,
+            31,
+        );
+    }
+
+    #[test]
+    fn grad_bias_and_mean_rows() {
+        check_grad(
+            |g, store, w| {
+                let x = g.input(Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.5], &[2.0, 1.0]]));
+                let b = g.param(store, w);
+                let h = g.add_bias(x, b);
+                let m = g.mean_rows(h);
+                g.mse_loss(m, Matrix::from_rows(&[&[0.0, 0.0]]))
+            },
+            1,
+            2,
+            37,
+        );
+    }
+
+    #[test]
+    fn grad_bce_logits() {
+        check_grad(
+            |g, store, w| {
+                let wv = g.param(store, w);
+                g.bce_logits_loss(wv, Matrix::from_rows(&[&[1.0, 0.0, 1.0]]))
+            },
+            1,
+            3,
+            41,
+        );
+    }
+
+    #[test]
+    fn grad_sub_mul() {
+        check_grad(
+            |g, store, w| {
+                let wv = g.param(store, w);
+                let x = g.input(Matrix::from_rows(&[&[0.3, -0.9], &[1.4, 0.2]]));
+                let d = g.sub(wv, x);
+                let p = g.mul(d, wv);
+                g.mse_loss(p, Matrix::from_rows(&[&[0.1, 0.1], &[0.1, 0.1]]))
+            },
+            2,
+            2,
+            43,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        check_grad(
+            |g, store, w| {
+                let wv = g.param(store, w);
+                let n = g.layer_norm(wv, 1e-5);
+                g.mse_loss(n, Matrix::from_rows(&[&[0.5, -0.5, 0.2], &[-0.1, 0.3, 0.9]]))
+            },
+            2,
+            3,
+            53,
+        );
+    }
+
+    #[test]
+    fn layer_norm_rows_have_zero_mean_unit_var() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[-5.0, 0.0, 5.0, 10.0]]));
+        let n = g.layer_norm(x, 1e-6);
+        let v = g.value(n);
+        for r in 0..2 {
+            let mean: f32 = v.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = v.row(r).iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_constant_row_is_finite() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::filled(1, 4, 7.0));
+        let n = g.layer_norm(x, 1e-5);
+        assert!(!g.value(n).has_non_finite());
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0], &[2.0], &[0.5], &[3.0], &[-1.0]]));
+        let sm = g.segment_softmax(x, &[0, 0, 1, 1, 1]);
+        let y = g.value(sm);
+        let s0 = y.get(0, 0) + y.get(1, 0);
+        let s1 = y.get(2, 0) + y.get(3, 0) + y.get(4, 0);
+        assert!((s0 - 1.0).abs() < 1e-6);
+        assert!((s1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_extreme_values_stable() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1000.0], &[999.0], &[-1000.0]]));
+        let sm = g.segment_softmax(x, &[0, 0, 0]);
+        assert!(!g.value(sm).has_non_finite());
+    }
+
+    #[test]
+    fn backward_accumulates_across_graphs() {
+        let mut store = ParamStore::new(5);
+        let w = store.add("w", 1, 1, Init::Zeros);
+        let mut grads = store.zero_grads();
+        for _ in 0..3 {
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let loss = g.mse_loss(wv, Matrix::filled(1, 1, 1.0));
+            g.backward(loss, &mut grads);
+        }
+        // d/dw (w-1)^2 = 2(w-1) = -2 at w=0, accumulated 3 times.
+        assert!((grads.grad(w).scalar() + 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn value_is_forward_result() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[2.0, 3.0]]));
+        let b = g.scale(a, 2.0);
+        assert_eq!(g.value(b), &Matrix::from_rows(&[&[4.0, 6.0]]));
+    }
+}

@@ -1,0 +1,225 @@
+//! First-order optimizers over a [`ParamStore`].
+//!
+//! The paper trains with Adam at a learning rate of `0.001` (§5.1); [`Adam`]
+//! reproduces the standard bias-corrected update. A plain [`Sgd`] is provided
+//! for baselines and tests.
+
+use crate::matrix::Matrix;
+use crate::params::{GradStore, ParamStore};
+
+/// Adam optimizer (Kingma & Ba, 2014) with bias correction.
+///
+/// # Examples
+///
+/// ```
+/// use gdse_tensor::{Adam, Graph, Init, Matrix, ParamStore};
+///
+/// let mut store = ParamStore::new(0);
+/// let w = store.add("w", 1, 1, Init::Zeros);
+/// let mut adam = Adam::new(0.1);
+///
+/// for _ in 0..200 {
+///     let mut g = Graph::new();
+///     let wv = g.param(&store, w);
+///     let loss = g.mse_loss(wv, Matrix::filled(1, 1, 3.0));
+///     let mut grads = store.zero_grads();
+///     g.backward(loss, &mut grads);
+///     adam.step(&mut store, &grads);
+/// }
+/// assert!((store.value(w).scalar() - 3.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given learning rate and the
+    /// standard defaults `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates an Adam optimizer with explicit momentum coefficients.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        while self.m.len() < store.len() {
+            let id = crate::params::ParamId(self.m.len());
+            let (r, c) = store.value(id).shape();
+            self.m.push(Matrix::zeros(r, c));
+            self.v.push(Matrix::zeros(r, c));
+        }
+    }
+
+    /// Applies one Adam update using the accumulated gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` was created from a store with a different layout.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        assert_eq!(grads.len(), store.len(), "grad buffer does not match store");
+        self.ensure_state(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in store.ids().collect::<Vec<_>>() {
+            let g = grads.grad(id);
+            let m = &mut self.m[id.index()];
+            let v = &mut self.v[id.index()];
+            for ((mi, vi), &gi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice().iter_mut())
+                .zip(g.as_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let value = store.value_mut(id);
+            for ((wi, &mi), &vi) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
+            {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                *wi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent, `w -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one SGD update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not match the store layout.
+    pub fn step(&self, store: &mut ParamStore, grads: &GradStore) {
+        assert_eq!(grads.len(), store.len(), "grad buffer does not match store");
+        for id in store.ids().collect::<Vec<_>>() {
+            let g = grads.grad(id).clone();
+            store.value_mut(id).add_scaled(&g, -self.lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::params::Init;
+
+    fn quadratic_loss(store: &ParamStore, w: crate::params::ParamId) -> (Graph, crate::graph::NodeId) {
+        let mut g = Graph::new();
+        let wv = g.param(store, w);
+        let loss = g.mse_loss(wv, Matrix::from_rows(&[&[2.0, -1.0]]));
+        (g, loss)
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new(3);
+        let w = store.add("w", 1, 2, Init::Uniform(1.0));
+        let mut adam = Adam::new(0.05);
+        for _ in 0..500 {
+            let (g, loss) = quadratic_loss(&store, w);
+            let mut grads = store.zero_grads();
+            g.backward(loss, &mut grads);
+            adam.step(&mut store, &grads);
+        }
+        assert!((store.value(w).get(0, 0) - 2.0).abs() < 1e-2);
+        assert!((store.value(w).get(0, 1) + 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut store = ParamStore::new(3);
+        let w = store.add("w", 1, 2, Init::Uniform(1.0));
+        let sgd = Sgd::new(0.1);
+        let (g0, l0) = quadratic_loss(&store, w);
+        let start = g0.value(l0).scalar();
+        let mut grads = store.zero_grads();
+        g0.backward(l0, &mut grads);
+        sgd.step(&mut store, &grads);
+        let (g1, l1) = quadratic_loss(&store, w);
+        assert!(g1.value(l1).scalar() <= start);
+    }
+
+    #[test]
+    fn adam_step_counter_advances() {
+        let mut store = ParamStore::new(0);
+        let w = store.add("w", 1, 1, Init::Zeros);
+        let mut adam = Adam::new(0.01);
+        assert_eq!(adam.steps(), 0);
+        let (g, l) = {
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let l = g.mse_loss(wv, Matrix::filled(1, 1, 1.0));
+            (g, l)
+        };
+        let mut grads = store.zero_grads();
+        g.backward(l, &mut grads);
+        adam.step(&mut store, &grads);
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn adam_handles_params_added_before_first_step() {
+        let mut store = ParamStore::new(1);
+        let a = store.add("a", 2, 2, Init::XavierUniform);
+        let b = store.add("b", 1, 4, Init::XavierUniform);
+        let mut adam = Adam::new(0.01);
+        let mut g = Graph::new();
+        let av = g.param(&store, a);
+        let bv = g.param(&store, b);
+        let flat = g.sum_rows(av);
+        let cc = g.concat_cols(&[flat, bv]);
+        let loss = g.mse_loss(cc, Matrix::zeros(1, 6));
+        let mut grads = store.zero_grads();
+        g.backward(loss, &mut grads);
+        adam.step(&mut store, &grads);
+        assert_eq!(adam.steps(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Trainable-parameter storage shared across computation graphs.
+//!
+//! A [`ParamStore`] owns the weights of a model. Each forward pass builds a
+//! fresh [`crate::Graph`] (graphs are dynamic: one per program graph), leafs
+//! parameters into it with [`crate::Graph::param`], and accumulates gradients
+//! back into a [`GradStore`] that is aligned index-for-index with the store.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one parameter matrix inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index of this parameter inside its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Weight-initialization scheme for a new parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (common for biases).
+    Zeros,
+    /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`
+    /// (Glorot/Xavier uniform — PyTorch Geometric's default for linear layers).
+    XavierUniform,
+    /// Uniform in `[-k, k]`.
+    Uniform(f32),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ParamEntry {
+    name: String,
+    value: Matrix,
+}
+
+/// Owns all trainable weights of a model.
+///
+/// # Examples
+///
+/// ```
+/// use gdse_tensor::{Init, ParamStore};
+///
+/// let mut store = ParamStore::new(42);
+/// let w = store.add("layer0.weight", 4, 8, Init::XavierUniform);
+/// assert_eq!(store.value(w).shape(), (4, 8));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<ParamEntry>,
+    seed: u64,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+}
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+impl ParamStore {
+    /// Creates an empty store whose initializers draw from a deterministic
+    /// RNG seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { params: Vec::new(), seed, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The seed this store was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Registers a new `rows x cols` parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, rows: usize, cols: usize, init: Init) -> ParamId {
+        let value = match init {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::XavierUniform => {
+                let limit = (6.0 / (rows + cols) as f32).sqrt();
+                self.random_uniform(rows, cols, limit)
+            }
+            Init::Uniform(k) => self.random_uniform(rows, cols, k),
+        };
+        self.params.push(ParamEntry { name: name.into(), value });
+        ParamId(self.params.len() - 1)
+    }
+
+    fn random_uniform(&mut self, rows: usize, cols: usize, limit: f32) -> Matrix {
+        let rng = &mut self.rng;
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+    }
+
+    /// Number of registered parameters (matrices, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter's value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// The name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterates over all parameter ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Creates a gradient buffer aligned with this store, zero-filled.
+    pub fn zero_grads(&self) -> GradStore {
+        GradStore { grads: self.params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect() }
+    }
+}
+
+/// Per-parameter gradient accumulator aligned with a [`ParamStore`].
+#[derive(Debug, Clone)]
+pub struct GradStore {
+    grads: Vec<Matrix>,
+}
+
+impl GradStore {
+    /// Gradient of one parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Adds `g` into the gradient of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape of `g` differs from the parameter's shape.
+    pub fn accumulate(&mut self, id: ParamId, g: &Matrix) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    /// Scales every gradient by `k` (e.g. `1 / batch_size`).
+    pub fn scale(&mut self, k: f32) {
+        for g in &mut self.grads {
+            g.scale_in_place(k);
+        }
+    }
+
+    /// Resets all gradients to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Global L2 norm over all gradients (used for clipping).
+    pub fn global_norm(&self) -> f32 {
+        self.grads.iter().map(|g| {
+            let n = g.frobenius_norm();
+            n * n
+        }).sum::<f32>().sqrt()
+    }
+
+    /// Clips gradients so the global norm does not exceed `max_norm`.
+    ///
+    /// Returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+        norm
+    }
+
+    /// Number of gradient slots.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether the buffer has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut store = ParamStore::new(1);
+        let w = store.add("w", 10, 10, Init::XavierUniform);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(store.value(w).as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = ParamStore::new(7);
+        let mut b = ParamStore::new(7);
+        let wa = a.add("w", 3, 3, Init::XavierUniform);
+        let wb = b.add("w", 3, 3, Init::XavierUniform);
+        assert_eq!(a.value(wa), b.value(wb));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ParamStore::new(7);
+        let mut b = ParamStore::new(8);
+        let wa = a.add("w", 4, 4, Init::XavierUniform);
+        let wb = b.add("w", 4, 4, Init::XavierUniform);
+        assert_ne!(a.value(wa), b.value(wb));
+    }
+
+    #[test]
+    fn grad_store_accumulate_and_zero() {
+        let mut store = ParamStore::new(0);
+        let w = store.add("w", 2, 2, Init::Zeros);
+        let mut grads = store.zero_grads();
+        grads.accumulate(w, &Matrix::filled(2, 2, 1.5));
+        grads.accumulate(w, &Matrix::filled(2, 2, 0.5));
+        assert_eq!(grads.grad(w), &Matrix::filled(2, 2, 2.0));
+        grads.zero();
+        assert_eq!(grads.grad(w), &Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn clip_global_norm_scales_down() {
+        let mut store = ParamStore::new(0);
+        let w = store.add("w", 1, 2, Init::Zeros);
+        let mut grads = store.zero_grads();
+        grads.accumulate(w, &Matrix::from_rows(&[&[3.0, 4.0]]));
+        let pre = grads.clip_global_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((grads.global_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn num_weights_counts_scalars() {
+        let mut store = ParamStore::new(0);
+        store.add("a", 2, 3, Init::Zeros);
+        store.add("b", 1, 4, Init::Zeros);
+        assert_eq!(store.num_weights(), 10);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the matrix algebra and the autodiff engine.
+
+use gdse_tensor::{Adam, Graph, Init, Matrix, ParamStore};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with the given shape and bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Strategy: small dims in 1..=5.
+fn dim() -> impl Strategy<Value = usize> {
+    1usize..=5
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative((m, k, n, p) in (dim(), dim(), dim(), dim()),
+                             seed in any::<u64>()) {
+        let mut store = ParamStore::new(seed);
+        let a_id = store.add("a", m, k, Init::Uniform(1.0));
+        let b_id = store.add("b", k, n, Init::Uniform(1.0));
+        let c_id = store.add("c", n, p, Init::Uniform(1.0));
+        let (a, b, c) = (store.value(a_id), store.value(b_id), store.value(c_id));
+        let left = a.matmul(b).matmul(c);
+        let right = a.matmul(&b.matmul(c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (A B)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in matrix(4, 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hcat_then_split_preserves_rows(a in matrix(3, 2), b in matrix(3, 4)) {
+        let h = Matrix::hcat(&[&a, &b]);
+        prop_assert_eq!(h.shape(), (3, 6));
+        for r in 0..3 {
+            prop_assert_eq!(&h.row(r)[..2], a.row(r));
+            prop_assert_eq!(&h.row(r)[2..], b.row(r));
+        }
+    }
+
+    #[test]
+    fn vcat_stacks(a in matrix(2, 3), b in matrix(4, 3)) {
+        let v = Matrix::vcat(&[&a, &b]);
+        prop_assert_eq!(v.shape(), (6, 3));
+        prop_assert_eq!(v.row(0), a.row(0));
+        prop_assert_eq!(v.row(5), b.row(3));
+    }
+
+    #[test]
+    fn add_scaled_matches_manual(a in matrix(2, 3), b in matrix(2, 3), k in -2.0f32..2.0) {
+        let mut acc = a.clone();
+        acc.add_scaled(&b, k);
+        for i in 0..6 {
+            let expect = a.as_slice()[i] + k * b.as_slice()[i];
+            prop_assert!((acc.as_slice()[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    /// Finite-difference gradient check on a random composite expression.
+    #[test]
+    fn autodiff_matches_finite_differences(seed in any::<u64>(), rows in 1usize..=3, cols in 1usize..=3) {
+        let build = |store: &ParamStore, w, g: &mut Graph| {
+            let wv = g.param(store, w);
+            let doubled = g.scale(wv, 1.7);
+            let act = g.tanh(doubled);
+            let gathered = g.gather_rows(act, &[0, rows - 1]);
+            let dots = g.row_dot(gathered, gathered);
+            let s = g.sum_rows(dots);
+            g.mse_loss(s, Matrix::filled(1, 1, 0.3))
+        };
+        let mut store = ParamStore::new(seed);
+        let w = store.add("w", rows, cols, Init::Uniform(0.7));
+        let mut g = Graph::new();
+        let loss = build(&store, w, &mut g);
+        let mut grads = store.zero_grads();
+        g.backward(loss, &mut grads);
+
+        let eps = 2e-3f32;
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = store.value(w).get(r, c);
+                store.value_mut(w).set(r, c, orig + eps);
+                let mut gp = Graph::new();
+                let lp = build(&store, w, &mut gp);
+                let fp = gp.value(lp).scalar();
+                store.value_mut(w).set(r, c, orig - eps);
+                let mut gm = Graph::new();
+                let lm = build(&store, w, &mut gm);
+                let fm = gm.value(lm).scalar();
+                store.value_mut(w).set(r, c, orig);
+                let numeric = (fp - fm) / (2.0 * eps);
+                let analytic = grads.grad(w).get(r, c);
+                let denom = numeric.abs().max(analytic.abs()).max(0.5);
+                prop_assert!(
+                    (numeric - analytic).abs() / denom < 0.05,
+                    "({r},{c}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    /// Softmax over segments is scale-invariant under per-segment shifts.
+    #[test]
+    fn segment_softmax_shift_invariant(vals in proptest::collection::vec(-4.0f32..4.0, 6), shift in -10.0f32..10.0) {
+        let seg = [0usize, 0, 0, 1, 1, 1];
+        let mut g = Graph::new();
+        let x = g.input(Matrix::col_vector(&vals));
+        let shifted_vals: Vec<f32> = vals.iter().map(|v| v + shift).collect();
+        let xs = g.input(Matrix::col_vector(&shifted_vals));
+        let a = g.segment_softmax(x, &seg);
+        let b = g.segment_softmax(xs, &seg);
+        for (p, q) in g.value(a).as_slice().iter().zip(g.value(b).as_slice()) {
+            prop_assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    /// Adam strictly reduces a convex quadratic from any start.
+    #[test]
+    fn adam_descends_quadratics(seed in any::<u64>(), target in -5.0f32..5.0) {
+        let mut store = ParamStore::new(seed);
+        let w = store.add("w", 1, 3, Init::Uniform(2.0));
+        let mut adam = Adam::new(0.05);
+        let loss_at = |store: &ParamStore| {
+            let mut g = Graph::new();
+            let wv = g.param(store, w);
+            let l = g.mse_loss(wv, Matrix::filled(1, 3, target));
+            g.value(l).scalar()
+        };
+        let before = loss_at(&store);
+        for _ in 0..100 {
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let l = g.mse_loss(wv, Matrix::filled(1, 3, target));
+            let mut grads = store.zero_grads();
+            g.backward(l, &mut grads);
+            adam.step(&mut store, &grads);
+        }
+        let after = loss_at(&store);
+        prop_assert!(after <= before, "{after} > {before}");
+    }
+
+    /// Gradient accumulation over a batch equals the gradient of the summed
+    /// loss.
+    #[test]
+    fn grad_accumulation_linearity(a in matrix(2, 2), b in matrix(2, 2)) {
+        let mut store = ParamStore::new(0);
+        let w = store.add("w", 2, 2, Init::Uniform(1.0));
+
+        // Separate backwards, accumulated.
+        let mut acc = store.zero_grads();
+        for t in [&a, &b] {
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let l = g.mse_loss(wv, t.clone());
+            g.backward(l, &mut acc);
+        }
+
+        // Single graph with summed losses.
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let l1 = g.mse_loss(wv, a.clone());
+        let l2 = g.mse_loss(wv, b.clone());
+        let total = g.add(l1, l2);
+        let mut joint = store.zero_grads();
+        g.backward(total, &mut joint);
+
+        for (x, y) in acc.grad(w).as_slice().iter().zip(joint.grad(w).as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Inspecting what the model attends to (the Fig. 5 analysis): train a
+//! small M7 model and rank the stencil graph's nodes by attention.
+//!
+//! ```sh
+//! cargo run --release --example attention_inspection
+//! ```
+
+use design_space::DesignSpace;
+use gdse_analysis::attention::{attention_scores, pragma_attention_share};
+use gnn_dse::trainer::TrainConfig;
+use gnn_dse::{dbgen, Predictor};
+use gdse_gnn::{ModelConfig, ModelKind};
+use hls_ir::kernels;
+use proggraph::build_graph_bidirectional;
+
+fn main() {
+    let ks = vec![kernels::stencil(), kernels::gemm_ncubed()];
+    let db = dbgen::generate_database(&ks, &[("stencil", 120), ("gemm-ncubed", 80)], 80, 3);
+    let (predictor, _) = Predictor::train(
+        &db,
+        &ks,
+        ModelKind::Full,
+        ModelConfig::small(),
+        &TrainConfig::quick().with_epochs(12),
+    );
+
+    let kernel = kernels::stencil();
+    let space = DesignSpace::from_kernel(&kernel);
+    let graph = build_graph_bidirectional(&kernel, &space);
+    let point = space.point_at(space.size() / 3);
+
+    println!("design: {}\n", point.describe(space.slots()));
+    let scores = attention_scores(predictor.regressor(), &graph, &point);
+    println!("top 10 nodes by attention:");
+    for s in scores.iter().take(10) {
+        println!("  node {:>3} {:<10} {:<12?} score {:.4}", s.node, s.key_text, s.kind, s.score);
+    }
+    println!(
+        "\npragma nodes hold {:.1}% of the total attention",
+        pragma_attention_share(&scores) * 100.0
+    );
+}

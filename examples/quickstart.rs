@@ -1,0 +1,64 @@
+//! Quickstart: evaluate a design with the simulated HLS toolchain, train a
+//! tiny surrogate, and compare its prediction against the ground truth.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use design_space::DesignSpace;
+use gnn_dse::trainer::TrainConfig;
+use gnn_dse::{dbgen, Predictor};
+use gdse_gnn::{ModelConfig, ModelKind};
+use hls_ir::kernels;
+use merlin_sim::MerlinSimulator;
+use proggraph::build_graph_bidirectional;
+
+fn main() {
+    // 1. Pick a kernel and enumerate its Merlin pragma design space.
+    let kernel = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&kernel);
+    println!(
+        "kernel `{}`: {} candidate pragmas, {} configurations",
+        kernel.name(),
+        space.num_slots(),
+        space.size()
+    );
+
+    // 2. Evaluate two designs with the (simulated) Merlin + HLS toolchain.
+    let sim = MerlinSimulator::new();
+    let default = space.default_point();
+    let tuned = space.point_at(space.size() / 2);
+    let r0 = sim.evaluate(&kernel, &space, &default);
+    let r1 = sim.evaluate(&kernel, &space, &tuned);
+    println!("default design : {} cycles, {} DSPs, valid={}", r0.cycles, r0.counts.dsp, r0.is_valid());
+    println!(
+        "design {}: {} cycles, {} DSPs, valid={}",
+        tuned.describe(space.slots()),
+        r1.cycles,
+        r1.counts.dsp,
+        r1.is_valid()
+    );
+
+    // 3. Build a small training database and train the surrogate.
+    let ks = vec![kernels::gemm_ncubed()];
+    let db = dbgen::generate_database(&ks, &[("gemm-ncubed", 80)], 80, 7);
+    println!("\ndatabase: {} designs ({} valid)", db.len(), db.valid_count());
+    let (predictor, _) = Predictor::train(
+        &db,
+        &ks,
+        ModelKind::Transformer,
+        ModelConfig::small(),
+        &TrainConfig::quick(),
+    );
+
+    // 4. Predict in milliseconds what the tool takes (simulated) minutes for.
+    let graph = build_graph_bidirectional(&kernel, &space);
+    let started = std::time::Instant::now();
+    let pred = predictor.predict(&graph, &default);
+    println!(
+        "\nsurrogate on the default design ({:?}):",
+        started.elapsed()
+    );
+    println!("  predicted: {} cycles (valid prob {:.2})", pred.cycles, pred.valid_prob);
+    println!("  truth    : {} cycles  — modelled HLS time {:.1} min", r0.cycles, r0.synth_minutes);
+}

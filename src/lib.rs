@@ -1,0 +1,20 @@
+//! # gnn-dse-repro
+//!
+//! Workspace umbrella for the GNN-DSE (DAC 2022) reproduction. This crate
+//! re-exports the member crates and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with the [`gnn_dse`] crate for the framework API, or run
+//! `cargo run --release --example quickstart`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use design_space;
+pub use gdse_analysis as analysis;
+pub use gdse_gnn as gnn;
+pub use gdse_tensor as tensor;
+pub use gnn_dse;
+pub use hls_ir;
+pub use merlin_sim;
+pub use proggraph;

@@ -1,0 +1,64 @@
+//! Cross-crate consistency of the C emitter: the pragma placeholders in the
+//! emitted source must correspond one-to-one with the design space's slots,
+//! and configured emission must reflect canonical evaluation inputs.
+
+use design_space::{emit::emit_configured, rules, DesignSpace};
+use hls_ir::{emit::emit_c, kernels};
+
+#[test]
+fn placeholders_match_design_space_slots() {
+    for k in kernels::all_kernels() {
+        let space = DesignSpace::from_kernel(&k);
+        let c = emit_c(&k);
+        for slot in space.slots() {
+            let placeholder = format!("auto{{{}}}", slot.name);
+            assert_eq!(
+                c.matches(&placeholder).count(),
+                1,
+                "{}: placeholder {placeholder} must appear exactly once",
+                k.name()
+            );
+        }
+        assert_eq!(
+            c.matches("auto{").count(),
+            space.num_slots(),
+            "{}: no stray placeholders",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn configured_emission_is_injective_on_canonical_points() {
+    // Two different canonical design points must emit different C (the
+    // pragma values are the only varying part, and they map 1:1).
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let mut seen = std::collections::HashMap::new();
+    for i in (0..space.size()).step_by(997) {
+        let p = space.point_at(i);
+        if !rules::is_canonical(&k, &space, &p) {
+            continue;
+        }
+        let c = emit_configured(&k, &space, &p);
+        if let Some(prev) = seen.insert(c, p.clone()) {
+            panic!("points {prev} and {p} emitted identical C");
+        }
+    }
+    assert!(seen.len() > 10, "enough canonical points sampled");
+}
+
+#[test]
+fn emitted_c_structure_is_valid_for_every_kernel() {
+    for k in kernels::all_kernels() {
+        let c = emit_c(&k);
+        // Braces balance.
+        let open = c.matches('{').count();
+        let close = c.matches('}').count();
+        assert_eq!(open, close, "{}: unbalanced braces", k.name());
+        // Every array parameter of the top function appears in the body.
+        for arr in k.arrays() {
+            assert!(c.contains(arr.name()), "{}: array {} missing", k.name(), arr.name());
+        }
+    }
+}

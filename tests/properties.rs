@@ -1,0 +1,138 @@
+//! Property-based tests over the cross-crate invariants.
+
+use design_space::{rules, DesignSpace};
+use gdse_gnn::{GraphBatch, GraphInput};
+use hls_ir::kernels;
+use merlin_sim::MerlinSimulator;
+use proggraph::{build_graph_bidirectional, node_features};
+use proptest::prelude::*;
+
+/// All thirteen kernels, addressable by a proptest index.
+fn kernel_names() -> &'static [&'static str] {
+    &[
+        "aes",
+        "atax",
+        "gemm-blocked",
+        "gemm-ncubed",
+        "mvt",
+        "spmv-crs",
+        "spmv-ellpack",
+        "stencil",
+        "nw",
+        "bicg",
+        "doitgen",
+        "gesummv",
+        "2mm",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// point_at / index_of round-trips for any index in any kernel's space.
+    #[test]
+    fn point_index_round_trip(kidx in 0usize..13, raw in any::<u64>()) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let idx = u128::from(raw) % space.size();
+        let point = space.point_at(idx);
+        prop_assert_eq!(space.index_of(&point), Some(idx));
+        prop_assert!(space.contains(&point));
+    }
+
+    /// Canonicalization is idempotent and stays within the space.
+    #[test]
+    fn canonicalize_idempotent(kidx in 0usize..13, raw in any::<u64>()) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let point = space.point_at(u128::from(raw) % space.size());
+        let c1 = rules::canonicalize(&kernel, &space, &point);
+        let c2 = rules::canonicalize(&kernel, &space, &c1);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(space.contains(&c1));
+    }
+
+    /// The simulator is a pure function of (kernel, canonical point), and a
+    /// point always evaluates exactly like its canonical form.
+    #[test]
+    fn simulator_canonical_invariance(kidx in 0usize..13, raw in any::<u64>()) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let point = space.point_at(u128::from(raw) % space.size());
+        let sim = MerlinSimulator::new();
+        let canonical = rules::canonicalize(&kernel, &space, &point);
+        prop_assert_eq!(
+            sim.evaluate(&kernel, &space, &point),
+            sim.evaluate(&kernel, &space, &canonical)
+        );
+    }
+
+    /// Valid designs report positive cycles and finite utilization; invalid
+    /// ones report zeroes.
+    #[test]
+    fn evaluation_contract(kidx in 0usize..13, raw in any::<u64>()) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let point = space.point_at(u128::from(raw) % space.size());
+        let r = MerlinSimulator::new().evaluate(&kernel, &space, &point);
+        if r.is_valid() {
+            prop_assert!(r.cycles > 0);
+            prop_assert!(r.util.dsp.is_finite() && r.util.bram.is_finite());
+            prop_assert!(r.synth_minutes >= 3.0);
+        } else {
+            prop_assert_eq!(r.cycles, 0);
+        }
+    }
+
+    /// Only pragma-node feature rows differ between two design points of the
+    /// same kernel (the §4.2 property the whole method rests on).
+    #[test]
+    fn pragma_rows_only(kidx in 0usize..13, a in any::<u64>(), b in any::<u64>()) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let graph = build_graph_bidirectional(&kernel, &space);
+        let pa = space.point_at(u128::from(a) % space.size());
+        let pb = space.point_at(u128::from(b) % space.size());
+        let xa = node_features(&graph, Some(&pa));
+        let xb = node_features(&graph, Some(&pb));
+        let pragma_rows: Vec<usize> = graph.pragma_nodes().iter().map(|&(i, _)| i).collect();
+        for i in 0..graph.num_nodes() {
+            if xa.row(i) != xb.row(i) {
+                prop_assert!(pragma_rows.contains(&i), "non-pragma row {} changed", i);
+            }
+        }
+    }
+
+    /// Batching is transparent: a graph's rows inside a batch equal its rows
+    /// alone.
+    #[test]
+    fn batch_transparency(kidx in 0usize..13, raw in any::<u64>()) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let graph = build_graph_bidirectional(&kernel, &space);
+        let p0 = space.point_at(u128::from(raw) % space.size());
+        let p1 = space.default_point();
+        let g0 = GraphInput::from_graph(&graph, Some(&p0));
+        let g1 = GraphInput::from_graph(&graph, Some(&p1));
+        let batch = GraphBatch::new(&[(&g0, &p0), (&g1, &p1)]);
+        let n = g0.num_nodes();
+        for r in 0..n {
+            prop_assert_eq!(batch.x.row(r), g0.x.row(r));
+            prop_assert_eq!(batch.x.row(n + r), g1.x.row(r));
+        }
+        prop_assert_eq!(batch.num_graphs, 2);
+    }
+
+    /// Mixed-radix neighbors: changing one slot changes the index by a
+    /// consistent amount — sanity of the space arithmetic used everywhere.
+    #[test]
+    fn neighbor_points_stay_in_space(kidx in 0usize..13, raw in any::<u64>()) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let point = space.point_at(u128::from(raw) % space.size());
+        for n in space.neighbors(&point) {
+            prop_assert!(space.contains(&n));
+            prop_assert_eq!(n.hamming_distance(&point), 1);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Behavioural integration tests of the simulated toolchain: the qualitative
+//! HLS/Merlin mechanisms the surrogate is supposed to learn.
+
+use design_space::{DesignSpace, PipelineOpt, PragmaValue};
+use hls_ir::{kernels, PragmaKind};
+use merlin_sim::{MerlinSimulator, Validity};
+
+fn set(
+    space: &DesignSpace,
+    point: &mut design_space::DesignPoint,
+    kernel: &hls_ir::Kernel,
+    label: &str,
+    kind: PragmaKind,
+    value: PragmaValue,
+) {
+    let id = kernel.loop_by_label(label).unwrap();
+    let slot = space.slot_index(id, kind).unwrap_or_else(|| panic!("{label} has no {kind:?} slot"));
+    point.set_value(slot, value);
+}
+
+#[test]
+fn unrolling_trades_latency_for_resources() {
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let mut prev_cycles = u64::MAX;
+    let mut prev_dsp = 0;
+    for factor in [1u32, 4, 16] {
+        let mut p = space.default_point();
+        set(&space, &mut p, &k, "L1", PragmaKind::Parallel, PragmaValue::Parallel(factor));
+        let r = sim.evaluate(&k, &space, &p);
+        assert!(r.is_valid());
+        assert!(r.cycles <= prev_cycles, "more parallel must not be slower");
+        assert!(r.counts.dsp >= prev_dsp, "more parallel must not use fewer DSPs");
+        prev_cycles = r.cycles;
+        prev_dsp = r.counts.dsp;
+    }
+}
+
+#[test]
+fn indirect_gather_limits_spmv_parallelism() {
+    // spmv-ellpack's `vec[cols[...]]` gather cannot be banked, so scaling the
+    // inner parallel factor hits a memory wall: speedup is sublinear.
+    let k = kernels::spmv_ellpack();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let cycles = |f: u32| {
+        let mut p = space.default_point();
+        set(&space, &mut p, &k, "L0", PragmaKind::Pipeline, PragmaValue::Pipeline(PipelineOpt::Fine));
+        set(&space, &mut p, &k, "L0", PragmaKind::Parallel, PragmaValue::Parallel(f));
+        sim.evaluate(&k, &space, &p).cycles
+    };
+    let c1 = cycles(1);
+    let c38 = cycles(38);
+    assert!(c38 < c1, "some speedup expected");
+    let speedup = c1 as f64 / c38 as f64;
+    assert!(
+        speedup < 20.0,
+        "indirect gather should prevent near-linear scaling, got {speedup:.1}x at 38x parallel"
+    );
+}
+
+#[test]
+fn wavefront_dp_resists_parallelization() {
+    // nw's DP fill carries dependences on both loops; gemm's j-loop does not.
+    // The same parallel factor must help gemm far more than nw.
+    let sim = MerlinSimulator::new();
+
+    let nw = kernels::nw();
+    let nw_space = DesignSpace::from_kernel(&nw);
+    let nw_base = sim.evaluate(&nw, &nw_space, &nw_space.default_point()).cycles;
+    let mut p = nw_space.default_point();
+    set(&nw_space, &mut p, &nw, "L2", PragmaKind::Parallel, PragmaValue::Parallel(32));
+    let nw_par = sim.evaluate(&nw, &nw_space, &p).cycles;
+    let nw_speedup = nw_base as f64 / nw_par as f64;
+
+    let gemm = kernels::gemm_ncubed();
+    let g_space = DesignSpace::from_kernel(&gemm);
+    let g_base = sim.evaluate(&gemm, &g_space, &g_space.default_point()).cycles;
+    let mut q = g_space.default_point();
+    set(&g_space, &mut q, &gemm, "L1", PragmaKind::Parallel, PragmaValue::Parallel(32));
+    let g_par = sim.evaluate(&gemm, &g_space, &q).cycles;
+    let g_speedup = g_base as f64 / g_par as f64;
+
+    assert!(
+        g_speedup > 4.0 * nw_speedup,
+        "independent loop should scale much better: gemm {g_speedup:.1}x vs nw {nw_speedup:.1}x"
+    );
+}
+
+#[test]
+fn tiling_helps_large_ddr_resident_arrays() {
+    // 2mm's A (1.2Mb) exceeds the cache limit; tiling L0 creates a tile
+    // cache and should cut latency for the default configuration.
+    let k = kernels::mm2();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let base = sim.evaluate(&k, &space, &space.default_point()).cycles;
+    let mut p = space.default_point();
+    set(&space, &mut p, &k, "L0", PragmaKind::Tile, PragmaValue::Tile(4));
+    let tiled = sim.evaluate(&k, &space, &p).cycles;
+    assert!(tiled < base, "tiling should pay off: {tiled} vs {base}");
+}
+
+#[test]
+fn validity_mix_is_learnable() {
+    // Across a random sample of each kernel's space there must be both valid
+    // and (for the bigger kernels) invalid designs, and every invalid kind
+    // must be produced by some kernel — otherwise the classifier task is
+    // degenerate.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let sim = MerlinSimulator::new();
+    let mut kinds = std::collections::HashSet::new();
+    let mut rng = StdRng::seed_from_u64(99);
+    for k in kernels::all_kernels() {
+        let space = DesignSpace::from_kernel(&k);
+        for _ in 0..60 {
+            let p = space.random_point(&mut rng);
+            kinds.insert(sim.evaluate(&k, &space, &p).validity);
+        }
+    }
+    assert!(kinds.contains(&Validity::Valid));
+    assert!(kinds.contains(&Validity::Timeout), "some designs must time out");
+    assert!(kinds.contains(&Validity::MerlinError), "fg-over-variable-bound must appear");
+}
+
+#[test]
+fn fg_pipeline_of_reduction_loop_is_fast_but_hungry() {
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let base = sim.evaluate(&k, &space, &space.default_point());
+    let mut p = space.default_point();
+    set(&space, &mut p, &k, "L1", PragmaKind::Pipeline, PragmaValue::Pipeline(PipelineOpt::Fine));
+    let fg = sim.evaluate(&k, &space, &p);
+    assert!(fg.is_valid());
+    assert!(fg.cycles * 20 < base.cycles, "fg unrolls the dot product");
+    assert!(fg.counts.dsp > base.counts.dsp * 10, "64 parallel MACs cost DSPs");
+}
+
+#[test]
+fn extension_kernels_are_fully_supported() {
+    // 3mm and syrk (beyond the paper's set) must work through the whole
+    // substrate stack: space, simulator, graphs.
+    use proggraph::build_graph_bidirectional;
+    let sim = MerlinSimulator::new();
+    for k in kernels::extension_kernels() {
+        let space = DesignSpace::from_kernel(&k);
+        assert!(space.size() > 100, "{}", k.name());
+        let r = sim.evaluate(&k, &space, &space.default_point());
+        assert!(r.is_valid(), "{} default design", k.name());
+        assert!(r.cycles > 10_000, "{} is a real workload", k.name());
+        let g = build_graph_bidirectional(&k, &space);
+        assert_eq!(
+            g.pragma_nodes().len(),
+            space.num_slots(),
+            "{} graph has all pragma nodes",
+            k.name()
+        );
+    }
+}

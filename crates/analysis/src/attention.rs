@@ -85,7 +85,7 @@ mod tests {
             assert!(w[0].score >= w[1].score);
         }
         let share = pragma_attention_share(&scores);
-        assert!(share >= 0.0 && share <= 1.0);
+        assert!((0.0..=1.0).contains(&share));
     }
 
     #[test]

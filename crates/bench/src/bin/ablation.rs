@@ -132,13 +132,8 @@ fn naive_sweep(
     let graph = proggraph::build_graph_bidirectional(kernel, space);
     let mut top = Vec::new();
     let mut batch = Vec::new();
-    let mut count = 0usize;
-    for i in 0..space.size() {
-        if count >= budget {
-            break;
-        }
+    for i in (0..space.size()).take(budget) {
         batch.push(space.point_at(i));
-        count += 1;
         if batch.len() == 64 {
             let preds = predictor.predict_batch(&graph, &batch);
             for (p, pr) in batch.drain(..).zip(preds) {

@@ -86,7 +86,7 @@ fn main() {
     );
     println!();
     println!("csv: point_index,x_init,y_init,x_learned,y_learned,log2_latency");
-    for i in 0..points.len() {
+    for (i, lat) in latencies.iter().enumerate().take(points.len()) {
         println!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.3}",
             i,
@@ -94,7 +94,7 @@ fn main() {
             layout_init.get(i, 1),
             layout_learned.get(i, 0),
             layout_learned.get(i, 1),
-            latencies[i]
+            lat
         );
     }
 }

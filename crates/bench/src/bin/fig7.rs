@@ -38,6 +38,7 @@ fn main() {
             ..DseConfig::default()
         },
         fine_tune: false,
+        stop_after: None,
     };
 
     let t0 = std::time::Instant::now();

@@ -9,16 +9,27 @@
 //! gnndse train <db.json> <model.json> [epochs]     train the surrogate (M7)
 //! gnndse dse <model.json> <kernel> [top_m]         surrogate-driven DSE
 //! gnndse predict <model.json> <kernel> <index>     predict one design point
+//! gnndse rounds <db.json>                          iterative DSE rounds (Fig. 7)
 //! ```
+//!
+//! `gendb` and `rounds` drive a *fault-injected* oracle when `--fault-rate`
+//! is set: evaluations randomly crash / time out / return garbled reports
+//! (reproducibly, per `--fault-seed`), a retrying harness absorbs the
+//! transient failures (`--max-retries`), and losses are reported instead of
+//! aborting the run. `rounds` additionally supports crash-safe
+//! `--checkpoint <file>` persistence and `--resume`.
 
 use design_space::DesignSpace;
 use gnn_dse::dse::{run_dse, DseConfig};
+use gnn_dse::harness::RetryPolicy;
+use gnn_dse::rounds::{run_rounds_with, RoundsConfig};
 use gnn_dse::trainer::TrainConfig;
 use gnn_dse::{dbgen, Database, Predictor};
 use gdse_gnn::{ModelConfig, ModelKind};
 use hls_ir::kernels;
-use merlin_sim::MerlinSimulator;
+use merlin_sim::{FaultConfig, MerlinSimulator};
 use proggraph::build_graph_bidirectional;
+use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -33,8 +44,11 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("dse") => cmd_dse(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("rounds") => cmd_rounds(&args[1..]),
         _ => {
-            eprintln!("usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict> ...");
+            eprintln!(
+                "usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict|rounds> ..."
+            );
             eprintln!("see the crate docs for details");
             return ExitCode::from(2);
         }
@@ -49,6 +63,75 @@ fn main() -> ExitCode {
 }
 
 type CliResult = Result<(), String>;
+
+/// Splits `args` into positionals and `--name value` options (`--name`
+/// alone for the flags listed in `boolean`). Unknown flags are rejected so
+/// typos fail loudly instead of being silently ignored.
+fn split_flags(
+    args: &[String],
+    valued: &[&str],
+    boolean: &[&str],
+) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if boolean.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+            } else if valued.contains(&name) {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                flags.insert(name.to_string(), v.clone());
+            } else {
+                return Err(format!(
+                    "unknown flag --{name} (known: {})",
+                    valued
+                        .iter()
+                        .chain(boolean)
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Ok((positional, flags))
+}
+
+/// Parses flag `name` as `T`, or returns `default` when absent.
+fn flag_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        Some(v) => v.parse().map_err(|e| format!("bad value for --{name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+/// The `--fault-rate`/`--fault-seed`/`--max-retries` triple shared by
+/// `gendb` and `rounds`.
+fn fault_args(
+    flags: &HashMap<String, String>,
+) -> Result<(FaultConfig, RetryPolicy), String> {
+    let rate: f64 = flag_or(flags, "fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {rate}"));
+    }
+    let seed: u64 = flag_or(flags, "fault-seed", 0)?;
+    let max_retries: u32 = flag_or(flags, "max-retries", 3)?;
+    Ok((FaultConfig::uniform(rate, seed), RetryPolicy::with_max_retries(max_retries)))
+}
 
 fn cmd_kernels() -> CliResult {
     println!("{:<14} {:>9} {:>18} {:>7} {:>7}", "kernel", "#pragmas", "#configs", "loops", "role");
@@ -154,12 +237,105 @@ fn cmd_emit(args: &[String]) -> CliResult {
 }
 
 fn cmd_gendb(args: &[String]) -> CliResult {
-    let out = args.first().ok_or("usage: gnndse gendb <out.json> [budget] [seed]")?;
-    let budget: usize = args.get(1).map_or(Ok(60), |s| s.parse()).map_err(|e| format!("{e}"))?;
-    let seed: u64 = args.get(2).map_or(Ok(42), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let (pos, flags) = split_flags(args, &["fault-rate", "fault-seed", "max-retries"], &[])?;
+    let usage = "usage: gnndse gendb <out.json> [budget] [seed] \
+                 [--fault-rate F] [--fault-seed S] [--max-retries N]";
+    let out = pos.first().ok_or(usage)?;
+    let budget: usize = pos.get(1).map_or(Ok(60), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let seed: u64 = pos.get(2).map_or(Ok(42), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let (faults, policy) = fault_args(&flags)?;
     let ks = kernels::training_kernels();
-    let db = dbgen::generate_database(&ks, &[], budget, seed);
+    let db = if faults.is_disabled() {
+        dbgen::generate_database(&ks, &[], budget, seed)
+    } else {
+        let harness = dbgen::fault_injected_harness(faults, policy);
+        let db = dbgen::generate_database_with(&harness, &ks, &[], budget, seed);
+        let stats = harness.stats();
+        println!(
+            "oracle: {} attempts, {} transient failures retried, {} evaluations lost \
+             ({} exhausted retries, {} permanent), {:.1}s virtual backoff",
+            stats.attempts,
+            stats.transient_failures,
+            stats.losses(),
+            stats.exhausted,
+            stats.permanent_failures,
+            stats.virtual_backoff_ms as f64 / 1e3,
+        );
+        db
+    };
     db.save(Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {} designs ({} valid) to {out}", db.len(), db.valid_count());
+    Ok(())
+}
+
+fn cmd_rounds(args: &[String]) -> CliResult {
+    let (pos, flags) = split_flags(
+        args,
+        &["rounds", "out", "fault-rate", "fault-seed", "max-retries", "checkpoint", "stop-after"],
+        &["resume"],
+    )?;
+    let usage = "usage: gnndse rounds <db.json> [--rounds N] [--out out.json] \
+                 [--fault-rate F] [--fault-seed S] [--max-retries N] \
+                 [--checkpoint ck.json] [--resume] [--stop-after N]";
+    let db_path = pos.first().ok_or(usage)?;
+    let n_rounds: usize = flag_or(&flags, "rounds", 4)?;
+    let out = flags.get("out").cloned().unwrap_or_else(|| db_path.clone());
+    let (faults, policy) = fault_args(&flags)?;
+    let checkpoint = flags.get("checkpoint").cloned();
+    let resume = flags.contains_key("resume");
+    if resume && checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <file>".into());
+    }
+    let stop_after: Option<usize> = match flags.get("stop-after") {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad value for --stop-after: {e}"))?),
+        None => None,
+    };
+
+    let mut db = Database::load(Path::new(db_path)).map_err(|e| e.to_string())?;
+    let ks: Vec<_> = kernels::all_kernels()
+        .into_iter()
+        .filter(|k| db.entries().iter().any(|e| e.kernel == k.name()))
+        .collect();
+    if ks.is_empty() {
+        return Err(format!("{db_path} contains no known kernels"));
+    }
+    let cfg = RoundsConfig { rounds: n_rounds, stop_after, ..RoundsConfig::quick() };
+
+    println!(
+        "running {n_rounds} rounds over {} kernels ({} designs to start)...",
+        ks.len(),
+        db.len()
+    );
+    let harness = dbgen::fault_injected_harness(faults, policy);
+    let reports = run_rounds_with(
+        &mut db,
+        &ks,
+        &cfg,
+        &harness,
+        checkpoint.as_deref().map(Path::new),
+        resume,
+    )
+    .map_err(|e| e.to_string())?;
+
+    for r in &reports {
+        let added: usize = r.kernels.iter().map(|k| k.added).sum();
+        println!(
+            "round {}: avg speedup {:.3}, {} designs added, {} validations lost",
+            r.round, r.avg_speedup, added, r.lost
+        );
+    }
+    let stats = harness.stats();
+    if stats.attempts > 0 && !faults.is_disabled() {
+        println!(
+            "oracle: {} attempts, {} transient failures retried, {} evaluations lost, \
+             {:.1}s virtual backoff",
+            stats.attempts,
+            stats.transient_failures,
+            stats.losses(),
+            stats.virtual_backoff_ms as f64 / 1e3,
+        );
+    }
+    db.save(Path::new(&out)).map_err(|e| e.to_string())?;
     println!("wrote {} designs ({} valid) to {out}", db.len(), db.valid_count());
     Ok(())
 }

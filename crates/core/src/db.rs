@@ -1,12 +1,65 @@
 //! The shared training database (§4.1): evaluated design points from all
 //! applications, accumulated across explorers and DSE rounds.
 
+use crate::persist::atomic_write;
 use design_space::DesignPoint;
 use merlin_sim::HlsResult;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Why a database could not be saved or loaded.
+#[derive(Debug)]
+pub enum DbError {
+    /// Reading or writing `path` failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The database could not be serialized.
+    Serialize {
+        /// The destination file.
+        path: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The file's contents are not a valid database.
+    Parse {
+        /// The file involved.
+        path: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io { path, source } => {
+                write!(f, "database I/O error on {}: {source}", path.display())
+            }
+            DbError::Serialize { path, detail } => {
+                write!(f, "cannot serialize database to {}: {detail}", path.display())
+            }
+            DbError::Parse { path, detail } => {
+                write!(f, "{} is not a valid database: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// One evaluated design: kernel, configuration, and the tool's verdict.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -130,24 +183,35 @@ impl Database {
         Some((lo, hi))
     }
 
-    /// Saves the database as JSON.
+    /// Saves the database as JSON, atomically: the bytes are written to a
+    /// temporary sibling, fsynced, and renamed into place, so a crash mid-
+    /// save leaves any previous file intact rather than a truncated one.
     ///
     /// # Errors
     ///
-    /// Returns any I/O or serialization error.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(&self).map_err(io::Error::other)?;
-        std::fs::write(path, json)
+    /// Returns a typed [`DbError`] naming the file and the failure.
+    pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        let json = serde_json::to_string(&self).map_err(|e| DbError::Serialize {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        atomic_write(path, &json)
+            .map_err(|source| DbError::Io { path: path.to_path_buf(), source })
     }
 
     /// Loads a database saved by [`Database::save`].
     ///
     /// # Errors
     ///
-    /// Returns any I/O or deserialization error.
-    pub fn load(path: &Path) -> io::Result<Self> {
-        let json = std::fs::read_to_string(path)?;
-        let mut db: Database = serde_json::from_str(&json).map_err(io::Error::other)?;
+    /// Returns a typed [`DbError`]: [`DbError::Io`] if the file cannot be
+    /// read, [`DbError::Parse`] if its contents are not a database.
+    pub fn load(path: &Path) -> Result<Self, DbError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|source| DbError::Io { path: path.to_path_buf(), source })?;
+        let mut db: Database = serde_json::from_str(&json).map_err(|e| DbError::Parse {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
         db.rebuild_index();
         Ok(db)
     }
@@ -166,7 +230,10 @@ impl Database {
         added
     }
 
-    fn rebuild_index(&mut self) {
+    /// Rebuilds the dedup index after deserialization (the index is
+    /// `serde(skip)` — any path that deserializes a `Database` must call
+    /// this before using it).
+    pub(crate) fn rebuild_index(&mut self) {
         self.index = self
             .entries
             .iter()
@@ -237,6 +304,44 @@ mod tests {
         assert_eq!(loaded.len(), db.len());
         let first = &db.entries()[0];
         assert!(loaded.contains("aes", &first.point), "index rebuilt after load");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_reports_typed_errors() {
+        let dir = std::env::temp_dir().join("gnn_dse_db_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("does_not_exist.json");
+        assert!(matches!(Database::load(&missing), Err(DbError::Io { .. })));
+
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "{ this is not a database").unwrap();
+        let err = Database::load(&garbled).unwrap_err();
+        assert!(matches!(err, DbError::Parse { .. }));
+        assert!(err.to_string().contains("garbled.json"), "error should name the file: {err}");
+        std::fs::remove_file(&garbled).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically() {
+        let dir = std::env::temp_dir().join("gnn_dse_db_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        sample_db().save(&path).unwrap();
+        let bigger = {
+            let mut db = sample_db();
+            let k = kernels::gesummv();
+            let space = DesignSpace::from_kernel(&k);
+            let sim = MerlinSimulator::new();
+            let p = space.default_point();
+            let r = sim.evaluate(&k, &space, &p);
+            db.insert("gesummv", p, r);
+            db
+        };
+        bigger.save(&path).unwrap();
+        assert_eq!(Database::load(&path).unwrap().len(), bigger.len());
+        assert!(!path.with_file_name("db.json.tmp").exists(), "no tmp residue after save");
         std::fs::remove_file(&path).ok();
     }
 

@@ -3,9 +3,10 @@
 
 use crate::db::Database;
 use crate::explorer::{BottleneckExplorer, Budget, HybridExplorer, RandomExplorer};
+use crate::harness::{EvalBackend, Harness, RetryPolicy};
 use design_space::DesignSpace;
 use hls_ir::Kernel;
-use merlin_sim::MerlinSimulator;
+use merlin_sim::{FaultConfig, FaultyOracle, MerlinSimulator};
 
 /// Per-kernel evaluation budgets of the paper's *initial* database
 /// (Table 1, "Initial database # Total").
@@ -34,8 +35,8 @@ pub fn small_budgets() -> Vec<(&'static str, usize)> {
 /// Runs the three explorers on one kernel: 40% of the budget to the
 /// bottleneck optimizer, 30% to the hybrid explorer, the rest to random
 /// sampling.
-pub fn explore_kernel(
-    sim: &MerlinSimulator,
+pub fn explore_kernel<B: EvalBackend>(
+    sim: &B,
     kernel: &Kernel,
     space: &DesignSpace,
     db: &mut Database,
@@ -62,7 +63,19 @@ pub fn generate_database(
     default_budget: usize,
     seed: u64,
 ) -> Database {
-    let sim = MerlinSimulator::new();
+    generate_database_with(&MerlinSimulator::new(), kernels, budgets, default_budget, seed)
+}
+
+/// [`generate_database`] against an arbitrary evaluation backend (e.g. a
+/// retrying [`Harness`] over a fault-injecting oracle). Points the backend
+/// loses to tool failure are skipped; the rest of the campaign proceeds.
+pub fn generate_database_with<B: EvalBackend>(
+    eval: &B,
+    kernels: &[Kernel],
+    budgets: &[(&str, usize)],
+    default_budget: usize,
+    seed: u64,
+) -> Database {
     let mut db = Database::new();
     for (i, k) in kernels.iter().enumerate() {
         let space = DesignSpace::from_kernel(k);
@@ -71,9 +84,18 @@ pub fn generate_database(
             .find(|(name, _)| *name == k.name())
             .map(|&(_, b)| b)
             .unwrap_or(default_budget);
-        explore_kernel(&sim, k, &space, &mut db, budget, seed.wrapping_add(i as u64));
+        explore_kernel(eval, k, &space, &mut db, budget, seed.wrapping_add(i as u64));
     }
     db
+}
+
+/// Builds the standard resilient backend: the analytical simulator behind a
+/// fault injector (per `faults`) behind a retrying harness.
+pub fn fault_injected_harness(
+    faults: FaultConfig,
+    policy: RetryPolicy,
+) -> Harness<FaultyOracle<MerlinSimulator>> {
+    Harness::new(FaultyOracle::new(MerlinSimulator::new(), faults), policy)
 }
 
 #[cfg(test)]

@@ -6,9 +6,10 @@
 use super::{evaluate_into_db, Budget};
 use crate::db::Database;
 use crate::explorer::ExplorationLog;
+use crate::harness::EvalBackend;
 use design_space::{DesignPoint, DesignSpace};
 use hls_ir::Kernel;
-use merlin_sim::{HlsResult, MerlinSimulator};
+use merlin_sim::HlsResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,9 +50,9 @@ impl AnnealingExplorer {
     }
 
     /// Runs the annealing walk, recording every evaluation into `db`.
-    pub fn explore(
+    pub fn explore<B: EvalBackend>(
         &self,
-        sim: &MerlinSimulator,
+        sim: &B,
         kernel: &Kernel,
         space: &DesignSpace,
         db: &mut Database,
@@ -61,9 +62,13 @@ impl AnnealingExplorer {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let mut current: DesignPoint = space.default_point();
-        let (mut cur_res, fresh) = evaluate_into_db(sim, kernel, space, &current, db);
+        let (first, fresh) = evaluate_into_db(sim, kernel, space, &current, db);
         if fresh {
             log.evals += 1;
+        }
+        // Without a starting energy there is nothing to anneal from.
+        let Some(mut cur_res) = first else { return log };
+        if fresh {
             log.tool_minutes += cur_res.synth_minutes;
         }
         let penalty = (cur_res.cycles.max(1) as f64) * 10.0;
@@ -89,6 +94,9 @@ impl AnnealingExplorer {
             let (r, fresh) = evaluate_into_db(sim, kernel, space, &cand, db);
             if fresh {
                 log.evals += 1;
+            }
+            let Some(r) = r else { continue };
+            if fresh {
                 log.tool_minutes += r.synth_minutes;
             }
             let e = self.energy(&r, penalty);
@@ -117,6 +125,7 @@ impl AnnealingExplorer {
 mod tests {
     use super::*;
     use hls_ir::kernels;
+    use merlin_sim::MerlinSimulator;
 
     #[test]
     fn annealing_improves_over_default() {

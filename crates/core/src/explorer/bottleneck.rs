@@ -15,7 +15,8 @@ use super::{evaluate_into_db, Budget};
 use crate::db::Database;
 use design_space::{order::ordered_slots, DesignPoint, DesignSpace};
 use hls_ir::Kernel;
-use merlin_sim::{HlsResult, MerlinSimulator};
+use crate::harness::EvalBackend;
+use merlin_sim::HlsResult;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,9 +60,9 @@ impl BottleneckExplorer {
 
     /// Runs greedy sweeps (with random restarts on convergence) until the
     /// budget is spent, recording every evaluation into `db`.
-    pub fn explore(
+    pub fn explore<B: EvalBackend>(
         &self,
-        sim: &MerlinSimulator,
+        sim: &B,
         kernel: &Kernel,
         space: &DesignSpace,
         db: &mut Database,
@@ -97,7 +98,7 @@ impl BottleneckExplorer {
         // explorer's improvement anchors and callers expect.
         let mut mono: Vec<(usize, u64)> = Vec::with_capacity(log.trace.len());
         for &(e, c) in &log.trace {
-            if mono.last().map_or(true, |&(_, best)| c < best) {
+            if mono.last().is_none_or(|&(_, best)| c < best) {
                 mono.push((e, c));
             }
         }
@@ -107,9 +108,10 @@ impl BottleneckExplorer {
     }
 
     /// One greedy pass from `start` until convergence or budget exhaustion.
-    fn greedy_sweep(
+    #[allow(clippy::too_many_arguments)]
+    fn greedy_sweep<B: EvalBackend>(
         &self,
-        sim: &MerlinSimulator,
+        sim: &B,
         kernel: &Kernel,
         space: &DesignSpace,
         db: &mut Database,
@@ -121,9 +123,14 @@ impl BottleneckExplorer {
         let acceptable = |r: &HlsResult, thr: f64| r.is_valid() && r.util.fits(thr);
 
         let mut current = start;
-        let (mut best_result, fresh) = evaluate_into_db(sim, kernel, space, &current, db);
+        let (first, fresh) = evaluate_into_db(sim, kernel, space, &current, db);
         if fresh {
             log.evals += 1;
+        }
+        // A lost sweep start leaves nothing to improve on; the caller will
+        // restart from another point with the remaining budget.
+        let mut best_result = first?;
+        if fresh {
             log.tool_minutes += best_result.synth_minutes;
         }
         if acceptable(&best_result, self.util_threshold) {
@@ -149,6 +156,9 @@ impl BottleneckExplorer {
                     let (r, fresh) = evaluate_into_db(sim, kernel, space, &cand, db);
                     if fresh {
                         log.evals += 1;
+                    }
+                    let Some(r) = r else { continue };
+                    if fresh {
                         log.tool_minutes += r.synth_minutes;
                     }
                     let better = acceptable(&r, self.util_threshold)
@@ -179,6 +189,7 @@ impl BottleneckExplorer {
 mod tests {
     use super::*;
     use hls_ir::kernels;
+    use merlin_sim::MerlinSimulator;
 
     #[test]
     fn finds_a_much_better_design_than_default() {

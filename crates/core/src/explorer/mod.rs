@@ -25,9 +25,10 @@ pub use hybrid::HybridExplorer;
 pub use random::RandomExplorer;
 
 use crate::db::Database;
+use crate::harness::EvalBackend;
 use design_space::{DesignPoint, DesignSpace};
 use hls_ir::Kernel;
-use merlin_sim::{HlsResult, MerlinSimulator};
+use merlin_sim::HlsResult;
 
 /// Shared exploration limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,27 +45,36 @@ impl Budget {
 }
 
 /// Evaluates `point` (deduplicated against `db`), recording the result.
-/// Returns the result and whether a fresh evaluation was spent.
-pub(crate) fn evaluate_into_db(
-    sim: &MerlinSimulator,
+///
+/// Returns the result (`None` when the backend lost the point to tool
+/// failure — nothing is recorded, so a later run can pick it up again) and
+/// whether a fresh evaluation was spent. Lost points still spend budget:
+/// the attempts consumed real tool time.
+pub(crate) fn evaluate_into_db<B: EvalBackend>(
+    eval: &B,
     kernel: &Kernel,
     space: &DesignSpace,
     point: &DesignPoint,
     db: &mut Database,
-) -> (HlsResult, bool) {
+) -> (Option<HlsResult>, bool) {
     let canonical = design_space::rules::canonicalize(kernel, space, point);
     if let Some(e) = db.get(kernel.name(), &canonical) {
-        return (e.result, false);
+        return (Some(e.result), false);
     }
-    let r = sim.evaluate(kernel, space, &canonical);
-    db.insert(kernel.name(), canonical, r);
-    (r, true)
+    match eval.try_evaluate(kernel, space, &canonical) {
+        Ok(r) => {
+            db.insert(kernel.name(), canonical, r);
+            (Some(r), true)
+        }
+        Err(_) => (None, true),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hls_ir::kernels;
+    use merlin_sim::MerlinSimulator;
 
     #[test]
     fn evaluate_into_db_dedups_canonical_forms() {
@@ -73,10 +83,31 @@ mod tests {
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
         let p = space.default_point();
-        let (_, fresh1) = evaluate_into_db(&sim, &k, &space, &p, &mut db);
-        let (_, fresh2) = evaluate_into_db(&sim, &k, &space, &p, &mut db);
+        let (r1, fresh1) = evaluate_into_db(&sim, &k, &space, &p, &mut db);
+        let (r2, fresh2) = evaluate_into_db(&sim, &k, &space, &p, &mut db);
+        assert!(r1.is_some() && r2.is_some());
         assert!(fresh1);
         assert!(!fresh2);
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn lost_points_spend_budget_but_stay_out_of_the_db() {
+        use crate::harness::{Harness, RetryPolicy};
+        use merlin_sim::{FaultConfig, FaultyOracle};
+
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        // 100% crash rate with no retries: every point is lost.
+        let cfg = FaultConfig { crash_rate: 1.0, ..FaultConfig::none() };
+        let h = Harness::new(
+            FaultyOracle::new(MerlinSimulator::new(), cfg),
+            RetryPolicy::with_max_retries(0),
+        );
+        let mut db = Database::new();
+        let (r, fresh) = evaluate_into_db(&h, &k, &space, &space.default_point(), &mut db);
+        assert!(r.is_none());
+        assert!(fresh, "failed attempts still consume tool budget");
+        assert_eq!(db.len(), 0, "a lost point must not pollute the database");
     }
 }

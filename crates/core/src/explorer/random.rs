@@ -2,9 +2,9 @@
 
 use super::{evaluate_into_db, Budget};
 use crate::db::Database;
+use crate::harness::EvalBackend;
 use design_space::DesignSpace;
 use hls_ir::Kernel;
-use merlin_sim::MerlinSimulator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,9 +23,9 @@ impl RandomExplorer {
 
     /// Samples random points until the budget is spent, recording every
     /// evaluation into `db`. Returns the number of fresh evaluations.
-    pub fn explore(
+    pub fn explore<B: EvalBackend>(
         &self,
-        sim: &MerlinSimulator,
+        sim: &B,
         kernel: &Kernel,
         space: &DesignSpace,
         db: &mut Database,
@@ -53,6 +53,7 @@ impl RandomExplorer {
 mod tests {
     use super::*;
     use hls_ir::kernels;
+    use merlin_sim::MerlinSimulator;
 
     #[test]
     fn random_fills_the_budget_on_large_spaces() {

@@ -1,0 +1,373 @@
+//! Resilient evaluation harness: retry, backoff, and failure accounting
+//! around any [`HlsOracle`].
+//!
+//! The explorers and the rounds loop do not talk to an oracle directly; they
+//! go through an [`EvalBackend`]. The plain [`MerlinSimulator`] is an
+//! infallible backend (what every existing call site uses), while
+//! [`Harness`] wraps a fallible [`HlsOracle`] and turns its transient
+//! failures into retried attempts with capped exponential backoff, and its
+//! permanent failures into typed [`EvalError`]s the caller can degrade
+//! gracefully on.
+//!
+//! Backoff is *virtual*: the harness records how long a real driver would
+//! have slept (`HarnessStats::virtual_backoff_ms`) without actually
+//! sleeping, keeping simulated campaigns fast and fully deterministic.
+
+use merlin_sim::{HlsOracle, HlsResult, MerlinSimulator, OracleFailure};
+
+use design_space::{DesignPoint, DesignSpace};
+use hls_ir::Kernel;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
+
+/// Why an evaluation could not produce a result, after the harness did all
+/// it could.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalError {
+    /// The oracle reported a non-retryable failure.
+    Permanent {
+        /// The underlying failure.
+        failure: OracleFailure,
+    },
+    /// Every allowed attempt failed with a (retryable) transient failure.
+    Exhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The failure of the final attempt.
+        last: OracleFailure,
+    },
+}
+
+impl EvalError {
+    /// The underlying oracle failure.
+    pub fn failure(&self) -> &OracleFailure {
+        match self {
+            EvalError::Permanent { failure } => failure,
+            EvalError::Exhausted { last, .. } => last,
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Permanent { failure } => {
+                write!(f, "permanent oracle failure: {failure}")
+            }
+            EvalError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last failure: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.failure())
+    }
+}
+
+/// Retry discipline: how many times to re-run a failed invocation and how
+/// long to (virtually) wait between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Upper bound on a single backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, base_backoff_ms: 1_000, max_backoff_ms: 60_000 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries and the default backoff curve.
+    pub fn with_max_retries(max_retries: u32) -> Self {
+        RetryPolicy { max_retries, ..RetryPolicy::default() }
+    }
+
+    /// Backoff before retry number `retry` (1-based): capped exponential,
+    /// `base * 2^(retry-1)` clamped to `max_backoff_ms`.
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        debug_assert!(retry >= 1, "backoff happens before a retry, not the first attempt");
+        self.base_backoff_ms
+            .saturating_mul(1u64 << (retry - 1).min(62))
+            .min(self.max_backoff_ms)
+    }
+
+    /// Total attempts allowed (first try + retries).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries + 1
+    }
+}
+
+/// Counters the harness accumulates across a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HarnessStats {
+    /// Oracle invocations (including retries).
+    pub attempts: u64,
+    /// Evaluations that eventually produced a result.
+    pub successes: u64,
+    /// Transient failures that were retried.
+    pub transient_failures: u64,
+    /// Evaluations abandoned on a non-retryable failure.
+    pub permanent_failures: u64,
+    /// Evaluations abandoned after exhausting all retries.
+    pub exhausted: u64,
+    /// Milliseconds a real driver would have spent backing off.
+    pub virtual_backoff_ms: u64,
+}
+
+impl HarnessStats {
+    /// Evaluations that produced no result.
+    pub fn losses(&self) -> u64 {
+        self.permanent_failures + self.exhausted
+    }
+}
+
+/// Anything the explorers can evaluate design points against.
+///
+/// The two implementations are the bare [`MerlinSimulator`] (infallible,
+/// zero overhead — the default everywhere) and [`Harness`] (fallible oracle
+/// plus retry).
+pub trait EvalBackend {
+    /// Evaluates one design point, retrying/cleaning up as the backend sees
+    /// fit. `Err` means the point produced *no* usable result.
+    fn try_evaluate(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Result<HlsResult, EvalError>;
+}
+
+impl EvalBackend for MerlinSimulator {
+    fn try_evaluate(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Result<HlsResult, EvalError> {
+        Ok(self.evaluate(kernel, space, point))
+    }
+}
+
+impl<T: EvalBackend + ?Sized> EvalBackend for &T {
+    fn try_evaluate(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Result<HlsResult, EvalError> {
+        (**self).try_evaluate(kernel, space, point)
+    }
+}
+
+/// Drives an [`HlsOracle`] with bounded retries and failure accounting.
+#[derive(Debug)]
+pub struct Harness<O> {
+    oracle: O,
+    policy: RetryPolicy,
+    stats: RefCell<HarnessStats>,
+}
+
+impl<O: HlsOracle> Harness<O> {
+    /// Wraps `oracle` under `policy`.
+    pub fn new(oracle: O, policy: RetryPolicy) -> Self {
+        Harness { oracle, policy, stats: RefCell::new(HarnessStats::default()) }
+    }
+
+    /// The retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn stats(&self) -> HarnessStats {
+        *self.stats.borrow()
+    }
+
+    /// Resets the counters (e.g. between rounds).
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = HarnessStats::default();
+    }
+
+    /// Runs the oracle on one point, retrying transient failures with
+    /// capped exponential (virtual) backoff.
+    pub fn evaluate(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Result<HlsResult, EvalError> {
+        let max_attempts = self.policy.max_attempts();
+        let mut attempt = 0u32;
+        loop {
+            self.stats.borrow_mut().attempts += 1;
+            match self.oracle.run(kernel, space, point, attempt) {
+                Ok(result) => {
+                    self.stats.borrow_mut().successes += 1;
+                    return Ok(result);
+                }
+                Err(failure) if !failure.is_retryable() => {
+                    self.stats.borrow_mut().permanent_failures += 1;
+                    return Err(EvalError::Permanent { failure });
+                }
+                Err(failure) => {
+                    let mut stats = self.stats.borrow_mut();
+                    stats.transient_failures += 1;
+                    attempt += 1;
+                    if attempt >= max_attempts {
+                        stats.exhausted += 1;
+                        return Err(EvalError::Exhausted { attempts: attempt, last: failure });
+                    }
+                    stats.virtual_backoff_ms += self.policy.backoff_ms(attempt);
+                }
+            }
+        }
+    }
+}
+
+impl<O: HlsOracle> EvalBackend for Harness<O> {
+    fn try_evaluate(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Result<HlsResult, EvalError> {
+        self.evaluate(kernel, space, point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_space::DesignSpace;
+    use hls_ir::kernels;
+    use merlin_sim::{FaultConfig, FaultyOracle};
+
+    fn setup() -> (Kernel, DesignSpace) {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        (k, space)
+    }
+
+    /// Oracle that always fails the same retryable way.
+    struct AlwaysCrash;
+
+    impl HlsOracle for AlwaysCrash {
+        fn run(
+            &self,
+            _kernel: &Kernel,
+            _space: &DesignSpace,
+            _point: &DesignPoint,
+            attempt: u32,
+        ) -> Result<HlsResult, OracleFailure> {
+            Err(OracleFailure::ToolCrash { detail: format!("attempt {attempt}") })
+        }
+    }
+
+    /// Oracle that fails fatally on every invocation.
+    struct BrokenInstall;
+
+    impl HlsOracle for BrokenInstall {
+        fn run(
+            &self,
+            _kernel: &Kernel,
+            _space: &DesignSpace,
+            _point: &DesignPoint,
+            _attempt: u32,
+        ) -> Result<HlsResult, OracleFailure> {
+            Err(OracleFailure::Fatal { detail: "no toolchain".into() })
+        }
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let (k, space) = setup();
+        let h = Harness::new(AlwaysCrash, RetryPolicy::with_max_retries(2));
+        let err = h.evaluate(&k, &space, &space.default_point()).unwrap_err();
+        match err {
+            EvalError::Exhausted { attempts, ref last } => {
+                assert_eq!(attempts, 3, "1 try + 2 retries");
+                assert_eq!(last.kind(), "tool-crash");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        let stats = h.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.successes, 0);
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.transient_failures, 3);
+    }
+
+    #[test]
+    fn fatal_failures_are_not_retried() {
+        let (k, space) = setup();
+        let h = Harness::new(BrokenInstall, RetryPolicy::with_max_retries(5));
+        let err = h.evaluate(&k, &space, &space.default_point()).unwrap_err();
+        assert!(matches!(err, EvalError::Permanent { .. }));
+        assert_eq!(h.stats().attempts, 1, "fatal failure must not burn retries");
+        assert_eq!(h.stats().permanent_failures, 1);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy { max_retries: 10, base_backoff_ms: 100, max_backoff_ms: 1_500 };
+        assert_eq!(p.backoff_ms(1), 100);
+        assert_eq!(p.backoff_ms(2), 200);
+        assert_eq!(p.backoff_ms(3), 400);
+        assert_eq!(p.backoff_ms(4), 800);
+        assert_eq!(p.backoff_ms(5), 1_500, "capped");
+        assert_eq!(p.backoff_ms(10), 1_500, "stays capped");
+    }
+
+    #[test]
+    fn virtual_backoff_accumulates() {
+        let (k, space) = setup();
+        let policy = RetryPolicy { max_retries: 3, base_backoff_ms: 10, max_backoff_ms: 1_000 };
+        let h = Harness::new(AlwaysCrash, policy);
+        let _ = h.evaluate(&k, &space, &space.default_point());
+        // Backoffs before retries 1..=3: 10 + 20 + 40.
+        assert_eq!(h.stats().virtual_backoff_ms, 70);
+    }
+
+    #[test]
+    fn retries_recover_transient_faults() {
+        let (k, space) = setup();
+        // At a 30% transient rate with 5 retries, nearly every point should
+        // eventually evaluate; and the harness result must equal the bare
+        // simulator's (faults never corrupt results, only delay them).
+        let sim = MerlinSimulator::new();
+        let h = Harness::new(
+            FaultyOracle::new(MerlinSimulator::new(), FaultConfig::uniform(0.3, 11)),
+            RetryPolicy::with_max_retries(5),
+        );
+        let mut evaluated = 0usize;
+        for i in 0..40u64 {
+            let idx = u128::from(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % space.size();
+            let p = space.point_at(idx);
+            if let Ok(r) = h.evaluate(&k, &space, &p) {
+                evaluated += 1;
+                let expect = sim.evaluate(&k, &space, &p);
+                assert_eq!(r.validity, expect.validity);
+                assert_eq!(r.cycles, expect.cycles);
+            }
+        }
+        assert!(evaluated >= 38, "only {evaluated}/40 recovered at 30% transient rate");
+        assert!(h.stats().transient_failures > 0, "faults should have fired at 30% rate");
+    }
+
+    #[test]
+    fn bare_simulator_backend_is_infallible() {
+        let (k, space) = setup();
+        let sim = MerlinSimulator::new();
+        assert!(sim.try_evaluate(&k, &space, &space.default_point()).is_ok());
+    }
+}

@@ -190,14 +190,15 @@ impl Predictor {
         self.predict_batch(graph, std::slice::from_ref(point))[0]
     }
 
-    /// Saves the trained predictor (all three models + normalizer) as JSON.
+    /// Saves the trained predictor (all three models + normalizer) as JSON,
+    /// atomically (see [`crate::persist::atomic_write`]).
     ///
     /// # Errors
     ///
     /// Returns any I/O or serialization error.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        crate::persist::atomic_write(path, &json)
     }
 
     /// Loads a predictor saved by [`Predictor::save`].
@@ -284,7 +285,7 @@ mod tests {
         let ds = Dataset::from_database_with_normalizer(&db2, &ks, *p.normalizer());
         let valid = ds.valid_indices();
         let before = eval_regression(p.regressor(), &ds, &valid).total();
-        p.fine_tune(&db2, &ks, &TrainConfig::quick().with_epochs(4));
+        p.fine_tune(&db2, &ks, &TrainConfig::quick().with_epochs(8));
         let after = eval_regression(p.regressor(), &ds, &valid).total();
         assert!(after < before, "fine-tuning should reduce error: {after} !< {before}");
     }

@@ -49,13 +49,16 @@ pub mod db;
 pub mod dbgen;
 pub mod dse;
 pub mod explorer;
+pub mod harness;
 pub mod inference;
+pub mod persist;
 pub mod rounds;
 pub mod trainer;
 
 pub use dataset::{Dataset, Normalizer};
-pub use db::{Database, DbEntry};
+pub use db::{Database, DbEntry, DbError};
 pub use dse::{pareto_front, run_dse, DseConfig, DseOutcome};
+pub use harness::{EvalBackend, EvalError, Harness, HarnessStats, RetryPolicy};
 pub use inference::{Prediction, Predictor};
 pub use rounds::{run_rounds, RoundReport, RoundsConfig};
 pub use trainer::{ClassificationMetrics, RegressionMetrics, TrainConfig};

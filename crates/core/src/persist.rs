@@ -1,0 +1,61 @@
+//! Crash-safe file persistence.
+//!
+//! Every on-disk artifact of a campaign (database, checkpoint state, saved
+//! models) goes through [`atomic_write`]: write a temporary sibling, fsync
+//! it, then rename over the destination. A crash at any instant leaves
+//! either the complete old file or the complete new file — never a
+//! truncated hybrid — which is what makes killing a rounds run mid-write
+//! recoverable.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically replaces `path` with `contents`.
+///
+/// The temporary file lives in `path`'s directory (rename must not cross
+/// filesystems) under a `.tmp` suffix, and is fsynced before the rename so
+/// the data is durable before it becomes visible.
+///
+/// # Errors
+///
+/// Any I/O error from create/write/sync/rename; on error the destination is
+/// untouched (a stale `.tmp` sibling may remain and is overwritten by the
+/// next attempt).
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("no file name in {}", path.display()))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    let mut f = File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join("gnn_dse_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.json");
+        atomic_write(&path, "one").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "one");
+        atomic_write(&path, "two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        assert!(!path.with_file_name("f.json.tmp").exists(), "tmp file renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_pathless_target() {
+        assert!(atomic_write(Path::new("/"), "x").is_err());
+    }
+}

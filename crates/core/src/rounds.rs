@@ -4,10 +4,26 @@
 //! kernel, validates the top-M candidates with the HLS tool, and commits the
 //! true results back into the database: mispredicted points are exactly the
 //! ones that make the next round's model better.
+//!
+//! ## Resilience
+//!
+//! Validation runs through an [`EvalBackend`], so a fault-injected or
+//! real-tool backend can lose candidates; a round **degrades gracefully** —
+//! it commits the successful subset and records the losses in its
+//! [`KernelRound::lost`] — instead of aborting the campaign.
+//!
+//! With a checkpoint path, the loop persists its complete state (database,
+//! reports, carried model) in **one atomic file** after every round. A
+//! killed run restarted with `resume = true` replays from the last round
+//! boundary; because the loop itself is deterministic (seeded models,
+//! stateless per-attempt fault decisions), the resumed run converges to a
+//! byte-identical final database.
 
 use crate::db::Database;
 use crate::dse::{run_dse_with_graph, DseConfig};
+use crate::harness::EvalBackend;
 use crate::inference::Predictor;
+use crate::persist::atomic_write;
 use crate::trainer::TrainConfig;
 use design_space::DesignSpace;
 use gdse_gnn::{ModelConfig, ModelKind};
@@ -15,6 +31,8 @@ use hls_ir::Kernel;
 use merlin_sim::MerlinSimulator;
 use proggraph::build_graph_bidirectional;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Configuration of the round loop.
 #[derive(Debug, Clone)]
@@ -32,6 +50,9 @@ pub struct RoundsConfig {
     /// Fine-tune the previous round's predictor on the augmented database
     /// instead of retraining from scratch (cheaper; the paper retrains).
     pub fine_tune: bool,
+    /// Abort (as if killed) after this many completed rounds — a test hook
+    /// for exercising checkpoint/resume. `None` runs all rounds.
+    pub stop_after: Option<usize>,
 }
 
 impl RoundsConfig {
@@ -44,6 +65,7 @@ impl RoundsConfig {
             train_cfg: TrainConfig::quick().with_epochs(4),
             dse: DseConfig::quick(),
             fine_tune: false,
+            stop_after: None,
         }
     }
 }
@@ -62,6 +84,9 @@ pub struct KernelRound {
     pub speedup: f64,
     /// Fresh evaluations committed to the database this round.
     pub added: usize,
+    /// Top-M candidates this round whose validation was lost to tool
+    /// failure (they are *not* committed and may be retried next round).
+    pub lost: usize,
 }
 
 /// Outcome of one full round.
@@ -73,22 +98,123 @@ pub struct RoundReport {
     pub kernels: Vec<KernelRound>,
     /// Arithmetic mean of the per-kernel speedups (the Fig. 7 legend).
     pub avg_speedup: f64,
+    /// Total validations lost to tool failure this round.
+    pub lost: usize,
+}
+
+/// Why a checkpointed rounds run could not proceed.
+#[derive(Debug)]
+pub enum RoundsError {
+    /// The checkpoint file could not be read/written.
+    Io {
+        /// The checkpoint file.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The checkpoint file exists but is not a usable checkpoint.
+    Corrupt {
+        /// The checkpoint file.
+        path: PathBuf,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The checkpoint belongs to a different campaign (kernel set mismatch).
+    Mismatch {
+        /// The checkpoint file.
+        path: PathBuf,
+        /// What does not line up.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RoundsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoundsError::Io { path, source } => {
+                write!(f, "checkpoint I/O error on {}: {source}", path.display())
+            }
+            RoundsError::Corrupt { path, detail } => {
+                write!(f, "{} is not a valid checkpoint: {detail}", path.display())
+            }
+            RoundsError::Mismatch { path, detail } => {
+                write!(f, "checkpoint {} does not match this run: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoundsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoundsError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Complete loop state at a round boundary. Serialized as a single document
+/// so database, reports, and carried model can never go out of sync on disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Checkpoint {
+    /// The next round to run (1-based); `cfg.rounds + 1` when complete.
+    next_round: usize,
+    reports: Vec<RoundReport>,
+    initial_best: Vec<(String, u64)>,
+    best_dse: Vec<Option<u64>>,
+    db: Database,
+    carried_model: Option<Predictor>,
+}
+
+impl Checkpoint {
+    fn load(path: &Path) -> Result<Self, RoundsError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|source| RoundsError::Io { path: path.to_path_buf(), source })?;
+        let mut ck: Checkpoint = serde_json::from_str(&json)
+            .map_err(|e| RoundsError::Corrupt { path: path.to_path_buf(), detail: e.to_string() })?;
+        ck.db.rebuild_index();
+        Ok(ck)
+    }
+
+    fn save(&self, path: &Path) -> Result<(), RoundsError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| RoundsError::Corrupt { path: path.to_path_buf(), detail: e.to_string() })?;
+        atomic_write(path, &json)
+            .map_err(|source| RoundsError::Io { path: path.to_path_buf(), source })
+    }
 }
 
 /// Runs `cfg.rounds` rounds of train -> DSE -> validate -> augment over all
-/// `kernels`, mutating `db` in place.
+/// `kernels`, mutating `db` in place. Evaluates with the infallible
+/// analytical simulator and no checkpointing — the original API.
 pub fn run_rounds(db: &mut Database, kernels: &[Kernel], cfg: &RoundsConfig) -> Vec<RoundReport> {
-    let sim = MerlinSimulator::new();
-    let initial_best: Vec<(String, u64)> = kernels
-        .iter()
-        .map(|k| {
-            let best = db
-                .best_design(k.name(), cfg.dse.util_threshold)
-                .map(|e| e.result.cycles)
-                .unwrap_or(u64::MAX);
-            (k.name().to_string(), best)
-        })
-        .collect();
+    run_rounds_with(db, kernels, cfg, &MerlinSimulator::new(), None, false)
+        .expect("rounds without a checkpoint path cannot fail")
+}
+
+/// [`run_rounds`] against an arbitrary evaluation backend, with optional
+/// crash-safe checkpointing.
+///
+/// * `eval` — validation backend; lost candidates degrade the round instead
+///   of aborting it.
+/// * `checkpoint` — if set, the complete loop state is atomically persisted
+///   to this file after every round.
+/// * `resume` — if set and `checkpoint` names an existing file, the run
+///   continues from it (replacing `db`'s contents with the checkpointed
+///   database) instead of starting over.
+///
+/// # Errors
+///
+/// Only checkpoint I/O / validity errors; a run without a checkpoint path
+/// never fails.
+pub fn run_rounds_with<B: EvalBackend>(
+    db: &mut Database,
+    kernels: &[Kernel],
+    cfg: &RoundsConfig,
+    eval: &B,
+    checkpoint: Option<&Path>,
+    resume: bool,
+) -> Result<Vec<RoundReport>, RoundsError> {
     let spaces: Vec<DesignSpace> = kernels.iter().map(DesignSpace::from_kernel).collect();
     let graphs: Vec<_> = kernels
         .iter()
@@ -96,11 +222,46 @@ pub fn run_rounds(db: &mut Database, kernels: &[Kernel], cfg: &RoundsConfig) -> 
         .map(|(k, s)| build_graph_bidirectional(k, s))
         .collect();
 
-    let mut best_dse: Vec<Option<u64>> = vec![None; kernels.len()];
-    let mut reports = Vec::with_capacity(cfg.rounds);
-    let mut carried: Option<Predictor> = None;
+    // Either resume the saved state or derive a fresh one from `db`.
+    let resumed = match checkpoint {
+        Some(path) if resume && path.exists() => {
+            let ck = Checkpoint::load(path)?;
+            let names: Vec<&str> = ck.initial_best.iter().map(|(n, _)| n.as_str()).collect();
+            let expect: Vec<&str> = kernels.iter().map(|k| k.name()).collect();
+            if names != expect {
+                return Err(RoundsError::Mismatch {
+                    path: path.to_path_buf(),
+                    detail: format!("checkpoint kernels {names:?}, requested {expect:?}"),
+                });
+            }
+            Some(ck)
+        }
+        _ => None,
+    };
 
-    for round in 1..=cfg.rounds {
+    let (mut start_round, mut reports, initial_best, mut best_dse, mut carried) = match resumed {
+        Some(ck) => {
+            *db = ck.db;
+            (ck.next_round, ck.reports, ck.initial_best, ck.best_dse, ck.carried_model)
+        }
+        None => {
+            let initial_best: Vec<(String, u64)> = kernels
+                .iter()
+                .map(|k| {
+                    let best = db
+                        .best_design(k.name(), cfg.dse.util_threshold)
+                        .map(|e| e.result.cycles)
+                        .unwrap_or(u64::MAX);
+                    (k.name().to_string(), best)
+                })
+                .collect();
+            (1, Vec::with_capacity(cfg.rounds), initial_best, vec![None; kernels.len()], None)
+        }
+    };
+    // A checkpoint from a run with more rounds than requested: nothing to do.
+    start_round = start_round.min(cfg.rounds + 1);
+
+    for round in start_round..=cfg.rounds {
         let predictor = match carried.take() {
             Some(mut p) if cfg.fine_tune => {
                 // Fine-tune the carried model on the augmented database with
@@ -128,11 +289,22 @@ pub fn run_rounds(db: &mut Database, kernels: &[Kernel], cfg: &RoundsConfig) -> 
             let outcome =
                 run_dse_with_graph(&predictor, kernel, &spaces[ki], &graphs[ki], &cfg.dse);
             let mut added = 0;
+            let mut lost = 0;
             for (point, _) in &outcome.top {
                 if !db.contains(kernel.name(), point) {
-                    let r = sim.evaluate(kernel, &spaces[ki], point);
-                    db.insert(kernel.name(), point.clone(), r);
-                    added += 1;
+                    match eval.try_evaluate(kernel, &spaces[ki], point) {
+                        Ok(r) => {
+                            db.insert(kernel.name(), point.clone(), r);
+                            added += 1;
+                        }
+                        Err(_) => {
+                            // Graceful degradation: the round proceeds with
+                            // the candidates that did evaluate; this one is
+                            // not committed and stays eligible next round.
+                            lost += 1;
+                            continue;
+                        }
+                    }
                 }
                 if let Some(e) = db.get(kernel.name(), point) {
                     if e.result.is_valid() && e.result.util.fits(cfg.dse.util_threshold) {
@@ -153,20 +325,45 @@ pub fn run_rounds(db: &mut Database, kernels: &[Kernel], cfg: &RoundsConfig) -> 
                 initial_best_cycles: initial,
                 speedup,
                 added,
+                lost,
             });
         }
         let avg = per_kernel.iter().map(|k| k.speedup).sum::<f64>() / per_kernel.len() as f64;
-        reports.push(RoundReport { round, kernels: per_kernel, avg_speedup: avg });
+        let lost = per_kernel.iter().map(|k| k.lost).sum();
+        reports.push(RoundReport { round, kernels: per_kernel, avg_speedup: avg, lost });
         carried = Some(predictor);
+
+        if let Some(path) = checkpoint {
+            Checkpoint {
+                next_round: round + 1,
+                reports: reports.clone(),
+                initial_best: initial_best.clone(),
+                best_dse: best_dse.clone(),
+                db: db.clone(),
+                // The carried model only affects later rounds when
+                // fine-tuning; skip the (large) serialization otherwise.
+                carried_model: if cfg.fine_tune { carried.clone() } else { None },
+            }
+            .save(path)?;
+        }
+
+        if cfg.stop_after.is_some_and(|n| round >= n) {
+            // Simulated kill: return what completed, like a real crash
+            // would leave behind (the checkpoint, if any, is already
+            // written).
+            break;
+        }
     }
-    reports
+    Ok(reports)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dbgen::generate_database;
+    use crate::dbgen::{fault_injected_harness, generate_database};
+    use crate::harness::RetryPolicy;
     use hls_ir::kernels;
+    use merlin_sim::FaultConfig;
 
     #[test]
     fn fine_tuned_rounds_also_progress() {
@@ -192,5 +389,110 @@ mod tests {
                 assert!(b.speedup >= a.speedup - 1e-12, "{}: {} -> {}", a.kernel, a.speedup, b.speedup);
             }
         }
+    }
+
+    #[test]
+    fn degraded_rounds_commit_the_successful_subset() {
+        let ks = vec![kernels::spmv_ellpack()];
+        let mut db = generate_database(&ks, &[("spmv-ellpack", 30)], 30, 31);
+        let before = db.len();
+        // Heavy fault rate and no retries so some top-M validations are lost.
+        let h = fault_injected_harness(
+            FaultConfig::uniform(0.6, 3),
+            RetryPolicy::with_max_retries(0),
+        );
+        let reports =
+            run_rounds_with(&mut db, &ks, &RoundsConfig::quick(), &h, None, false).unwrap();
+        assert_eq!(reports.len(), 2, "every round must complete despite losses");
+        let total_lost: usize = reports.iter().map(|r| r.lost).sum();
+        let total_added: usize =
+            reports.iter().flat_map(|r| &r.kernels).map(|k| k.added).sum();
+        assert!(total_lost > 0, "60% faults with no retries must lose candidates");
+        assert_eq!(db.len(), before + total_added, "only successes are committed");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let dir = std::env::temp_dir().join("gnn_dse_rounds_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ks = vec![kernels::spmv_ellpack()];
+        let base_db = generate_database(&ks, &[("spmv-ellpack", 30)], 30, 31);
+        let cfg = RoundsConfig { rounds: 3, ..RoundsConfig::quick() };
+        let sim = MerlinSimulator::new();
+
+        // Uninterrupted run.
+        let full_ck = dir.join("full.json");
+        std::fs::remove_file(&full_ck).ok();
+        let mut db_full = base_db.clone();
+        let full_reports =
+            run_rounds_with(&mut db_full, &ks, &cfg, &sim, Some(&full_ck), false).unwrap();
+
+        // Killed after round 1, then resumed.
+        let part_ck = dir.join("part.json");
+        std::fs::remove_file(&part_ck).ok();
+        let mut db_killed = base_db.clone();
+        let killed_cfg = RoundsConfig { stop_after: Some(1), ..cfg.clone() };
+        let partial =
+            run_rounds_with(&mut db_killed, &ks, &killed_cfg, &sim, Some(&part_ck), false)
+                .unwrap();
+        assert_eq!(partial.len(), 1);
+
+        let mut db_resumed = base_db.clone(); // stale copy, as after a crash
+        let resumed_reports =
+            run_rounds_with(&mut db_resumed, &ks, &cfg, &sim, Some(&part_ck), true).unwrap();
+
+        assert_eq!(resumed_reports, full_reports);
+        let out_full = dir.join("db_full.json");
+        let out_resumed = dir.join("db_resumed.json");
+        db_full.save(&out_full).unwrap();
+        db_resumed.save(&out_resumed).unwrap();
+        assert_eq!(
+            std::fs::read(&out_full).unwrap(),
+            std::fs::read(&out_resumed).unwrap(),
+            "resumed database must be byte-identical to the uninterrupted one"
+        );
+        for f in [&full_ck, &part_ck, &out_full, &out_resumed] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_kernels() {
+        let dir = std::env::temp_dir().join("gnn_dse_rounds_mismatch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("ck.json");
+        std::fs::remove_file(&ck).ok();
+        let ks = vec![kernels::spmv_ellpack()];
+        let mut db = generate_database(&ks, &[], 30, 31);
+        let cfg = RoundsConfig { rounds: 1, ..RoundsConfig::quick() };
+        let sim = MerlinSimulator::new();
+        run_rounds_with(&mut db, &ks, &cfg, &sim, Some(&ck), false).unwrap();
+
+        let other = vec![kernels::gemm_ncubed()];
+        let mut db2 = generate_database(&other, &[], 30, 31);
+        let err = run_rounds_with(&mut db2, &other, &cfg, &sim, Some(&ck), true).unwrap_err();
+        assert!(matches!(err, RoundsError::Mismatch { .. }), "got {err}");
+        std::fs::remove_file(&ck).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("gnn_dse_rounds_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("bad.json");
+        std::fs::write(&ck, "not a checkpoint").unwrap();
+        let ks = vec![kernels::spmv_ellpack()];
+        let mut db = generate_database(&ks, &[], 20, 31);
+        let err = run_rounds_with(
+            &mut db,
+            &ks,
+            &RoundsConfig::quick(),
+            &MerlinSimulator::new(),
+            Some(&ck),
+            true,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RoundsError::Corrupt { .. }), "got {err}");
+        std::fs::remove_file(&ck).ok();
     }
 }

@@ -20,7 +20,7 @@ pub const MAX_PARALLEL_VARIABLE: u32 = 8;
 /// Divisors of `n` that are `<= cap`, ascending (always contains 1).
 pub fn divisors_up_to(n: u64, cap: u32) -> Vec<u32> {
     let cap = u64::from(cap).min(n);
-    (1..=cap).filter(|d| n % d == 0).map(|d| d as u32).collect()
+    (1..=cap).filter(|d| n.is_multiple_of(*d)).map(|d| d as u32).collect()
 }
 
 /// Powers of two `<= cap.min(n)`, ascending (always contains 1).

@@ -89,7 +89,7 @@ impl GraphBatch {
             es.push(&input.edge_attr);
             src.extend(input.src.iter().map(|&s| s + node_offset));
             dst.extend(input.dst.iter().map(|&d| d + node_offset));
-            node_graph.extend(std::iter::repeat(gi).take(input.num_nodes()));
+            node_graph.extend(std::iter::repeat_n(gi, input.num_nodes()));
             node_offset += input.num_nodes();
             pragma_rows.push(crate::model::encode_pragmas(point));
         }

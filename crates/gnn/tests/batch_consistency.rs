@@ -21,7 +21,7 @@ fn batched_forward_equals_single_forward_for_all_kinds() {
     for kind in ModelKind::ALL {
         let model = PredictionModel::new(kind, ModelConfig::small(), &["latency", "dsp"]);
         let refs: Vec<(&GraphInput, &design_space::DesignPoint)> =
-            inputs.iter().zip(&points).map(|(gi, p)| (gi, p)).collect();
+            inputs.iter().zip(&points).collect();
         let batch = GraphBatch::new(&refs);
         let batched = model.forward(&batch);
         for (i, (input, point)) in inputs.iter().zip(&points).enumerate() {

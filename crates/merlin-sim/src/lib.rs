@@ -43,6 +43,7 @@ pub mod cost;
 mod fpga;
 mod latency;
 pub mod memory;
+mod oracle;
 mod resource;
 mod result;
 mod settings;
@@ -50,6 +51,7 @@ mod sim;
 mod walk;
 
 pub use fpga::Fpga;
+pub use oracle::{FaultConfig, FaultyOracle, HlsOracle, OracleFailure};
 pub use latency::LoopReport;
 pub use result::{HlsResult, ResourceCounts, Utilization, Validity};
 pub use settings::{loop_setting, LoopSetting};

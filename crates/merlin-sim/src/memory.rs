@@ -79,7 +79,7 @@ pub fn is_on_chip(plan: &ArrayPlan) -> bool {
 
 fn burst_cycles(elems: u64, elem_bits: u64) -> u64 {
     let per_beat = (mem::BUS_BITS / elem_bits.max(1)).max(1);
-    (elems + per_beat - 1) / per_beat + mem::BURST_SETUP
+    elems.div_ceil(per_beat) + mem::BURST_SETUP
 }
 
 fn brams_for_bits(bits: u64) -> u64 {

@@ -1,0 +1,417 @@
+//! Fault-injecting HLS oracle layer.
+//!
+//! Real DSE campaigns drive a flaky toolchain: Merlin/HLS invocations crash,
+//! hang past their time budget, or emit truncated reports the wrapper cannot
+//! parse. The analytical [`MerlinSimulator`] never does any of that, so code
+//! built on it is never exercised against failure. This module closes that
+//! gap:
+//!
+//! * [`HlsOracle`] — the common interface over "something that can run HLS".
+//!   [`MerlinSimulator`] implements it infallibly; [`FaultyOracle`] wraps any
+//!   oracle and injects failures.
+//! * [`OracleFailure`] — the failure taxonomy a driver must handle: transient
+//!   tool crashes, spurious timeouts, corrupted reports (all retryable), and
+//!   fatal environment errors (not retryable).
+//! * [`FaultConfig`] — per-failure-mode rates plus a seed.
+//!
+//! Fault decisions are **stateless**: each `(seed, kernel, point, attempt)`
+//! tuple is hashed to a uniform draw, so the same configuration always fails
+//! (or succeeds) the same way regardless of evaluation order, interleaving,
+//! or process restarts. That property is what lets a checkpoint/resume run
+//! replay the exact fault sequence of an uninterrupted run.
+
+use crate::result::HlsResult;
+use crate::sim::MerlinSimulator;
+use design_space::{DesignPoint, DesignSpace};
+use hls_ir::Kernel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One way an HLS invocation can fail before producing a usable report.
+///
+/// This is *tool-level* failure — distinct from [`crate::Validity`], which
+/// classifies designs the tool successfully analysed and rejected. A refused
+/// parallel factor is a valid answer; a segfault is not.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleFailure {
+    /// The tool process died (segfault, OOM kill, license hiccup).
+    /// Transient: a retry may succeed.
+    ToolCrash {
+        /// Human-readable crash description.
+        detail: String,
+    },
+    /// The invocation exceeded its wall-clock budget for environmental
+    /// reasons (loaded machine, stuck NFS), not because the design is a
+    /// genuine [`crate::Validity::Timeout`]. Transient.
+    SpuriousTimeout,
+    /// The tool exited "successfully" but its report was truncated or
+    /// garbled and could not be parsed. Transient.
+    CorruptReport {
+        /// What was wrong with the report.
+        detail: String,
+    },
+    /// A non-recoverable environment error (missing binary, bad install).
+    /// Retrying cannot help.
+    Fatal {
+        /// What is broken.
+        detail: String,
+    },
+}
+
+impl OracleFailure {
+    /// Whether a retry of the same invocation could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, OracleFailure::Fatal { .. })
+    }
+
+    /// Short stable identifier of the failure mode (for logs and stats).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OracleFailure::ToolCrash { .. } => "tool-crash",
+            OracleFailure::SpuriousTimeout => "spurious-timeout",
+            OracleFailure::CorruptReport { .. } => "corrupt-report",
+            OracleFailure::Fatal { .. } => "fatal",
+        }
+    }
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleFailure::ToolCrash { detail } => write!(f, "tool crash: {detail}"),
+            OracleFailure::SpuriousTimeout => write!(f, "spurious timeout"),
+            OracleFailure::CorruptReport { detail } => write!(f, "corrupt report: {detail}"),
+            OracleFailure::Fatal { detail } => write!(f, "fatal oracle error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleFailure {}
+
+/// Anything that can evaluate a design point through the HLS toolchain.
+///
+/// `attempt` numbers retries of the *same* point (0 for the first try); a
+/// fault-injecting oracle uses it so that retries can draw a different
+/// outcome while the overall sequence stays deterministic.
+pub trait HlsOracle {
+    /// Runs one HLS invocation.
+    fn run(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+        attempt: u32,
+    ) -> Result<HlsResult, OracleFailure>;
+
+    /// Diagnostic name of the oracle.
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+/// The analytical simulator never fails at tool level.
+impl HlsOracle for MerlinSimulator {
+    fn run(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+        _attempt: u32,
+    ) -> Result<HlsResult, OracleFailure> {
+        Ok(self.evaluate(kernel, space, point))
+    }
+
+    fn name(&self) -> &'static str {
+        "merlin-sim"
+    }
+}
+
+impl<T: HlsOracle + ?Sized> HlsOracle for &T {
+    fn run(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+        attempt: u32,
+    ) -> Result<HlsResult, OracleFailure> {
+        (**self).run(kernel, space, point, attempt)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Per-failure-mode injection rates (each in `[0, 1]`, summing to at most 1)
+/// plus the seed that makes the fault sequence reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability of [`OracleFailure::ToolCrash`] per attempt.
+    pub crash_rate: f64,
+    /// Probability of [`OracleFailure::SpuriousTimeout`] per attempt.
+    pub timeout_rate: f64,
+    /// Probability of [`OracleFailure::CorruptReport`] per attempt.
+    pub corrupt_rate: f64,
+    /// Probability of [`OracleFailure::Fatal`] per attempt.
+    pub fatal_rate: f64,
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultConfig { crash_rate: 0.0, timeout_rate: 0.0, corrupt_rate: 0.0, fatal_rate: 0.0, seed: 0 }
+    }
+
+    /// Splits one overall fault rate across the transient modes in realistic
+    /// proportions (crashes dominate, then timeouts, then garbled reports;
+    /// no fatal faults). This is what the CLI's `--fault-rate` maps to.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1], got {rate}");
+        FaultConfig {
+            crash_rate: rate * 0.5,
+            timeout_rate: rate * 0.3,
+            corrupt_rate: rate * 0.2,
+            fatal_rate: 0.0,
+            seed,
+        }
+    }
+
+    /// Total per-attempt failure probability.
+    pub fn total_rate(&self) -> f64 {
+        self.crash_rate + self.timeout_rate + self.corrupt_rate + self.fatal_rate
+    }
+
+    /// Whether this configuration can ever inject a fault.
+    pub fn is_disabled(&self) -> bool {
+        self.total_rate() <= 0.0
+    }
+
+    /// The fault (if any) injected for this `(kernel, point, attempt)`.
+    ///
+    /// Pure function of the config and its arguments: no interior state, so
+    /// evaluation order and process restarts cannot change the outcome.
+    pub fn fault_for(
+        &self,
+        kernel_name: &str,
+        point: &DesignPoint,
+        attempt: u32,
+    ) -> Option<OracleFailure> {
+        if self.is_disabled() {
+            return None;
+        }
+        let draw = unit_draw(self.seed, kernel_name, point, attempt);
+        let mut threshold = self.crash_rate;
+        if draw < threshold {
+            return Some(OracleFailure::ToolCrash {
+                detail: format!("merlin_flow exited with signal 11 (attempt {attempt})"),
+            });
+        }
+        threshold += self.timeout_rate;
+        if draw < threshold {
+            return Some(OracleFailure::SpuriousTimeout);
+        }
+        threshold += self.corrupt_rate;
+        if draw < threshold {
+            return Some(OracleFailure::CorruptReport {
+                detail: format!("perf report truncated mid-record (attempt {attempt})"),
+            });
+        }
+        threshold += self.fatal_rate;
+        if draw < threshold {
+            return Some(OracleFailure::Fatal {
+                detail: "toolchain install is broken (vivado_hls not found)".to_string(),
+            });
+        }
+        None
+    }
+}
+
+/// Hashes the fault-decision tuple to a uniform draw in `[0, 1)`.
+fn unit_draw(seed: u64, kernel_name: &str, point: &DesignPoint, attempt: u32) -> f64 {
+    // FNV-1a over the tuple, then a SplitMix64 finalizer to decorrelate
+    // nearby inputs (FNV alone is too linear in its low bits).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(&seed.to_le_bytes());
+    eat(kernel_name.as_bytes());
+    eat(&[0xff]); // separator: kernel name cannot bleed into point values
+    for v in point.values() {
+        eat(v.to_string().as_bytes());
+        eat(&[0xfe]);
+    }
+    eat(&attempt.to_le_bytes());
+
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// An [`HlsOracle`] wrapper that injects seeded failures around an inner
+/// oracle. With a zero-rate [`FaultConfig`] it is a transparent pass-through.
+#[derive(Debug, Clone)]
+pub struct FaultyOracle<O = MerlinSimulator> {
+    inner: O,
+    config: FaultConfig,
+}
+
+impl<O: HlsOracle> FaultyOracle<O> {
+    /// Wraps `inner`, injecting faults per `config`.
+    pub fn new(inner: O, config: FaultConfig) -> Self {
+        FaultyOracle { inner, config }
+    }
+
+    /// The fault configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: HlsOracle> HlsOracle for FaultyOracle<O> {
+    fn run(
+        &self,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        point: &DesignPoint,
+        attempt: u32,
+    ) -> Result<HlsResult, OracleFailure> {
+        if let Some(failure) = self.config.fault_for(kernel.name(), point, attempt) {
+            return Err(failure);
+        }
+        self.inner.run(kernel, space, point, attempt)
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty-oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::kernels;
+
+    fn setup() -> (Kernel, DesignSpace) {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        (k, space)
+    }
+
+    /// Deterministic spread of points across the space (no rand dependency).
+    fn sample(space: &DesignSpace, n: usize, seed: u64) -> Vec<DesignPoint> {
+        (0..n as u64)
+            .map(|i| {
+                let mut z = (seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                space.point_at(u128::from(z ^ (z >> 31)) % space.size())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let (k, space) = setup();
+        let sim = MerlinSimulator::new();
+        let oracle = FaultyOracle::new(MerlinSimulator::new(), FaultConfig::none());
+        let p = space.default_point();
+        let direct = sim.evaluate(&k, &space, &p);
+        let wrapped = oracle.run(&k, &space, &p, 0).expect("no faults at rate 0");
+        assert_eq!(direct.validity, wrapped.validity);
+        assert_eq!(direct.cycles, wrapped.cycles);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let (k, space) = setup();
+        let cfg = FaultConfig::uniform(0.4, 77);
+        let a = FaultyOracle::new(MerlinSimulator::new(), cfg);
+        let b = FaultyOracle::new(MerlinSimulator::new(), cfg);
+        for (i, p) in sample(&space, 64, 5).iter().enumerate() {
+            for attempt in 0..3 {
+                let ra = a.run(&k, &space, p, attempt).map_err(|e| e.kind());
+                let rb = b.run(&k, &space, p, attempt).map_err(|e| e.kind());
+                assert_eq!(
+                    ra.as_ref().map(|r| r.cycles),
+                    rb.as_ref().map(|r| r.cycles),
+                    "divergent outcome at point {i} attempt {attempt}"
+                );
+                assert_eq!(ra.err(), rb.err());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (k, space) = setup();
+        let a = FaultyOracle::new(MerlinSimulator::new(), FaultConfig::uniform(0.5, 1));
+        let b = FaultyOracle::new(MerlinSimulator::new(), FaultConfig::uniform(0.5, 2));
+        let points = sample(&space, 64, 5);
+        let pattern = |o: &FaultyOracle| -> Vec<bool> {
+            points.iter().map(|p| o.run(&k, &space, p, 0).is_err()).collect()
+        };
+        assert_ne!(pattern(&a), pattern(&b), "fault streams should depend on the seed");
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let (k, space) = setup();
+        let cfg = FaultConfig::uniform(0.3, 9);
+        let points = sample(&space, 400, 3);
+        let mut failures = 0usize;
+        for p in &points {
+            if cfg.fault_for(k.name(), p, 0).is_some() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / points.len() as f64;
+        assert!((0.15..=0.45).contains(&rate), "observed fault rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn attempts_redraw_independently() {
+        let (k, space) = setup();
+        let cfg = FaultConfig::uniform(0.5, 13);
+        // Some point that fails on attempt 0 must succeed on a later attempt:
+        // that is what makes the failures transient rather than permanent.
+        let mut saw_recovery = false;
+        for p in sample(&space, 64, 7) {
+            if cfg.fault_for(k.name(), &p, 0).is_some()
+                && (1..4).any(|a| cfg.fault_for(k.name(), &p, a).is_none())
+            {
+                saw_recovery = true;
+                break;
+            }
+        }
+        assert!(saw_recovery, "retries never recover at rate 0.5 — faults look permanent");
+    }
+
+    #[test]
+    fn fatal_faults_are_not_retryable() {
+        let fatal = OracleFailure::Fatal { detail: "x".into() };
+        assert!(!fatal.is_retryable());
+        assert!(OracleFailure::SpuriousTimeout.is_retryable());
+        assert!(OracleFailure::ToolCrash { detail: "x".into() }.is_retryable());
+        assert!(OracleFailure::CorruptReport { detail: "x".into() }.is_retryable());
+    }
+
+    #[test]
+    fn uniform_split_sums_to_rate() {
+        let cfg = FaultConfig::uniform(0.2, 0);
+        assert!((cfg.total_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(cfg.fatal_rate, 0.0);
+    }
+}

@@ -619,14 +619,14 @@ impl Graph {
                     let y = &self.nodes[i].value;
                     let d = y.cols() as f32;
                     let mut ga = Matrix::zeros(y.rows(), y.cols());
-                    for r in 0..y.rows() {
+                    for (r, istd) in inv_std.iter().enumerate().take(y.rows()) {
                         let gr = g.row(r);
                         let yr = y.row(r);
                         let mean_g: f32 = gr.iter().sum::<f32>() / d;
                         let mean_gy: f32 =
                             gr.iter().zip(yr).map(|(gi, yi)| gi * yi).sum::<f32>() / d;
                         for (c, out) in ga.row_mut(r).iter_mut().enumerate() {
-                            *out = inv_std[r] * (gr[c] - mean_g - yr[c] * mean_gy);
+                            *out = istd * (gr[c] - mean_g - yr[c] * mean_gy);
                         }
                     }
                     accumulate(&mut adj, *a, ga);

@@ -45,10 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let result = sim.evaluate(&kernel, &space, &point);
     println!(
-        "\ntotal: {} cycles, {} DSPs ({} of the chip), {:.1} modelled synthesis minutes",
+        "\ntotal: {} cycles, {} DSPs ({:.1}% of the chip), {:.1} modelled synthesis minutes",
         result.cycles,
         result.counts.dsp,
-        format!("{:.1}%", result.util.dsp * 100.0),
+        result.util.dsp * 100.0,
         result.synth_minutes
     );
 

@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use (benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, the
+//! `criterion_group!`/`criterion_main!` macros) with a simple wall-clock
+//! timing loop: warm up once, run a fixed number of timed iterations, report
+//! mean per-iteration time. When invoked by `cargo test` (`--test` in argv),
+//! each bench body runs exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 20, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (printed, not used for rate math in the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates the work per iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        println!("  throughput: {t:?}");
+    }
+
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: if self.criterion.test_mode { 1 } else { self.criterion.sample_size },
+            total: Duration::ZERO,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.id);
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// How batched-iteration inputs are sized (accepted, ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup output per iteration.
+    PerIteration,
+}
+
+/// Times closures.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+    timed_iters: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+        }
+        self.timed_iters += self.iters;
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`; only `routine` is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.timed_iters += self.iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.timed_iters == 0 {
+            println!("  {group}/{id}: no iterations");
+            return;
+        }
+        let mean = self.total / self.timed_iters as u32;
+        println!("  {group}/{id}: {mean:?}/iter over {} iters", self.timed_iters);
+    }
+}
+
+/// Declares a bench entry point (both criterion_group! forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

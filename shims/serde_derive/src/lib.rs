@@ -1,0 +1,451 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim.
+//!
+//! Implemented directly on `proc_macro` token streams (syn/quote are not
+//! available offline). Supports the item shapes this workspace uses:
+//!
+//! * structs with named fields — encoded as a map;
+//! * newtype structs (`struct Id(pub usize)`) — transparent;
+//! * tuple structs — encoded as a sequence;
+//! * enums with unit, tuple and struct variants — externally tagged, like
+//!   real serde (`"Variant"` / `{"Variant": ...}`);
+//! * `#[serde(skip)]` and `#[serde(skip, default = "path")]` on named fields.
+//!
+//! Generics are not supported (none of the workspace's serialized types are
+//! generic); deriving on a generic item produces a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct FieldInfo {
+    name: String,
+    skip: bool,
+    default_path: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<FieldInfo>),
+}
+
+struct VariantInfo {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<FieldInfo> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<VariantInfo> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Extracts serde attribute flags from the attribute token trees that
+/// precede a field or variant. `attrs` holds the *group* tokens that
+/// followed each `#`.
+fn parse_serde_attrs(attrs: &[TokenTree]) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default_path = None;
+    for attr in attrs {
+        let TokenTree::Group(g) = attr else { continue };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if inner.is_empty() || !is_ident(&inner[0], "serde") {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else { continue };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            if is_ident(&args[i], "skip") {
+                skip = true;
+                i += 1;
+            } else if is_ident(&args[i], "default")
+                && i + 2 < args.len()
+                && is_punct(&args[i + 1], '=')
+            {
+                if let TokenTree::Literal(lit) = &args[i + 2] {
+                    let s = lit.to_string();
+                    default_path = Some(s.trim_matches('"').to_string());
+                }
+                i += 3;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    (skip, default_path)
+}
+
+/// Splits tokens on commas that sit at angle-bracket depth 0. Groups (parens,
+/// brackets, braces) are single trees, so only `<`/`>` need tracking.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parses one named field chunk: attrs, visibility, `name: Type`.
+fn parse_named_field(chunk: &[TokenTree]) -> Option<FieldInfo> {
+    let mut i = 0;
+    let mut attrs = Vec::new();
+    while i < chunk.len() && is_punct(&chunk[i], '#') {
+        i += 1;
+        if i < chunk.len() {
+            attrs.push(chunk[i].clone());
+            i += 1;
+        }
+    }
+    if i < chunk.len() && is_ident(&chunk[i], "pub") {
+        i += 1;
+        if matches!(chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    let (skip, default_path) = parse_serde_attrs(&attrs);
+    Some(FieldInfo { name, skip, default_path })
+}
+
+fn parse_named_fields(body: &TokenTree) -> Vec<FieldInfo> {
+    let TokenTree::Group(g) = body else { return Vec::new() };
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    split_top_level(&tokens).iter().filter_map(|c| parse_named_field(c)).collect()
+}
+
+fn parse_variants(body: &TokenTree) -> Vec<VariantInfo> {
+    let TokenTree::Group(g) = body else { return Vec::new() };
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    for chunk in split_top_level(&tokens) {
+        let mut i = 0;
+        while i < chunk.len() && is_punct(&chunk[i], '#') {
+            i += 2; // `#` + group
+        }
+        let Some(TokenTree::Ident(name)) = chunk.get(i) else { continue };
+        let shape = match chunk.get(i + 1) {
+            Some(TokenTree::Group(payload)) => match payload.delimiter() {
+                Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = payload.stream().into_iter().collect();
+                    VariantShape::Tuple(split_top_level(&inner).len())
+                }
+                Delimiter::Brace => VariantShape::Struct(parse_named_fields(&chunk[i + 1])),
+                _ => VariantShape::Unit,
+            },
+            _ => VariantShape::Unit,
+        };
+        variants.push(VariantInfo { name: name.to_string(), shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Item attributes (doc comments, derives already stripped, etc.).
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 1;
+        if i < tokens.len() {
+            i += 1;
+        }
+    }
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let is_enum = match tokens.get(i) {
+        Some(t) if is_ident(t, "struct") => false,
+        Some(t) if is_ident(t, "enum") => true,
+        other => panic!("serde shim derive: expected struct or enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde shim derive: generic types are not supported (type `{name}`)");
+    }
+    let body = tokens.get(i);
+    if is_enum {
+        let body = body.expect("enum body");
+        Item::Enum { name, variants: parse_variants(body) }
+    } else {
+        match body {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(body.unwrap());
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct { name, arity: split_top_level(&inner).len() }
+            }
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "m.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::variant(\"{vn}\", ::serde::Serialize::to_value(f0)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => ::serde::Value::variant(\"{vn}\", ::serde::Value::Seq(vec![{it}])),\n",
+                            b = binds.join(", "),
+                            it = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => ::serde::Value::variant(\"{vn}\", ::serde::Value::Map(vec![{it}])),\n",
+                            b = binds.join(", "),
+                            it = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    match &f.default_path {
+                        Some(path) => inits.push_str(&format!("{}: {path}(),\n", f.name)),
+                        None => inits
+                            .push_str(&format!("{}: ::std::default::Default::default(),\n", f.name)),
+                    }
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::field(map, \"{n}\", \"{name}\")?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let map = v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                         let _ = map;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let seq = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}\"))?;\n\
+                     if seq.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::expected(\"{arity}-tuple\", \"{name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the tagged form {"V": null}.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let seq = inner.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}::{vn}\"))?;\n\
+                                 if seq.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::expected(\"{n} elements\", \"{name}::{vn}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: ::serde::field(map, \"{n}\", \"{name}::{vn}\")?",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let map = inner.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             return match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }};\n\
+                         }}\n\
+                         if let ::std::option::Option::Some((tag, inner)) = v.as_variant() {{\n\
+                             let _ = inner;\n\
+                             return match tag {{\n\
+                                 {tagged_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }};\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::Error::expected(\"string or single-entry map\", \"{name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -17,11 +17,13 @@ use gnn_dse_bench::{rule, training_setup, Scale};
 use gdse_gnn::{ModelKind, PredictionModel};
 use hls_ir::kernels;
 use merlin_sim::MerlinSimulator;
+use gnn_dse_bench::{init_obs_from_env, out};
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
-    println!("Ablations (scale: {})", scale.label());
-    println!();
+    out!("Ablations (scale: {})", scale.label());
+    out!();
 
     let (kernels_train, db) = training_setup(scale, 42);
     let ds = Dataset::from_database(&db, &kernels_train);
@@ -32,14 +34,14 @@ fn main() {
         test.iter().copied().filter(|&i| ds.samples()[i].valid).collect();
 
     ablation_bram_split(&ds, &train_valid, &test_valid, scale);
-    println!();
+    out!();
     ablation_dse_order(&kernels_train, &db, scale);
 }
 
 /// §5.2.1: "BRAM utilization has a weak correlation with the rest of the
 /// objectives. Consequently, we train two models."
 fn ablation_bram_split(ds: &Dataset, train: &[usize], test: &[usize], scale: Scale) {
-    println!("[1] BRAM split-model ablation");
+    out!("[1] BRAM split-model ablation");
     rule(72);
     let cfg = scale.model_config();
     let tcfg = scale.train_config();
@@ -61,13 +63,13 @@ fn ablation_bram_split(ds: &Dataset, train: &[usize], test: &[usize], scale: Sca
     train_regression(&mut bram, ds, train, &tcfg);
     let bm = eval_regression(&bram, ds, test);
 
-    println!(
+    out!(
         "joint 5-head : latency {:.4}  bram {:.4}  all {:.4}",
         jm.rmse_of("latency").unwrap(),
         jm.rmse_of("bram").unwrap(),
         jm.total()
     );
-    println!(
+    out!(
         "split (paper): latency {:.4}  bram {:.4}  all {:.4}",
         mm.rmse_of("latency").unwrap(),
         bm.rmse_of("bram").unwrap(),
@@ -78,7 +80,7 @@ fn ablation_bram_split(ds: &Dataset, train: &[usize], test: &[usize], scale: Sca
 /// §4.4 ordering ablation on mvt: both DSE variants get the same inference
 /// budget; compare the best *tool-validated* design found.
 fn ablation_dse_order(kernels_train: &[hls_ir::Kernel], db: &gnn_dse::Database, scale: Scale) {
-    println!("[2] DSE candidate-ordering ablation on mvt (same inference budget)");
+    out!("[2] DSE candidate-ordering ablation on mvt (same inference budget)");
     rule(72);
     let (predictor, _) = Predictor::train(
         db,
@@ -108,18 +110,18 @@ fn ablation_dse_order(kernels_train: &[hls_ir::Kernel], db: &gnn_dse::Database, 
     let naive_top = naive_sweep(&predictor, &kernel, &space, budget);
     let best_naive = validate_best(&sim, &kernel, &space, &naive_top);
 
-    println!(
+    out!(
         "ordered sweep (§4.4): best true design {:?} cycles ({} inferences)",
         best_ordered, ordered.inferences
     );
-    println!("naive index sweep   : best true design {best_naive:?} cycles");
+    out!("naive index sweep   : best true design {best_naive:?} cycles");
     match (best_ordered, best_naive) {
-        (Some(o), Some(n)) => println!(
+        (Some(o), Some(n)) => out!(
             "ordered/naive quality: {:.2}x {}",
             n as f64 / o as f64,
             if o <= n { "(ordering helps or ties — matches the paper's motivation)" } else { "" }
         ),
-        _ => println!("one of the sweeps found no valid design"),
+        _ => out!("one of the sweeps found no valid design"),
     }
 }
 

@@ -6,20 +6,22 @@ use gnn_dse::dataset::{Dataset, MAIN_TARGETS};
 use gnn_dse::trainer::cross_validate_regression;
 use gnn_dse_bench::{rule, training_setup, Scale};
 use gdse_gnn::{ModelKind, PredictionModel};
+use gnn_dse_bench::{init_obs_from_env, out};
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
-    println!("3-fold cross-validation of the main regressor (scale: {})", scale.label());
-    println!();
+    out!("3-fold cross-validation of the main regressor (scale: {})", scale.label());
+    out!();
 
     let (kernels, db) = training_setup(scale, 42);
     let ds = Dataset::from_database(&db, &kernels);
-    println!("database: {} designs ({} valid)", ds.len(), ds.valid_indices().len());
+    out!("database: {} designs ({} valid)", ds.len(), ds.valid_indices().len());
 
     let model_cfg = scale.model_config();
     let train_cfg = scale.train_config();
-    println!();
-    println!("{:<36} {:>8} {:>7} {:>7} {:>7} {:>7}", "Model", "Latency", "DSP", "LUT", "FF", "All");
+    out!();
+    out!("{:<36} {:>8} {:>7} {:>7} {:>7} {:>7}", "Model", "Latency", "DSP", "LUT", "FF", "All");
     rule(78);
     for kind in [ModelKind::MlpPragma, ModelKind::Full] {
         let cfg = model_cfg.clone();
@@ -30,7 +32,7 @@ fn main() {
             3,
             &train_cfg,
         );
-        println!(
+        out!(
             "{:<36} {:>8.4} {:>7.4} {:>7.4} {:>7.4} {:>7.4}   [{:?}]",
             kind.label(),
             metrics.rmse[0],
@@ -42,7 +44,7 @@ fn main() {
         );
     }
     rule(78);
-    println!();
-    println!("expected: fold-averaged RMSEs within ~20% of the Table 2 single-split values,");
-    println!("with the GNN (M7) ahead of the pragma-only baseline on latency.");
+    out!();
+    out!("expected: fold-averaged RMSEs within ~20% of the Table 2 single-split values,");
+    out!("with the GNN (M7) ahead of the pragma-only baseline on latency.");
 }

@@ -13,11 +13,13 @@ use merlin_sim::MerlinSimulator;
 use proggraph::build_graph_bidirectional;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use gnn_dse_bench::{init_obs_from_env, out};
 
 fn main() {
+    init_obs_from_env();
     let sim = MerlinSimulator::new();
     let mut rng = StdRng::seed_from_u64(7);
-    println!(
+    out!(
         "{:<14} {:>14} {:>7} {:>12} {:>12} {:>8} {:>8} {:>10}",
         "kernel", "space", "valid%", "min_cyc", "max_cyc", "maxDSP", "maxBRAM", "sensitive"
     );
@@ -48,7 +50,7 @@ fn main() {
         let i1 = GraphInput::from_graph(&graph, Some(&p1));
         let v0 = model.forward(&GraphBatch::single(&i0, &p0)).values()[0];
         let v1 = model.forward(&GraphBatch::single(&i1, &p1)).values()[0];
-        println!(
+        out!(
             "{:<14} {:>14} {:>7} {:>12} {:>12} {:>8} {:>8} {:>10}",
             k.name(),
             space.size(),

@@ -12,11 +12,13 @@ use gnn_dse::Predictor;
 use gdse_gnn::ModelKind;
 use hls_ir::kernels;
 use proggraph::{build_graph_bidirectional, NodeKind};
+use gnn_dse_bench::{init_obs_from_env, out};
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
-    println!("Figure 5 — node attention on a stencil design (scale: {})", scale.label());
-    println!();
+    out!("Figure 5 — node attention on a stencil design (scale: {})", scale.label());
+    out!();
 
     let (train_kernels, db) = training_setup(scale, 42);
     let seeds = if scale == Scale::Tiny { 1 } else { 3 };
@@ -35,18 +37,18 @@ fn main() {
     // A mid-quality design (pragmas active but not extreme), like the
     // paper's example.
     let point = space.point_at(space.size() / 3);
-    println!("design: {}", point.describe(space.slots()));
-    println!();
+    out!("design: {}", point.describe(space.slots()));
+    out!();
 
     let scores = attention_scores(predictor.regressor(), &graph, &point);
     let n_nodes = scores.len();
     let uniform = 1.0 / n_nodes as f64;
 
-    println!("top 15 nodes by attention (uniform would be {uniform:.4}):");
-    println!("{:<6} {:<12} {:<12} {:>9} {:>9}", "node", "key_text", "kind", "score", "x unif");
+    out!("top 15 nodes by attention (uniform would be {uniform:.4}):");
+    out!("{:<6} {:<12} {:<12} {:>9} {:>9}", "node", "key_text", "kind", "score", "x unif");
     rule(54);
     for s in scores.iter().take(15) {
-        println!(
+        out!(
             "{:<6} {:<12} {:<12?} {:>9.4} {:>8.1}x",
             s.node,
             s.key_text,
@@ -55,12 +57,12 @@ fn main() {
             s.score / uniform
         );
     }
-    println!();
+    out!();
 
     let share = pragma_attention_share(&scores);
     let n_pragma = scores.iter().filter(|s| s.kind == NodeKind::Pragma).count();
     let uniform_share = n_pragma as f64 / n_nodes as f64;
-    println!(
+    out!(
         "pragma nodes: {n_pragma}/{n_nodes} nodes receive {:.1}% of total attention \
          ({:.1}x their uniform share of {:.1}%)",
         share * 100.0,
@@ -68,8 +70,8 @@ fn main() {
         uniform_share * 100.0
     );
     let top10_pragmas = scores.iter().take(10).filter(|s| s.kind == NodeKind::Pragma).count();
-    println!("pragma nodes in the top 10: {top10_pragmas}");
-    println!();
-    println!("paper reference (Fig. 5): pragma nodes are among the most-attended nodes,");
-    println!("with attention modulated by the loop context (icmp / trip-count constants).");
+    out!("pragma nodes in the top 10: {top10_pragmas}");
+    out!();
+    out!("paper reference (Fig. 5): pragma nodes are among the most-attended nodes,");
+    out!("with attention modulated by the loop context (icmp / trip-count constants).");
 }

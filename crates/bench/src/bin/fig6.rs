@@ -16,11 +16,13 @@ use gdse_gnn::ModelKind;
 use hls_ir::kernels;
 use merlin_sim::MerlinSimulator;
 use proggraph::build_graph_bidirectional;
+use gnn_dse_bench::{init_obs_from_env, out};
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
-    println!("Figure 6 — t-SNE of stencil design embeddings (scale: {})", scale.label());
-    println!();
+    out!("Figure 6 — t-SNE of stencil design embeddings (scale: {})", scale.label());
+    out!();
 
     let (train_kernels, db) = training_setup(scale, 42);
     let seeds = if scale == Scale::Tiny { 1 } else { 3 };
@@ -55,7 +57,7 @@ fn main() {
         }
         idx += stride;
     }
-    println!("{} valid stencil designs sampled", points.len());
+    out!("{} valid stencil designs sampled", points.len());
 
     let tsne_cfg = TsneConfig {
         iterations: match scale {
@@ -75,19 +77,19 @@ fn main() {
     let layout_learned = tsne_2d(&learned, &tsne_cfg);
     let err_learned = knn_label_error(&layout_learned, &latencies);
 
-    println!();
-    println!("3-NN log2-latency prediction error in the 2-D layout:");
-    println!("  (a) initial embeddings : {err_init:.4}");
-    println!("  (b) learned embeddings : {err_learned:.4}");
-    println!(
+    out!();
+    out!("3-NN log2-latency prediction error in the 2-D layout:");
+    out!("  (a) initial embeddings : {err_init:.4}");
+    out!("  (b) learned embeddings : {err_learned:.4}");
+    out!(
         "  improvement: {:.2}x {}",
         err_init / err_learned.max(1e-12),
         if err_learned < err_init { "(learned embeddings cluster by latency — matches Fig. 6)" } else { "(NOT better — check training budget)" }
     );
-    println!();
-    println!("csv: point_index,x_init,y_init,x_learned,y_learned,log2_latency");
+    out!();
+    out!("csv: point_index,x_init,y_init,x_learned,y_learned,log2_latency");
     for (i, lat) in latencies.iter().enumerate().take(points.len()) {
-        println!(
+        out!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.3}",
             i,
             layout_init.get(i, 0),

@@ -8,11 +8,13 @@ use gnn_dse::dse::DseConfig;
 use gnn_dse::rounds::{run_rounds, RoundsConfig};
 use gnn_dse_bench::{rule, training_setup, Scale};
 use gdse_gnn::ModelKind;
+use gnn_dse_bench::{init_obs_from_env, out};
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
-    println!("Figure 7 — DSE speedup vs best initial-database design (scale: {})", scale.label());
-    println!();
+    out!("Figure 7 — DSE speedup vs best initial-database design (scale: {})", scale.label());
+    out!();
 
     let (kernels, mut db) = training_setup(scale, 42);
     let initial_stats = db.stats();
@@ -49,26 +51,26 @@ fn main() {
     for r in &reports {
         print!(" {:>9}", format!("DSE{}", r.round));
     }
-    println!();
+    out!();
     rule(14 + 10 * reports.len());
     for (ki, k) in kernels.iter().enumerate() {
         print!("{:<14}", k.name());
         for r in &reports {
             print!(" {:>9.2}", r.kernels[ki].speedup);
         }
-        println!();
+        out!();
     }
     rule(14 + 10 * reports.len());
     print!("{:<14}", "average");
     for r in &reports {
         print!(" {:>8.2}x", r.avg_speedup);
     }
-    println!();
-    println!();
+    out!();
+    out!();
 
     // Final database sizes (the Table 1 "Final database" rows).
-    println!("final database after {} rounds (Table 1 'Final database' rows):", reports.len());
-    println!("{:<14} {:>14} {:>14} {:>10} {:>10}", "Kernel", "initial tot", "initial val", "final tot", "final val");
+    out!("final database after {} rounds (Table 1 'Final database' rows):", reports.len());
+    out!("{:<14} {:>14} {:>14} {:>10} {:>10}", "Kernel", "initial tot", "initial val", "final tot", "final val");
     rule(66);
     let final_stats = db.stats();
     for k in &kernels {
@@ -82,7 +84,7 @@ fn main() {
             .find(|(n, _)| n == k.name())
             .map(|&(_, s)| s)
             .unwrap_or_default();
-        println!(
+        out!(
             "{:<14} {:>14} {:>14} {:>10} {:>10}",
             k.name(),
             init.total,
@@ -91,9 +93,9 @@ fn main() {
             fin.valid
         );
     }
-    println!();
-    println!("wall time {:?}", t0.elapsed());
-    println!();
-    println!("paper reference (Fig. 7 legend): DSE1 0.71x, DSE2 0.82x, DSE3 1.02x, DSE4 1.23x —");
-    println!("the DSE should match the initial-database best by round ~3 and beat it after.");
+    out!();
+    out!("wall time {:?}", t0.elapsed());
+    out!();
+    out!("paper reference (Fig. 7 legend): DSE1 0.71x, DSE2 0.82x, DSE3 1.02x, DSE4 1.23x —");
+    out!("the DSE should match the initial-database best by round ~3 and beat it after.");
 }

@@ -10,16 +10,18 @@
 
 use design_space::DesignSpace;
 use gnn_dse_bench::{human_u128, rule, training_setup, Scale};
+use gnn_dse_bench::{init_obs_from_env, out};
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
-    println!("Table 1 — design space and training database (scale: {})", scale.label());
-    println!();
+    out!("Table 1 — design space and training database (scale: {})", scale.label());
+    out!();
 
     let start = std::time::Instant::now();
     let (kernels, db) = training_setup(scale, 42);
 
-    println!(
+    out!(
         "{:<14} {:>9} {:>16} {:>14} {:>14}",
         "Kernel", "#pragmas", "#Design configs", "DB total", "DB valid"
     );
@@ -34,7 +36,7 @@ fn main() {
             .find(|(name, _)| name == k.name())
             .map(|&(_, s)| s)
             .unwrap_or_default();
-        println!(
+        out!(
             "{:<14} {:>9} {:>16} {:>14} {:>14}",
             k.name(),
             space.num_slots(),
@@ -47,7 +49,7 @@ fn main() {
         val += s.valid;
     }
     rule(72);
-    println!(
+    out!(
         "{:<14} {:>9} {:>16} {:>14} {:>14}",
         "Total",
         kernels.iter().map(|k| k.num_candidate_pragmas()).sum::<usize>(),
@@ -57,12 +59,12 @@ fn main() {
     );
 
     if let Some((lo, hi)) = db.latency_range() {
-        println!();
-        println!("latency range across valid designs: {lo} .. {hi} cycles (paper: 660 .. 12,531,777)");
+        out!();
+        out!("latency range across valid designs: {lo} .. {hi} cycles (paper: 660 .. 12,531,777)");
     }
-    println!("generated in {:?}", start.elapsed());
-    println!();
-    println!("paper reference (Table 1): #pragmas 3/5/9/7/8/3/3/7/6,");
-    println!("  spaces 45 / 3,354 / 2,314 / 7,792 / 3,059,001 / 114 / 114 / 7,591 / 15,288;");
-    println!("  initial DB 4,428 total / 1,036 valid at paper scale.");
+    out!("generated in {:?}", start.elapsed());
+    out!();
+    out!("paper reference (Table 1): #pragmas 3/5/9/7/8/3/3/7/6,");
+    out!("  spaces 45 / 3,354 / 2,314 / 7,792 / 3,059,001 / 114 / 114 / 7,591 / 15,288;");
+    out!("  initial DB 4,428 total / 1,036 valid at paper scale.");
 }

@@ -11,11 +11,13 @@ use gnn_dse::trainer::{
 };
 use gnn_dse_bench::{rule, training_setup, Scale};
 use gdse_gnn::{ModelKind, PredictionModel};
+use gnn_dse_bench::{init_obs_from_env, out};
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
-    println!("Table 2 — model evaluation on the test set (scale: {})", scale.label());
-    println!();
+    out!("Table 2 — model evaluation on the test set (scale: {})", scale.label());
+    out!();
 
     let (kernels, db) = training_setup(scale, 42);
     let ds = Dataset::from_database(&db, &kernels);
@@ -24,15 +26,15 @@ fn main() {
         train.iter().copied().filter(|&i| ds.samples()[i].valid).collect();
     let test_valid: Vec<usize> =
         test.iter().copied().filter(|&i| ds.samples()[i].valid).collect();
-    println!(
+    out!(
         "database: {} designs ({} valid); train {} / test {} (valid regression samples)",
         ds.len(),
         ds.valid_indices().len(),
         train_valid.len(),
         test_valid.len()
     );
-    println!();
-    println!(
+    out!();
+    out!(
         "{:<36} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
         "Model", "Latency", "DSP", "LUT", "FF", "BRAM", "All", "Accuracy", "F1-score"
     );
@@ -56,7 +58,7 @@ fn main() {
         let cm = eval_classifier(&cls, &ds, &test);
 
         let all = rm.total() + bm.total();
-        println!(
+        out!(
             "{:<36} {:>8.4} {:>7.4} {:>7.4} {:>7.4} {:>7.4} {:>7.4} {:>9.2} {:>9.2}   [{:?}]",
             kind.label(),
             rm.rmse[0],
@@ -71,8 +73,8 @@ fn main() {
         );
     }
     rule(104);
-    println!();
-    println!("paper reference (Table 2): M1 All=4.76 acc=0.52 F1=0.42  ...  M7 All=0.85 acc=0.93 F1=0.87;");
-    println!("expected shape: GNN models beat the MLP baselines, GCN is the weakest GNN,");
-    println!("TransformerConv variants (M5-M7) are the strongest, especially on latency.");
+    out!();
+    out!("paper reference (Table 2): M1 All=4.76 acc=0.52 F1=0.42  ...  M7 All=0.85 acc=0.93 F1=0.87;");
+    out!("expected shape: GNN models beat the MLP baselines, GCN is the weakest GNN,");
+    out!("TransformerConv variants (M5-M7) are the strongest, especially on latency.");
 }

@@ -16,14 +16,16 @@ use gnn_dse_bench::{human_u128, rule, training_setup, Scale};
 use gdse_gnn::ModelKind;
 use hls_ir::kernels;
 use merlin_sim::MerlinSimulator;
+use gnn_dse_bench::{init_obs_from_env, out};
 
 /// AutoDSE gets up to 21 hours of modelled tool time (§5.4).
 const AUTODSE_LIMIT_MINUTES: f64 = 21.0 * 60.0;
 
 fn main() {
+    init_obs_from_env();
     let scale = Scale::from_env();
-    println!("Table 3 — performance on unseen kernels (scale: {})", scale.label());
-    println!();
+    out!("Table 3 — performance on unseen kernels (scale: {})", scale.label());
+    out!();
 
     // Train on the nine training kernels only.
     let (train_kernels, db) = training_setup(scale, 42);
@@ -38,8 +40,8 @@ fn main() {
         seeds,
     );
     let train_wall = t0.elapsed();
-    println!("model trained on {} designs in {train_wall:?}", db.len());
-    println!();
+    out!("model trained on {} designs in {train_wall:?}", db.len());
+    out!();
 
     let sim = MerlinSimulator::new();
     let mut dse_cfg = DseConfig {
@@ -61,7 +63,7 @@ fn main() {
     // perform).
     dse_cfg.top_m = 30;
 
-    println!(
+    out!(
         "{:<10} {:>8} {:>16} {:>14} {:>10} {:>10} {:>12} {:>9}",
         "Kernel", "#pragma", "#configs", "DSE+HLS (m)", "#explored", "AutoDSE(m)", "#A-explored", "speedup"
     );
@@ -109,7 +111,7 @@ fn main() {
         } else {
             f64::NAN
         };
-        println!(
+        out!(
             "{:<10} {:>8} {:>16} {:>14.1} {:>10} {:>10.1} {:>12} {:>8.0}x   (design quality vs AutoDSE: {:.2}x)",
             kernel.name(),
             space.num_slots(),
@@ -123,7 +125,7 @@ fn main() {
         );
     }
     rule(98);
-    println!();
-    println!("paper reference (Table 3): runtime speedups 69x / 11x / 79x / 17x (avg 48x)");
-    println!("with design quality within -2%..+5% of AutoDSE.");
+    out!();
+    out!("paper reference (Table 3): runtime speedups 69x / 11x / 79x / 17x (avg 48x)");
+    out!("with design quality within -2%..+5% of AutoDSE.");
 }

@@ -88,9 +88,46 @@ pub fn training_setup(scale: Scale, seed: u64) -> (Vec<Kernel>, Database) {
     (ks, db)
 }
 
+/// Applies `GNNDSE_LOG_LEVEL` and `GNNDSE_LOG_JSON` to the logging facade.
+/// The harness binaries call this first so their tables can be mirrored to a
+/// JSONL file without any flag plumbing.
+///
+/// # Panics
+///
+/// Panics on an unparsable level or an uncreatable JSONL path — a harness
+/// run with broken capture settings should fail loudly, not run for hours
+/// and log nothing.
+pub fn init_obs_from_env() {
+    let level = match std::env::var("GNNDSE_LOG_LEVEL") {
+        Ok(s) => s.parse().unwrap_or_else(|e| panic!("GNNDSE_LOG_LEVEL: {e}")),
+        Err(_) => gdse_obs::Level::Info,
+    };
+    let json_path = std::env::var("GNNDSE_LOG_JSON").ok().map(std::path::PathBuf::from);
+    gdse_obs::log::init(gdse_obs::LogConfig {
+        level,
+        human: gdse_obs::HumanStyle::Plain,
+        json_path,
+    })
+    .unwrap_or_else(|e| panic!("GNNDSE_LOG_JSON: {e}"));
+}
+
+/// Emits one harness output line: verbatim on stdout, as a `bench.out`
+/// record on the JSONL sink. The [`out!`] macro formats into this.
+pub fn out_line(line: std::fmt::Arguments<'_>) {
+    gdse_obs::info!("bench.out", "{line}");
+}
+
+/// `println!` for the harness binaries, routed through the logging facade so
+/// `GNNDSE_LOG_JSON` captures the tables machine-readably.
+#[macro_export]
+macro_rules! out {
+    () => { $crate::out_line(format_args!("")) };
+    ($($t:tt)*) => { $crate::out_line(format_args!($($t)*)) };
+}
+
 /// Prints a horizontal rule sized for the harness tables.
 pub fn rule(width: usize) {
-    println!("{}", "-".repeat(width));
+    out_line(format_args!("{}", "-".repeat(width)));
 }
 
 /// Formats a u128 with thousands separators.

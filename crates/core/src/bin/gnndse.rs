@@ -18,8 +18,16 @@
 //! transient failures (`--max-retries`), and losses are reported instead of
 //! aborting the run. `rounds` additionally supports crash-safe
 //! `--checkpoint <file>` persistence and `--resume`.
+//!
+//! `gendb`, `rounds` and `dse` also take the observability flags
+//! `--log-level <error|warn|info|debug|trace>`, `--log-json <log.jsonl>`
+//! (mirror every log record to a JSONL file) and
+//! `--metrics-out <report.json>` (write a [`gdse_obs::RunReport`] with
+//! per-stage wall-time, oracle retry/fault counts, and the surrogate's
+//! modelled speedup at the end of the run).
 
 use design_space::DesignSpace;
+use gdse_obs as obs;
 use gnn_dse::dse::{run_dse, DseConfig};
 use gnn_dse::harness::RetryPolicy;
 use gnn_dse::rounds::{run_rounds_with, RoundsConfig};
@@ -30,8 +38,9 @@ use hls_ir::kernels;
 use merlin_sim::{FaultConfig, MerlinSimulator};
 use proggraph::build_graph_bidirectional;
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -117,6 +126,32 @@ where
         Some(v) => v.parse().map_err(|e| format!("bad value for --{name}: {e}")),
         None => Ok(default),
     }
+}
+
+/// The observability flags shared by `gendb`, `rounds` and `dse`:
+/// `--log-level` sets the verbosity, `--log-json` mirrors every record to a
+/// JSONL file. Returns the `--metrics-out` path, if any.
+fn obs_args(flags: &HashMap<String, String>) -> Result<Option<PathBuf>, String> {
+    let level: obs::Level = flag_or(flags, "log-level", obs::Level::Info)?;
+    let json_path = flags.get("log-json").map(PathBuf::from);
+    obs::log::init(obs::LogConfig { level, human: obs::HumanStyle::Plain, json_path })
+        .map_err(|e| format!("cannot open --log-json file: {e}"))?;
+    Ok(flags.get("metrics-out").map(PathBuf::from))
+}
+
+/// Builds the run report from everything the command recorded and writes it
+/// atomically to `path`.
+fn write_metrics(path: &Path, command: &str, started: Instant) -> CliResult {
+    let report = gnn_dse::report::write_run_report(path, command, started.elapsed())
+        .map_err(|e| format!("cannot write --metrics-out file: {e}"))?;
+    obs::info!(
+        "metrics.written",
+        "wrote run report ({} stages, {} counters) to {}",
+        report.stages.len(),
+        report.counters.len(),
+        path.display()
+    );
+    Ok(())
 }
 
 /// The `--fault-rate`/`--fault-seed`/`--max-retries` triple shared by
@@ -237,12 +272,19 @@ fn cmd_emit(args: &[String]) -> CliResult {
 }
 
 fn cmd_gendb(args: &[String]) -> CliResult {
-    let (pos, flags) = split_flags(args, &["fault-rate", "fault-seed", "max-retries"], &[])?;
+    let (pos, flags) = split_flags(
+        args,
+        &["fault-rate", "fault-seed", "max-retries", "log-level", "log-json", "metrics-out"],
+        &[],
+    )?;
     let usage = "usage: gnndse gendb <out.json> [budget] [seed] \
-                 [--fault-rate F] [--fault-seed S] [--max-retries N]";
+                 [--fault-rate F] [--fault-seed S] [--max-retries N] \
+                 [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
     let out = pos.first().ok_or(usage)?;
     let budget: usize = pos.get(1).map_or(Ok(60), |s| s.parse()).map_err(|e| format!("{e}"))?;
     let seed: u64 = pos.get(2).map_or(Ok(42), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let metrics_out = obs_args(&flags)?;
+    let started = Instant::now();
     let (faults, policy) = fault_args(&flags)?;
     let ks = kernels::training_kernels();
     let db = if faults.is_disabled() {
@@ -251,7 +293,8 @@ fn cmd_gendb(args: &[String]) -> CliResult {
         let harness = dbgen::fault_injected_harness(faults, policy);
         let db = dbgen::generate_database_with(&harness, &ks, &[], budget, seed);
         let stats = harness.stats();
-        println!(
+        obs::info!(
+            "gendb.oracle",
             "oracle: {} attempts, {} transient failures retried, {} evaluations lost \
              ({} exhausted retries, {} permanent), {:.1}s virtual backoff",
             stats.attempts,
@@ -259,27 +302,61 @@ fn cmd_gendb(args: &[String]) -> CliResult {
             stats.losses(),
             stats.exhausted,
             stats.permanent_failures,
-            stats.virtual_backoff_ms as f64 / 1e3,
+            stats.virtual_backoff_ms as f64 / 1e3;
+            attempts = stats.attempts,
+            transient_failures = stats.transient_failures,
+            lost = stats.losses(),
+            exhausted = stats.exhausted,
+            permanent_failures = stats.permanent_failures,
+            virtual_backoff_ms = stats.virtual_backoff_ms,
         );
         db
     };
-    db.save(Path::new(out)).map_err(|e| e.to_string())?;
-    println!("wrote {} designs ({} valid) to {out}", db.len(), db.valid_count());
+    {
+        let _io = obs::span::stage("io");
+        db.save(Path::new(out)).map_err(|e| e.to_string())?;
+    }
+    obs::info!(
+        "gendb.done",
+        "wrote {} designs ({} valid) to {out}",
+        db.len(),
+        db.valid_count();
+        designs = db.len(),
+        valid = db.valid_count(),
+        out = out.as_str(),
+    );
+    if let Some(p) = metrics_out {
+        write_metrics(&p, "gendb", started)?;
+    }
     Ok(())
 }
 
 fn cmd_rounds(args: &[String]) -> CliResult {
     let (pos, flags) = split_flags(
         args,
-        &["rounds", "out", "fault-rate", "fault-seed", "max-retries", "checkpoint", "stop-after"],
+        &[
+            "rounds",
+            "out",
+            "fault-rate",
+            "fault-seed",
+            "max-retries",
+            "checkpoint",
+            "stop-after",
+            "log-level",
+            "log-json",
+            "metrics-out",
+        ],
         &["resume"],
     )?;
     let usage = "usage: gnndse rounds <db.json> [--rounds N] [--out out.json] \
                  [--fault-rate F] [--fault-seed S] [--max-retries N] \
-                 [--checkpoint ck.json] [--resume] [--stop-after N]";
+                 [--checkpoint ck.json] [--resume] [--stop-after N] \
+                 [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
     let db_path = pos.first().ok_or(usage)?;
     let n_rounds: usize = flag_or(&flags, "rounds", 4)?;
     let out = flags.get("out").cloned().unwrap_or_else(|| db_path.clone());
+    let metrics_out = obs_args(&flags)?;
+    let started = Instant::now();
     let (faults, policy) = fault_args(&flags)?;
     let checkpoint = flags.get("checkpoint").cloned();
     let resume = flags.contains_key("resume");
@@ -291,7 +368,10 @@ fn cmd_rounds(args: &[String]) -> CliResult {
         None => None,
     };
 
-    let mut db = Database::load(Path::new(db_path)).map_err(|e| e.to_string())?;
+    let mut db = {
+        let _io = obs::span::stage("io");
+        Database::load(Path::new(db_path)).map_err(|e| e.to_string())?
+    };
     let ks: Vec<_> = kernels::all_kernels()
         .into_iter()
         .filter(|k| db.entries().iter().any(|e| e.kernel == k.name()))
@@ -301,13 +381,17 @@ fn cmd_rounds(args: &[String]) -> CliResult {
     }
     let cfg = RoundsConfig { rounds: n_rounds, stop_after, ..RoundsConfig::quick() };
 
-    println!(
+    obs::info!(
+        "rounds.start",
         "running {n_rounds} rounds over {} kernels ({} designs to start)...",
         ks.len(),
-        db.len()
+        db.len();
+        rounds = n_rounds,
+        kernels = ks.len(),
+        designs = db.len(),
     );
     let harness = dbgen::fault_injected_harness(faults, policy);
-    let reports = run_rounds_with(
+    run_rounds_with(
         &mut db,
         &ks,
         &cfg,
@@ -317,26 +401,38 @@ fn cmd_rounds(args: &[String]) -> CliResult {
     )
     .map_err(|e| e.to_string())?;
 
-    for r in &reports {
-        let added: usize = r.kernels.iter().map(|k| k.added).sum();
-        println!(
-            "round {}: avg speedup {:.3}, {} designs added, {} validations lost",
-            r.round, r.avg_speedup, added, r.lost
-        );
-    }
     let stats = harness.stats();
     if stats.attempts > 0 && !faults.is_disabled() {
-        println!(
+        obs::info!(
+            "rounds.oracle",
             "oracle: {} attempts, {} transient failures retried, {} evaluations lost, \
              {:.1}s virtual backoff",
             stats.attempts,
             stats.transient_failures,
             stats.losses(),
-            stats.virtual_backoff_ms as f64 / 1e3,
+            stats.virtual_backoff_ms as f64 / 1e3;
+            attempts = stats.attempts,
+            transient_failures = stats.transient_failures,
+            lost = stats.losses(),
+            virtual_backoff_ms = stats.virtual_backoff_ms,
         );
     }
-    db.save(Path::new(&out)).map_err(|e| e.to_string())?;
-    println!("wrote {} designs ({} valid) to {out}", db.len(), db.valid_count());
+    {
+        let _io = obs::span::stage("io");
+        db.save(Path::new(&out)).map_err(|e| e.to_string())?;
+    }
+    obs::info!(
+        "rounds.done",
+        "wrote {} designs ({} valid) to {out}",
+        db.len(),
+        db.valid_count();
+        designs = db.len(),
+        valid = db.valid_count(),
+        out = out.as_str(),
+    );
+    if let Some(p) = metrics_out {
+        write_metrics(&p, "rounds", started)?;
+    }
     Ok(())
 }
 
@@ -362,32 +458,59 @@ fn cmd_train(args: &[String]) -> CliResult {
 }
 
 fn cmd_dse(args: &[String]) -> CliResult {
-    let [model_path, kernel, rest @ ..] = args else {
-        return Err("usage: gnndse dse <model.json> <kernel> [top_m]".into());
+    let (pos, flags) =
+        split_flags(args, &["top-m", "log-level", "log-json", "metrics-out"], &[])?;
+    let usage = "usage: gnndse dse <model.json> <kernel> [top_m] [--log-level L] \
+                 [--log-json log.jsonl] [--metrics-out report.json]";
+    let [model_path, kernel, rest @ ..] = &pos[..] else {
+        return Err(usage.into());
     };
-    let top_m: usize = rest.first().map_or(Ok(10), |s| s.parse()).map_err(|e| format!("{e}"))?;
-    let predictor = Predictor::load(Path::new(model_path)).map_err(|e| e.to_string())?;
+    let top_m: usize = match rest.first() {
+        Some(s) => s.parse().map_err(|e| format!("{e}"))?,
+        None => flag_or(&flags, "top-m", 10)?,
+    };
+    let metrics_out = obs_args(&flags)?;
+    let started = Instant::now();
+    let predictor = {
+        let _io = obs::span::stage("io");
+        Predictor::load(Path::new(model_path)).map_err(|e| e.to_string())?
+    };
     let kernel = lookup_kernel(kernel)?;
     let space = DesignSpace::from_kernel(&kernel);
     let cfg = DseConfig { top_m, ..DseConfig::default() };
     let outcome = run_dse(&predictor, &kernel, &space, &cfg);
-    println!(
+    obs::info!(
+        "dse.summary",
         "{} inferences in {:?} ({})",
         outcome.inferences,
         outcome.wall,
-        if outcome.exhaustive { "exhaustive" } else { "heuristic" }
+        if outcome.exhaustive { "exhaustive" } else { "heuristic" };
+        kernel = kernel.name(),
+        inferences = outcome.inferences,
+        wall_us = outcome.wall,
+        exhaustive = outcome.exhaustive,
     );
     let sim = MerlinSimulator::new();
+    let _validate = obs::span::stage("validate");
     for (rank, (point, pred)) in outcome.top.iter().enumerate() {
         let truth = sim.evaluate(&kernel, &space, point);
-        println!(
+        obs::info!(
+            "dse.candidate",
             "#{:<3} predicted {:>10} | actual {:>10} ({}) | {}",
             rank + 1,
             pred.cycles,
             truth.cycles,
             truth.validity,
-            point.describe(space.slots())
+            point.describe(space.slots());
+            rank = rank + 1,
+            predicted_cycles = pred.cycles,
+            actual_cycles = truth.cycles,
+            validity = truth.validity.to_string(),
         );
+    }
+    drop(_validate);
+    if let Some(p) = metrics_out {
+        write_metrics(&p, "dse", started)?;
     }
     Ok(())
 }

@@ -5,6 +5,7 @@ use crate::db::Database;
 use crate::explorer::{BottleneckExplorer, Budget, HybridExplorer, RandomExplorer};
 use crate::harness::{EvalBackend, Harness, RetryPolicy};
 use design_space::DesignSpace;
+use gdse_obs as obs;
 use hls_ir::Kernel;
 use merlin_sim::{FaultConfig, FaultyOracle, MerlinSimulator};
 
@@ -76,6 +77,7 @@ pub fn generate_database_with<B: EvalBackend>(
     default_budget: usize,
     seed: u64,
 ) -> Database {
+    let _stage = obs::span::stage("explore");
     let mut db = Database::new();
     for (i, k) in kernels.iter().enumerate() {
         let space = DesignSpace::from_kernel(k);
@@ -84,7 +86,17 @@ pub fn generate_database_with<B: EvalBackend>(
             .find(|(name, _)| *name == k.name())
             .map(|&(_, b)| b)
             .unwrap_or(default_budget);
+        let before = db.len();
         explore_kernel(eval, k, &space, &mut db, budget, seed.wrapping_add(i as u64));
+        obs::debug!(
+            "dbgen.kernel",
+            "{}: {} designs recorded (budget {budget})",
+            k.name(),
+            db.len() - before;
+            kernel = k.name(),
+            budget = budget,
+            recorded = db.len() - before,
+        );
     }
     db
 }

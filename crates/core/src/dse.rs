@@ -8,6 +8,7 @@
 
 use crate::inference::{Prediction, Predictor};
 use design_space::{order::ordered_slots, rules, DesignPoint, DesignSpace};
+use gdse_obs as obs;
 use hls_ir::Kernel;
 use merlin_sim::HlsResult;
 use proggraph::{build_graph_bidirectional, ProgramGraph};
@@ -90,6 +91,7 @@ pub fn run_dse_with_graph(
     graph: &ProgramGraph,
     cfg: &DseConfig,
 ) -> DseOutcome {
+    let _stage = obs::span::stage("dse");
     let start = Instant::now();
     let exhaustive = space.size() <= cfg.exhaustive_limit;
     let mut top: Vec<(DesignPoint, Prediction)> = Vec::new();
@@ -144,6 +146,19 @@ pub fn run_dse_with_graph(
         top = fallback;
     }
     top.truncate(cfg.top_m);
+    obs::metrics::counter_add("dse.points_explored", inferences as u64);
+    obs::metrics::counter_add("dse.candidates_returned", top.len() as u64);
+    obs::debug!(
+        "dse.done",
+        "explored {inferences} candidates for {} ({})",
+        kernel.name(),
+        if exhaustive { "exhaustive" } else { "heuristic" };
+        kernel = kernel.name(),
+        inferences = inferences,
+        top = top.len(),
+        exhaustive = exhaustive,
+        wall_us = start.elapsed(),
+    );
     DseOutcome { top, inferences, wall: start.elapsed(), exhaustive }
 }
 

@@ -8,6 +8,7 @@ use crate::db::Database;
 use crate::explorer::ExplorationLog;
 use crate::harness::EvalBackend;
 use design_space::{DesignPoint, DesignSpace};
+use gdse_obs as obs;
 use hls_ir::Kernel;
 use merlin_sim::HlsResult;
 use rand::rngs::StdRng;
@@ -117,6 +118,16 @@ impl AnnealingExplorer {
             temp *= self.cooling;
         }
         log.best = best;
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "annealing", log.evals as u64);
+        obs::debug!(
+            "explorer.done",
+            "annealing: {} evals on {}",
+            log.evals,
+            kernel.name();
+            explorer = "annealing",
+            kernel = kernel.name(),
+            evals = log.evals,
+        );
         log
     }
 }

@@ -14,6 +14,7 @@
 use super::{evaluate_into_db, Budget};
 use crate::db::Database;
 use design_space::{order::ordered_slots, DesignPoint, DesignSpace};
+use gdse_obs as obs;
 use hls_ir::Kernel;
 use crate::harness::EvalBackend;
 use merlin_sim::HlsResult;
@@ -104,6 +105,16 @@ impl BottleneckExplorer {
         }
         log.trace = mono;
         log.best = global_best;
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "bottleneck", log.evals as u64);
+        obs::debug!(
+            "explorer.done",
+            "bottleneck: {} evals on {}",
+            log.evals,
+            kernel.name();
+            explorer = "bottleneck",
+            kernel = kernel.name(),
+            evals = log.evals,
+        );
         log
     }
 

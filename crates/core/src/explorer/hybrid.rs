@@ -13,6 +13,7 @@ use super::bottleneck::{BottleneckExplorer, ExplorationLog};
 use super::{evaluate_into_db, Budget};
 use crate::db::Database;
 use design_space::DesignSpace;
+use gdse_obs as obs;
 use hls_ir::Kernel;
 use crate::harness::EvalBackend;
 use rand::rngs::StdRng;
@@ -57,6 +58,7 @@ impl HybridExplorer {
         // Phase 1: greedy, with half the budget.
         let greedy = BottleneckExplorer { util_threshold: self.util_threshold, seed: self.seed };
         let mut log = greedy.explore(sim, kernel, space, db, Budget::evals(budget.max_evals / 2));
+        let greedy_evals = log.evals;
 
         // Phase 2: local search around incumbents that improved >= X%.
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -116,6 +118,19 @@ impl HybridExplorer {
                 }
             }
         }
+        // Phase 1 already booked its evals under `explorer=bottleneck`; only
+        // the local-search delta is attributed to the hybrid explorer.
+        let local = (log.evals - greedy_evals) as u64;
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "hybrid", local);
+        obs::debug!(
+            "explorer.done",
+            "hybrid: {} local-search evals on {}",
+            local,
+            kernel.name();
+            explorer = "hybrid",
+            kernel = kernel.name(),
+            evals = local,
+        );
         log
     }
 }

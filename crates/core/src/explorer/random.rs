@@ -4,6 +4,7 @@ use super::{evaluate_into_db, Budget};
 use crate::db::Database;
 use crate::harness::EvalBackend;
 use design_space::DesignSpace;
+use gdse_obs as obs;
 use hls_ir::Kernel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,6 +46,16 @@ impl RandomExplorer {
                 evals += 1;
             }
         }
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "random", evals as u64);
+        obs::debug!(
+            "explorer.done",
+            "random: {} evals on {}",
+            evals,
+            kernel.name();
+            explorer = "random",
+            kernel = kernel.name(),
+            evals = evals,
+        );
         evals
     }
 }

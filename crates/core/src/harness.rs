@@ -16,10 +16,12 @@
 use merlin_sim::{HlsOracle, HlsResult, MerlinSimulator, OracleFailure};
 
 use design_space::{DesignPoint, DesignSpace};
+use gdse_obs as obs;
 use hls_ir::Kernel;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::fmt;
+use std::time::Instant;
 
 /// Why an evaluation could not produce a result, after the harness did all
 /// it could.
@@ -210,24 +212,63 @@ impl<O: HlsOracle> Harness<O> {
         let mut attempt = 0u32;
         loop {
             self.stats.borrow_mut().attempts += 1;
-            match self.oracle.run(kernel, space, point, attempt) {
+            obs::metrics::counter_inc("oracle.attempts");
+            let started = Instant::now();
+            let outcome = self.oracle.run(kernel, space, point, attempt);
+            obs::metrics::observe_us("oracle.eval_us", started.elapsed().as_micros() as u64);
+            match outcome {
                 Ok(result) => {
                     self.stats.borrow_mut().successes += 1;
+                    obs::metrics::counter_inc("oracle.successes");
                     return Ok(result);
                 }
                 Err(failure) if !failure.is_retryable() => {
                     self.stats.borrow_mut().permanent_failures += 1;
+                    obs::metrics::counter_inc("oracle.permanent_failures");
+                    obs::metrics::counter_add_labeled("harness.faults", "kind", failure.kind(), 1);
+                    obs::warn!(
+                        "oracle.permanent_failure",
+                        "evaluation abandoned: {failure}";
+                        kernel = kernel.name(),
+                        kind = failure.kind(),
+                    );
                     return Err(EvalError::Permanent { failure });
                 }
                 Err(failure) => {
-                    let mut stats = self.stats.borrow_mut();
-                    stats.transient_failures += 1;
-                    attempt += 1;
+                    {
+                        let mut stats = self.stats.borrow_mut();
+                        stats.transient_failures += 1;
+                        attempt += 1;
+                        if attempt >= max_attempts {
+                            stats.exhausted += 1;
+                        } else {
+                            stats.virtual_backoff_ms += self.policy.backoff_ms(attempt);
+                        }
+                    }
+                    obs::metrics::counter_inc("oracle.transient_failures");
+                    obs::metrics::counter_add_labeled("harness.faults", "kind", failure.kind(), 1);
                     if attempt >= max_attempts {
-                        stats.exhausted += 1;
+                        obs::metrics::counter_inc("oracle.exhausted");
+                        obs::warn!(
+                            "oracle.exhausted",
+                            "gave up after {attempt} attempts: {failure}";
+                            kernel = kernel.name(),
+                            kind = failure.kind(),
+                            attempts = attempt,
+                        );
                         return Err(EvalError::Exhausted { attempts: attempt, last: failure });
                     }
-                    stats.virtual_backoff_ms += self.policy.backoff_ms(attempt);
+                    let backoff_ms = self.policy.backoff_ms(attempt);
+                    obs::metrics::counter_add("oracle.retries", 1);
+                    obs::metrics::counter_add("oracle.virtual_backoff_ms", backoff_ms);
+                    obs::debug!(
+                        "oracle.retry",
+                        "transient failure, retrying: {failure}";
+                        kernel = kernel.name(),
+                        kind = failure.kind(),
+                        retry = attempt,
+                        backoff_ms = backoff_ms,
+                    );
                 }
             }
         }

@@ -157,6 +157,7 @@ impl Predictor {
         if points.is_empty() {
             return Vec::new();
         }
+        let started = std::time::Instant::now();
         let inputs: Vec<(GraphInput, &DesignPoint)> = points
             .iter()
             .map(|p| (GraphInput::from_graph(graph, Some(p)), p))
@@ -169,7 +170,7 @@ impl Predictor {
         let reg = self.regressor.forward(&batch);
         let bram = self.bram_model.forward(&batch);
 
-        (0..points.len())
+        let preds: Vec<Prediction> = (0..points.len())
             .map(|i| {
                 let logit = cls.graph.value(cls.outputs[0]).get(i, 0);
                 let valid_prob = f64::from(1.0 / (1.0 + (-logit).exp()));
@@ -182,7 +183,10 @@ impl Predictor {
                 };
                 Prediction { valid_prob, cycles: self.normalizer.inverse(t_lat), util }
             })
-            .collect()
+            .collect();
+        gdse_obs::metrics::counter_add("surrogate.inferences", points.len() as u64);
+        gdse_obs::metrics::counter_add("surrogate.busy_us", started.elapsed().as_micros() as u64);
+        preds
     }
 
     /// Predicts a single design point.

@@ -52,6 +52,7 @@ pub mod explorer;
 pub mod harness;
 pub mod inference;
 pub mod persist;
+pub mod report;
 pub mod rounds;
 pub mod trainer;
 
@@ -60,5 +61,6 @@ pub use db::{Database, DbEntry, DbError};
 pub use dse::{pareto_front, run_dse, DseConfig, DseOutcome};
 pub use harness::{EvalBackend, EvalError, Harness, HarnessStats, RetryPolicy};
 pub use inference::{Prediction, Predictor};
+pub use report::{build_run_report, write_run_report};
 pub use rounds::{run_rounds, RoundReport, RoundsConfig};
 pub use trainer::{ClassificationMetrics, RegressionMetrics, TrainConfig};

@@ -27,6 +27,7 @@ use crate::persist::atomic_write;
 use crate::trainer::TrainConfig;
 use design_space::DesignSpace;
 use gdse_gnn::{ModelConfig, ModelKind};
+use gdse_obs as obs;
 use hls_ir::Kernel;
 use merlin_sim::MerlinSimulator;
 use proggraph::build_graph_bidirectional;
@@ -164,6 +165,10 @@ struct Checkpoint {
     best_dse: Vec<Option<u64>>,
     db: Database,
     carried_model: Option<Predictor>,
+    /// Metric registry state at the round boundary: restored on resume so a
+    /// resumed campaign's run report counts the whole campaign, not just the
+    /// rounds after the crash.
+    metrics: obs::MetricsSnapshot,
 }
 
 impl Checkpoint {
@@ -215,12 +220,16 @@ pub fn run_rounds_with<B: EvalBackend>(
     checkpoint: Option<&Path>,
     resume: bool,
 ) -> Result<Vec<RoundReport>, RoundsError> {
-    let spaces: Vec<DesignSpace> = kernels.iter().map(DesignSpace::from_kernel).collect();
-    let graphs: Vec<_> = kernels
-        .iter()
-        .zip(&spaces)
-        .map(|(k, s)| build_graph_bidirectional(k, s))
-        .collect();
+    let (spaces, graphs) = {
+        let _stage = obs::span::stage("setup");
+        let spaces: Vec<DesignSpace> = kernels.iter().map(DesignSpace::from_kernel).collect();
+        let graphs: Vec<_> = kernels
+            .iter()
+            .zip(&spaces)
+            .map(|(k, s)| build_graph_bidirectional(k, s))
+            .collect();
+        (spaces, graphs)
+    };
 
     // Either resume the saved state or derive a fresh one from `db`.
     let resumed = match checkpoint {
@@ -242,6 +251,19 @@ pub fn run_rounds_with<B: EvalBackend>(
     let (mut start_round, mut reports, initial_best, mut best_dse, mut carried) = match resumed {
         Some(ck) => {
             *db = ck.db;
+            // Replace (not merge) the registry: the snapshot already covers
+            // everything the campaign did before the crash, so after the
+            // remaining rounds the deterministic counters match an
+            // uninterrupted run.
+            obs::metrics::restore(&ck.metrics);
+            obs::info!(
+                "rounds.resume",
+                "resuming at round {} of {}",
+                ck.next_round,
+                cfg.rounds;
+                next_round = ck.next_round,
+                rounds = cfg.rounds,
+            );
             (ck.next_round, ck.reports, ck.initial_best, ck.best_dse, ck.carried_model)
         }
         None => {
@@ -262,25 +284,28 @@ pub fn run_rounds_with<B: EvalBackend>(
     start_round = start_round.min(cfg.rounds + 1);
 
     for round in start_round..=cfg.rounds {
-        let predictor = match carried.take() {
-            Some(mut p) if cfg.fine_tune => {
-                // Fine-tune the carried model on the augmented database with
-                // a third of the full budget.
-                let ft_cfg = cfg.train_cfg.with_epochs((cfg.train_cfg.epochs / 3).max(2));
-                p.fine_tune(db, kernels, &ft_cfg);
-                p
-            }
-            _ => {
-                let (p, _) = Predictor::train(
-                    db,
-                    kernels,
-                    cfg.model,
-                    cfg.model_cfg
-                        .clone()
-                        .with_seed(cfg.model_cfg.seed.wrapping_add(round as u64)),
-                    &cfg.train_cfg,
-                );
-                p
+        let predictor = {
+            let _stage = obs::span::stage("train");
+            match carried.take() {
+                Some(mut p) if cfg.fine_tune => {
+                    // Fine-tune the carried model on the augmented database
+                    // with a third of the full budget.
+                    let ft_cfg = cfg.train_cfg.with_epochs((cfg.train_cfg.epochs / 3).max(2));
+                    p.fine_tune(db, kernels, &ft_cfg);
+                    p
+                }
+                _ => {
+                    let (p, _) = Predictor::train(
+                        db,
+                        kernels,
+                        cfg.model,
+                        cfg.model_cfg
+                            .clone()
+                            .with_seed(cfg.model_cfg.seed.wrapping_add(round as u64)),
+                        &cfg.train_cfg,
+                    );
+                    p
+                }
             }
         };
 
@@ -290,6 +315,7 @@ pub fn run_rounds_with<B: EvalBackend>(
                 run_dse_with_graph(&predictor, kernel, &spaces[ki], &graphs[ki], &cfg.dse);
             let mut added = 0;
             let mut lost = 0;
+            let _stage = obs::span::stage("validate");
             for (point, _) in &outcome.top {
                 if !db.contains(kernel.name(), point) {
                     match eval.try_evaluate(kernel, &spaces[ki], point) {
@@ -314,6 +340,8 @@ pub fn run_rounds_with<B: EvalBackend>(
                     }
                 }
             }
+            obs::metrics::counter_add("rounds.designs_added", added as u64);
+            obs::metrics::counter_add("rounds.validations_lost", lost as u64);
             let initial = initial_best[ki].1;
             let speedup = match best_dse[ki] {
                 Some(b) if initial != u64::MAX => initial as f64 / b as f64,
@@ -330,10 +358,23 @@ pub fn run_rounds_with<B: EvalBackend>(
         }
         let avg = per_kernel.iter().map(|k| k.speedup).sum::<f64>() / per_kernel.len() as f64;
         let lost = per_kernel.iter().map(|k| k.lost).sum();
+        let added: usize = per_kernel.iter().map(|k| k.added).sum();
         reports.push(RoundReport { round, kernels: per_kernel, avg_speedup: avg, lost });
         carried = Some(predictor);
+        obs::metrics::counter_inc("rounds.completed");
+        obs::metrics::gauge_set("rounds.avg_speedup", avg);
+        obs::info!(
+            "rounds.round",
+            "round {round}/{}: avg speedup {avg:.2}x, {added} designs added, {lost} lost",
+            cfg.rounds;
+            round = round,
+            avg_speedup = avg,
+            added = added,
+            lost = lost,
+        );
 
         if let Some(path) = checkpoint {
+            let _stage = obs::span::stage("checkpoint");
             Checkpoint {
                 next_round: round + 1,
                 reports: reports.clone(),
@@ -343,6 +384,7 @@ pub fn run_rounds_with<B: EvalBackend>(
                 // The carried model only affects later rounds when
                 // fine-tuning; skip the (large) serialization otherwise.
                 carried_model: if cfg.fine_tune { carried.clone() } else { None },
+                metrics: obs::metrics::snapshot(),
             }
             .save(path)?;
         }

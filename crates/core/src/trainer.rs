@@ -4,6 +4,7 @@
 
 use crate::dataset::Dataset;
 use gdse_gnn::PredictionModel;
+use gdse_obs as obs;
 use gdse_tensor::Adam;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -78,6 +79,12 @@ fn train_loop(
             return losses;
         }
         restarts += 1;
+        obs::metrics::counter_inc("train.stall_restarts");
+        obs::debug!(
+            "train.stall_restart",
+            "loss stalled; reinitializing weights (restart {restarts})";
+            restart = restarts,
+        );
         let new_seed = model
             .config()
             .seed
@@ -106,6 +113,7 @@ fn train_epochs(
     const WARMUP_EPOCHS: usize = 2;
 
     for epoch in 0..cfg.epochs {
+        let epoch_started = std::time::Instant::now();
         let warm = ((epoch + 1) as f32 / WARMUP_EPOCHS as f32).min(1.0);
         adam.set_learning_rate(cfg.lr * warm);
         order.shuffle(&mut rng);
@@ -136,7 +144,19 @@ fn train_epochs(
             grads.clip_global_norm(cfg.grad_clip);
             adam.step(model.store_mut(), &grads);
         }
-        epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        let mean_loss = epoch_loss / batches.max(1) as f32;
+        epoch_losses.push(mean_loss);
+        obs::metrics::counter_inc("train.epochs");
+        obs::metrics::gauge_set("train.epoch_loss", f64::from(mean_loss));
+        obs::metrics::observe_us("train.epoch_us", epoch_started.elapsed().as_micros() as u64);
+        obs::debug!(
+            "train.epoch",
+            "epoch {epoch}: mean loss {mean_loss:.5}";
+            epoch = epoch,
+            loss = mean_loss,
+            batches = batches,
+            elapsed_us = epoch_started.elapsed(),
+        );
     }
     epoch_losses
 }

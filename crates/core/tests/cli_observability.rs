@@ -1,0 +1,72 @@
+//! The `gnndse` binary end-to-end: `rounds --metrics-out` must leave a
+//! parseable `run_report.json` with non-zero stage timings, and `--log-json`
+//! must capture the run as JSONL.
+
+use gdse_obs::RunReport;
+use gnn_dse::dbgen;
+use hls_ir::kernels;
+use std::process::Command;
+
+#[test]
+fn rounds_cli_writes_a_valid_run_report_and_jsonl_log() {
+    let dir = std::env::temp_dir().join("gnn_dse_cli_obs_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db_path = dir.join("db.json");
+    let out_path = dir.join("db_out.json");
+    let report_path = dir.join("run_report.json");
+    let log_path = dir.join("log.jsonl");
+
+    // A one-kernel database keeps the CLI run to a few seconds.
+    let ks = vec![kernels::spmv_ellpack()];
+    let db = dbgen::generate_database(&ks, &[("spmv-ellpack", 30)], 30, 5);
+    db.save(&db_path).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_gnndse"))
+        .args([
+            "rounds",
+            db_path.to_str().unwrap(),
+            "--rounds",
+            "1",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--metrics-out",
+            report_path.to_str().unwrap(),
+            "--log-json",
+            log_path.to_str().unwrap(),
+            "--log-level",
+            "debug",
+        ])
+        .output()
+        .expect("gnndse binary runs");
+    assert!(
+        output.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The report parses, carries the command, and times the pipeline stages.
+    let report =
+        RunReport::from_json(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report.command, "rounds");
+    assert!(report.total_wall_us > 0);
+    for stage in ["io", "setup", "train", "dse", "validate"] {
+        assert!(report.stage_us(stage) > 0, "stage `{stage}` untimed: {:?}", report.stages);
+    }
+    assert!(report.stages_total_us() <= report.total_wall_us);
+
+    // The JSONL log contains the per-round record with its structured fields.
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    assert!(!log.is_empty(), "--log-json must capture records");
+    for line in log.lines() {
+        let v: serde::Value = serde_json::from_str(line).expect("each line is one JSON object");
+        let map = v.as_map().expect("records are objects");
+        assert!(map.iter().any(|(k, _)| k == "event"), "record has an event: {line}");
+    }
+    assert!(log.contains("\"event\":\"rounds.round\""), "round record missing:\n{log}");
+    assert!(log.contains("\"event\":\"rounds.done\""), "done record missing:\n{log}");
+
+    for f in [&db_path, &out_path, &report_path, &log_path] {
+        std::fs::remove_file(f).ok();
+    }
+}

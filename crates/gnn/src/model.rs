@@ -299,6 +299,7 @@ impl PredictionModel {
     /// Runs a forward pass on a batch of designs (M1 reads only the pragma
     /// encodings; M2-M7 read the graphs).
     pub fn forward(&self, batch: &GraphBatch) -> ModelOutput {
+        let started = std::time::Instant::now();
         let mut g = Graph::new();
         let (graph_emb, attention) = match &self.body {
             Body::PragmaMlp(trunk) => {
@@ -330,6 +331,11 @@ impl PredictionModel {
             .iter()
             .map(|head| head.forward(&mut g, &self.store, graph_emb))
             .collect();
+        gdse_obs::metrics::counter_inc("gnn.forwards");
+        gdse_obs::metrics::observe_us(
+            "gnn.forward_us",
+            started.elapsed().as_micros() as u64,
+        );
         ModelOutput { graph: g, outputs, graph_emb, attention }
     }
 

@@ -125,7 +125,7 @@ impl MerlinSimulator {
         let validity = self.check_validity(kernel, space, &canonical);
         let instances = total_op_instances(kernel, space, &canonical);
 
-        match validity {
+        let result = match validity {
             Validity::Valid => {
                 let plan = plan_memory(kernel, space, &canonical);
                 let raw_cycles = kernel_cycles(kernel, space, &canonical, &plan);
@@ -149,7 +149,10 @@ impl MerlinSimulator {
                 util: Utilization::default(),
                 synth_minutes: 10.0,
             },
-        }
+        };
+        gdse_obs::metrics::counter_inc("sim.evals");
+        gdse_obs::metrics::gauge_add("sim.modelled_hls_minutes", result.synth_minutes);
+        result
     }
 }
 

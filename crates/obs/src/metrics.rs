@@ -1,0 +1,404 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! The registry is **thread-local**: the pipeline is single-threaded per
+//! campaign, and thread-locality gives every `cargo test` thread an isolated
+//! registry for free (no cross-test interference, no locks on the hot path).
+//!
+//! Metric names are dotted strings (`oracle.eval_us`); a one-label variant
+//! composes Prometheus-style keys (`harness.faults{kind=tool-crash}`).
+//!
+//! [`snapshot`] serializes the whole registry (sorted, deterministic) and
+//! [`restore`] replaces it — that pair is what lets a rounds checkpoint
+//! carry its accounting across a crash so the resumed campaign's
+//! `run_report.json` matches an uninterrupted run.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Upper bucket edges (inclusive, microseconds) of the default latency
+/// histogram: spans 10 µs surrogate inferences to minute-scale HLS stages.
+/// Observations above the last edge land in the overflow bucket.
+pub const DEFAULT_US_EDGES: [u64; 14] = [
+    10,
+    50,
+    100,
+    500,
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    60_000_000,
+];
+
+/// A fixed-bucket histogram: `counts[i]` observations fell in
+/// `(edges[i-1], edges[i]]`, with one extra overflow bucket past the last
+/// edge. Also tracks the exact count and sum, so means are bucket-error-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `edges` (must be strictly increasing).
+    pub fn new(edges: &[u64]) -> Self {
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be strictly increasing");
+        Histogram { edges: edges.to_vec(), counts: vec![0; edges.len() + 1], count: 0, sum: 0 }
+    }
+
+    /// An empty histogram over [`DEFAULT_US_EDGES`].
+    pub fn default_us() -> Self {
+        Self::new(&DEFAULT_US_EDGES)
+    }
+
+    /// The bucket index `value` falls into: the first `i` with
+    /// `value <= edges[i]`, or the overflow bucket.
+    pub fn bucket_index(&self, value: u64) -> usize {
+        self.edges.partition_point(|&e| e < value)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let i = self.bucket_index(value);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket edges.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts (`edges.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// A serializable copy under `name`.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            edges: self.edges.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+
+    fn from_snapshot(s: &HistogramSnapshot) -> Self {
+        Histogram {
+            edges: s.edges.clone(),
+            counts: s.counts.clone(),
+            count: s.count,
+            sum: s.sum,
+        }
+    }
+}
+
+/// Serializable state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Upper bucket edges (inclusive).
+    pub edges: Vec<u64>,
+    /// Per-bucket counts (one more than `edges`; last is overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Deterministic, serializable copy of a whole registry. Entries are sorted
+/// by name, so the same campaign always snapshots to the same bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A gauge's value, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A histogram's state, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// All counters whose composed name starts with `prefix`.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Composes a one-label metric key: `name{key=value}`.
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    format!("{name}{{{key}={value}}}")
+}
+
+/// Adds `delta` to counter `name` (creating it at 0).
+pub fn counter_add(name: &str, delta: u64) {
+    REGISTRY.with(|r| {
+        *r.borrow_mut().counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Increments counter `name` by one.
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Adds `delta` to the labeled counter `name{key=value}`.
+pub fn counter_add_labeled(name: &str, key: &str, value: &str, delta: u64) {
+    counter_add(&labeled(name, key, value), delta);
+}
+
+/// The current value of counter `name` (0 if never touched).
+pub fn counter_value(name: &str) -> u64 {
+    REGISTRY.with(|r| r.borrow().counters.get(name).copied().unwrap_or(0))
+}
+
+/// Sets gauge `name` to `value`.
+pub fn gauge_set(name: &str, value: f64) {
+    REGISTRY.with(|r| {
+        r.borrow_mut().gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Adds `delta` to gauge `name` (creating it at 0) — for accumulating
+/// fractional quantities like modelled HLS minutes.
+pub fn gauge_add(name: &str, delta: f64) {
+    REGISTRY.with(|r| {
+        *r.borrow_mut().gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    });
+}
+
+/// The current value of gauge `name`, if set.
+pub fn gauge_value(name: &str) -> Option<f64> {
+    REGISTRY.with(|r| r.borrow().gauges.get(name).copied())
+}
+
+/// Records `us` into histogram `name` (created over [`DEFAULT_US_EDGES`]).
+pub fn observe_us(name: &str, us: u64) {
+    REGISTRY.with(|r| {
+        r.borrow_mut()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::default_us)
+            .record(us);
+    });
+}
+
+/// Records `us` into histogram `name`, creating it over `edges` if new.
+pub fn observe_with_edges(name: &str, edges: &[u64], us: u64) {
+    REGISTRY.with(|r| {
+        r.borrow_mut()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(edges))
+            .record(us);
+    });
+}
+
+/// Runs `f` with the named histogram, if it exists.
+pub fn with_histogram<T>(name: &str, f: impl FnOnce(&Histogram) -> T) -> Option<T> {
+    REGISTRY.with(|r| r.borrow().histograms.get(name).map(f))
+}
+
+/// A deterministic (sorted) copy of this thread's registry.
+pub fn snapshot() -> MetricsSnapshot {
+    REGISTRY.with(|r| {
+        let r = r.borrow();
+        MetricsSnapshot {
+            counters: r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: r.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: r.histograms.iter().map(|(k, h)| h.snapshot(k)).collect(),
+        }
+    })
+}
+
+/// Replaces this thread's registry with `snap` — the resume half of
+/// checkpointed accounting.
+pub fn restore(snap: &MetricsSnapshot) {
+    REGISTRY.with(|r| {
+        let mut r = r.borrow_mut();
+        r.counters = snap.counters.iter().cloned().collect();
+        r.gauges = snap.gauges.iter().cloned().collect();
+        r.histograms = snap
+            .histograms
+            .iter()
+            .map(|h| (h.name.clone(), Histogram::from_snapshot(h)))
+            .collect();
+    });
+}
+
+/// Clears this thread's registry.
+pub fn reset() {
+    REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        // At the edge -> that bucket; one past -> the next.
+        assert_eq!(h.bucket_index(0), 0);
+        assert_eq!(h.bucket_index(10), 0);
+        assert_eq!(h.bucket_index(11), 1);
+        assert_eq!(h.bucket_index(100), 1);
+        assert_eq!(h.bucket_index(101), 2);
+        assert_eq!(h.bucket_index(1000), 2);
+        assert_eq!(h.bucket_index(1001), 3, "past the last edge -> overflow");
+        assert_eq!(h.bucket_index(u64::MAX), 3);
+
+        for v in [0, 10, 11, 100, 101, 1000, 1001, u64::MAX / 2] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact_not_bucketed() {
+        let mut h = Histogram::new(&[1_000]);
+        h.record(1);
+        h.record(5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.sum(), 6);
+        assert_eq!(Histogram::new(&[10]).mean(), 0.0, "empty histogram mean is 0");
+    }
+
+    #[test]
+    fn counters_gauges_and_labels_accumulate() {
+        reset();
+        counter_inc("a.b");
+        counter_add("a.b", 4);
+        counter_add_labeled("faults", "kind", "crash", 2);
+        gauge_set("loss", 0.5);
+        gauge_add("minutes", 1.25);
+        gauge_add("minutes", 0.25);
+        assert_eq!(counter_value("a.b"), 5);
+        assert_eq!(counter_value("faults{kind=crash}"), 2);
+        assert_eq!(counter_value("never"), 0);
+        assert_eq!(gauge_value("loss"), Some(0.5));
+        assert_eq!(gauge_value("minutes"), Some(1.5));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_json() {
+        reset();
+        counter_add("x", 7);
+        gauge_set("g", 2.5);
+        observe_us("h_us", 42);
+        observe_us("h_us", 5_000_000);
+        let snap = snapshot();
+
+        // Serialize / deserialize must preserve everything.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        // restore() must reproduce the registry exactly.
+        reset();
+        assert_eq!(counter_value("x"), 0);
+        restore(&back);
+        assert_eq!(counter_value("x"), 7);
+        assert_eq!(gauge_value("g"), Some(2.5));
+        let h = snapshot().histogram("h_us").unwrap().clone();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 5_000_042);
+        // And keep accumulating on top of the restored state.
+        observe_us("h_us", 1);
+        assert_eq!(snapshot().histogram("h_us").unwrap().count, 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        reset();
+        counter_inc("zebra");
+        counter_inc("alpha");
+        counter_inc("mid");
+        let snap = snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zebra"]);
+        assert_eq!(serde_json::to_string(&snapshot()), serde_json::to_string(&snapshot()));
+    }
+}

@@ -1,0 +1,89 @@
+//! Scoped stage timers.
+//!
+//! A [`StageTimer`] measures a stage of the pipeline from construction to
+//! drop and books the elapsed time twice:
+//!
+//! * into the counter `stage.<name>.busy_us` — the cumulative per-stage
+//!   wall time [`crate::report::RunReport`] breaks a campaign down by;
+//! * into the histogram `span.<name>_us` — the per-invocation latency
+//!   distribution (one observation per scope).
+//!
+//! It also emits a `span.close` record at [`Level::Debug`], so `--log-json`
+//! captures every stage boundary with its duration.
+//!
+//! Stage names form a flat namespace by convention (`setup`, `train`,
+//! `dse`, `validate`, `checkpoint`, `explore`, `io`); timers for *different*
+//! stages may nest, but the same stage must not nest inside itself or its
+//! busy time double-counts.
+
+use crate::log::Level;
+use std::time::Instant;
+
+/// Times a stage from construction to drop. Create via [`stage`].
+#[derive(Debug)]
+pub struct StageTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Starts timing stage `name`.
+pub fn stage(name: &'static str) -> StageTimer {
+    StageTimer { name, start: Instant::now() }
+}
+
+impl StageTimer {
+    /// The stage name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Elapsed time so far, in microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        let us = self.elapsed_us();
+        crate::metrics::counter_add(&format!("stage.{}.busy_us", self.name), us);
+        crate::metrics::observe_us(&format!("span.{}_us", self.name), us);
+        if crate::log::enabled(Level::Debug) {
+            crate::log::emit(
+                Level::Debug,
+                "span.close",
+                "",
+                &[
+                    ("stage", crate::log::FieldValue::from(self.name)),
+                    ("elapsed_us", crate::log::FieldValue::U64(us)),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn dropping_a_timer_books_busy_time_and_a_span_observation() {
+        metrics::reset();
+        {
+            let t = stage("unit_test_stage");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert_eq!(t.name(), "unit_test_stage");
+        }
+        {
+            let _t = stage("unit_test_stage");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let busy = metrics::counter_value("stage.unit_test_stage.busy_us");
+        assert!(busy >= 3_000, "two sleeps must book >= 3ms, got {busy}us");
+        let snap = metrics::snapshot();
+        let h = snap.histogram("span.unit_test_stage_us").unwrap();
+        assert_eq!(h.count, 2, "one observation per scope");
+        assert_eq!(h.sum, busy, "histogram sum equals booked busy time");
+    }
+}

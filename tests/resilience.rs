@@ -115,6 +115,79 @@ fn faulty_rounds_complete_and_checkpoint_resume_matches() {
 }
 
 #[test]
+fn resumed_campaign_metrics_match_an_uninterrupted_run() {
+    use gdse_obs::metrics;
+
+    let dir = std::env::temp_dir().join("gnn_dse_resilience_metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ks = vec![kernels::spmv_ellpack()];
+    let base = dbgen::generate_database(&ks, &[("spmv-ellpack", 30)], 30, 5);
+    let cfg = RoundsConfig { rounds: 2, ..RoundsConfig::quick() };
+    let faults = FaultConfig::uniform(0.2, 17);
+    let policy = RetryPolicy::with_max_retries(3);
+
+    // Work counters are deterministic under the seeded loop + stateless
+    // fault decisions; timing counters (anything *_us) are wall-clock and
+    // excluded from the comparison.
+    const DETERMINISTIC: &[&str] = &[
+        "oracle.attempts",
+        "oracle.successes",
+        "oracle.transient_failures",
+        "oracle.permanent_failures",
+        "oracle.exhausted",
+        "oracle.retries",
+        "oracle.virtual_backoff_ms",
+        "sim.evals",
+        "surrogate.inferences",
+        "gnn.forwards",
+        "train.epochs",
+        "dse.points_explored",
+        "dse.candidates_returned",
+        "rounds.completed",
+        "rounds.designs_added",
+        "rounds.validations_lost",
+    ];
+    let work = |snap: &gdse_obs::MetricsSnapshot| -> Vec<(String, u64)> {
+        DETERMINISTIC
+            .iter()
+            .map(|&n| (n.to_string(), snap.counter(n).unwrap_or(0)))
+            .collect()
+    };
+
+    // Uninterrupted campaign, fresh registry.
+    metrics::reset();
+    let mut db_full = base.clone();
+    let h1 = fault_injected_harness(faults, policy);
+    run_rounds_with(&mut db_full, &ks, &cfg, &h1, None, false).unwrap();
+    let full = work(&metrics::snapshot());
+
+    // Same campaign killed after round 1; the checkpoint carries the metric
+    // registry of everything up to the kill...
+    let ck = dir.join("metrics_ck.json");
+    std::fs::remove_file(&ck).ok();
+    metrics::reset();
+    let mut db_killed = base.clone();
+    let h2 = fault_injected_harness(faults, policy);
+    let killed_cfg = RoundsConfig { stop_after: Some(1), ..cfg.clone() };
+    run_rounds_with(&mut db_killed, &ks, &killed_cfg, &h2, Some(&ck), false).unwrap();
+
+    // ...so a resume in a fresh process (registry wiped) still reports the
+    // whole campaign, not just the post-crash rounds.
+    metrics::reset();
+    let mut db_resumed = base.clone();
+    let h3 = fault_injected_harness(faults, policy);
+    run_rounds_with(&mut db_resumed, &ks, &cfg, &h3, Some(&ck), true).unwrap();
+    let resumed = work(&metrics::snapshot());
+
+    assert!(
+        full.iter().any(|(_, v)| *v > 0),
+        "campaign must record work counters: {full:?}"
+    );
+    assert_eq!(resumed, full, "resumed campaign must report the same work");
+    std::fs::remove_file(&ck).ok();
+}
+
+#[test]
 fn corrupted_database_file_fails_with_an_actionable_error() {
     let dir = std::env::temp_dir().join("gnn_dse_resilience_db_err");
     std::fs::create_dir_all(&dir).unwrap();

@@ -28,9 +28,10 @@
 
 use design_space::DesignSpace;
 use gdse_obs as obs;
-use gnn_dse::dse::{run_dse, DseConfig};
+use gnn_dse::dse::{run_dse_with_engine, DseConfig};
 use gnn_dse::harness::RetryPolicy;
-use gnn_dse::rounds::{run_rounds_with, RoundsConfig};
+use gnn_dse::parallel::ExecEngine;
+use gnn_dse::rounds::{run_rounds_with_engine, RoundsConfig};
 use gnn_dse::trainer::TrainConfig;
 use gnn_dse::{dbgen, Database, Predictor};
 use gdse_gnn::{ModelConfig, ModelKind};
@@ -154,6 +155,20 @@ fn write_metrics(path: &Path, command: &str, started: Instant) -> CliResult {
     Ok(())
 }
 
+/// Builds the execution engine from `--jobs N` (default: the machine's
+/// available parallelism). `--jobs 1` runs the same batched code paths
+/// serially, so any jobs count produces byte-identical outputs for the
+/// same seed.
+fn jobs_arg(flags: &HashMap<String, String>) -> Result<ExecEngine, String> {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs: usize = flag_or(flags, "jobs", default)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    obs::debug!("exec.jobs", "running on {jobs} workers"; jobs = jobs);
+    Ok(ExecEngine::with_jobs(jobs))
+}
+
 /// The `--fault-rate`/`--fault-seed`/`--max-retries` triple shared by
 /// `gendb` and `rounds`.
 fn fault_args(
@@ -274,10 +289,18 @@ fn cmd_emit(args: &[String]) -> CliResult {
 fn cmd_gendb(args: &[String]) -> CliResult {
     let (pos, flags) = split_flags(
         args,
-        &["fault-rate", "fault-seed", "max-retries", "log-level", "log-json", "metrics-out"],
+        &[
+            "jobs",
+            "fault-rate",
+            "fault-seed",
+            "max-retries",
+            "log-level",
+            "log-json",
+            "metrics-out",
+        ],
         &[],
     )?;
-    let usage = "usage: gnndse gendb <out.json> [budget] [seed] \
+    let usage = "usage: gnndse gendb <out.json> [budget] [seed] [--jobs N] \
                  [--fault-rate F] [--fault-seed S] [--max-retries N] \
                  [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
     let out = pos.first().ok_or(usage)?;
@@ -286,12 +309,13 @@ fn cmd_gendb(args: &[String]) -> CliResult {
     let metrics_out = obs_args(&flags)?;
     let started = Instant::now();
     let (faults, policy) = fault_args(&flags)?;
+    let engine = jobs_arg(&flags)?;
     let ks = kernels::training_kernels();
     let db = if faults.is_disabled() {
-        dbgen::generate_database(&ks, &[], budget, seed)
+        dbgen::generate_database_par(&engine, &MerlinSimulator::new(), &ks, &[], budget, seed)
     } else {
         let harness = dbgen::fault_injected_harness(faults, policy);
-        let db = dbgen::generate_database_with(&harness, &ks, &[], budget, seed);
+        let db = dbgen::generate_database_par(&engine, &harness, &ks, &[], budget, seed);
         let stats = harness.stats();
         obs::info!(
             "gendb.oracle",
@@ -337,6 +361,7 @@ fn cmd_rounds(args: &[String]) -> CliResult {
         &[
             "rounds",
             "out",
+            "jobs",
             "fault-rate",
             "fault-seed",
             "max-retries",
@@ -348,7 +373,7 @@ fn cmd_rounds(args: &[String]) -> CliResult {
         ],
         &["resume"],
     )?;
-    let usage = "usage: gnndse rounds <db.json> [--rounds N] [--out out.json] \
+    let usage = "usage: gnndse rounds <db.json> [--rounds N] [--out out.json] [--jobs N] \
                  [--fault-rate F] [--fault-seed S] [--max-retries N] \
                  [--checkpoint ck.json] [--resume] [--stop-after N] \
                  [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
@@ -390,14 +415,16 @@ fn cmd_rounds(args: &[String]) -> CliResult {
         kernels = ks.len(),
         designs = db.len(),
     );
+    let engine = jobs_arg(&flags)?;
     let harness = dbgen::fault_injected_harness(faults, policy);
-    run_rounds_with(
+    run_rounds_with_engine(
         &mut db,
         &ks,
         &cfg,
         &harness,
         checkpoint.as_deref().map(Path::new),
         resume,
+        &engine,
     )
     .map_err(|e| e.to_string())?;
 
@@ -459,8 +486,8 @@ fn cmd_train(args: &[String]) -> CliResult {
 
 fn cmd_dse(args: &[String]) -> CliResult {
     let (pos, flags) =
-        split_flags(args, &["top-m", "log-level", "log-json", "metrics-out"], &[])?;
-    let usage = "usage: gnndse dse <model.json> <kernel> [top_m] [--log-level L] \
+        split_flags(args, &["top-m", "jobs", "log-level", "log-json", "metrics-out"], &[])?;
+    let usage = "usage: gnndse dse <model.json> <kernel> [top_m] [--jobs N] [--log-level L] \
                  [--log-json log.jsonl] [--metrics-out report.json]";
     let [model_path, kernel, rest @ ..] = &pos[..] else {
         return Err(usage.into());
@@ -478,7 +505,9 @@ fn cmd_dse(args: &[String]) -> CliResult {
     let kernel = lookup_kernel(kernel)?;
     let space = DesignSpace::from_kernel(&kernel);
     let cfg = DseConfig { top_m, ..DseConfig::default() };
-    let outcome = run_dse(&predictor, &kernel, &space, &cfg);
+    let engine = jobs_arg(&flags)?;
+    let graph = build_graph_bidirectional(&kernel, &space);
+    let outcome = run_dse_with_engine(&predictor, &kernel, &space, &graph, &cfg, &engine);
     obs::info!(
         "dse.summary",
         "{} inferences in {:?} ({})",

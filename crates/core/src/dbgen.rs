@@ -4,6 +4,7 @@
 use crate::db::Database;
 use crate::explorer::{BottleneckExplorer, Budget, HybridExplorer, RandomExplorer};
 use crate::harness::{EvalBackend, Harness, RetryPolicy};
+use crate::parallel::ExecEngine;
 use design_space::DesignSpace;
 use gdse_obs as obs;
 use hls_ir::Kernel;
@@ -54,6 +55,30 @@ pub fn explore_kernel<B: EvalBackend>(
     RandomExplorer::new(seed ^ 0x9e37_79b9).explore(sim, kernel, space, db, Budget::evals(rest));
 }
 
+/// [`explore_kernel`] with every explorer's candidate frontiers scored
+/// through the engine's worker pool (batched, cached evaluation).
+pub fn explore_kernel_with<B: EvalBackend + Sync>(
+    engine: &ExecEngine,
+    eval: &B,
+    kernel: &Kernel,
+    space: &DesignSpace,
+    db: &mut Database,
+    budget: usize,
+    seed: u64,
+) {
+    let before = db.len();
+    let greedy_share = (budget * 4) / 10;
+    let hybrid_share = (budget * 3) / 10;
+    BottleneckExplorer::new()
+        .explore_with(engine, eval, kernel, space, db, Budget::evals(greedy_share));
+    HybridExplorer::with_seed(seed)
+        .explore_with(engine, eval, kernel, space, db, Budget::evals(hybrid_share));
+    let used = db.len() - before;
+    let rest = budget.saturating_sub(used);
+    RandomExplorer::new(seed ^ 0x9e37_79b9)
+        .explore_with(engine, eval, kernel, space, db, Budget::evals(rest));
+}
+
 /// Generates the initial database for a set of kernels.
 ///
 /// `budgets` maps kernel names to evaluation budgets; kernels without an
@@ -96,6 +121,52 @@ pub fn generate_database_with<B: EvalBackend>(
             kernel = k.name(),
             budget = budget,
             recorded = db.len() - before,
+        );
+    }
+    db
+}
+
+/// [`generate_database_with`] across the engine's worker pool: kernels fan
+/// out over the pool (one private database per kernel, merged back in
+/// kernel order), and within each kernel the explorers batch their
+/// candidate frontiers through the same pool.
+///
+/// Because each kernel's exploration is independent — keys in the shared
+/// database are namespaced by kernel name, and the serial generator
+/// processes kernels one after another — the merged database is identical
+/// to the serial one at any worker count.
+pub fn generate_database_par<B: EvalBackend + Sync>(
+    engine: &ExecEngine,
+    eval: &B,
+    kernels: &[Kernel],
+    budgets: &[(&str, usize)],
+    default_budget: usize,
+    seed: u64,
+) -> Database {
+    let _stage = obs::span::stage("explore");
+    let per_kernel = engine.pool().map(kernels, |i, k| {
+        let space = DesignSpace::from_kernel(k);
+        let budget = budgets
+            .iter()
+            .find(|(name, _)| *name == k.name())
+            .map(|&(_, b)| b)
+            .unwrap_or(default_budget);
+        let mut db = Database::new();
+        explore_kernel_with(engine, eval, k, &space, &mut db, budget, seed.wrapping_add(i as u64));
+        (db, budget)
+    });
+
+    let mut db = Database::new();
+    for (k, (kernel_db, budget)) in kernels.iter().zip(per_kernel) {
+        let added = db.merge(&kernel_db);
+        obs::debug!(
+            "dbgen.kernel",
+            "{}: {} designs recorded (budget {budget})",
+            k.name(),
+            added;
+            kernel = k.name(),
+            budget = budget,
+            recorded = added,
         );
     }
     db
@@ -145,5 +216,34 @@ mod tests {
         let a = generate_database(&ks, &[], 30, 5);
         let b = generate_database(&ks, &[], 30, 5);
         assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial_generation() {
+        let ks = vec![kernels::gemm_ncubed(), kernels::spmv_ellpack(), kernels::atax()];
+        let serial = generate_database(&ks, &[], 30, 5);
+        for jobs in [1, 4] {
+            let engine = ExecEngine::with_jobs(jobs);
+            let par =
+                generate_database_par(&engine, &MerlinSimulator::new(), &ks, &[], 30, 5);
+            assert_eq!(par.entries(), serial.entries(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_generation_is_jobs_invariant_under_faults() {
+        let ks = vec![kernels::spmv_crs(), kernels::stencil()];
+        let faults = FaultConfig::uniform(0.25, 99);
+        let policy = RetryPolicy::with_max_retries(3);
+        let mut reference = None;
+        for jobs in [1, 8] {
+            let engine = ExecEngine::with_jobs(jobs);
+            let h = fault_injected_harness(faults, policy);
+            let db = generate_database_par(&engine, &h, &ks, &[], 25, 3);
+            match &reference {
+                None => reference = Some(db),
+                Some(r) => assert_eq!(db.entries(), r.entries(), "jobs={jobs}"),
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! runs out.
 
 use crate::inference::{Prediction, Predictor};
+use crate::parallel::ExecEngine;
 use design_space::{order::ordered_slots, rules, DesignPoint, DesignSpace};
 use gdse_obs as obs;
 use hls_ir::Kernel;
@@ -83,13 +84,32 @@ pub fn run_dse(
 }
 
 /// [`run_dse`] with a pre-built program graph (avoids rebuilding across
-/// rounds).
+/// rounds). Runs serially (a single-worker engine).
 pub fn run_dse_with_graph(
     predictor: &Predictor,
     kernel: &Kernel,
     space: &DesignSpace,
     graph: &ProgramGraph,
     cfg: &DseConfig,
+) -> DseOutcome {
+    run_dse_with_engine(predictor, kernel, space, graph, cfg, &ExecEngine::serial())
+}
+
+/// [`run_dse_with_graph`] with every surrogate batch scored through the
+/// engine: misses are chunked across the worker pool and previously
+/// predicted configs come from the engine's prediction cache.
+///
+/// Prediction is item-independent, so the outcome is identical at any
+/// worker count — provided the run is not truncated by `cfg.time_limit`
+/// (the one wall-clock-dependent cut; campaigns that need bit-identical
+/// reruns should size `max_inferences` instead).
+pub fn run_dse_with_engine(
+    predictor: &Predictor,
+    kernel: &Kernel,
+    space: &DesignSpace,
+    graph: &ProgramGraph,
+    cfg: &DseConfig,
+    engine: &ExecEngine,
 ) -> DseOutcome {
     let _stage = obs::span::stage("dse");
     let start = Instant::now();
@@ -110,7 +130,7 @@ pub fn run_dse_with_graph(
         if pending.is_empty() {
             return;
         }
-        let preds = predictor.predict_batch(graph, pending);
+        let preds = engine.predict_ordered(predictor, graph, kernel.name(), pending);
         *inferences += pending.len();
         for (p, pred) in pending.drain(..).zip(preds) {
             if pred.usable(cfg.util_threshold) {
@@ -264,6 +284,30 @@ mod tests {
         let out = run_dse(&p, &k, &space, &cfg);
         assert!(!out.exhaustive);
         assert!(out.inferences <= 300 + cfg.batch_size);
+    }
+
+    #[test]
+    fn parallel_dse_matches_serial_dse() {
+        let (p, k, space) = trained(kernels::spmv_ellpack, 40);
+        let graph = build_graph_bidirectional(&k, &space);
+        let cfg = DseConfig::quick();
+        let serial = run_dse_with_graph(&p, &k, &space, &graph, &cfg);
+        for jobs in [4, 8] {
+            let engine = ExecEngine::with_jobs(jobs);
+            let par = run_dse_with_engine(&p, &k, &space, &graph, &cfg, &engine);
+            assert_eq!(par.inferences, serial.inferences, "jobs={jobs}");
+            assert_eq!(par.exhaustive, serial.exhaustive);
+            assert_eq!(par.top.len(), serial.top.len(), "jobs={jobs}");
+            for ((pp, ppred), (sp, spred)) in par.top.iter().zip(&serial.top) {
+                assert_eq!(pp, sp, "jobs={jobs}");
+                assert_eq!(ppred.cycles, spred.cycles, "jobs={jobs}");
+                assert_eq!(
+                    ppred.valid_prob.to_bits(),
+                    spred.valid_prob.to_bits(),
+                    "jobs={jobs}: predictions must be bit-identical"
+                );
+            }
+        }
     }
 
     #[test]

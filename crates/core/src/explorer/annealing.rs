@@ -7,6 +7,7 @@ use super::{evaluate_into_db, Budget};
 use crate::db::Database;
 use crate::explorer::ExplorationLog;
 use crate::harness::EvalBackend;
+use crate::parallel::ExecEngine;
 use design_space::{DesignPoint, DesignSpace};
 use gdse_obs as obs;
 use hls_ir::Kernel;
@@ -62,7 +63,11 @@ impl AnnealingExplorer {
         let mut log = ExplorationLog::default();
         let mut rng = StdRng::seed_from_u64(self.seed);
 
-        let mut current: DesignPoint = space.default_point();
+        // Keep the walk state canonical: mutations are compared in canonical
+        // form, so a raw candidate that collapses onto the current config is
+        // skipped instead of scored a second time.
+        let mut current: DesignPoint =
+            design_space::rules::canonicalize(kernel, space, &space.default_point());
         let (first, fresh) = evaluate_into_db(sim, kernel, space, &current, db);
         if fresh {
             log.evals += 1;
@@ -88,11 +93,105 @@ impl AnnealingExplorer {
             // Single-slot mutation.
             let slot = rng.gen_range(0..space.num_slots());
             let opts = &space.slots()[slot].options;
-            let cand = current.with_value(slot, opts[rng.gen_range(0..opts.len())]);
+            let cand = design_space::rules::canonicalize(
+                kernel,
+                space,
+                &current.with_value(slot, opts[rng.gen_range(0..opts.len())]),
+            );
             if cand == current {
                 continue;
             }
             let (r, fresh) = evaluate_into_db(sim, kernel, space, &cand, db);
+            if fresh {
+                log.evals += 1;
+            }
+            let Some(r) = r else { continue };
+            if fresh {
+                log.tool_minutes += r.synth_minutes;
+            }
+            let e = self.energy(&r, penalty);
+            let accept = e <= cur_energy
+                || rng.gen::<f64>() < ((cur_energy - e) / temp.max(1e-9)).exp();
+            if accept {
+                current = cand.clone();
+                cur_res = r;
+                cur_energy = e;
+                let improved = cur_res.is_valid()
+                    && cur_res.util.fits(self.util_threshold)
+                    && best.as_ref().map(|(_, b)| cur_res.cycles < b.cycles).unwrap_or(true);
+                if improved {
+                    log.trace.push((log.evals, cur_res.cycles));
+                    best = Some((cand, cur_res));
+                }
+            }
+            temp *= self.cooling;
+        }
+        log.best = best;
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "annealing", log.evals as u64);
+        obs::debug!(
+            "explorer.done",
+            "annealing: {} evals on {}",
+            log.evals,
+            kernel.name();
+            explorer = "annealing",
+            kernel = kernel.name(),
+            evals = log.evals,
+        );
+        log
+    }
+
+    /// Like [`Self::explore`], with every evaluation routed through the
+    /// engine (oracle cache + merged per-worker accounting). The annealing
+    /// walk is inherently sequential — each step depends on the previous
+    /// acceptance — so this submits single-point batches; it exists so a
+    /// parallel campaign can share one engine across all explorers.
+    pub fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
+        let mut log = ExplorationLog::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut current: DesignPoint =
+            design_space::rules::canonicalize(kernel, space, &space.default_point());
+        let (first, fresh) =
+            super::evaluate_into_db_with(engine, eval, kernel, space, &current, db);
+        if fresh {
+            log.evals += 1;
+        }
+        let Some(mut cur_res) = first else { return log };
+        if fresh {
+            log.tool_minutes += cur_res.synth_minutes;
+        }
+        let penalty = (cur_res.cycles.max(1) as f64) * 10.0;
+        let mut cur_energy = self.energy(&cur_res, penalty);
+        let mut temp = penalty * self.initial_temp_frac;
+
+        let mut best: Option<(DesignPoint, HlsResult)> =
+            if cur_res.is_valid() && cur_res.util.fits(self.util_threshold) {
+                log.trace.push((log.evals, cur_res.cycles));
+                Some((current.clone(), cur_res))
+            } else {
+                None
+            };
+
+        while log.evals < budget.max_evals {
+            let slot = rng.gen_range(0..space.num_slots());
+            let opts = &space.slots()[slot].options;
+            let cand = design_space::rules::canonicalize(
+                kernel,
+                space,
+                &current.with_value(slot, opts[rng.gen_range(0..opts.len())]),
+            );
+            if cand == current {
+                continue;
+            }
+            let (r, fresh) = super::evaluate_into_db_with(engine, eval, kernel, space, &cand, db);
             if fresh {
                 log.evals += 1;
             }
@@ -162,6 +261,27 @@ mod tests {
             AnnealingExplorer::with_seed(5).explore(&sim, &k, &space, &mut db, Budget::evals(40));
         assert!(log.evals <= 40);
         assert_eq!(db.len(), log.evals);
+    }
+
+    #[test]
+    fn engine_routed_walk_reproduces_the_serial_walk() {
+        let k = kernels::spmv_ellpack();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+
+        let mut db_serial = Database::new();
+        let serial = AnnealingExplorer::with_seed(9)
+            .explore(&sim, &k, &space, &mut db_serial, Budget::evals(30));
+
+        for jobs in [1, 4] {
+            let engine = ExecEngine::with_jobs(jobs);
+            let mut db = Database::new();
+            let log = AnnealingExplorer::with_seed(9)
+                .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(30));
+            assert_eq!(log.evals, serial.evals, "jobs={jobs}");
+            assert_eq!(log.trace, serial.trace, "jobs={jobs}");
+            assert_eq!(db.entries(), db_serial.entries(), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! modelled tool runtime is the sum of the synthesis minutes of everything
 //! it evaluated.
 
-use super::{evaluate_into_db, Budget};
+use super::{evaluate_frontier, evaluate_into_db, Budget};
 use crate::db::Database;
+use crate::parallel::ExecEngine;
 use design_space::{order::ordered_slots, DesignPoint, DesignSpace};
 use gdse_obs as obs;
 use hls_ir::Kernel;
@@ -116,6 +117,159 @@ impl BottleneckExplorer {
             evals = log.evals,
         );
         log
+    }
+
+    /// Like [`Self::explore`], but each greedy slot's candidate frontier is
+    /// scored through the engine's worker pool (with the batched, cached
+    /// evaluator). With an infallible backend this visits exactly the points
+    /// the serial sweep visits, in the same order, at any worker count.
+    pub fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
+        let mut log = ExplorationLog::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut start = space.default_point();
+        let mut global_best: Option<(DesignPoint, HlsResult)> = None;
+
+        while log.evals < budget.max_evals {
+            let before = log.evals;
+            let best =
+                self.greedy_sweep_with(engine, eval, kernel, space, db, budget, start, &mut log);
+            if let Some((pt, r)) = best {
+                let better =
+                    global_best.as_ref().map(|(_, b)| r.cycles < b.cycles).unwrap_or(true);
+                if better {
+                    global_best = Some((pt, r));
+                }
+            }
+            if log.evals == before {
+                break;
+            }
+            start = space.random_point(&mut rng);
+        }
+
+        let mut mono: Vec<(usize, u64)> = Vec::with_capacity(log.trace.len());
+        for &(e, c) in &log.trace {
+            if mono.last().is_none_or(|&(_, best)| c < best) {
+                mono.push((e, c));
+            }
+        }
+        log.trace = mono;
+        log.best = global_best;
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "bottleneck", log.evals as u64);
+        obs::debug!(
+            "explorer.done",
+            "bottleneck: {} evals on {}",
+            log.evals,
+            kernel.name();
+            explorer = "bottleneck",
+            kernel = kernel.name(),
+            evals = log.evals,
+        );
+        log
+    }
+
+    /// One greedy pass from `start`, scoring each slot's option frontier as
+    /// a batch. Folds the frontier in candidate order so acceptance,
+    /// budget, and trace bookkeeping replicate [`Self::greedy_sweep`].
+    #[allow(clippy::too_many_arguments)]
+    fn greedy_sweep_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+        start: DesignPoint,
+        log: &mut ExplorationLog,
+    ) -> Option<(DesignPoint, HlsResult)> {
+        let order = ordered_slots(kernel, space);
+        let acceptable = |r: &HlsResult, thr: f64| r.is_valid() && r.util.fits(thr);
+
+        let mut current = start;
+        let first = evaluate_frontier(
+            engine,
+            eval,
+            kernel,
+            space,
+            std::slice::from_ref(&current),
+            db,
+            log.evals,
+            budget.max_evals,
+        )
+        .into_iter()
+        .next()?;
+        if first.fresh {
+            log.evals += 1;
+        }
+        let mut best_result = first.result?;
+        if first.fresh {
+            log.tool_minutes += best_result.synth_minutes;
+        }
+        if acceptable(&best_result, self.util_threshold) {
+            log.trace.push((log.evals, best_result.cycles));
+        }
+
+        loop {
+            let mut improved = false;
+            for &slot in &order {
+                if log.evals >= budget.max_evals {
+                    break;
+                }
+                let cands: Vec<DesignPoint> = space.slots()[slot]
+                    .options
+                    .iter()
+                    .filter(|&&opt| opt != current.value(slot))
+                    .map(|&opt| current.with_value(slot, opt))
+                    .collect();
+                let items = evaluate_frontier(
+                    engine,
+                    eval,
+                    kernel,
+                    space,
+                    &cands,
+                    db,
+                    log.evals,
+                    budget.max_evals,
+                );
+                let mut best_here = current.clone();
+                let mut best_here_result = best_result;
+                for (item, cand) in items.iter().zip(&cands) {
+                    if item.fresh {
+                        log.evals += 1;
+                    }
+                    let Some(r) = item.result else { continue };
+                    if item.fresh {
+                        log.tool_minutes += r.synth_minutes;
+                    }
+                    let better = acceptable(&r, self.util_threshold)
+                        && (!acceptable(&best_here_result, self.util_threshold)
+                            || r.cycles < best_here_result.cycles);
+                    if better {
+                        best_here = cand.clone();
+                        best_here_result = r;
+                    }
+                }
+                if best_here != current {
+                    current = best_here;
+                    best_result = best_here_result;
+                    improved = true;
+                    log.trace.push((log.evals, best_result.cycles));
+                }
+            }
+            if !improved || log.evals >= budget.max_evals {
+                break;
+            }
+        }
+
+        acceptable(&best_result, self.util_threshold).then_some((current, best_result))
     }
 
     /// One greedy pass from `start` until convergence or budget exhaustion.
@@ -230,6 +384,32 @@ mod tests {
         let log = BottleneckExplorer::new().explore(&sim, &k, &space, &mut db, Budget::evals(25));
         assert!(log.evals <= 25);
         assert!(log.tool_minutes > 0.0);
+    }
+
+    #[test]
+    fn batched_sweep_reproduces_the_serial_sweep() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+
+        let mut db_serial = Database::new();
+        let serial =
+            BottleneckExplorer::new().explore(&sim, &k, &space, &mut db_serial, Budget::evals(80));
+
+        for jobs in [1, 4] {
+            let engine = ExecEngine::with_jobs(jobs);
+            let mut db = Database::new();
+            let log = BottleneckExplorer::new()
+                .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(80));
+            assert_eq!(log.evals, serial.evals, "jobs={jobs}");
+            assert_eq!(log.trace, serial.trace, "jobs={jobs}");
+            assert_eq!(
+                log.best.as_ref().map(|(p, r)| (p.clone(), r.cycles)),
+                serial.best.as_ref().map(|(p, r)| (p.clone(), r.cycles)),
+                "jobs={jobs}"
+            );
+            assert_eq!(db.entries(), db_serial.entries(), "jobs={jobs}");
+        }
     }
 
     #[test]

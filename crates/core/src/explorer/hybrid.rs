@@ -10,8 +10,9 @@
 //! database gains configurations the greedy pass never visits.
 
 use super::bottleneck::{BottleneckExplorer, ExplorationLog};
-use super::{evaluate_into_db, Budget};
+use super::{dedupe_canonical, evaluate_frontier, evaluate_into_db, Budget};
 use crate::db::Database;
+use crate::parallel::ExecEngine;
 use design_space::DesignSpace;
 use gdse_obs as obs;
 use hls_ir::Kernel;
@@ -92,6 +93,10 @@ impl HybridExplorer {
                 neighbors.extend(more.into_iter().take(2));
             }
             neighbors.shuffle(&mut rng);
+            // Two raw neighbors can collapse to the same canonical config
+            // (masked pragmas); dedupe so no config is scored twice in one
+            // local-search round.
+            let neighbors = dedupe_canonical(kernel, space, &neighbors);
             for cand in neighbors.into_iter().take(self.neighbors_per_improvement * 3) {
                 if log.evals >= budget.max_evals {
                     break;
@@ -133,6 +138,95 @@ impl HybridExplorer {
         );
         log
     }
+
+    /// Like [`Self::explore`], with the greedy phase delegated to
+    /// [`BottleneckExplorer::explore_with`] and each local-search round's
+    /// deduplicated neighbor list scored as one batch on the engine's pool.
+    pub fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
+        let greedy = BottleneckExplorer { util_threshold: self.util_threshold, seed: self.seed };
+        let mut log =
+            greedy.explore_with(engine, eval, kernel, space, db, Budget::evals(budget.max_evals / 2));
+        let greedy_evals = log.evals;
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut anchors = Vec::new();
+        for w in log.trace.windows(2) {
+            let (prev, cur) = (w[0].1 as f64, w[1].1 as f64);
+            if prev > 0.0 && (prev - cur) / prev * 100.0 >= self.improvement_pct {
+                anchors.push(w[1]);
+            }
+        }
+        let best_point = log.best.as_ref().map(|(p, _)| p.clone());
+        let mut centers = Vec::new();
+        if let Some(p) = best_point {
+            centers.push(p);
+        }
+        let rounds = anchors.len().max(1);
+        for _ in 0..rounds {
+            if log.evals >= budget.max_evals {
+                break;
+            }
+            let Some(center) = centers.last().cloned() else { break };
+            let mut neighbors = space.neighbors(&center);
+            let shell1 = neighbors.clone();
+            for base in shell1.iter().take(self.neighbors_per_improvement) {
+                let mut more = space.neighbors(base);
+                more.shuffle(&mut rng);
+                neighbors.extend(more.into_iter().take(2));
+            }
+            neighbors.shuffle(&mut rng);
+            let deduped = dedupe_canonical(kernel, space, &neighbors);
+            let batch: Vec<_> =
+                deduped.into_iter().take(self.neighbors_per_improvement * 3).collect();
+            let items = evaluate_frontier(
+                engine,
+                eval,
+                kernel,
+                space,
+                &batch,
+                db,
+                log.evals,
+                budget.max_evals,
+            );
+            for item in items {
+                if item.fresh {
+                    log.evals += 1;
+                }
+                let Some(r) = item.result else { continue };
+                if item.fresh {
+                    log.tool_minutes += r.synth_minutes;
+                }
+                let better = r.is_valid()
+                    && r.util.fits(self.util_threshold)
+                    && log.best.as_ref().map(|(_, b)| r.cycles < b.cycles).unwrap_or(true);
+                if better {
+                    log.trace.push((log.evals, r.cycles));
+                    log.best = Some((item.point.clone(), r));
+                    centers.push(item.point);
+                }
+            }
+        }
+        let local = (log.evals - greedy_evals) as u64;
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "hybrid", local);
+        obs::debug!(
+            "explorer.done",
+            "hybrid: {} local-search evals on {}",
+            local,
+            kernel.name();
+            explorer = "hybrid",
+            kernel = kernel.name(),
+            evals = local,
+        );
+        log
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +255,32 @@ mod tests {
             .filter(|e| !db_greedy.contains(&e.kernel, &e.point))
             .count();
         assert!(extra > 0, "local search should add unseen neighbors");
+    }
+
+    #[test]
+    fn batched_hybrid_reproduces_the_serial_hybrid() {
+        use crate::parallel::ExecEngine;
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+
+        let mut db_serial = Database::new();
+        let serial = HybridExplorer::with_seed(1)
+            .explore(&sim, &k, &space, &mut db_serial, Budget::evals(100));
+
+        for jobs in [1, 4] {
+            let engine = ExecEngine::with_jobs(jobs);
+            let mut db = Database::new();
+            let log = HybridExplorer::with_seed(1)
+                .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(100));
+            assert_eq!(log.evals, serial.evals, "jobs={jobs}");
+            assert_eq!(
+                log.best.as_ref().map(|(_, r)| r.cycles),
+                serial.best.as_ref().map(|(_, r)| r.cycles),
+                "jobs={jobs}"
+            );
+            assert_eq!(db.entries(), db_serial.entries(), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Random explorer (§4.1): uniform configurations the guided explorers skip.
 
-use super::{evaluate_into_db, Budget};
+use super::{evaluate_frontier, evaluate_into_db, Budget};
 use crate::db::Database;
 use crate::harness::EvalBackend;
+use crate::parallel::ExecEngine;
 use design_space::DesignSpace;
 use gdse_obs as obs;
 use hls_ir::Kernel;
@@ -58,6 +59,47 @@ impl RandomExplorer {
         );
         evals
     }
+
+    /// Like [`Self::explore`], drawing fixed-size waves of samples and
+    /// scoring each wave as one batch on the engine's pool.
+    ///
+    /// The wave size is a constant (not a function of the worker count), so
+    /// the RNG stream — and with it the sampled points, the database, and
+    /// the eval count — is identical at every `--jobs` setting.
+    pub fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> usize {
+        const WAVE: usize = 64;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evals = 0;
+        let max_attempts = budget.max_evals.saturating_mul(20).max(64);
+        let mut attempts = 0;
+        while evals < budget.max_evals && attempts < max_attempts {
+            let n = WAVE.min(max_attempts - attempts);
+            let wave: Vec<_> = (0..n).map(|_| space.random_point(&mut rng)).collect();
+            attempts += n;
+            let items =
+                evaluate_frontier(engine, eval, kernel, space, &wave, db, evals, budget.max_evals);
+            evals += items.iter().filter(|i| i.fresh).count();
+        }
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "random", evals as u64);
+        obs::debug!(
+            "explorer.done",
+            "random: {} evals on {}",
+            evals,
+            kernel.name();
+            explorer = "random",
+            kernel = kernel.name(),
+            evals = evals,
+        );
+        evals
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +127,39 @@ mod tests {
         let mut db = Database::new();
         // Budget exceeds the canonical space; attempts cap must stop it.
         let n = RandomExplorer::new(4).explore(&sim, &k, &space, &mut db, Budget::evals(1000));
+        assert!(n <= 45);
+        assert!(db.len() <= 45);
+    }
+
+    #[test]
+    fn wave_sampling_is_jobs_invariant_and_respects_budget() {
+        let k = kernels::stencil();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+
+        let mut reference: Option<Vec<crate::db::DbEntry>> = None;
+        for jobs in [1, 4, 8] {
+            let engine = ExecEngine::with_jobs(jobs);
+            let mut db = Database::new();
+            let n = RandomExplorer::new(3)
+                .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(40));
+            assert_eq!(n, 40, "jobs={jobs}");
+            match &reference {
+                None => reference = Some(db.entries().to_vec()),
+                Some(r) => assert_eq!(db.entries(), &r[..], "jobs={jobs}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_random_terminates_on_tiny_spaces() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let engine = ExecEngine::with_jobs(4);
+        let mut db = Database::new();
+        let n = RandomExplorer::new(4)
+            .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(1000));
         assert!(n <= 45);
         assert!(db.len() <= 45);
     }

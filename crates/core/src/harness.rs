@@ -19,8 +19,8 @@ use design_space::{DesignPoint, DesignSpace};
 use gdse_obs as obs;
 use hls_ir::Kernel;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Why an evaluation could not produce a result, after the harness did all
@@ -131,6 +131,19 @@ impl HarnessStats {
     pub fn losses(&self) -> u64 {
         self.permanent_failures + self.exhausted
     }
+
+    /// Adds another stats block into this one — how per-worker harness
+    /// accounting folds back into campaign totals after a parallel section.
+    /// Every field is a sum, so merging worker partitions in any order
+    /// equals evaluating the same points serially.
+    pub fn merge(&mut self, other: &HarnessStats) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.transient_failures += other.transient_failures;
+        self.permanent_failures += other.permanent_failures;
+        self.exhausted += other.exhausted;
+        self.virtual_backoff_ms += other.virtual_backoff_ms;
+    }
 }
 
 /// Anything the explorers can evaluate design points against.
@@ -172,17 +185,22 @@ impl<T: EvalBackend + ?Sized> EvalBackend for &T {
 }
 
 /// Drives an [`HlsOracle`] with bounded retries and failure accounting.
+///
+/// Counters sit behind a [`Mutex`], so one harness can be shared across the
+/// worker pool: per-point retry decisions are independent (fault outcomes
+/// are stateless per attempt) and the stats lock is touched only around
+/// counter bumps, never across an oracle invocation.
 #[derive(Debug)]
 pub struct Harness<O> {
     oracle: O,
     policy: RetryPolicy,
-    stats: RefCell<HarnessStats>,
+    stats: Mutex<HarnessStats>,
 }
 
 impl<O: HlsOracle> Harness<O> {
     /// Wraps `oracle` under `policy`.
     pub fn new(oracle: O, policy: RetryPolicy) -> Self {
-        Harness { oracle, policy, stats: RefCell::new(HarnessStats::default()) }
+        Harness { oracle, policy, stats: Mutex::new(HarnessStats::default()) }
     }
 
     /// The retry policy.
@@ -192,12 +210,12 @@ impl<O: HlsOracle> Harness<O> {
 
     /// Snapshot of the accumulated counters.
     pub fn stats(&self) -> HarnessStats {
-        *self.stats.borrow()
+        *self.stats.lock().expect("harness stats lock")
     }
 
     /// Resets the counters (e.g. between rounds).
     pub fn reset_stats(&self) {
-        *self.stats.borrow_mut() = HarnessStats::default();
+        *self.stats.lock().expect("harness stats lock") = HarnessStats::default();
     }
 
     /// Runs the oracle on one point, retrying transient failures with
@@ -211,19 +229,19 @@ impl<O: HlsOracle> Harness<O> {
         let max_attempts = self.policy.max_attempts();
         let mut attempt = 0u32;
         loop {
-            self.stats.borrow_mut().attempts += 1;
+            self.stats.lock().expect("harness stats lock").attempts += 1;
             obs::metrics::counter_inc("oracle.attempts");
             let started = Instant::now();
             let outcome = self.oracle.run(kernel, space, point, attempt);
             obs::metrics::observe_us("oracle.eval_us", started.elapsed().as_micros() as u64);
             match outcome {
                 Ok(result) => {
-                    self.stats.borrow_mut().successes += 1;
+                    self.stats.lock().expect("harness stats lock").successes += 1;
                     obs::metrics::counter_inc("oracle.successes");
                     return Ok(result);
                 }
                 Err(failure) if !failure.is_retryable() => {
-                    self.stats.borrow_mut().permanent_failures += 1;
+                    self.stats.lock().expect("harness stats lock").permanent_failures += 1;
                     obs::metrics::counter_inc("oracle.permanent_failures");
                     obs::metrics::counter_add_labeled("harness.faults", "kind", failure.kind(), 1);
                     obs::warn!(
@@ -236,7 +254,7 @@ impl<O: HlsOracle> Harness<O> {
                 }
                 Err(failure) => {
                     {
-                        let mut stats = self.stats.borrow_mut();
+                        let mut stats = self.stats.lock().expect("harness stats lock");
                         stats.transient_failures += 1;
                         attempt += 1;
                         if attempt >= max_attempts {
@@ -403,6 +421,63 @@ mod tests {
         }
         assert!(evaluated >= 38, "only {evaluated}/40 recovered at 30% transient rate");
         assert!(h.stats().transient_failures > 0, "faults should have fired at 30% rate");
+    }
+
+    #[test]
+    fn stats_merge_is_field_wise_addition() {
+        let a = HarnessStats {
+            attempts: 5,
+            successes: 3,
+            transient_failures: 2,
+            permanent_failures: 1,
+            exhausted: 1,
+            virtual_backoff_ms: 30,
+        };
+        let mut b = HarnessStats {
+            attempts: 7,
+            successes: 6,
+            transient_failures: 1,
+            permanent_failures: 0,
+            exhausted: 0,
+            virtual_backoff_ms: 10,
+        };
+        b.merge(&a);
+        assert_eq!(b.attempts, 12);
+        assert_eq!(b.successes, 9);
+        assert_eq!(b.transient_failures, 3);
+        assert_eq!(b.permanent_failures, 1);
+        assert_eq!(b.exhausted, 1);
+        assert_eq!(b.virtual_backoff_ms, 40);
+        assert_eq!(b.losses(), 2);
+    }
+
+    #[test]
+    fn harness_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Harness<FaultyOracle<MerlinSimulator>>>();
+        assert_send_sync::<Harness<AlwaysCrash>>();
+
+        // Concurrent evaluations through one shared harness must account
+        // every attempt exactly once.
+        let (k, space) = setup();
+        let h = Harness::new(
+            FaultyOracle::new(MerlinSimulator::new(), FaultConfig::uniform(0.3, 5)),
+            RetryPolicy::with_max_retries(4),
+        );
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (h, k, space) = (&h, &k, &space);
+                s.spawn(move || {
+                    for i in 0..10u64 {
+                        let idx = u128::from((t * 10 + i).wrapping_mul(0x9E37_79B9)) % space.size();
+                        let _ = h.evaluate(k, space, &space.point_at(idx));
+                    }
+                });
+            }
+        });
+        let stats = h.stats();
+        assert_eq!(stats.successes + stats.losses(), 40, "every point accounted once");
+        assert!(stats.attempts >= 40);
     }
 
     #[test]

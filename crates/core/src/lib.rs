@@ -51,6 +51,7 @@ pub mod dse;
 pub mod explorer;
 pub mod harness;
 pub mod inference;
+pub mod parallel;
 pub mod persist;
 pub mod report;
 pub mod rounds;
@@ -58,9 +59,10 @@ pub mod trainer;
 
 pub use dataset::{Dataset, Normalizer};
 pub use db::{Database, DbEntry, DbError};
-pub use dse::{pareto_front, run_dse, DseConfig, DseOutcome};
+pub use dse::{pareto_front, run_dse, run_dse_with_engine, DseConfig, DseOutcome};
 pub use harness::{EvalBackend, EvalError, Harness, HarnessStats, RetryPolicy};
 pub use inference::{Prediction, Predictor};
+pub use parallel::ExecEngine;
 pub use report::{build_run_report, write_run_report};
-pub use rounds::{run_rounds, RoundReport, RoundsConfig};
+pub use rounds::{run_rounds, run_rounds_with_engine, RoundReport, RoundsConfig};
 pub use trainer::{ClassificationMetrics, RegressionMetrics, TrainConfig};

@@ -20,9 +20,10 @@
 //! byte-identical final database.
 
 use crate::db::Database;
-use crate::dse::{run_dse_with_graph, DseConfig};
+use crate::dse::{run_dse_with_engine, DseConfig};
 use crate::harness::EvalBackend;
 use crate::inference::Predictor;
+use crate::parallel::ExecEngine;
 use crate::persist::atomic_write;
 use crate::trainer::TrainConfig;
 use design_space::DesignSpace;
@@ -212,13 +213,35 @@ pub fn run_rounds(db: &mut Database, kernels: &[Kernel], cfg: &RoundsConfig) -> 
 ///
 /// Only checkpoint I/O / validity errors; a run without a checkpoint path
 /// never fails.
-pub fn run_rounds_with<B: EvalBackend>(
+pub fn run_rounds_with<B: EvalBackend + Sync>(
     db: &mut Database,
     kernels: &[Kernel],
     cfg: &RoundsConfig,
     eval: &B,
     checkpoint: Option<&Path>,
     resume: bool,
+) -> Result<Vec<RoundReport>, RoundsError> {
+    run_rounds_with_engine(db, kernels, cfg, eval, checkpoint, resume, &ExecEngine::serial())
+}
+
+/// [`run_rounds_with`] on an execution engine: surrogate batches are
+/// chunked across the engine's worker pool during DSE, and each round's
+/// top-M validation runs as one parallel batch per kernel.
+///
+/// The engine's prediction cache is cleared at every retrain (stale
+/// predictions from the previous round's model would otherwise leak in);
+/// per-worker counters are folded back into the caller's registry, so the
+/// run report is identical at any worker count. Resumed campaigns start
+/// with empty caches — recomputing a prediction yields the same value a
+/// cache hit would have, so resume stays byte-identical.
+pub fn run_rounds_with_engine<B: EvalBackend + Sync>(
+    db: &mut Database,
+    kernels: &[Kernel],
+    cfg: &RoundsConfig,
+    eval: &B,
+    checkpoint: Option<&Path>,
+    resume: bool,
+    engine: &ExecEngine,
 ) -> Result<Vec<RoundReport>, RoundsError> {
     let (spaces, graphs) = {
         let _stage = obs::span::stage("setup");
@@ -308,30 +331,39 @@ pub fn run_rounds_with<B: EvalBackend>(
                 }
             }
         };
+        // The model just changed; predictions from the previous round's
+        // model are stale.
+        engine.clear_predictions();
 
         let mut per_kernel = Vec::with_capacity(kernels.len());
         for (ki, kernel) in kernels.iter().enumerate() {
             let outcome =
-                run_dse_with_graph(&predictor, kernel, &spaces[ki], &graphs[ki], &cfg.dse);
+                run_dse_with_engine(&predictor, kernel, &spaces[ki], &graphs[ki], &cfg.dse, engine);
             let mut added = 0;
             let mut lost = 0;
             let _stage = obs::span::stage("validate");
-            for (point, _) in &outcome.top {
-                if !db.contains(kernel.name(), point) {
-                    match eval.try_evaluate(kernel, &spaces[ki], point) {
-                        Ok(r) => {
-                            db.insert(kernel.name(), point.clone(), r);
-                            added += 1;
-                        }
-                        Err(_) => {
-                            // Graceful degradation: the round proceeds with
-                            // the candidates that did evaluate; this one is
-                            // not committed and stays eligible next round.
-                            lost += 1;
-                            continue;
-                        }
+            // Top-M candidates are distinct canonical points (the DSE
+            // dedupes), so the not-yet-evaluated subset can be validated as
+            // one parallel batch; committing in candidate order keeps the
+            // database identical to the serial loop's. Lost candidates are
+            // not committed and stay eligible next round.
+            let missing: Vec<_> = outcome
+                .top
+                .iter()
+                .map(|(p, _)| p.clone())
+                .filter(|p| !db.contains(kernel.name(), p))
+                .collect();
+            let results = engine.evaluate_ordered(eval, kernel, &spaces[ki], &missing);
+            for (point, result) in missing.iter().zip(results) {
+                match result {
+                    Ok(r) => {
+                        db.insert(kernel.name(), point.clone(), r);
+                        added += 1;
                     }
+                    Err(_) => lost += 1,
                 }
+            }
+            for (point, _) in &outcome.top {
                 if let Some(e) = db.get(kernel.name(), point) {
                     if e.result.is_valid() && e.result.util.fits(cfg.dse.util_threshold) {
                         let c = e.result.cycles;

@@ -1,0 +1,180 @@
+//! The sharded concurrent cache.
+//!
+//! A plain `Mutex<HashMap>` serializes every lookup; sharding by key hash
+//! lets concurrent workers hit disjoint locks almost always. The shard
+//! count is fixed at construction (rounded up to a power of two so shard
+//! selection is a mask, not a division).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss totals of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+/// A concurrent map sharded by key hash, with hit/miss accounting.
+///
+/// Values are returned by clone, so lock hold times stay short; use cheap
+/// value types (the pipeline caches `Copy` results and small predictions).
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    mask: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+    /// A cache with at least `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        // DefaultHasher with the default keys is deterministic per process,
+        // which keeps shard assignment (and so lock contention) reproducible.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let v = self.shard(key).lock().expect("cache shard lock").get(key).cloned();
+        match v {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        v
+    }
+
+    /// Inserts `key -> value`; returns `false` when the key was already
+    /// present (the existing value is kept — first write wins, so concurrent
+    /// duplicate evaluations cannot make a later read disagree with an
+    /// earlier one).
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let mut shard = self.shard(&key).lock().expect("cache shard lock");
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+        }
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard lock").len()).sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (hit/miss totals are kept). Used when cached
+    /// values become stale — e.g. predictions after the surrogate retrains.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard lock").clear();
+        }
+    }
+
+    /// Hit/miss totals since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The shard count (always a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
+    /// 16 shards: enough that a dozen workers rarely collide.
+    fn default() -> Self {
+        ShardedCache::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_round_trip_and_stats() {
+        let c: ShardedCache<(String, u32), u64> = ShardedCache::default();
+        assert_eq!(c.get(&("gemm".into(), 1)), None);
+        assert!(c.insert(("gemm".into(), 1), 42));
+        assert_eq!(c.get(&("gemm".into(), 1)), Some(42));
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn first_write_wins() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(4);
+        assert!(c.insert(7, 1));
+        assert!(!c.insert(7, 2), "duplicate insert must be rejected");
+        assert_eq!(c.get(&7), Some(1));
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        assert_eq!(ShardedCache::<u32, u32>::new(0).num_shards(), 1);
+        assert_eq!(ShardedCache::<u32, u32>::new(5).num_shards(), 8);
+        assert_eq!(ShardedCache::<u32, u32>::new(16).num_shards(), 16);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        let _ = c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1, "stats survive a clear");
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn concurrent_inserts_land_once() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(8);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for k in 0..100u64 {
+                        c.insert(k, t * 1000 + k);
+                        assert!(c.get(&k).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 100);
+        for k in 0..100u64 {
+            // Whatever thread won, the value is consistent with the key.
+            assert_eq!(c.get(&k).unwrap() % 1000, k);
+        }
+    }
+}

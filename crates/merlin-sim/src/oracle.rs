@@ -93,7 +93,12 @@ impl std::error::Error for OracleFailure {}
 /// `attempt` numbers retries of the *same* point (0 for the first try); a
 /// fault-injecting oracle uses it so that retries can draw a different
 /// outcome while the overall sequence stays deterministic.
-pub trait HlsOracle {
+///
+/// Oracles are `Send + Sync`: the evaluation harness shares one oracle
+/// across a worker pool, so implementations must keep any mutable state
+/// behind interior synchronization (the in-tree oracles are plain data
+/// and decide faults statelessly from `(seed, point, attempt)`).
+pub trait HlsOracle: Send + Sync {
     /// Runs one HLS invocation.
     fn run(
         &self,
@@ -320,6 +325,20 @@ mod tests {
                 space.point_at(u128::from(z ^ (z >> 31)) % space.size())
             })
             .collect()
+    }
+
+    #[test]
+    fn oracles_and_results_are_send_and_sync() {
+        // The execution pool shares oracles by reference across worker
+        // threads and ships results back over channels; every piece of the
+        // oracle stack has to stay plain shareable data.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MerlinSimulator>();
+        assert_send_sync::<FaultyOracle<MerlinSimulator>>();
+        assert_send_sync::<FaultConfig>();
+        assert_send_sync::<HlsResult>();
+        assert_send_sync::<OracleFailure>();
+        assert_send_sync::<&dyn HlsOracle>();
     }
 
     #[test]

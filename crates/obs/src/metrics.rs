@@ -121,6 +121,20 @@ impl Histogram {
             sum: s.sum,
         }
     }
+
+    /// Adds another histogram's observations into this one. Requires equal
+    /// bucket edges (all callers use one fixed edge set per metric name).
+    fn add_snapshot(&mut self, s: &HistogramSnapshot) {
+        debug_assert_eq!(self.edges, s.edges, "histogram edge mismatch in merge");
+        if self.edges != s.edges {
+            return;
+        }
+        for (c, add) in self.counts.iter_mut().zip(&s.counts) {
+            *c += add;
+        }
+        self.count += s.count;
+        self.sum = self.sum.saturating_add(s.sum);
+    }
 }
 
 /// Serializable state of one histogram.
@@ -301,6 +315,35 @@ pub fn restore(snap: &MetricsSnapshot) {
     });
 }
 
+/// Adds `snap` **into** this thread's registry (unlike [`restore`], which
+/// replaces it): counters and histogram buckets sum, and gauges sum too —
+/// the workspace's gauges are accumulators (modelled HLS minutes, queue
+/// depths), so additive merge is the meaningful combination when folding
+/// worker-thread registries back into the main thread after a parallel
+/// section. Histograms with mismatched bucket edges are skipped (debug
+/// builds assert; every metric name uses one fixed edge set).
+pub fn merge(snap: &MetricsSnapshot) {
+    REGISTRY.with(|r| {
+        let mut r = r.borrow_mut();
+        for (name, v) in &snap.counters {
+            *r.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &snap.gauges {
+            *r.gauges.entry(name.clone()).or_insert(0.0) += v;
+        }
+        for h in &snap.histograms {
+            match r.histograms.entry(h.name.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().add_snapshot(h);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(Histogram::from_snapshot(h));
+                }
+            }
+        }
+    });
+}
+
 /// Clears this thread's registry.
 pub fn reset() {
     REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
@@ -388,6 +431,65 @@ mod tests {
         // And keep accumulating on top of the restored state.
         observe_us("h_us", 1);
         assert_eq!(snapshot().histogram("h_us").unwrap().count, 3);
+    }
+
+    #[test]
+    fn merge_is_additive_where_restore_replaces() {
+        reset();
+        counter_add("work", 3);
+        gauge_add("minutes", 1.5);
+        observe_us("lat_us", 20);
+        let snap = snapshot();
+
+        counter_add("work", 2);
+        counter_add("other", 1);
+        merge(&snap);
+        assert_eq!(counter_value("work"), 8, "3 existing + 2 local + 3 merged");
+        assert_eq!(counter_value("other"), 1, "untouched by the merge");
+        assert_eq!(gauge_value("minutes"), Some(3.0), "gauges merge additively");
+        let h = snapshot().histogram("lat_us").unwrap().clone();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 40);
+
+        // Merging into an empty registry equals restoring it.
+        reset();
+        merge(&snap);
+        assert_eq!(snapshot(), snap);
+        reset();
+    }
+
+    #[test]
+    fn merging_worker_snapshots_matches_a_single_registry() {
+        // The pool's invariant: splitting work across thread-local
+        // registries and merging them back equals recording serially.
+        reset();
+        for i in 0..10u64 {
+            counter_inc("task");
+            observe_us("us", i * 100);
+        }
+        let serial = snapshot();
+
+        reset();
+        let parts: Vec<MetricsSnapshot> = (0..2)
+            .map(|w| {
+                std::thread::scope(|s| {
+                    s.spawn(move || {
+                        for i in (w as u64..10).step_by(2) {
+                            counter_inc("task");
+                            observe_us("us", i * 100);
+                        }
+                        snapshot()
+                    })
+                    .join()
+                    .unwrap()
+                })
+            })
+            .collect();
+        for p in &parts {
+            merge(p);
+        }
+        assert_eq!(snapshot(), serial);
+        reset();
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Cross-crate parallel-execution integration: jobs-invariant outputs,
+//! prediction/oracle caching, and fault-stat merging across workers — all
+//! through the public API.
+//!
+//! `GNNDSE_JOBS` sets the high worker count these tests compare against
+//! serial (default 8).
+
+use design_space::DesignSpace;
+use gnn_dse::dbgen::{self, fault_injected_harness};
+use gnn_dse::dse::{run_dse_with_engine, DseConfig};
+use gnn_dse::harness::{EvalBackend, RetryPolicy};
+use gnn_dse::rounds::{run_rounds_with_engine, RoundsConfig};
+use gnn_dse::{ExecEngine, Normalizer, Predictor};
+use hls_ir::kernels;
+use merlin_sim::{FaultConfig, MerlinSimulator};
+use proggraph::build_graph_bidirectional;
+
+fn high_jobs() -> usize {
+    match std::env::var("GNNDSE_JOBS") {
+        Ok(s) => s.parse().expect("GNNDSE_JOBS must be a worker count"),
+        Err(_) => 8,
+    }
+}
+
+/// (a) Database generation is byte-identical at any worker count, and a
+/// full rounds campaign lands on the same reports and the same database.
+#[test]
+fn jobs_one_and_jobs_n_produce_byte_identical_campaigns() {
+    let dir = std::env::temp_dir().join("gnn_dse_parallel_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = high_jobs();
+    let ks = vec![kernels::gemm_ncubed(), kernels::spmv_crs()];
+    let cfg = RoundsConfig { rounds: 2, ..RoundsConfig::quick() };
+    let faults = FaultConfig::uniform(0.15, 23);
+    let policy = RetryPolicy::with_max_retries(3);
+
+    let mut outputs = Vec::new();
+    for (label, n) in [("serial", 1), ("parallel", jobs)] {
+        let engine = ExecEngine::with_jobs(n);
+        let h = fault_injected_harness(faults, policy);
+        let mut db = dbgen::generate_database_par(&engine, &h, &ks, &[], 30, 5);
+        let gen_path = dir.join(format!("gen_{label}.json"));
+        db.save(&gen_path).unwrap();
+
+        let reports = run_rounds_with_engine(&mut db, &ks, &cfg, &h, None, false, &engine).unwrap();
+        let rounds_path = dir.join(format!("rounds_{label}.json"));
+        db.save(&rounds_path).unwrap();
+        outputs.push((
+            std::fs::read(&gen_path).unwrap(),
+            std::fs::read(&rounds_path).unwrap(),
+            reports,
+        ));
+        std::fs::remove_file(&gen_path).ok();
+        std::fs::remove_file(&rounds_path).ok();
+    }
+
+    let (gen_a, rounds_a, reports_a) = &outputs[0];
+    let (gen_b, rounds_b, reports_b) = &outputs[1];
+    assert_eq!(gen_a, gen_b, "generated databases must be byte-identical at jobs=1 vs {jobs}");
+    assert_eq!(rounds_a, rounds_b, "post-rounds databases must be byte-identical");
+    assert_eq!(reports_a, reports_b, "round reports (incl. best configs) must match");
+}
+
+/// (a, DSE flavor) The surrogate-driven search returns bit-identical top
+/// configurations at any worker count.
+#[test]
+fn dse_top_configs_are_jobs_invariant() {
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let graph = build_graph_bidirectional(&k, &space);
+    let p = Predictor::untrained(
+        gdse_gnn::ModelKind::Transformer,
+        gdse_gnn::ModelConfig { hidden: 16, gnn_layers: 2, mlp_layers: 2, seed: 42 },
+        Normalizer::with_factor(1_000_000.0),
+    );
+    let cfg = DseConfig::quick();
+    let key = |o: &gnn_dse::DseOutcome| {
+        o.top
+            .iter()
+            .map(|(pt, pred)| (pt.clone(), pred.cycles, pred.valid_prob.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    let serial = run_dse_with_engine(&p, &k, &space, &graph, &cfg, &ExecEngine::serial());
+    let par = run_dse_with_engine(&p, &k, &space, &graph, &cfg, &ExecEngine::with_jobs(high_jobs()));
+    assert_eq!(par.inferences, serial.inferences);
+    assert_eq!(key(&par), key(&serial), "top configs must be bit-identical");
+}
+
+/// (b) A cache hit returns exactly what a fresh evaluation returns, for
+/// both the oracle result cache and the prediction cache.
+#[test]
+fn cache_hits_are_identical_to_fresh_evaluations() {
+    let k = kernels::spmv_ellpack();
+    let space = DesignSpace::from_kernel(&k);
+    let sim = MerlinSimulator::new();
+    let points: Vec<_> = (0..24u64)
+        .map(|i| {
+            space.point_at(u128::from(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % space.size())
+        })
+        .collect();
+
+    let engine = ExecEngine::with_jobs(high_jobs());
+    let fresh: Vec<_> = engine
+        .evaluate_ordered(&sim, &k, &space, &points)
+        .into_iter()
+        .map(|r| r.expect("infallible backend"))
+        .collect();
+    let cached: Vec<_> = engine
+        .evaluate_ordered(&sim, &k, &space, &points)
+        .into_iter()
+        .map(|r| r.expect("cache hit"))
+        .collect();
+    assert_eq!(cached, fresh, "oracle cache hits must reproduce fresh results");
+    // Direct evaluation agrees too: the cache never substitutes results.
+    for (p, r) in points.iter().zip(&fresh) {
+        assert_eq!(*r, sim.evaluate(&k, &space, p));
+    }
+
+    let graph = build_graph_bidirectional(&k, &space);
+    let predictor = Predictor::untrained(
+        gdse_gnn::ModelKind::Transformer,
+        gdse_gnn::ModelConfig { hidden: 16, gnn_layers: 2, mlp_layers: 2, seed: 7 },
+        Normalizer::with_factor(1_000_000.0),
+    );
+    let fresh_preds = engine.predict_ordered(&predictor, &graph, k.name(), &points);
+    let cached_preds = engine.predict_ordered(&predictor, &graph, k.name(), &points);
+    for (a, b) in fresh_preds.iter().zip(&cached_preds) {
+        assert_eq!(a.valid_prob.to_bits(), b.valid_prob.to_bits());
+        assert_eq!(a.cycles, b.cycles);
+    }
+}
+
+/// (c) Worker-local fault statistics merge to the same totals as a single
+/// harness evaluating the whole batch: partitioning the workload across
+/// harnesses (as the pool partitions it across workers) loses nothing.
+#[test]
+fn fault_stats_merge_correctly_across_workers() {
+    let k = kernels::gemm_ncubed();
+    let space = DesignSpace::from_kernel(&k);
+    let faults = FaultConfig::uniform(0.3, 41);
+    let policy = RetryPolicy::with_max_retries(4);
+    let points: Vec<_> = (0..40u64)
+        .map(|i| {
+            space.point_at(u128::from(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % space.size())
+        })
+        .collect();
+
+    // One harness sees everything...
+    let whole = fault_injected_harness(faults, policy);
+    for p in &points {
+        let _ = whole.try_evaluate(&k, &space, p);
+    }
+    let expected = whole.stats();
+
+    // ...four partitioned harnesses see a quarter each; fault decisions are
+    // a stateless function of (seed, point, attempt), so the merged stats
+    // must be identical regardless of the partitioning.
+    let mut merged = fault_injected_harness(faults, policy).stats();
+    for part in points.chunks(10) {
+        let h = fault_injected_harness(faults, policy);
+        for p in part {
+            let _ = h.try_evaluate(&k, &space, p);
+        }
+        merged.merge(&h.stats());
+    }
+    assert_eq!(merged, expected, "partitioned stats must merge to the single-harness totals");
+    assert!(expected.transient_failures > 0, "the fault injector should have fired");
+
+    // The shared-harness path the pool actually uses agrees as well.
+    for jobs in [1, high_jobs()] {
+        let engine = ExecEngine::with_jobs(jobs);
+        let h = fault_injected_harness(faults, policy);
+        let _ = engine.evaluate_ordered(&h, &k, &space, &points);
+        assert_eq!(h.stats(), expected, "jobs={jobs} shared-harness stats must match serial");
+    }
+}

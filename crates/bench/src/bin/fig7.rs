@@ -41,6 +41,7 @@ fn main() {
         },
         fine_tune: false,
         stop_after: None,
+        initial_model: None,
     };
 
     let t0 = std::time::Instant::now();

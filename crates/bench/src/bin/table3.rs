@@ -95,7 +95,8 @@ fn main() {
 
         // --- AutoDSE baseline ---
         let mut baseline_db = Database::new();
-        let log = BottleneckExplorer::new().explore(
+        let log = gnn_dse::Explorer::explore(
+            &BottleneckExplorer::new(),
             &sim,
             &kernel,
             &space,

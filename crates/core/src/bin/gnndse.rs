@@ -6,11 +6,20 @@
 //! gnndse report <kernel> <index>                   per-loop synthesis report (II, cycles)
 //! gnndse emit <kernel> [index]                     Merlin-annotated C (placeholders or filled)
 //! gnndse gendb <out.json> [budget] [seed]          generate a training database
-//! gnndse train <db.json> <model.json> [epochs]     train the surrogate (M7)
-//! gnndse dse <model.json> <kernel> [top_m]         surrogate-driven DSE
-//! gnndse predict <model.json> <kernel> <index>     predict one design point
-//! gnndse rounds <db.json>                          iterative DSE rounds (Fig. 7)
+//! gnndse train <db.json> [model.json] [epochs]     train the surrogate (M7);
+//!                                                  --save model.gdse writes a binary artifact
+//! gnndse dse <model> <kernel> [top_m]              surrogate-driven DSE (or --model model.gdse)
+//! gnndse predict <model> <kernel> <index>          predict one design point locally
+//! gnndse predict <kernel> <index> --addr H:P       ... or against a running server
+//! gnndse rounds <db.json>                          iterative DSE rounds (Fig. 7);
+//!                                                  --model model.gdse seeds round 1
+//! gnndse serve --model model.gdse                  serve predictions over JSON-lines TCP
 //! ```
+//!
+//! Model files are sniffed by content: binary `.gdse` artifacts (written by
+//! `train --save`, validated by checksum, byte-identical predictions after
+//! load) and the legacy JSON model files are both accepted wherever a model
+//! path is expected.
 //!
 //! `gendb` and `rounds` drive a *fault-injected* oracle when `--fault-rate`
 //! is set: evaluations randomly crash / time out / return garbled reports
@@ -18,6 +27,12 @@
 //! transient failures (`--max-retries`), and losses are reported instead of
 //! aborting the run. `rounds` additionally supports crash-safe
 //! `--checkpoint <file>` persistence and `--resume`.
+//!
+//! `serve` loads an artifact once and answers concurrent clients through a
+//! bounded queue with micro-batched inference (`--queue`, `--batch`); a full
+//! queue rejects with a 429-style response instead of stalling, and
+//! `--max-requests N` stops the server gracefully after N answers (useful
+//! for smoke tests). `serve.*` metrics land in `--metrics-out`.
 //!
 //! `gendb`, `rounds` and `dse` also take the observability flags
 //! `--log-level <error|warn|info|debug|trace>`, `--log-json <log.jsonl>`
@@ -27,18 +42,20 @@
 //! modelled speedup at the end of the run).
 
 use design_space::DesignSpace;
+use gdse_gnn::{ModelConfig, ModelKind};
 use gdse_obs as obs;
+use gdse_serve::{Client, Response, ServeConfig, Server};
 use gnn_dse::dse::{run_dse_with_engine, DseConfig};
-use gnn_dse::harness::RetryPolicy;
+use gnn_dse::harness::{HarnessBuilder, RetryPolicy};
 use gnn_dse::parallel::ExecEngine;
 use gnn_dse::rounds::{run_rounds_with_engine, RoundsConfig};
 use gnn_dse::trainer::TrainConfig;
-use gnn_dse::{dbgen, Database, Predictor};
-use gdse_gnn::{ModelConfig, ModelKind};
+use gnn_dse::{dbgen, ArtifactMeta, Database, PredictService, Predictor};
 use hls_ir::kernels;
 use merlin_sim::{FaultConfig, MerlinSimulator};
 use proggraph::build_graph_bidirectional;
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -55,9 +72,10 @@ fn main() -> ExitCode {
         Some("dse") => cmd_dse(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("rounds") => cmd_rounds(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict|rounds> ..."
+                "usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict|rounds|serve> ..."
             );
             eprintln!("see the crate docs for details");
             return ExitCode::from(2);
@@ -166,21 +184,51 @@ fn jobs_arg(flags: &HashMap<String, String>) -> Result<ExecEngine, String> {
         return Err("--jobs must be at least 1".into());
     }
     obs::debug!("exec.jobs", "running on {jobs} workers"; jobs = jobs);
-    Ok(ExecEngine::with_jobs(jobs))
+    Ok(ExecEngine::builder().jobs(jobs).build())
 }
 
 /// The `--fault-rate`/`--fault-seed`/`--max-retries` triple shared by
-/// `gendb` and `rounds`.
+/// `gendb` and `rounds`, parsed into the harness builder.
 fn fault_args(
     flags: &HashMap<String, String>,
-) -> Result<(FaultConfig, RetryPolicy), String> {
+) -> Result<(FaultConfig, HarnessBuilder), String> {
     let rate: f64 = flag_or(flags, "fault-rate", 0.0)?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(format!("--fault-rate must be in [0, 1], got {rate}"));
     }
     let seed: u64 = flag_or(flags, "fault-seed", 0)?;
     let max_retries: u32 = flag_or(flags, "max-retries", 3)?;
-    Ok((FaultConfig::uniform(rate, seed), RetryPolicy::with_max_retries(max_retries)))
+    let faults = FaultConfig::uniform(rate, seed);
+    let builder = HarnessBuilder::new()
+        .faults(faults)
+        .retry_policy(RetryPolicy::with_max_retries(max_retries));
+    Ok((faults, builder))
+}
+
+/// Loads a model file, sniffing the format by content: binary `.gdse`
+/// artifacts (magic `GDSE`) decode through the checksummed envelope, and
+/// anything else is treated as a legacy JSON model file.
+fn load_model(path: &Path) -> Result<Predictor, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if bytes.starts_with(&gdse_gnn::artifact::MAGIC) {
+        let (predictor, meta) =
+            gnn_dse::decode_predictor(&bytes).map_err(|e| e.to_string())?;
+        obs::info!(
+            "model.loaded",
+            "loaded artifact {} ({}, {} kernels, {} epochs, seed {})",
+            path.display(),
+            meta.model,
+            meta.kernels.len(),
+            meta.epochs,
+            meta.seed;
+            model = meta.model,
+            kernels = meta.kernels.len(),
+            epochs = meta.epochs,
+        );
+        Ok(predictor)
+    } else {
+        Predictor::load(path).map_err(|e| e.to_string())
+    }
 }
 
 fn cmd_kernels() -> CliResult {
@@ -308,13 +356,13 @@ fn cmd_gendb(args: &[String]) -> CliResult {
     let seed: u64 = pos.get(2).map_or(Ok(42), |s| s.parse()).map_err(|e| format!("{e}"))?;
     let metrics_out = obs_args(&flags)?;
     let started = Instant::now();
-    let (faults, policy) = fault_args(&flags)?;
+    let (faults, harness_builder) = fault_args(&flags)?;
     let engine = jobs_arg(&flags)?;
     let ks = kernels::training_kernels();
     let db = if faults.is_disabled() {
         dbgen::generate_database_par(&engine, &MerlinSimulator::new(), &ks, &[], budget, seed)
     } else {
-        let harness = dbgen::fault_injected_harness(faults, policy);
+        let harness = harness_builder.build();
         let db = dbgen::generate_database_par(&engine, &harness, &ks, &[], budget, seed);
         let stats = harness.stats();
         obs::info!(
@@ -362,6 +410,7 @@ fn cmd_rounds(args: &[String]) -> CliResult {
             "rounds",
             "out",
             "jobs",
+            "model",
             "fault-rate",
             "fault-seed",
             "max-retries",
@@ -374,6 +423,7 @@ fn cmd_rounds(args: &[String]) -> CliResult {
         &["resume"],
     )?;
     let usage = "usage: gnndse rounds <db.json> [--rounds N] [--out out.json] [--jobs N] \
+                 [--model model.gdse] \
                  [--fault-rate F] [--fault-seed S] [--max-retries N] \
                  [--checkpoint ck.json] [--resume] [--stop-after N] \
                  [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
@@ -382,7 +432,7 @@ fn cmd_rounds(args: &[String]) -> CliResult {
     let out = flags.get("out").cloned().unwrap_or_else(|| db_path.clone());
     let metrics_out = obs_args(&flags)?;
     let started = Instant::now();
-    let (faults, policy) = fault_args(&flags)?;
+    let (faults, harness_builder) = fault_args(&flags)?;
     let checkpoint = flags.get("checkpoint").cloned();
     let resume = flags.contains_key("resume");
     if resume && checkpoint.is_none() {
@@ -390,6 +440,18 @@ fn cmd_rounds(args: &[String]) -> CliResult {
     }
     let stop_after: Option<usize> = match flags.get("stop-after") {
         Some(v) => Some(v.parse().map_err(|e| format!("bad value for --stop-after: {e}"))?),
+        None => None,
+    };
+    let initial_model = match flags.get("model") {
+        Some(p) if resume => {
+            obs::warn!(
+                "rounds.model",
+                "--model {p} is ignored when resuming: the checkpoint already \
+                 carries the training state"
+            );
+            None
+        }
+        Some(p) => Some(load_model(Path::new(p))?),
         None => None,
     };
 
@@ -404,7 +466,8 @@ fn cmd_rounds(args: &[String]) -> CliResult {
     if ks.is_empty() {
         return Err(format!("{db_path} contains no known kernels"));
     }
-    let cfg = RoundsConfig { rounds: n_rounds, stop_after, ..RoundsConfig::quick() };
+    let cfg =
+        RoundsConfig { rounds: n_rounds, stop_after, initial_model, ..RoundsConfig::quick() };
 
     obs::info!(
         "rounds.start",
@@ -416,7 +479,7 @@ fn cmd_rounds(args: &[String]) -> CliResult {
         designs = db.len(),
     );
     let engine = jobs_arg(&flags)?;
-    let harness = dbgen::fault_injected_harness(faults, policy);
+    let harness = harness_builder.build();
     run_rounds_with_engine(
         &mut db,
         &ks,
@@ -464,11 +527,23 @@ fn cmd_rounds(args: &[String]) -> CliResult {
 }
 
 fn cmd_train(args: &[String]) -> CliResult {
-    let [db_path, model_path, rest @ ..] = args else {
-        return Err("usage: gnndse train <db.json> <model.json> [epochs]".into());
+    let (pos, flags) = split_flags(args, &["save", "epochs"], &[])?;
+    let usage =
+        "usage: gnndse train <db.json> [model.json] [epochs] [--epochs N] [--save model.gdse]";
+    let [db_path, rest @ ..] = &pos[..] else {
+        return Err(usage.into());
     };
-    let epochs: usize =
-        rest.first().map_or(Ok(40), |s| s.parse()).map_err(|e| format!("{e}"))?;
+    let model_json = rest.first();
+    let epochs: usize = match rest.get(1) {
+        Some(s) => s.parse().map_err(|e| format!("bad epochs: {e}"))?,
+        None => flag_or(&flags, "epochs", 40)?,
+    };
+    let save = flags.get("save").map(PathBuf::from);
+    if model_json.is_none() && save.is_none() {
+        return Err(format!(
+            "nothing to write: give a model.json positional or --save model.gdse\n{usage}"
+        ));
+    }
     let db = Database::load(Path::new(db_path)).map_err(|e| e.to_string())?;
     let ks = kernels::all_kernels();
     let referenced: Vec<_> = ks
@@ -479,18 +554,48 @@ fn cmd_train(args: &[String]) -> CliResult {
     println!("training M7 on {} designs for {epochs} epochs...", db.len());
     let model_cfg = ModelConfig { hidden: 32, gnn_layers: 4, mlp_layers: 4, seed: 42 };
     let (p, _) = Predictor::train(&db, &referenced, ModelKind::Full, model_cfg, &cfg);
-    p.save(Path::new(model_path)).map_err(|e| e.to_string())?;
-    println!("saved model to {model_path}");
+    if let Some(model_path) = model_json {
+        p.save(Path::new(model_path)).map_err(|e| e.to_string())?;
+        println!("saved model to {model_path}");
+    }
+    if let Some(path) = save {
+        let trained_on: Vec<String> =
+            referenced.iter().map(|k| k.name().to_string()).collect();
+        let meta = ArtifactMeta::describe(&p, &trained_on, epochs);
+        p.save_artifact(&path, &meta).map_err(|e| e.to_string())?;
+        println!(
+            "saved artifact ({}, {} kernels, schema v{}) to {}",
+            meta.model,
+            meta.kernels.len(),
+            meta.schema_version,
+            path.display()
+        );
+    }
     Ok(())
 }
 
 fn cmd_dse(args: &[String]) -> CliResult {
-    let (pos, flags) =
-        split_flags(args, &["top-m", "jobs", "log-level", "log-json", "metrics-out"], &[])?;
-    let usage = "usage: gnndse dse <model.json> <kernel> [top_m] [--jobs N] [--log-level L] \
+    let (pos, flags) = split_flags(
+        args,
+        &["top-m", "jobs", "model", "log-level", "log-json", "metrics-out"],
+        &[],
+    )?;
+    let usage = "usage: gnndse dse <model> <kernel> [top_m] (or: gnndse dse <kernel> \
+                 --model model.gdse) [--jobs N] [--log-level L] \
                  [--log-json log.jsonl] [--metrics-out report.json]";
-    let [model_path, kernel, rest @ ..] = &pos[..] else {
-        return Err(usage.into());
+    let (model_path, kernel, rest) = match flags.get("model") {
+        Some(m) => {
+            let [kernel, rest @ ..] = &pos[..] else {
+                return Err(usage.into());
+            };
+            (m.clone(), kernel, rest)
+        }
+        None => {
+            let [model_path, kernel, rest @ ..] = &pos[..] else {
+                return Err(usage.into());
+            };
+            (model_path.clone(), kernel, rest)
+        }
     };
     let top_m: usize = match rest.first() {
         Some(s) => s.parse().map_err(|e| format!("{e}"))?,
@@ -500,7 +605,7 @@ fn cmd_dse(args: &[String]) -> CliResult {
     let started = Instant::now();
     let predictor = {
         let _io = obs::span::stage("io");
-        Predictor::load(Path::new(model_path)).map_err(|e| e.to_string())?
+        load_model(Path::new(&model_path))?
     };
     let kernel = lookup_kernel(kernel)?;
     let space = DesignSpace::from_kernel(&kernel);
@@ -545,27 +650,135 @@ fn cmd_dse(args: &[String]) -> CliResult {
 }
 
 fn cmd_predict(args: &[String]) -> CliResult {
-    let [model_path, kernel, index] = args else {
-        return Err("usage: gnndse predict <model.json> <kernel> <index>".into());
-    };
-    let predictor = Predictor::load(Path::new(model_path)).map_err(|e| e.to_string())?;
-    let kernel = lookup_kernel(kernel)?;
-    let space = DesignSpace::from_kernel(&kernel);
-    let index: u128 = index.parse().map_err(|e| format!("bad index: {e}"))?;
-    if index >= space.size() {
-        return Err(format!("index {index} out of space of size {}", space.size()));
+    let (pos, flags) = split_flags(args, &["addr", "id"], &[])?;
+    let usage = "usage: gnndse predict <model> <kernel> <index> \
+                 (or: gnndse predict <kernel> <index> --addr HOST:PORT [--id N])";
+    if let Some(addr) = flags.get("addr") {
+        let [kernel, index] = &pos[..] else {
+            return Err(usage.into());
+        };
+        let index: u128 = index.parse().map_err(|e| format!("bad index: {e}"))?;
+        let id: u64 = flag_or(&flags, "id", 1)?;
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        let start = Instant::now();
+        let response = client.predict(id, kernel, index).map_err(|e| e.to_string())?;
+        match response {
+            Response::Ok { id, row } => {
+                println!("id        : {id}");
+                println!("valid prob: {:.3}", row.valid_prob);
+                println!("cycles    : {}", row.cycles);
+                println!(
+                    "util      : dsp {:.3}, bram {:.3}, lut {:.3}, ff {:.3}",
+                    row.dsp, row.bram, row.lut, row.ff
+                );
+                println!("latency   : {:?} (round trip)", start.elapsed());
+                Ok(())
+            }
+            Response::Rejected { .. } => {
+                Err("rejected (429): prediction queue full, try again later".into())
+            }
+            Response::Error { code, message, .. } => Err(format!("server error {code}: {message}")),
+            Response::ShuttingDown => Err("server is shutting down".into()),
+        }
+    } else {
+        let [model_path, kernel, index] = &pos[..] else {
+            return Err(usage.into());
+        };
+        let predictor = load_model(Path::new(model_path))?;
+        let kernel = lookup_kernel(kernel)?;
+        let space = DesignSpace::from_kernel(&kernel);
+        let index: u128 = index.parse().map_err(|e| format!("bad index: {e}"))?;
+        if index >= space.size() {
+            return Err(format!("index {index} out of space of size {}", space.size()));
+        }
+        let point = space.point_at(index);
+        let graph = build_graph_bidirectional(&kernel, &space);
+        let start = Instant::now();
+        let pred = predictor.predict(&graph, &point);
+        println!("design    : {}", point.describe(space.slots()));
+        println!("valid prob: {:.3}", pred.valid_prob);
+        println!("cycles    : {}", pred.cycles);
+        println!(
+            "util      : dsp {:.3}, bram {:.3}, lut {:.3}, ff {:.3}",
+            pred.util.dsp, pred.util.bram, pred.util.lut, pred.util.ff
+        );
+        println!("latency   : {:?} (surrogate wall-clock)", start.elapsed());
+        Ok(())
     }
-    let point = space.point_at(index);
-    let graph = build_graph_bidirectional(&kernel, &space);
-    let start = std::time::Instant::now();
-    let pred = predictor.predict(&graph, &point);
-    println!("design    : {}", point.describe(space.slots()));
-    println!("valid prob: {:.3}", pred.valid_prob);
-    println!("cycles    : {}", pred.cycles);
-    println!(
-        "util      : dsp {:.3}, bram {:.3}, lut {:.3}, ff {:.3}",
-        pred.util.dsp, pred.util.bram, pred.util.lut, pred.util.ff
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let (pos, flags) = split_flags(
+        args,
+        &[
+            "model",
+            "addr",
+            "jobs",
+            "queue",
+            "batch",
+            "max-requests",
+            "log-level",
+            "log-json",
+            "metrics-out",
+        ],
+        &[],
+    )?;
+    let usage = "usage: gnndse serve --model model.gdse [--addr 127.0.0.1:7878] [--jobs N] \
+                 [--queue N] [--batch N] [--max-requests N] \
+                 [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
+    if !pos.is_empty() {
+        return Err(format!("unexpected positional arguments\n{usage}"));
+    }
+    let model_path = flags.get("model").ok_or(usage)?;
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let metrics_out = obs_args(&flags)?;
+    let started = Instant::now();
+    let queue_capacity: usize = flag_or(&flags, "queue", 64)?;
+    let max_batch: usize = flag_or(&flags, "batch", 16)?;
+    if max_batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let max_requests: Option<u64> = match flags.get("max-requests") {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad value for --max-requests: {e}"))?),
+        None => None,
+    };
+
+    let predictor = {
+        let _io = obs::span::stage("io");
+        load_model(Path::new(model_path))?
+    };
+    let engine = jobs_arg(&flags)?;
+    let service = PredictService::new(predictor, engine);
+    let config = ServeConfig { queue_capacity, max_batch, max_requests };
+    let server = Server::bind(&addr, config, service).map_err(|e| e.to_string())?;
+    let local = server.local_addr();
+    obs::info!(
+        "serve.listening",
+        "serving predictions on {local} (queue {queue_capacity}, batch {max_batch})";
+        addr = local.to_string(),
+        queue = queue_capacity,
+        batch = max_batch,
     );
-    println!("latency   : {:?} (surrogate wall-clock)", start.elapsed());
+    // Scripts block on this line to learn the (possibly ephemeral) port.
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+
+    let stats = {
+        let _serve = obs::span::stage("serve");
+        server.run()
+    };
+    obs::info!(
+        "serve.done",
+        "served {} predictions ({} rejected, {} errors)",
+        stats.served,
+        stats.rejected,
+        stats.errors;
+        served = stats.served,
+        rejected = stats.rejected,
+        errors = stats.errors,
+    );
+    if let Some(p) = metrics_out {
+        write_metrics(&p, "serve", started)?;
+    }
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! every training kernel with per-kernel budgets sized like Table 1.
 
 use crate::db::Database;
-use crate::explorer::{BottleneckExplorer, Budget, HybridExplorer, RandomExplorer};
+use crate::explorer::{BottleneckExplorer, Budget, Explorer, HybridExplorer, RandomExplorer};
 use crate::harness::{EvalBackend, Harness, RetryPolicy};
 use crate::parallel::ExecEngine;
 use design_space::DesignSpace;
@@ -37,7 +37,7 @@ pub fn small_budgets() -> Vec<(&'static str, usize)> {
 /// Runs the three explorers on one kernel: 40% of the budget to the
 /// bottleneck optimizer, 30% to the hybrid explorer, the rest to random
 /// sampling.
-pub fn explore_kernel<B: EvalBackend>(
+pub fn explore_kernel<B: EvalBackend + Sync>(
     sim: &B,
     kernel: &Kernel,
     space: &DesignSpace,
@@ -45,14 +45,7 @@ pub fn explore_kernel<B: EvalBackend>(
     budget: usize,
     seed: u64,
 ) {
-    let before = db.len();
-    let greedy_share = (budget * 4) / 10;
-    let hybrid_share = (budget * 3) / 10;
-    BottleneckExplorer::new().explore(sim, kernel, space, db, Budget::evals(greedy_share));
-    HybridExplorer::with_seed(seed).explore(sim, kernel, space, db, Budget::evals(hybrid_share));
-    let used = db.len() - before;
-    let rest = budget.saturating_sub(used);
-    RandomExplorer::new(seed ^ 0x9e37_79b9).explore(sim, kernel, space, db, Budget::evals(rest));
+    explore_kernel_with(&ExecEngine::serial(), sim, kernel, space, db, budget, seed);
 }
 
 /// [`explore_kernel`] with every explorer's candidate frontiers scored
@@ -69,14 +62,35 @@ pub fn explore_kernel_with<B: EvalBackend + Sync>(
     let before = db.len();
     let greedy_share = (budget * 4) / 10;
     let hybrid_share = (budget * 3) / 10;
-    BottleneckExplorer::new()
-        .explore_with(engine, eval, kernel, space, db, Budget::evals(greedy_share));
-    HybridExplorer::with_seed(seed)
-        .explore_with(engine, eval, kernel, space, db, Budget::evals(hybrid_share));
+    Explorer::explore_with(
+        &BottleneckExplorer::new(),
+        engine,
+        eval,
+        kernel,
+        space,
+        db,
+        Budget::evals(greedy_share),
+    );
+    Explorer::explore_with(
+        &HybridExplorer::with_seed(seed),
+        engine,
+        eval,
+        kernel,
+        space,
+        db,
+        Budget::evals(hybrid_share),
+    );
     let used = db.len() - before;
     let rest = budget.saturating_sub(used);
-    RandomExplorer::new(seed ^ 0x9e37_79b9)
-        .explore_with(engine, eval, kernel, space, db, Budget::evals(rest));
+    Explorer::explore_with(
+        &RandomExplorer::new(seed ^ 0x9e37_79b9),
+        engine,
+        eval,
+        kernel,
+        space,
+        db,
+        Budget::evals(rest),
+    );
 }
 
 /// Generates the initial database for a set of kernels.
@@ -95,7 +109,7 @@ pub fn generate_database(
 /// [`generate_database`] against an arbitrary evaluation backend (e.g. a
 /// retrying [`Harness`] over a fault-injecting oracle). Points the backend
 /// loses to tool failure are skipped; the rest of the campaign proceeds.
-pub fn generate_database_with<B: EvalBackend>(
+pub fn generate_database_with<B: EvalBackend + Sync>(
     eval: &B,
     kernels: &[Kernel],
     budgets: &[(&str, usize)],

@@ -1,0 +1,145 @@
+//! The unified error surface of the crate.
+//!
+//! Each subsystem keeps its own precise error type ([`EvalError`],
+//! [`DbError`], [`RoundsError`], [`ArtifactError`], [`ServeError`]) — those
+//! stay the right thing to match on near the failure — but library users
+//! driving whole campaigns get one [`enum@Error`] with `From` impls from every
+//! subsystem error, so `?` composes across layers and a single `match`
+//! covers the crate.
+
+use crate::db::DbError;
+use crate::harness::EvalError;
+use crate::rounds::RoundsError;
+use gdse_gnn::ArtifactError;
+use gdse_serve::ServeError;
+use std::fmt;
+
+/// Any failure the `gnn-dse` crate can surface, by subsystem.
+#[derive(Debug)]
+pub enum Error {
+    /// An evaluation could not produce a result (oracle/harness layer).
+    Eval(EvalError),
+    /// Database persistence failed.
+    Db(DbError),
+    /// The rounds-loop checkpoint was unreadable or mismatched.
+    Rounds(RoundsError),
+    /// A model artifact failed to encode, decode, or validate.
+    Artifact(ArtifactError),
+    /// The prediction service failed (bind, socket, protocol).
+    Serve(ServeError),
+    /// A bare I/O failure outside the typed paths above.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eval(e) => write!(f, "evaluation failed: {e}"),
+            Error::Db(e) => write!(f, "database error: {e}"),
+            Error::Rounds(e) => write!(f, "rounds checkpoint error: {e}"),
+            Error::Artifact(e) => write!(f, "model artifact error: {e}"),
+            Error::Serve(e) => write!(f, "prediction service error: {e}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Eval(e) => Some(e),
+            Error::Db(e) => Some(e),
+            Error::Rounds(e) => Some(e),
+            Error::Artifact(e) => Some(e),
+            Error::Serve(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<EvalError> for Error {
+    fn from(e: EvalError) -> Self {
+        Error::Eval(e)
+    }
+}
+
+impl From<DbError> for Error {
+    fn from(e: DbError) -> Self {
+        Error::Db(e)
+    }
+}
+
+impl From<RoundsError> for Error {
+    fn from(e: RoundsError) -> Self {
+        Error::Rounds(e)
+    }
+}
+
+impl From<ArtifactError> for Error {
+    fn from(e: ArtifactError) -> Self {
+        Error::Artifact(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_sim::OracleFailure;
+
+    #[test]
+    fn every_subsystem_error_converts() {
+        fn unified(e: impl Into<Error>) -> Error {
+            e.into()
+        }
+        assert!(matches!(
+            unified(EvalError::Permanent {
+                failure: OracleFailure::Fatal { detail: "x".into() }
+            }),
+            Error::Eval(_)
+        ));
+        assert!(matches!(
+            unified(DbError::Parse { path: "db.json".into(), detail: "bad".into() }),
+            Error::Db(_)
+        ));
+        assert!(matches!(
+            unified(RoundsError::Corrupt { path: "ckpt.json".into(), detail: "bad".into() }),
+            Error::Rounds(_)
+        ));
+        assert!(matches!(unified(ArtifactError::BadMagic), Error::Artifact(_)));
+        assert!(matches!(
+            unified(ServeError::Protocol("bad".into())),
+            Error::Serve(_)
+        ));
+        assert!(matches!(
+            unified(std::io::Error::other("disk on fire")),
+            Error::Io(_)
+        ));
+    }
+
+    #[test]
+    fn display_names_the_subsystem() {
+        let e = Error::from(ArtifactError::BadMagic);
+        assert!(e.to_string().contains("artifact"));
+        let e = Error::from(ServeError::Protocol("x".into()));
+        assert!(e.to_string().contains("service"));
+    }
+
+    #[test]
+    fn source_chains_to_the_subsystem_error() {
+        use std::error::Error as _;
+        let e = Error::from(ArtifactError::BadMagic);
+        assert!(e.source().is_some());
+    }
+}

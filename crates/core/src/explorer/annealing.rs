@@ -3,7 +3,7 @@
 //! for baseline comparisons against the bottleneck optimizer and the
 //! GNN-driven DSE.
 
-use super::{evaluate_into_db, Budget};
+use super::{evaluate_into_db_with, Budget, Explorer};
 use crate::db::Database;
 use crate::explorer::ExplorationLog;
 use crate::harness::EvalBackend;
@@ -51,10 +51,47 @@ impl AnnealingExplorer {
         }
     }
 
-    /// Runs the annealing walk, recording every evaluation into `db`.
-    pub fn explore<B: EvalBackend>(
+    /// Deprecated inherent shim for [`Explorer::explore`].
+    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
+    pub fn explore<B: EvalBackend + Sync>(
         &self,
         sim: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
+        Explorer::explore(self, sim, kernel, space, db, budget)
+    }
+
+    /// Deprecated inherent shim for [`Explorer::explore_with`].
+    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
+    pub fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
+        Explorer::explore_with(self, engine, eval, kernel, space, db, budget)
+    }
+}
+
+impl Explorer for AnnealingExplorer {
+    type Log = ExplorationLog;
+
+    /// Runs the annealing walk, recording every evaluation into `db`. The
+    /// walk is inherently sequential — each step depends on the previous
+    /// acceptance — so this submits single-point batches; routing them
+    /// through the engine still buys the oracle cache and the merged
+    /// per-worker accounting, and lets a parallel campaign share one engine
+    /// across all explorers.
+    fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
         kernel: &Kernel,
         space: &DesignSpace,
         db: &mut Database,
@@ -68,7 +105,7 @@ impl AnnealingExplorer {
         // skipped instead of scored a second time.
         let mut current: DesignPoint =
             design_space::rules::canonicalize(kernel, space, &space.default_point());
-        let (first, fresh) = evaluate_into_db(sim, kernel, space, &current, db);
+        let (first, fresh) = evaluate_into_db_with(engine, eval, kernel, space, &current, db);
         if fresh {
             log.evals += 1;
         }
@@ -101,97 +138,7 @@ impl AnnealingExplorer {
             if cand == current {
                 continue;
             }
-            let (r, fresh) = evaluate_into_db(sim, kernel, space, &cand, db);
-            if fresh {
-                log.evals += 1;
-            }
-            let Some(r) = r else { continue };
-            if fresh {
-                log.tool_minutes += r.synth_minutes;
-            }
-            let e = self.energy(&r, penalty);
-            let accept = e <= cur_energy
-                || rng.gen::<f64>() < ((cur_energy - e) / temp.max(1e-9)).exp();
-            if accept {
-                current = cand.clone();
-                cur_res = r;
-                cur_energy = e;
-                let improved = cur_res.is_valid()
-                    && cur_res.util.fits(self.util_threshold)
-                    && best.as_ref().map(|(_, b)| cur_res.cycles < b.cycles).unwrap_or(true);
-                if improved {
-                    log.trace.push((log.evals, cur_res.cycles));
-                    best = Some((cand, cur_res));
-                }
-            }
-            temp *= self.cooling;
-        }
-        log.best = best;
-        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "annealing", log.evals as u64);
-        obs::debug!(
-            "explorer.done",
-            "annealing: {} evals on {}",
-            log.evals,
-            kernel.name();
-            explorer = "annealing",
-            kernel = kernel.name(),
-            evals = log.evals,
-        );
-        log
-    }
-
-    /// Like [`Self::explore`], with every evaluation routed through the
-    /// engine (oracle cache + merged per-worker accounting). The annealing
-    /// walk is inherently sequential — each step depends on the previous
-    /// acceptance — so this submits single-point batches; it exists so a
-    /// parallel campaign can share one engine across all explorers.
-    pub fn explore_with<B: EvalBackend + Sync>(
-        &self,
-        engine: &ExecEngine,
-        eval: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> ExplorationLog {
-        let mut log = ExplorationLog::default();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-
-        let mut current: DesignPoint =
-            design_space::rules::canonicalize(kernel, space, &space.default_point());
-        let (first, fresh) =
-            super::evaluate_into_db_with(engine, eval, kernel, space, &current, db);
-        if fresh {
-            log.evals += 1;
-        }
-        let Some(mut cur_res) = first else { return log };
-        if fresh {
-            log.tool_minutes += cur_res.synth_minutes;
-        }
-        let penalty = (cur_res.cycles.max(1) as f64) * 10.0;
-        let mut cur_energy = self.energy(&cur_res, penalty);
-        let mut temp = penalty * self.initial_temp_frac;
-
-        let mut best: Option<(DesignPoint, HlsResult)> =
-            if cur_res.is_valid() && cur_res.util.fits(self.util_threshold) {
-                log.trace.push((log.evals, cur_res.cycles));
-                Some((current.clone(), cur_res))
-            } else {
-                None
-            };
-
-        while log.evals < budget.max_evals {
-            let slot = rng.gen_range(0..space.num_slots());
-            let opts = &space.slots()[slot].options;
-            let cand = design_space::rules::canonicalize(
-                kernel,
-                space,
-                &current.with_value(slot, opts[rng.gen_range(0..opts.len())]),
-            );
-            if cand == current {
-                continue;
-            }
-            let (r, fresh) = super::evaluate_into_db_with(engine, eval, kernel, space, &cand, db);
+            let (r, fresh) = evaluate_into_db_with(engine, eval, kernel, space, &cand, db);
             if fresh {
                 log.evals += 1;
             }
@@ -243,8 +190,14 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log =
-            AnnealingExplorer::with_seed(3).explore(&sim, &k, &space, &mut db, Budget::evals(150));
+        let log = Explorer::explore(
+            &AnnealingExplorer::with_seed(3),
+            &sim,
+            &k,
+            &space,
+            &mut db,
+            Budget::evals(150),
+        );
         let default = sim.evaluate(&k, &space, &space.default_point());
         let (_, best) = log.best.expect("finds a valid design");
         assert!(best.cycles < default.cycles, "{} !< {}", best.cycles, default.cycles);
@@ -257,8 +210,14 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log =
-            AnnealingExplorer::with_seed(5).explore(&sim, &k, &space, &mut db, Budget::evals(40));
+        let log = Explorer::explore(
+            &AnnealingExplorer::with_seed(5),
+            &sim,
+            &k,
+            &space,
+            &mut db,
+            Budget::evals(40),
+        );
         assert!(log.evals <= 40);
         assert_eq!(db.len(), log.evals);
     }
@@ -270,14 +229,27 @@ mod tests {
         let sim = MerlinSimulator::new();
 
         let mut db_serial = Database::new();
-        let serial = AnnealingExplorer::with_seed(9)
-            .explore(&sim, &k, &space, &mut db_serial, Budget::evals(30));
+        let serial = Explorer::explore(
+            &AnnealingExplorer::with_seed(9),
+            &sim,
+            &k,
+            &space,
+            &mut db_serial,
+            Budget::evals(30),
+        );
 
         for jobs in [1, 4] {
             let engine = ExecEngine::with_jobs(jobs);
             let mut db = Database::new();
-            let log = AnnealingExplorer::with_seed(9)
-                .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(30));
+            let log = Explorer::explore_with(
+                &AnnealingExplorer::with_seed(9),
+                &engine,
+                &sim,
+                &k,
+                &space,
+                &mut db,
+                Budget::evals(30),
+            );
             assert_eq!(log.evals, serial.evals, "jobs={jobs}");
             assert_eq!(log.trace, serial.trace, "jobs={jobs}");
             assert_eq!(db.entries(), db_serial.entries(), "jobs={jobs}");
@@ -291,8 +263,22 @@ mod tests {
         let sim = MerlinSimulator::new();
         let mut a = Database::new();
         let mut b = Database::new();
-        let la = AnnealingExplorer::with_seed(9).explore(&sim, &k, &space, &mut a, Budget::evals(30));
-        let lb = AnnealingExplorer::with_seed(9).explore(&sim, &k, &space, &mut b, Budget::evals(30));
+        let la = Explorer::explore(
+            &AnnealingExplorer::with_seed(9),
+            &sim,
+            &k,
+            &space,
+            &mut a,
+            Budget::evals(30),
+        );
+        let lb = Explorer::explore(
+            &AnnealingExplorer::with_seed(9),
+            &sim,
+            &k,
+            &space,
+            &mut b,
+            Budget::evals(30),
+        );
         assert_eq!(a.entries(), b.entries());
         assert_eq!(la.best.map(|(_, r)| r.cycles), lb.best.map(|(_, r)| r.cycles));
     }

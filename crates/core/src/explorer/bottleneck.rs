@@ -11,13 +11,13 @@
 //! modelled tool runtime is the sum of the synthesis minutes of everything
 //! it evaluated.
 
-use super::{evaluate_frontier, evaluate_into_db, Budget};
+use super::{evaluate_frontier, Budget, Explorer};
 use crate::db::Database;
+use crate::harness::EvalBackend;
 use crate::parallel::ExecEngine;
 use design_space::{order::ordered_slots, DesignPoint, DesignSpace};
 use gdse_obs as obs;
 use hls_ir::Kernel;
-use crate::harness::EvalBackend;
 use merlin_sim::HlsResult;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,9 +60,9 @@ impl BottleneckExplorer {
         Self::default()
     }
 
-    /// Runs greedy sweeps (with random restarts on convergence) until the
-    /// budget is spent, recording every evaluation into `db`.
-    pub fn explore<B: EvalBackend>(
+    /// Deprecated inherent shim for [`Explorer::explore`].
+    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
+    pub fn explore<B: EvalBackend + Sync>(
         &self,
         sim: &B,
         kernel: &Kernel,
@@ -70,59 +70,11 @@ impl BottleneckExplorer {
         db: &mut Database,
         budget: Budget,
     ) -> ExplorationLog {
-        let mut log = ExplorationLog::default();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut start = space.default_point();
-        let mut global_best: Option<(DesignPoint, HlsResult)> = None;
-
-        while log.evals < budget.max_evals {
-            let before = log.evals;
-            let best = self.greedy_sweep(sim, kernel, space, db, budget, start, &mut log);
-            if let Some((pt, r)) = best {
-                let better = global_best
-                    .as_ref()
-                    .map(|(_, b)| r.cycles < b.cycles)
-                    .unwrap_or(true);
-                if better {
-                    global_best = Some((pt, r));
-                }
-            }
-            if log.evals == before {
-                // The restart point was already fully explored; avoid
-                // spinning without spending budget.
-                break;
-            }
-            start = space.random_point(&mut rng);
-        }
-
-        // Restarts can locally regress; the published trace is the *global*
-        // incumbent (monotone prefix-minimum), which is what the hybrid
-        // explorer's improvement anchors and callers expect.
-        let mut mono: Vec<(usize, u64)> = Vec::with_capacity(log.trace.len());
-        for &(e, c) in &log.trace {
-            if mono.last().is_none_or(|&(_, best)| c < best) {
-                mono.push((e, c));
-            }
-        }
-        log.trace = mono;
-        log.best = global_best;
-        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "bottleneck", log.evals as u64);
-        obs::debug!(
-            "explorer.done",
-            "bottleneck: {} evals on {}",
-            log.evals,
-            kernel.name();
-            explorer = "bottleneck",
-            kernel = kernel.name(),
-            evals = log.evals,
-        );
-        log
+        Explorer::explore(self, sim, kernel, space, db, budget)
     }
 
-    /// Like [`Self::explore`], but each greedy slot's candidate frontier is
-    /// scored through the engine's worker pool (with the batched, cached
-    /// evaluator). With an infallible backend this visits exactly the points
-    /// the serial sweep visits, in the same order, at any worker count.
+    /// Deprecated inherent shim for [`Explorer::explore_with`].
+    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
     pub fn explore_with<B: EvalBackend + Sync>(
         &self,
         engine: &ExecEngine,
@@ -132,54 +84,14 @@ impl BottleneckExplorer {
         db: &mut Database,
         budget: Budget,
     ) -> ExplorationLog {
-        let mut log = ExplorationLog::default();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut start = space.default_point();
-        let mut global_best: Option<(DesignPoint, HlsResult)> = None;
-
-        while log.evals < budget.max_evals {
-            let before = log.evals;
-            let best =
-                self.greedy_sweep_with(engine, eval, kernel, space, db, budget, start, &mut log);
-            if let Some((pt, r)) = best {
-                let better =
-                    global_best.as_ref().map(|(_, b)| r.cycles < b.cycles).unwrap_or(true);
-                if better {
-                    global_best = Some((pt, r));
-                }
-            }
-            if log.evals == before {
-                break;
-            }
-            start = space.random_point(&mut rng);
-        }
-
-        let mut mono: Vec<(usize, u64)> = Vec::with_capacity(log.trace.len());
-        for &(e, c) in &log.trace {
-            if mono.last().is_none_or(|&(_, best)| c < best) {
-                mono.push((e, c));
-            }
-        }
-        log.trace = mono;
-        log.best = global_best;
-        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "bottleneck", log.evals as u64);
-        obs::debug!(
-            "explorer.done",
-            "bottleneck: {} evals on {}",
-            log.evals,
-            kernel.name();
-            explorer = "bottleneck",
-            kernel = kernel.name(),
-            evals = log.evals,
-        );
-        log
+        Explorer::explore_with(self, engine, eval, kernel, space, db, budget)
     }
 
     /// One greedy pass from `start`, scoring each slot's option frontier as
-    /// a batch. Folds the frontier in candidate order so acceptance,
-    /// budget, and trace bookkeeping replicate [`Self::greedy_sweep`].
+    /// a batch. The frontier is folded in candidate order, so acceptance,
+    /// budget, and trace bookkeeping match a point-by-point sweep.
     #[allow(clippy::too_many_arguments)]
-    fn greedy_sweep_with<B: EvalBackend + Sync>(
+    fn greedy_sweep<B: EvalBackend + Sync>(
         &self,
         engine: &ExecEngine,
         eval: &B,
@@ -209,6 +121,8 @@ impl BottleneckExplorer {
         if first.fresh {
             log.evals += 1;
         }
+        // A lost sweep start leaves nothing to improve on; the caller will
+        // restart from another point with the remaining budget.
         let mut best_result = first.result?;
         if first.fresh {
             log.tool_minutes += best_result.synth_minutes;
@@ -271,82 +185,71 @@ impl BottleneckExplorer {
 
         acceptable(&best_result, self.util_threshold).then_some((current, best_result))
     }
+}
 
-    /// One greedy pass from `start` until convergence or budget exhaustion.
-    #[allow(clippy::too_many_arguments)]
-    fn greedy_sweep<B: EvalBackend>(
+impl Explorer for BottleneckExplorer {
+    type Log = ExplorationLog;
+
+    /// Runs greedy sweeps (with random restarts on convergence) until the
+    /// budget is spent, recording every evaluation into `db`. Each greedy
+    /// slot's candidate frontier is scored through the engine's worker pool
+    /// (batched, cached evaluation); with an infallible backend any worker
+    /// count visits exactly the same points in the same order.
+    fn explore_with<B: EvalBackend + Sync>(
         &self,
-        sim: &B,
+        engine: &ExecEngine,
+        eval: &B,
         kernel: &Kernel,
         space: &DesignSpace,
         db: &mut Database,
         budget: Budget,
-        start: DesignPoint,
-        log: &mut ExplorationLog,
-    ) -> Option<(DesignPoint, HlsResult)> {
-        let order = ordered_slots(kernel, space);
-        let acceptable = |r: &HlsResult, thr: f64| r.is_valid() && r.util.fits(thr);
+    ) -> ExplorationLog {
+        let mut log = ExplorationLog::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut start = space.default_point();
+        let mut global_best: Option<(DesignPoint, HlsResult)> = None;
 
-        let mut current = start;
-        let (first, fresh) = evaluate_into_db(sim, kernel, space, &current, db);
-        if fresh {
-            log.evals += 1;
-        }
-        // A lost sweep start leaves nothing to improve on; the caller will
-        // restart from another point with the remaining budget.
-        let mut best_result = first?;
-        if fresh {
-            log.tool_minutes += best_result.synth_minutes;
-        }
-        if acceptable(&best_result, self.util_threshold) {
-            log.trace.push((log.evals, best_result.cycles));
-        }
-
-        loop {
-            let mut improved = false;
-            for &slot in &order {
-                if log.evals >= budget.max_evals {
-                    break;
-                }
-                let mut best_here = current.clone();
-                let mut best_here_result = best_result;
-                for &opt in &space.slots()[slot].options {
-                    if opt == current.value(slot) {
-                        continue;
-                    }
-                    if log.evals >= budget.max_evals {
-                        break;
-                    }
-                    let cand = current.with_value(slot, opt);
-                    let (r, fresh) = evaluate_into_db(sim, kernel, space, &cand, db);
-                    if fresh {
-                        log.evals += 1;
-                    }
-                    let Some(r) = r else { continue };
-                    if fresh {
-                        log.tool_minutes += r.synth_minutes;
-                    }
-                    let better = acceptable(&r, self.util_threshold)
-                        && (!acceptable(&best_here_result, self.util_threshold)
-                            || r.cycles < best_here_result.cycles);
-                    if better {
-                        best_here = cand;
-                        best_here_result = r;
-                    }
-                }
-                if best_here != current {
-                    current = best_here;
-                    best_result = best_here_result;
-                    improved = true;
-                    log.trace.push((log.evals, best_result.cycles));
+        while log.evals < budget.max_evals {
+            let before = log.evals;
+            let best =
+                self.greedy_sweep(engine, eval, kernel, space, db, budget, start, &mut log);
+            if let Some((pt, r)) = best {
+                let better =
+                    global_best.as_ref().map(|(_, b)| r.cycles < b.cycles).unwrap_or(true);
+                if better {
+                    global_best = Some((pt, r));
                 }
             }
-            if !improved || log.evals >= budget.max_evals {
+            if log.evals == before {
+                // The restart point was already fully explored; avoid
+                // spinning without spending budget.
                 break;
             }
+            start = space.random_point(&mut rng);
         }
 
-        acceptable(&best_result, self.util_threshold).then_some((current, best_result))
+        // Restarts can locally regress; the published trace is the *global*
+        // incumbent (monotone prefix-minimum), which is what the hybrid
+        // explorer's improvement anchors and callers expect.
+        let mut mono: Vec<(usize, u64)> = Vec::with_capacity(log.trace.len());
+        for &(e, c) in &log.trace {
+            if mono.last().is_none_or(|&(_, best)| c < best) {
+                mono.push((e, c));
+            }
+        }
+        log.trace = mono;
+        log.best = global_best;
+        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "bottleneck", log.evals as u64);
+        obs::debug!(
+            "explorer.done",
+            "bottleneck: {} evals on {}",
+            log.evals,
+            kernel.name();
+            explorer = "bottleneck",
+            kernel = kernel.name(),
+            evals = log.evals,
+        );
+        log
     }
 }
 
@@ -362,7 +265,14 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log = BottleneckExplorer::new().explore(&sim, &k, &space, &mut db, Budget::evals(150));
+        let log = Explorer::explore(
+            &BottleneckExplorer::new(),
+            &sim,
+            &k,
+            &space,
+            &mut db,
+            Budget::evals(150),
+        );
         let (_, best) = log.best.expect("gemm has valid optimized designs");
         let default = sim.evaluate(&k, &space, &space.default_point());
         assert!(
@@ -381,7 +291,14 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log = BottleneckExplorer::new().explore(&sim, &k, &space, &mut db, Budget::evals(25));
+        let log = Explorer::explore(
+            &BottleneckExplorer::new(),
+            &sim,
+            &k,
+            &space,
+            &mut db,
+            Budget::evals(25),
+        );
         assert!(log.evals <= 25);
         assert!(log.tool_minutes > 0.0);
     }
@@ -393,14 +310,27 @@ mod tests {
         let sim = MerlinSimulator::new();
 
         let mut db_serial = Database::new();
-        let serial =
-            BottleneckExplorer::new().explore(&sim, &k, &space, &mut db_serial, Budget::evals(80));
+        let serial = Explorer::explore(
+            &BottleneckExplorer::new(),
+            &sim,
+            &k,
+            &space,
+            &mut db_serial,
+            Budget::evals(80),
+        );
 
         for jobs in [1, 4] {
             let engine = ExecEngine::with_jobs(jobs);
             let mut db = Database::new();
-            let log = BottleneckExplorer::new()
-                .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(80));
+            let log = Explorer::explore_with(
+                &BottleneckExplorer::new(),
+                &engine,
+                &sim,
+                &k,
+                &space,
+                &mut db,
+                Budget::evals(80),
+            );
             assert_eq!(log.evals, serial.evals, "jobs={jobs}");
             assert_eq!(log.trace, serial.trace, "jobs={jobs}");
             assert_eq!(
@@ -418,7 +348,14 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log = BottleneckExplorer::new().explore(&sim, &k, &space, &mut db, Budget::evals(120));
+        let log = Explorer::explore(
+            &BottleneckExplorer::new(),
+            &sim,
+            &k,
+            &space,
+            &mut db,
+            Budget::evals(120),
+        );
         for w in log.trace.windows(2) {
             assert!(w[1].1 <= w[0].1, "incumbent cycles must not regress");
         }

@@ -10,13 +10,13 @@
 //! database gains configurations the greedy pass never visits.
 
 use super::bottleneck::{BottleneckExplorer, ExplorationLog};
-use super::{dedupe_canonical, evaluate_frontier, evaluate_into_db, Budget};
+use super::{dedupe_canonical, evaluate_frontier, Budget, Explorer};
 use crate::db::Database;
+use crate::harness::EvalBackend;
 use crate::parallel::ExecEngine;
 use design_space::DesignSpace;
 use gdse_obs as obs;
 use hls_ir::Kernel;
-use crate::harness::EvalBackend;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -47,8 +47,9 @@ impl HybridExplorer {
         Self { seed, ..Self::default() }
     }
 
-    /// Runs bottleneck + local search, recording everything into `db`.
-    pub fn explore<B: EvalBackend>(
+    /// Deprecated inherent shim for [`Explorer::explore`].
+    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
+    pub fn explore<B: EvalBackend + Sync>(
         &self,
         sim: &B,
         kernel: &Kernel,
@@ -56,9 +57,51 @@ impl HybridExplorer {
         db: &mut Database,
         budget: Budget,
     ) -> ExplorationLog {
+        Explorer::explore(self, sim, kernel, space, db, budget)
+    }
+
+    /// Deprecated inherent shim for [`Explorer::explore_with`].
+    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
+    pub fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
+        Explorer::explore_with(self, engine, eval, kernel, space, db, budget)
+    }
+}
+
+impl Explorer for HybridExplorer {
+    type Log = ExplorationLog;
+
+    /// Runs bottleneck + local search, recording everything into `db`. The
+    /// greedy phase is delegated to [`BottleneckExplorer`]; each
+    /// local-search round's deduplicated neighbor list is scored as one
+    /// batch on the engine's pool.
+    fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> ExplorationLog {
         // Phase 1: greedy, with half the budget.
         let greedy = BottleneckExplorer { util_threshold: self.util_threshold, seed: self.seed };
-        let mut log = greedy.explore(sim, kernel, space, db, Budget::evals(budget.max_evals / 2));
+        let mut log = Explorer::explore_with(
+            &greedy,
+            engine,
+            eval,
+            kernel,
+            space,
+            db,
+            Budget::evals(budget.max_evals / 2),
+        );
         let greedy_evals = log.evals;
 
         // Phase 2: local search around incumbents that improved >= X%.
@@ -80,6 +123,9 @@ impl HybridExplorer {
         // the final best once per anchor — each round with a fresh shuffle.
         let rounds = anchors.len().max(1);
         for _ in 0..rounds {
+            if log.evals >= budget.max_evals {
+                break;
+            }
             let Some(center) = centers.last().cloned() else { break };
             // Hamming-1 neighbors plus sampled Hamming-2 perturbations: the
             // greedy phase has usually evaluated the entire Hamming-1 shell
@@ -96,93 +142,6 @@ impl HybridExplorer {
             // Two raw neighbors can collapse to the same canonical config
             // (masked pragmas); dedupe so no config is scored twice in one
             // local-search round.
-            let neighbors = dedupe_canonical(kernel, space, &neighbors);
-            for cand in neighbors.into_iter().take(self.neighbors_per_improvement * 3) {
-                if log.evals >= budget.max_evals {
-                    break;
-                }
-                let (r, fresh) = evaluate_into_db(sim, kernel, space, &cand, db);
-                if fresh {
-                    log.evals += 1;
-                }
-                let Some(r) = r else { continue };
-                if fresh {
-                    log.tool_minutes += r.synth_minutes;
-                }
-                let better = r.is_valid()
-                    && r.util.fits(self.util_threshold)
-                    && log
-                        .best
-                        .as_ref()
-                        .map(|(_, b)| r.cycles < b.cycles)
-                        .unwrap_or(true);
-                if better {
-                    log.trace.push((log.evals, r.cycles));
-                    log.best = Some((cand.clone(), r));
-                    centers.push(cand);
-                }
-            }
-        }
-        // Phase 1 already booked its evals under `explorer=bottleneck`; only
-        // the local-search delta is attributed to the hybrid explorer.
-        let local = (log.evals - greedy_evals) as u64;
-        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "hybrid", local);
-        obs::debug!(
-            "explorer.done",
-            "hybrid: {} local-search evals on {}",
-            local,
-            kernel.name();
-            explorer = "hybrid",
-            kernel = kernel.name(),
-            evals = local,
-        );
-        log
-    }
-
-    /// Like [`Self::explore`], with the greedy phase delegated to
-    /// [`BottleneckExplorer::explore_with`] and each local-search round's
-    /// deduplicated neighbor list scored as one batch on the engine's pool.
-    pub fn explore_with<B: EvalBackend + Sync>(
-        &self,
-        engine: &ExecEngine,
-        eval: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> ExplorationLog {
-        let greedy = BottleneckExplorer { util_threshold: self.util_threshold, seed: self.seed };
-        let mut log =
-            greedy.explore_with(engine, eval, kernel, space, db, Budget::evals(budget.max_evals / 2));
-        let greedy_evals = log.evals;
-
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut anchors = Vec::new();
-        for w in log.trace.windows(2) {
-            let (prev, cur) = (w[0].1 as f64, w[1].1 as f64);
-            if prev > 0.0 && (prev - cur) / prev * 100.0 >= self.improvement_pct {
-                anchors.push(w[1]);
-            }
-        }
-        let best_point = log.best.as_ref().map(|(p, _)| p.clone());
-        let mut centers = Vec::new();
-        if let Some(p) = best_point {
-            centers.push(p);
-        }
-        let rounds = anchors.len().max(1);
-        for _ in 0..rounds {
-            if log.evals >= budget.max_evals {
-                break;
-            }
-            let Some(center) = centers.last().cloned() else { break };
-            let mut neighbors = space.neighbors(&center);
-            let shell1 = neighbors.clone();
-            for base in shell1.iter().take(self.neighbors_per_improvement) {
-                let mut more = space.neighbors(base);
-                more.shuffle(&mut rng);
-                neighbors.extend(more.into_iter().take(2));
-            }
-            neighbors.shuffle(&mut rng);
             let deduped = dedupe_canonical(kernel, space, &neighbors);
             let batch: Vec<_> =
                 deduped.into_iter().take(self.neighbors_per_improvement * 3).collect();
@@ -214,6 +173,8 @@ impl HybridExplorer {
                 }
             }
         }
+        // Phase 1 already booked its evals under `explorer=bottleneck`; only
+        // the local-search delta is attributed to the hybrid explorer.
         let local = (log.evals - greedy_evals) as u64;
         obs::metrics::counter_add_labeled("explorer.evals", "explorer", "hybrid", local);
         obs::debug!(
@@ -242,10 +203,24 @@ mod tests {
         let sim = MerlinSimulator::new();
 
         let mut db_greedy = Database::new();
-        BottleneckExplorer::new().explore(&sim, &k, &space, &mut db_greedy, Budget::evals(60));
+        Explorer::explore(
+            &BottleneckExplorer::new(),
+            &sim,
+            &k,
+            &space,
+            &mut db_greedy,
+            Budget::evals(60),
+        );
 
         let mut db_hybrid = Database::new();
-        let log = HybridExplorer::with_seed(1).explore(&sim, &k, &space, &mut db_hybrid, Budget::evals(120));
+        let log = Explorer::explore(
+            &HybridExplorer::with_seed(1),
+            &sim,
+            &k,
+            &space,
+            &mut db_hybrid,
+            Budget::evals(120),
+        );
         assert!(log.best.is_some());
         // The hybrid run covers points the greedy run (with the same first
         // phase) never visits.
@@ -259,20 +234,32 @@ mod tests {
 
     #[test]
     fn batched_hybrid_reproduces_the_serial_hybrid() {
-        use crate::parallel::ExecEngine;
         let k = kernels::gemm_ncubed();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
 
         let mut db_serial = Database::new();
-        let serial = HybridExplorer::with_seed(1)
-            .explore(&sim, &k, &space, &mut db_serial, Budget::evals(100));
+        let serial = Explorer::explore(
+            &HybridExplorer::with_seed(1),
+            &sim,
+            &k,
+            &space,
+            &mut db_serial,
+            Budget::evals(100),
+        );
 
         for jobs in [1, 4] {
             let engine = ExecEngine::with_jobs(jobs);
             let mut db = Database::new();
-            let log = HybridExplorer::with_seed(1)
-                .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(100));
+            let log = Explorer::explore_with(
+                &HybridExplorer::with_seed(1),
+                &engine,
+                &sim,
+                &k,
+                &space,
+                &mut db,
+                Budget::evals(100),
+            );
             assert_eq!(log.evals, serial.evals, "jobs={jobs}");
             assert_eq!(
                 log.best.as_ref().map(|(_, r)| r.cycles),
@@ -290,7 +277,7 @@ mod tests {
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
         let explorer = HybridExplorer::with_seed(2);
-        let log = explorer.explore(&sim, &k, &space, &mut db, Budget::evals(100));
+        let log = Explorer::explore(&explorer, &sim, &k, &space, &mut db, Budget::evals(100));
         let best = log.best.expect("valid design").1;
         let mut db2 = Database::new();
         // Reconstruct exactly the greedy phase the hybrid ran (same seed and
@@ -298,7 +285,7 @@ mod tests {
         // than dependent on a particular RNG stream.
         let greedy_phase =
             BottleneckExplorer { util_threshold: explorer.util_threshold, seed: explorer.seed };
-        let greedy = greedy_phase.explore(&sim, &k, &space, &mut db2, Budget::evals(50));
+        let greedy = Explorer::explore(&greedy_phase, &sim, &k, &space, &mut db2, Budget::evals(50));
         let greedy_best = greedy.best.expect("valid design").1;
         assert!(best.cycles <= greedy_best.cycles);
     }

@@ -14,6 +14,11 @@
 //! the related work (not part of the paper's database generator, used for
 //! baseline comparisons).
 
+//! All four implement the [`Explorer`] trait — one engine-taking entry
+//! point, [`Explorer::explore_with`], with [`Explorer::explore`] as a
+//! serial-engine convenience — so campaigns can drive any mix of explorers
+//! through one shared [`ExecEngine`].
+
 mod annealing;
 mod bottleneck;
 mod hybrid;
@@ -46,29 +51,42 @@ impl Budget {
     }
 }
 
-/// Evaluates `point` (deduplicated against `db`), recording the result.
+/// The unified exploration interface.
 ///
-/// Returns the result (`None` when the backend lost the point to tool
-/// failure — nothing is recorded, so a later run can pick it up again) and
-/// whether a fresh evaluation was spent. Lost points still spend budget:
-/// the attempts consumed real tool time.
-pub(crate) fn evaluate_into_db<B: EvalBackend>(
-    eval: &B,
-    kernel: &Kernel,
-    space: &DesignSpace,
-    point: &DesignPoint,
-    db: &mut Database,
-) -> (Option<HlsResult>, bool) {
-    let canonical = design_space::rules::canonicalize(kernel, space, point);
-    if let Some(e) = db.get(kernel.name(), &canonical) {
-        return (Some(e.result), false);
-    }
-    match eval.try_evaluate(kernel, space, &canonical) {
-        Ok(r) => {
-            db.insert(kernel.name(), canonical, r);
-            (Some(r), true)
-        }
-        Err(_) => (None, true),
+/// Every explorer has exactly one implementation of its search, written
+/// against an [`ExecEngine`]: candidate frontiers are scored through the
+/// engine's worker pool and oracle cache, and the serial behavior is just
+/// the same code on a single-worker engine. [`Explorer::explore`] is that
+/// serial convenience — a default method, so implementors only write
+/// [`Explorer::explore_with`].
+pub trait Explorer {
+    /// What one run returns: an [`ExplorationLog`] for the guided
+    /// explorers, the fresh-evaluation count for [`RandomExplorer`].
+    type Log;
+
+    /// Explores `kernel`'s `space` within `budget`, scoring candidates
+    /// through `engine` and recording every evaluation into `db`.
+    fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> Self::Log;
+
+    /// [`Explorer::explore_with`] on a fresh single-worker engine: batched
+    /// code path, serial execution.
+    fn explore<B: EvalBackend + Sync>(
+        &self,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> Self::Log {
+        self.explore_with(&ExecEngine::serial(), eval, kernel, space, db, budget)
     }
 }
 
@@ -92,7 +110,12 @@ pub(crate) fn dedupe_canonical(
         .collect()
 }
 
-/// [`evaluate_into_db`] routed through the engine: the miss is evaluated by
+/// Evaluates `point` (deduplicated against `db`), recording the result.
+///
+/// Returns the result (`None` when the backend lost the point to tool
+/// failure — nothing is recorded, so a later run can pick it up again) and
+/// whether a fresh evaluation was spent. Lost points still spend budget:
+/// the attempts consumed real tool time. The miss is evaluated by
 /// [`ExecEngine::evaluate_ordered`] (single-point batch), so it benefits
 /// from the engine's oracle cache and its merged per-worker accounting.
 pub(crate) fn evaluate_into_db_with<B: EvalBackend + Sync>(
@@ -224,10 +247,11 @@ mod tests {
         let k = kernels::gemm_ncubed();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
+        let engine = ExecEngine::serial();
         let mut db = Database::new();
         let p = space.default_point();
-        let (r1, fresh1) = evaluate_into_db(&sim, &k, &space, &p, &mut db);
-        let (r2, fresh2) = evaluate_into_db(&sim, &k, &space, &p, &mut db);
+        let (r1, fresh1) = evaluate_into_db_with(&engine, &sim, &k, &space, &p, &mut db);
+        let (r2, fresh2) = evaluate_into_db_with(&engine, &sim, &k, &space, &p, &mut db);
         assert!(r1.is_some() && r2.is_some());
         assert!(fresh1);
         assert!(!fresh2);
@@ -243,7 +267,7 @@ mod tests {
         let mut db = Database::new();
         let p0 = space.default_point();
         // Pre-seed the db with p0 so it becomes a free hit.
-        evaluate_into_db(&sim, &k, &space, &p0, &mut db);
+        evaluate_into_db_with(&engine, &sim, &k, &space, &p0, &mut db);
 
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -293,7 +317,9 @@ mod tests {
             RetryPolicy::with_max_retries(0),
         );
         let mut db = Database::new();
-        let (r, fresh) = evaluate_into_db(&h, &k, &space, &space.default_point(), &mut db);
+        let engine = ExecEngine::serial();
+        let (r, fresh) =
+            evaluate_into_db_with(&engine, &h, &k, &space, &space.default_point(), &mut db);
         assert!(r.is_none());
         assert!(fresh, "failed attempts still consume tool budget");
         assert_eq!(db.len(), 0, "a lost point must not pollute the database");

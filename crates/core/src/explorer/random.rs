@@ -1,6 +1,6 @@
 //! Random explorer (§4.1): uniform configurations the guided explorers skip.
 
-use super::{evaluate_frontier, evaluate_into_db, Budget};
+use super::{evaluate_frontier, Budget, Explorer};
 use crate::db::Database;
 use crate::harness::EvalBackend;
 use crate::parallel::ExecEngine;
@@ -23,9 +23,9 @@ impl RandomExplorer {
         Self { seed }
     }
 
-    /// Samples random points until the budget is spent, recording every
-    /// evaluation into `db`. Returns the number of fresh evaluations.
-    pub fn explore<B: EvalBackend>(
+    /// Deprecated inherent shim for [`Explorer::explore`].
+    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
+    pub fn explore<B: EvalBackend + Sync>(
         &self,
         sim: &B,
         kernel: &Kernel,
@@ -33,40 +33,35 @@ impl RandomExplorer {
         db: &mut Database,
         budget: Budget,
     ) -> usize {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut evals = 0;
-        // Sampling may hit duplicates; bound the attempts so tiny spaces
-        // terminate.
-        let max_attempts = budget.max_evals.saturating_mul(20).max(64);
-        let mut attempts = 0;
-        while evals < budget.max_evals && attempts < max_attempts {
-            attempts += 1;
-            let p = space.random_point(&mut rng);
-            let (_, fresh) = evaluate_into_db(sim, kernel, space, &p, db);
-            if fresh {
-                evals += 1;
-            }
-        }
-        obs::metrics::counter_add_labeled("explorer.evals", "explorer", "random", evals as u64);
-        obs::debug!(
-            "explorer.done",
-            "random: {} evals on {}",
-            evals,
-            kernel.name();
-            explorer = "random",
-            kernel = kernel.name(),
-            evals = evals,
-        );
-        evals
+        Explorer::explore(self, sim, kernel, space, db, budget)
     }
 
-    /// Like [`Self::explore`], drawing fixed-size waves of samples and
-    /// scoring each wave as one batch on the engine's pool.
+    /// Deprecated inherent shim for [`Explorer::explore_with`].
+    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
+    pub fn explore_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+    ) -> usize {
+        Explorer::explore_with(self, engine, eval, kernel, space, db, budget)
+    }
+}
+
+impl Explorer for RandomExplorer {
+    /// The number of fresh evaluations spent.
+    type Log = usize;
+
+    /// Samples random points until the budget is spent, drawing fixed-size
+    /// waves and scoring each wave as one batch on the engine's pool.
     ///
     /// The wave size is a constant (not a function of the worker count), so
     /// the RNG stream — and with it the sampled points, the database, and
     /// the eval count — is identical at every `--jobs` setting.
-    pub fn explore_with<B: EvalBackend + Sync>(
+    fn explore_with<B: EvalBackend + Sync>(
         &self,
         engine: &ExecEngine,
         eval: &B,
@@ -78,6 +73,8 @@ impl RandomExplorer {
         const WAVE: usize = 64;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut evals = 0;
+        // Sampling may hit duplicates; bound the attempts so tiny spaces
+        // terminate.
         let max_attempts = budget.max_evals.saturating_mul(20).max(64);
         let mut attempts = 0;
         while evals < budget.max_evals && attempts < max_attempts {
@@ -114,7 +111,8 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let n = RandomExplorer::new(3).explore(&sim, &k, &space, &mut db, Budget::evals(40));
+        let n =
+            Explorer::explore(&RandomExplorer::new(3), &sim, &k, &space, &mut db, Budget::evals(40));
         assert_eq!(n, 40);
         assert_eq!(db.len(), 40);
     }
@@ -126,7 +124,14 @@ mod tests {
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
         // Budget exceeds the canonical space; attempts cap must stop it.
-        let n = RandomExplorer::new(4).explore(&sim, &k, &space, &mut db, Budget::evals(1000));
+        let n = Explorer::explore(
+            &RandomExplorer::new(4),
+            &sim,
+            &k,
+            &space,
+            &mut db,
+            Budget::evals(1000),
+        );
         assert!(n <= 45);
         assert!(db.len() <= 45);
     }
@@ -141,8 +146,15 @@ mod tests {
         for jobs in [1, 4, 8] {
             let engine = ExecEngine::with_jobs(jobs);
             let mut db = Database::new();
-            let n = RandomExplorer::new(3)
-                .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(40));
+            let n = Explorer::explore_with(
+                &RandomExplorer::new(3),
+                &engine,
+                &sim,
+                &k,
+                &space,
+                &mut db,
+                Budget::evals(40),
+            );
             assert_eq!(n, 40, "jobs={jobs}");
             match &reference {
                 None => reference = Some(db.entries().to_vec()),
@@ -152,27 +164,29 @@ mod tests {
     }
 
     #[test]
-    fn batched_random_terminates_on_tiny_spaces() {
-        let k = kernels::aes();
-        let space = DesignSpace::from_kernel(&k);
-        let sim = MerlinSimulator::new();
-        let engine = ExecEngine::with_jobs(4);
-        let mut db = Database::new();
-        let n = RandomExplorer::new(4)
-            .explore_with(&engine, &sim, &k, &space, &mut db, Budget::evals(1000));
-        assert!(n <= 45);
-        assert!(db.len() <= 45);
-    }
-
-    #[test]
     fn deterministic_under_seed() {
         let k = kernels::spmv_ellpack();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut a = Database::new();
         let mut b = Database::new();
-        RandomExplorer::new(9).explore(&sim, &k, &space, &mut a, Budget::evals(20));
-        RandomExplorer::new(9).explore(&sim, &k, &space, &mut b, Budget::evals(20));
+        Explorer::explore(&RandomExplorer::new(9), &sim, &k, &space, &mut a, Budget::evals(20));
+        Explorer::explore(&RandomExplorer::new(9), &sim, &k, &space, &mut b, Budget::evals(20));
         assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_trait_methods() {
+        let k = kernels::spmv_ellpack();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut via_shim = Database::new();
+        let mut via_trait = Database::new();
+        let e = RandomExplorer::new(11);
+        let n1 = e.explore(&sim, &k, &space, &mut via_shim, Budget::evals(15));
+        let n2 = Explorer::explore(&e, &sim, &k, &space, &mut via_trait, Budget::evals(15));
+        assert_eq!(n1, n2);
+        assert_eq!(via_shim.entries(), via_trait.entries());
     }
 }

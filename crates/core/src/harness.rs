@@ -13,7 +13,7 @@
 //! have slept (`HarnessStats::virtual_backoff_ms`) without actually
 //! sleeping, keeping simulated campaigns fast and fully deterministic.
 
-use merlin_sim::{HlsOracle, HlsResult, MerlinSimulator, OracleFailure};
+use merlin_sim::{FaultConfig, FaultyOracle, HlsOracle, HlsResult, MerlinSimulator, OracleFailure};
 
 use design_space::{DesignPoint, DesignSpace};
 use gdse_obs as obs;
@@ -304,6 +304,69 @@ impl<O: HlsOracle> EvalBackend for Harness<O> {
     }
 }
 
+/// Fluent construction of a [`Harness`]: retry discipline plus an optional
+/// fault-injection layer, in one place.
+///
+/// ```
+/// use gnn_dse::harness::{HarnessBuilder, RetryPolicy};
+/// use merlin_sim::FaultConfig;
+///
+/// let harness = HarnessBuilder::new()
+///     .faults(FaultConfig::uniform(0.1, 7))
+///     .max_retries(5)
+///     .build();
+/// assert_eq!(harness.policy().max_retries, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HarnessBuilder {
+    policy: RetryPolicy,
+    faults: FaultConfig,
+}
+
+impl Default for HarnessBuilder {
+    fn default() -> Self {
+        HarnessBuilder { policy: RetryPolicy::default(), faults: FaultConfig::none() }
+    }
+}
+
+impl HarnessBuilder {
+    /// A builder with the default retry policy and no fault injection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole retry policy.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the retry count, keeping the default backoff curve.
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.policy.max_retries = max_retries;
+        self
+    }
+
+    /// Injects faults per `config` between the oracle and the harness.
+    pub fn faults(mut self, config: FaultConfig) -> Self {
+        self.faults = config;
+        self
+    }
+
+    /// Builds the standard resilient backend: the analytical simulator
+    /// behind the configured fault injector behind the retrying harness.
+    pub fn build(self) -> Harness<FaultyOracle<MerlinSimulator>> {
+        self.build_with(MerlinSimulator::new())
+    }
+
+    /// Like [`HarnessBuilder::build`], wrapping an arbitrary `oracle`
+    /// instead of the analytical simulator. A [`FaultConfig::none`] layer is
+    /// pass-through, so the fault injector costs nothing when disabled.
+    pub fn build_with<O: HlsOracle>(self, oracle: O) -> Harness<FaultyOracle<O>> {
+        Harness::new(FaultyOracle::new(oracle, self.faults), self.policy)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +541,33 @@ mod tests {
         let stats = h.stats();
         assert_eq!(stats.successes + stats.losses(), 40, "every point accounted once");
         assert!(stats.attempts >= 40);
+    }
+
+    #[test]
+    fn builder_configures_policy_and_faults() {
+        let (k, space) = setup();
+        // No faults: every evaluation succeeds and matches the bare sim.
+        let clean = HarnessBuilder::new().max_retries(0).build();
+        let r = clean.evaluate(&k, &space, &space.default_point()).expect("no faults");
+        let expect = MerlinSimulator::new().evaluate(&k, &space, &space.default_point());
+        assert_eq!(r.cycles, expect.cycles);
+
+        // Full crash rate, zero retries: the configured layers must both be
+        // in effect (the fault fires, the policy refuses to retry).
+        let crashy = HarnessBuilder::new()
+            .faults(FaultConfig { crash_rate: 1.0, ..FaultConfig::none() })
+            .retry_policy(RetryPolicy::with_max_retries(0))
+            .build();
+        assert!(crashy.evaluate(&k, &space, &space.default_point()).is_err());
+        assert_eq!(crashy.stats().attempts, 1);
+    }
+
+    #[test]
+    fn builder_wraps_arbitrary_oracles() {
+        let (k, space) = setup();
+        let h = HarnessBuilder::new().max_retries(1).build_with(AlwaysCrash);
+        let err = h.evaluate(&k, &space, &space.default_point()).unwrap_err();
+        assert!(matches!(err, EvalError::Exhausted { attempts: 2, .. }));
     }
 
     #[test]

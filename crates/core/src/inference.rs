@@ -132,6 +132,17 @@ impl Predictor {
         ds
     }
 
+    /// Reassembles a predictor from its three models and normalizer — the
+    /// loading half of the binary artifact path (see [`crate::artifact`]).
+    pub fn from_parts(
+        classifier: PredictionModel,
+        regressor: PredictionModel,
+        bram_model: PredictionModel,
+        normalizer: Normalizer,
+    ) -> Self {
+        Self { classifier, regressor, bram_model, normalizer }
+    }
+
     /// The latency normalizer.
     pub fn normalizer(&self) -> &Normalizer {
         &self.normalizer

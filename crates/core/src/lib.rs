@@ -44,10 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod dataset;
 pub mod db;
 pub mod dbgen;
 pub mod dse;
+pub mod error;
 pub mod explorer;
 pub mod harness;
 pub mod inference;
@@ -55,14 +57,19 @@ pub mod parallel;
 pub mod persist;
 pub mod report;
 pub mod rounds;
+pub mod serving;
 pub mod trainer;
 
+pub use artifact::{decode_predictor, encode_predictor, ArtifactMeta, META_SCHEMA_VERSION};
 pub use dataset::{Dataset, Normalizer};
 pub use db::{Database, DbEntry, DbError};
 pub use dse::{pareto_front, run_dse, run_dse_with_engine, DseConfig, DseOutcome};
-pub use harness::{EvalBackend, EvalError, Harness, HarnessStats, RetryPolicy};
+pub use error::Error;
+pub use explorer::{Budget, Explorer};
+pub use harness::{EvalBackend, EvalError, Harness, HarnessBuilder, HarnessStats, RetryPolicy};
 pub use inference::{Prediction, Predictor};
-pub use parallel::ExecEngine;
+pub use parallel::{ExecEngine, ExecEngineBuilder};
 pub use report::{build_run_report, write_run_report};
 pub use rounds::{run_rounds, run_rounds_with_engine, RoundReport, RoundsConfig};
+pub use serving::PredictService;
 pub use trainer::{ClassificationMetrics, RegressionMetrics, TrainConfig};

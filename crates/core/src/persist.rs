@@ -23,6 +23,17 @@ use std::path::Path;
 /// untouched (a stale `.tmp` sibling may remain and is overwritten by the
 /// next attempt).
 pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    atomic_write_bytes(path, contents.as_bytes())
+}
+
+/// Atomically replaces `path` with raw `bytes` — the binary-artifact twin of
+/// [`atomic_write`], with the same tmp-sibling + fsync + rename discipline.
+///
+/// # Errors
+///
+/// Any I/O error from create/write/sync/rename; on error the destination is
+/// untouched.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let file_name = path.file_name().ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, format!("no file name in {}", path.display()))
     })?;
@@ -31,7 +42,7 @@ pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
     let tmp = path.with_file_name(tmp_name);
 
     let mut f = File::create(&tmp)?;
-    f.write_all(contents.as_bytes())?;
+    f.write_all(bytes)?;
     f.sync_all()?;
     drop(f);
     std::fs::rename(&tmp, path)

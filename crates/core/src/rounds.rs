@@ -52,6 +52,11 @@ pub struct RoundsConfig {
     /// Fine-tune the previous round's predictor on the augmented database
     /// instead of retraining from scratch (cheaper; the paper retrains).
     pub fine_tune: bool,
+    /// A pre-trained predictor (e.g. loaded from a `.gdse` artifact) used
+    /// as-is for round 1 instead of training from scratch; later rounds
+    /// retrain (or fine-tune) on the augmented database as usual. Ignored
+    /// when resuming from a checkpoint — the checkpointed state wins.
+    pub initial_model: Option<Predictor>,
     /// Abort (as if killed) after this many completed rounds — a test hook
     /// for exercising checkpoint/resume. `None` runs all rounds.
     pub stop_after: Option<usize>,
@@ -67,6 +72,7 @@ impl RoundsConfig {
             train_cfg: TrainConfig::quick().with_epochs(4),
             dse: DseConfig::quick(),
             fine_tune: false,
+            initial_model: None,
             stop_after: None,
         }
     }
@@ -300,7 +306,14 @@ pub fn run_rounds_with_engine<B: EvalBackend + Sync>(
                     (k.name().to_string(), best)
                 })
                 .collect();
-            (1, Vec::with_capacity(cfg.rounds), initial_best, vec![None; kernels.len()], None)
+            (
+                1,
+                Vec::with_capacity(cfg.rounds),
+                initial_best,
+                vec![None; kernels.len()],
+                // A preloaded model enters the loop as the carried state.
+                cfg.initial_model.clone(),
+            )
         }
     };
     // A checkpoint from a run with more rounds than requested: nothing to do.
@@ -310,6 +323,11 @@ pub fn run_rounds_with_engine<B: EvalBackend + Sync>(
         let predictor = {
             let _stage = obs::span::stage("train");
             match carried.take() {
+                // A preloaded artifact model serves round 1 exactly as
+                // saved — no retraining, predictions byte-identical to the
+                // model that wrote the artifact. (Resume never lands here:
+                // checkpoints always store `next_round >= 2`.)
+                Some(p) if round == 1 && cfg.initial_model.is_some() => p,
                 Some(mut p) if cfg.fine_tune => {
                     // Fine-tune the carried model on the augmented database
                     // with a third of the full budget.
@@ -447,6 +465,40 @@ mod tests {
         let reports = run_rounds(&mut db, &ks, &cfg);
         assert_eq!(reports.len(), 2);
         assert!(reports[1].avg_speedup >= reports[0].avg_speedup);
+    }
+
+    #[test]
+    fn preloaded_round_one_model_is_identical_in_memory_or_from_artifact() {
+        use crate::artifact::{decode_predictor, encode_predictor, ArtifactMeta};
+
+        let ks = vec![kernels::spmv_ellpack()];
+        let db0 = generate_database(&ks, &[("spmv-ellpack", 30)], 30, 31);
+        let (p, _) = Predictor::train(
+            &db0,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(2),
+        );
+        let meta = ArtifactMeta::describe(&p, &["spmv-ellpack".to_string()], 2);
+        let bytes = encode_predictor(&p, &meta).unwrap();
+        let (loaded, _) = decode_predictor(&bytes).unwrap();
+
+        let mut db_mem = db0.clone();
+        let mut db_loaded = db0.clone();
+        let base = RoundsConfig { rounds: 1, ..RoundsConfig::quick() };
+        let r_mem = run_rounds(
+            &mut db_mem,
+            &ks,
+            &RoundsConfig { initial_model: Some(p), ..base.clone() },
+        );
+        let r_loaded = run_rounds(
+            &mut db_loaded,
+            &ks,
+            &RoundsConfig { initial_model: Some(loaded), ..base },
+        );
+        assert_eq!(r_mem, r_loaded, "artifact round trip must not change the round");
+        assert_eq!(db_mem.entries(), db_loaded.entries());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! The [`gdse_serve`] backend: routes service requests through the
+//! [`ExecEngine`] prediction cache and [`Predictor::predict_batch`].
+//!
+//! [`PredictService`] is the glue between the model-agnostic TCP server and
+//! the GNN surrogate: it resolves kernel names to design spaces and program
+//! graphs (built once per kernel, on first use), bounds-checks design-point
+//! indices, and answers each micro-batch with one engine-routed
+//! `predict_ordered` call — so repeated queries hit the prediction cache and
+//! fresh ones amortize graph encoding across the batch, exactly like the
+//! offline DSE path.
+
+use crate::inference::Predictor;
+use crate::parallel::ExecEngine;
+use design_space::{DesignPoint, DesignSpace};
+use gdse_serve::{BatchPredictor, PredictionRow};
+use hls_ir::kernels;
+use proggraph::ProgramGraph;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Per-kernel state the service builds lazily and reuses across requests.
+struct KernelEntry {
+    space: DesignSpace,
+    graph: ProgramGraph,
+}
+
+/// A loaded predictor exposed as a [`BatchPredictor`] for [`gdse_serve`].
+pub struct PredictService {
+    predictor: Predictor,
+    engine: ExecEngine,
+    kernels: Mutex<HashMap<String, Arc<KernelEntry>>>,
+}
+
+impl PredictService {
+    /// Wraps a (typically artifact-loaded) predictor and an engine.
+    pub fn new(predictor: Predictor, engine: ExecEngine) -> Self {
+        PredictService { predictor, engine, kernels: Mutex::new(HashMap::new()) }
+    }
+
+    /// The wrapped predictor.
+    pub fn predictor(&self) -> &Predictor {
+        &self.predictor
+    }
+
+    /// Resolves `kernel`, building its design space and program graph on
+    /// first use. Knows every built-in kernel plus the `toy` example.
+    fn resolve(&self, kernel: &str) -> Result<Arc<KernelEntry>, String> {
+        let mut cache = self.kernels.lock().expect("kernel cache lock");
+        if let Some(entry) = cache.get(kernel) {
+            return Ok(Arc::clone(entry));
+        }
+        let k = if kernel == "toy" {
+            kernels::toy()
+        } else {
+            kernels::kernel_by_name(kernel)
+                .ok_or_else(|| format!("unknown kernel `{kernel}`"))?
+        };
+        let space = DesignSpace::from_kernel(&k);
+        let graph = proggraph::build_graph_bidirectional(&k, &space);
+        let entry = Arc::new(KernelEntry { space, graph });
+        cache.insert(kernel.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+}
+
+impl BatchPredictor for PredictService {
+    fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String> {
+        let entry = self.resolve(kernel)?;
+        let points: Vec<DesignPoint> = indices
+            .iter()
+            .map(|&i| {
+                if i >= entry.space.size() {
+                    Err(format!(
+                        "index {i} out of range for `{kernel}` (space size {})",
+                        entry.space.size()
+                    ))
+                } else {
+                    Ok(entry.space.point_at(i))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let preds = self.engine.predict_ordered(&self.predictor, &entry.graph, kernel, &points);
+        Ok(preds
+            .into_iter()
+            .map(|p| PredictionRow {
+                valid_prob: p.valid_prob,
+                cycles: p.cycles,
+                dsp: p.util.dsp,
+                bram: p.util.bram,
+                lut: p.util.lut,
+                ff: p.util.ff,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::generate_database;
+    use crate::trainer::TrainConfig;
+    use gdse_gnn::{ModelConfig, ModelKind};
+
+    fn tiny_service() -> PredictService {
+        let ks = vec![kernels::gemm_ncubed()];
+        let db = generate_database(&ks, &[], 20, 7);
+        let (p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(2),
+        );
+        PredictService::new(p, ExecEngine::serial())
+    }
+
+    #[test]
+    fn service_matches_direct_predict_batch() {
+        let svc = tiny_service();
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let graph = proggraph::build_graph_bidirectional(&k, &space);
+        let indices: Vec<u128> = (0..6).map(|i| i * 17 % space.size()).collect();
+        let points: Vec<_> = indices.iter().map(|&i| space.point_at(i)).collect();
+
+        let rows = svc.predict(k.name(), &indices).expect("serves");
+        let direct = svc.predictor().predict_batch(&graph, &points);
+        assert_eq!(rows.len(), direct.len());
+        for (r, d) in rows.iter().zip(&direct) {
+            assert_eq!(r.valid_prob.to_bits(), d.valid_prob.to_bits());
+            assert_eq!(r.cycles, d.cycles);
+            assert_eq!(r.dsp.to_bits(), d.util.dsp.to_bits());
+            assert_eq!(r.bram.to_bits(), d.util.bram.to_bits());
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_and_out_of_range_index_are_errors() {
+        let svc = tiny_service();
+        assert!(svc.predict("no-such-kernel", &[0]).is_err());
+        let k = kernels::gemm_ncubed();
+        let size = DesignSpace::from_kernel(&k).size();
+        let err = svc.predict(k.name(), &[size]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn repeated_queries_are_served_from_the_prediction_cache() {
+        use gdse_obs as obs;
+        obs::metrics::reset();
+        let svc = tiny_service();
+        let k = kernels::gemm_ncubed();
+        let indices: Vec<u128> = vec![1, 2, 3];
+        let first = svc.predict(k.name(), &indices).unwrap();
+        let before = obs::metrics::snapshot().counter("exec.cache_hits").unwrap_or(0);
+        let second = svc.predict(k.name(), &indices).unwrap();
+        let after = obs::metrics::snapshot().counter("exec.cache_hits").unwrap_or(0);
+        assert_eq!(first, second);
+        assert_eq!(after - before, 3, "second pass must be all cache hits");
+    }
+}

@@ -30,11 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod encoder;
 mod input;
 pub mod layers;
 mod model;
 
+pub use artifact::{Artifact, ArtifactError};
 pub use encoder::{ConvKind, EncoderOutput, GnnEncoder};
 pub use input::{GraphBatch, GraphInput};
 pub use model::{

@@ -1,0 +1,109 @@
+//! A small blocking client for the JSON-lines protocol — what the `gnndse
+//! predict --addr` subcommand and the e2e tests use.
+
+use crate::protocol::{Request, Response};
+use crate::ServeError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected protocol client issuing one request at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server, e.g. `"127.0.0.1:7878"`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), ServeError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ServeError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Protocol("server closed the connection".into()));
+        }
+        Response::parse(line.trim()).map_err(ServeError::Protocol)
+    }
+
+    /// Requests a prediction for `index` of `kernel` and waits for the
+    /// response (which may be a rejection or an error — inspect the variant).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures or an unparseable response.
+    pub fn predict(&mut self, id: u64, kernel: &str, index: u128) -> Result<Response, ServeError> {
+        let line = request_line(&Request::Predict { id, kernel: kernel.to_string(), index });
+        self.send_line(&line)?;
+        self.read_response()
+    }
+
+    /// Asks the server to shut down gracefully and waits for the
+    /// acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, or a non-acknowledgement response.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        self.send_line(&request_line(&Request::Shutdown))?;
+        match self.read_response()? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "expected shutdown acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Serializes a request as one JSON line (no trailing newline).
+pub(crate) fn request_line(request: &Request) -> String {
+    use serde::Value;
+    let value = match request {
+        Request::Predict { id, kernel, index } => Value::Map(vec![
+            ("id".into(), Value::Int(i128::from(*id))),
+            ("kernel".into(), Value::Str(kernel.clone())),
+            // i128 covers every index our design spaces produce; fall back
+            // to the string form for the (theoretical) top bit.
+            (
+                "index".into(),
+                match i128::try_from(*index) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::Str(index.to_string()),
+                },
+            ),
+        ]),
+        Request::Shutdown => Value::Map(vec![("shutdown".into(), Value::Bool(true))]),
+    };
+    serde_json::to_string(&value).expect("protocol values always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    #[test]
+    fn request_lines_round_trip_through_the_parser() {
+        for req in [
+            Request::Predict { id: 3, kernel: "aes".into(), index: 77 },
+            Request::Predict { id: 0, kernel: "gemm".into(), index: u128::MAX },
+            Request::Shutdown,
+        ] {
+            let line = request_line(&req);
+            assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+}

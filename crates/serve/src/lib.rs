@@ -1,0 +1,100 @@
+//! # gdse-serve
+//!
+//! The prediction service of the GNN-DSE reproduction: a JSON-lines-over-TCP
+//! server that answers surrogate QoR queries from a persisted model, built on
+//! `std` networking only (no external dependencies, matching the `gdse-obs` /
+//! `gdse-exec` pattern).
+//!
+//! The crate is deliberately model-agnostic: it knows nothing about GNNs,
+//! kernels, or design spaces. A backend implements [`BatchPredictor`]
+//! (`(kernel, design-point indices) -> prediction rows`), and the server
+//! supplies everything around it:
+//!
+//! * a **bounded request queue** — when it is full, new requests are
+//!   *rejected immediately* with a 429-style JSON response instead of
+//!   queueing unboundedly or hanging the client (backpressure);
+//! * a **micro-batcher** — one dispatcher thread drains the queue in batches
+//!   of up to `max_batch` requests, groups them by kernel, and answers each
+//!   group with a single [`BatchPredictor::predict`] call, so concurrent
+//!   clients amortize graph encoding exactly like the offline
+//!   `predict_batch` path;
+//! * **graceful shutdown** — a protocol-level `{"shutdown": true}` request,
+//!   a [`ServerHandle::shutdown`] call, or an optional served-request limit
+//!   all drain in-flight work before the server returns;
+//! * **`serve.*` metrics** — queue depth gauge, batch-size histogram, and a
+//!   request latency histogram (p50/p99 derivable from its buckets), merged
+//!   into the caller's [`gdse_obs`] registry when [`Server::run`] returns.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line, newline-terminated, over TCP:
+//!
+//! ```text
+//! -> {"id": 7, "kernel": "gemm-ncubed", "index": 123}
+//! <- {"id": 7, "status": "ok", "code": 200, "valid_prob": 0.93, "cycles": 5113,
+//!     "dsp": 0.21, "bram": 0.08, "lut": 0.17, "ff": 0.12}
+//! -> {"id": 8, "kernel": "gemm-ncubed", "index": 124}     (queue full)
+//! <- {"id": 8, "status": "rejected", "code": 429, "error": "prediction queue full"}
+//! -> {"shutdown": true}
+//! <- {"status": "shutting_down", "code": 200}
+//! ```
+//!
+//! Responses carry the request `id`, so a pipelining client can correlate
+//! them; the bundled [`Client`] issues one request at a time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod protocol;
+mod queue;
+mod server;
+
+pub use client::Client;
+pub use protocol::{parse_request, PredictionRow, Request, Response};
+pub use server::{BatchPredictor, ServeConfig, ServeStats, Server, ServerHandle};
+
+use std::fmt;
+use std::io;
+
+/// Failures of the serve layer (bind, socket I/O, malformed protocol).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not be bound.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A socket read/write failed.
+    Io(io::Error),
+    /// The peer sent something that is not valid protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::Io(e) => Some(e),
+            ServeError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,278 @@
+//! The JSON-lines wire protocol: request parsing and response formatting.
+//!
+//! Messages are built and inspected through the [`serde::Value`] data model
+//! directly (no derives), so the wire shape is explicit in this file and a
+//! malformed peer message degrades into a typed error string instead of a
+//! panic.
+
+use serde::Value;
+
+/// One predicted row, as served over the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionRow {
+    /// Probability the design synthesizes successfully.
+    pub valid_prob: f64,
+    /// Predicted latency in cycles.
+    pub cycles: u64,
+    /// Predicted DSP utilization.
+    pub dsp: f64,
+    /// Predicted BRAM utilization.
+    pub bram: f64,
+    /// Predicted LUT utilization.
+    pub lut: f64,
+    /// Predicted FF utilization.
+    pub ff: f64,
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict QoR of design-point `index` of `kernel`.
+    Predict {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Kernel name.
+        kernel: String,
+        /// Design-point index into the kernel's design space.
+        index: u128,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn as_u128(v: &Value) -> Option<u128> {
+    match v {
+        Value::Int(i) => u128::try_from(*i).ok(),
+        // Indices beyond i128 don't occur in practice, but accept strings so
+        // clients never have to worry about integer width.
+        Value::Str(s) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of what is malformed; the server
+/// reports it back as a `status: "error"` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let map = value.as_map().ok_or("request must be a JSON object")?;
+    if let Some(v) = get(map, "shutdown") {
+        if *v == Value::Bool(true) {
+            return Ok(Request::Shutdown);
+        }
+    }
+    let id = get(map, "id")
+        .and_then(as_u64)
+        .ok_or("request needs a non-negative integer `id`")?;
+    let kernel = get(map, "kernel")
+        .and_then(|v| v.as_str())
+        .ok_or("request needs a string `kernel`")?
+        .to_string();
+    let index = get(map, "index")
+        .and_then(as_u128)
+        .ok_or("request needs a non-negative integer `index`")?;
+    Ok(Request::Predict { id, kernel, index })
+}
+
+/// A server response, one per request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The prediction succeeded.
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// The predicted row.
+        row: PredictionRow,
+    },
+    /// The bounded queue was full — backpressure, try again later.
+    Rejected {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// The request was understood but could not be served.
+    Error {
+        /// Echo of the request id (0 when the id itself was unreadable).
+        id: u64,
+        /// HTTP-style status code (400 bad request, 503 unavailable).
+        code: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// Acknowledgement of a shutdown request.
+    ShuttingDown,
+}
+
+impl Response {
+    /// HTTP-style status code of this response.
+    pub fn code(&self) -> u32 {
+        match self {
+            Response::Ok { .. } | Response::ShuttingDown => 200,
+            Response::Rejected { .. } => 429,
+            Response::Error { code, .. } => *code,
+        }
+    }
+
+    /// Serializes the response as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let value = match self {
+            Response::Ok { id, row } => Value::Map(vec![
+                ("id".into(), Value::Int(i128::from(*id))),
+                ("status".into(), Value::Str("ok".into())),
+                ("code".into(), Value::Int(200)),
+                ("valid_prob".into(), Value::Float(row.valid_prob)),
+                ("cycles".into(), Value::Int(i128::from(row.cycles))),
+                ("dsp".into(), Value::Float(row.dsp)),
+                ("bram".into(), Value::Float(row.bram)),
+                ("lut".into(), Value::Float(row.lut)),
+                ("ff".into(), Value::Float(row.ff)),
+            ]),
+            Response::Rejected { id } => Value::Map(vec![
+                ("id".into(), Value::Int(i128::from(*id))),
+                ("status".into(), Value::Str("rejected".into())),
+                ("code".into(), Value::Int(429)),
+                ("error".into(), Value::Str("prediction queue full".into())),
+            ]),
+            Response::Error { id, code, message } => Value::Map(vec![
+                ("id".into(), Value::Int(i128::from(*id))),
+                ("status".into(), Value::Str("error".into())),
+                ("code".into(), Value::Int(i128::from(*code))),
+                ("error".into(), Value::Str(message.clone())),
+            ]),
+            Response::ShuttingDown => Value::Map(vec![
+                ("status".into(), Value::Str("shutting_down".into())),
+                ("code".into(), Value::Int(200)),
+            ]),
+        };
+        serde_json::to_string(&value).expect("protocol values always serialize")
+    }
+
+    /// Parses a response line (the client side of [`Response::to_json_line`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let value: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let map = value.as_map().ok_or("response must be a JSON object")?;
+        let status = get(map, "status")
+            .and_then(|v| v.as_str())
+            .ok_or("response needs a string `status`")?;
+        let id = get(map, "id").and_then(as_u64).unwrap_or(0);
+        match status {
+            "ok" => {
+                let f = |k: &str| {
+                    get(map, k)
+                        .and_then(as_f64)
+                        .ok_or_else(|| format!("ok response needs a number `{k}`"))
+                };
+                let cycles = get(map, "cycles")
+                    .and_then(as_u64)
+                    .ok_or("ok response needs an integer `cycles`")?;
+                Ok(Response::Ok {
+                    id,
+                    row: PredictionRow {
+                        valid_prob: f("valid_prob")?,
+                        cycles,
+                        dsp: f("dsp")?,
+                        bram: f("bram")?,
+                        lut: f("lut")?,
+                        ff: f("ff")?,
+                    },
+                })
+            }
+            "rejected" => Ok(Response::Rejected { id }),
+            "error" => Ok(Response::Error {
+                id,
+                code: get(map, "code").and_then(as_u64).unwrap_or(500) as u32,
+                message: get(map, "error")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            other => Err(format!("unknown response status `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> PredictionRow {
+        PredictionRow { valid_prob: 0.75, cycles: 1234, dsp: 0.1, bram: 0.2, lut: 0.3, ff: 0.4 }
+    }
+
+    #[test]
+    fn predict_request_round_trips() {
+        let r = parse_request(r#"{"id": 7, "kernel": "gemm-ncubed", "index": 123}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Predict { id: 7, kernel: "gemm-ncubed".into(), index: 123 }
+        );
+    }
+
+    #[test]
+    fn string_index_is_accepted() {
+        let r = parse_request(r#"{"id": 1, "kernel": "aes", "index": "340282366920938463463374607431768211455"}"#)
+            .unwrap();
+        assert_eq!(r, Request::Predict { id: 1, kernel: "aes".into(), index: u128::MAX });
+    }
+
+    #[test]
+    fn shutdown_request_parses() {
+        assert_eq!(parse_request(r#"{"shutdown": true}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+        assert!(parse_request(r#"{"id": 1, "kernel": "aes"}"#).is_err());
+        assert!(parse_request(r#"{"id": -4, "kernel": "aes", "index": 0}"#).is_err());
+        assert!(parse_request(r#"{"id": 1, "index": 0}"#).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ok { id: 9, row: sample_row() },
+            Response::Rejected { id: 3 },
+            Response::Error { id: 0, code: 400, message: "bad".into() },
+            Response::ShuttingDown,
+        ] {
+            let line = resp.to_json_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::parse(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_codes_follow_http_convention() {
+        assert_eq!(Response::Ok { id: 1, row: sample_row() }.code(), 200);
+        assert_eq!(Response::Rejected { id: 1 }.code(), 429);
+        assert_eq!(Response::Error { id: 1, code: 400, message: String::new() }.code(), 400);
+    }
+}

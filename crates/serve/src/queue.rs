@@ -1,0 +1,142 @@
+//! The bounded request queue between connection handlers and the batcher.
+//!
+//! `try_push` never blocks: a full (or closed) queue returns the item to the
+//! caller, which turns it into a 429-style rejection. That is the whole
+//! backpressure model — producers are rejected, never parked, so a client
+//! always gets *an* answer promptly.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A mutex+condvar bounded MPSC queue with batch draining.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+/// Why `try_push` gave the item back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            capacity,
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue returns the item.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed {
+            return Err((item, PushError::Closed));
+        }
+        if s.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for at least one item, then drains up to `max`.
+    /// Returns an empty vec on timeout; `None` once the queue is closed
+    /// *and* empty (the consumer's exit signal).
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Option<Vec<T>> {
+        let mut s = self.state.lock().expect("queue lock");
+        while s.items.is_empty() {
+            if s.closed {
+                return None;
+            }
+            let (next, wait) = self.ready.wait_timeout(s, timeout).expect("queue lock");
+            s = next;
+            if wait.timed_out() && s.items.is_empty() {
+                return if s.closed { None } else { Some(Vec::new()) };
+            }
+        }
+        let n = s.items.len().min(max.max(1));
+        Some(s.items.drain(..n).collect())
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Closes the queue: future pushes are rejected, the consumer drains
+    /// what is left and then sees `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_when_full_and_when_closed() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3).unwrap_err(), (3, PushError::Full));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push(4).unwrap_err(), (4, PushError::Closed));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.try_push(1).unwrap_err(), (1, PushError::Full));
+    }
+
+    #[test]
+    fn drains_in_fifo_batches() {
+        let q = BoundedQueue::new(10);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let a = q.pop_batch(3, Duration::from_millis(10)).unwrap();
+        assert_eq!(a, vec![0, 1, 2]);
+        let b = q.pop_batch(3, Duration::from_millis(10)).unwrap();
+        assert_eq!(b, vec![3, 4]);
+        assert_eq!(q.pop_batch(3, Duration::from_millis(1)), Some(vec![]));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(10);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(8, Duration::from_millis(10)), Some(vec![1]));
+        assert_eq!(q.pop_batch(8, Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn waiting_consumer_wakes_on_push() {
+        use std::sync::Arc;
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_batch(4, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(t.join().unwrap(), Some(vec![42]));
+    }
+}

@@ -1,0 +1,656 @@
+//! The prediction server: accept loop, connection handlers, micro-batcher.
+//!
+//! Thread model: the accept loop runs on the caller's thread
+//! ([`Server::run`]), one handler thread per connection parses requests and
+//! writes responses, and a single batcher thread drains the bounded queue
+//! and calls the [`BatchPredictor`]. Handler and batcher threads record into
+//! their own thread-local [`gdse_obs`] registries; each snapshot is
+//! accumulated at thread exit and merged into the caller's registry when
+//! `run` returns, so `run_report.json` sees one consistent `serve.*` total.
+//!
+//! ## Metric catalog (`serve.*`)
+//!
+//! | metric | type | meaning |
+//! |---|---|---|
+//! | `serve.connections` | counter | accepted TCP connections |
+//! | `serve.requests` | counter | parsed predict requests |
+//! | `serve.rejected` | counter | requests bounced off the full queue (429) |
+//! | `serve.errors` | counter | malformed/unservable requests |
+//! | `serve.predictions` | counter | rows answered with `status: ok` |
+//! | `serve.batches` | counter | predictor micro-batches dispatched |
+//! | `serve.batch_size` | histogram | requests per micro-batch ([`BATCH_EDGES`]) |
+//! | `serve.queue_depth` | gauge | queue depth after the last drain |
+//! | `serve.latency_us` | histogram | enqueue-to-response latency (p50/p99) |
+
+use crate::protocol::{parse_request, PredictionRow, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::ServeError;
+use gdse_obs as obs;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Bucket edges of the `serve.batch_size` histogram.
+pub const BATCH_EDGES: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// How long blocked reads/waits sleep before re-checking the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// The model backend the server batches requests into.
+///
+/// Implementations answer one kernel's worth of design-point indices per
+/// call — the natural unit for amortized graph encoding. `Err` fails the
+/// whole group (e.g. unknown kernel); per-row failure is not modelled.
+pub trait BatchPredictor: Send + Sync {
+    /// Predicts QoR for `indices` of `kernel`'s design space, one row per
+    /// index, in order.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason the group cannot be served (reported to each
+    /// client as a `status: "error"` response).
+    fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String>;
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded queue capacity; a full queue rejects with 429 (0 rejects
+    /// everything — useful for drills).
+    pub queue_capacity: usize,
+    /// Most requests dispatched to the predictor in one micro-batch.
+    pub max_batch: usize,
+    /// Stop (gracefully) after answering this many predict requests.
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { queue_capacity: 64, max_batch: 16, max_requests: None }
+    }
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Predict requests answered with `status: ok`.
+    pub served: u64,
+    /// Requests rejected off the full queue.
+    pub rejected: u64,
+    /// Requests answered with `status: error`.
+    pub errors: u64,
+}
+
+struct Job {
+    id: u64,
+    kernel: String,
+    index: u128,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    max_requests: Option<u64>,
+    addr: SocketAddr,
+    /// Thread-local registries of exited handler/batcher threads, merged
+    /// into the caller's registry when `run` returns.
+    registries: Mutex<Vec<obs::metrics::MetricsSnapshot>>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.close();
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn park_registry(&self) {
+        let snap = obs::metrics::snapshot();
+        self.registries.lock().expect("registry lock").push(snap);
+        obs::metrics::reset();
+    }
+}
+
+/// A bound, not-yet-running prediction server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    predictor: Arc<dyn BatchPredictor>,
+    max_batch: usize,
+}
+
+/// Clonable remote control of a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates graceful shutdown: the queue drains, in-flight requests are
+    /// answered, then [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Current depth of the bounded request queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7878"`, or port 0 for an ephemeral
+    /// port) and prepares the server around `predictor`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address cannot be bound.
+    pub fn bind(
+        addr: &str,
+        config: ServeConfig,
+        predictor: impl BatchPredictor + 'static,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|source| ServeError::Bind { addr: addr.to_string(), source })?;
+        let local = listener.local_addr().map_err(ServeError::Io)?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            max_requests: config.max_requests,
+            addr: local,
+            registries: Mutex::new(Vec::new()),
+        });
+        Ok(Server {
+            listener,
+            shared,
+            predictor: Arc::new(predictor),
+            max_batch: config.max_batch.max(1),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Runs until a shutdown request, a [`ServerHandle::shutdown`], or the
+    /// configured request limit; drains in-flight work, folds every worker
+    /// thread's `serve.*` metrics into the caller's registry, and reports
+    /// what happened.
+    pub fn run(self) -> ServeStats {
+        let Server { listener, shared, predictor, max_batch } = self;
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared, predictor.as_ref(), max_batch))
+        };
+
+        let mut handlers = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let shared = Arc::clone(&shared);
+                    handlers.push(std::thread::spawn(move || handle_connection(stream, &shared)));
+                }
+                Err(_) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            }
+        }
+        drop(listener);
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = batcher.join();
+
+        for snap in shared.registries.lock().expect("registry lock").drain(..) {
+            obs::metrics::merge(&snap);
+        }
+        ServeStats {
+            served: shared.served.load(Ordering::SeqCst),
+            rejected: shared.rejected.load(Ordering::SeqCst),
+            errors: shared.errors.load(Ordering::SeqCst),
+        }
+    }
+}
+
+fn answer(shared: &Shared, job: Job, response: Response) {
+    obs::metrics::observe_us("serve.latency_us", job.enqueued.elapsed().as_micros() as u64);
+    match &response {
+        Response::Ok { .. } => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            obs::metrics::counter_inc("serve.predictions");
+        }
+        _ => {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            obs::metrics::counter_inc("serve.errors");
+        }
+    }
+    let _ = job.reply.send(response);
+}
+
+fn batcher_loop(shared: &Shared, predictor: &dyn BatchPredictor, max_batch: usize) {
+    loop {
+        let batch = match shared.queue.pop_batch(max_batch, POLL) {
+            None => break, // closed and fully drained
+            Some(b) if b.is_empty() => continue,
+            Some(b) => b,
+        };
+        obs::metrics::gauge_set("serve.queue_depth", shared.queue.len() as f64);
+        obs::metrics::counter_inc("serve.batches");
+        obs::metrics::observe_with_edges("serve.batch_size", &BATCH_EDGES, batch.len() as u64);
+
+        // Group by kernel, preserving arrival order, so each group is one
+        // predictor call with an amortized forward pass.
+        let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
+        for job in batch {
+            match groups.iter_mut().find(|(k, _)| *k == job.kernel) {
+                Some((_, jobs)) => jobs.push(job),
+                None => groups.push((job.kernel.clone(), vec![job])),
+            }
+        }
+        for (kernel, jobs) in groups {
+            let indices: Vec<u128> = jobs.iter().map(|j| j.index).collect();
+            match predictor.predict(&kernel, &indices) {
+                Ok(rows) if rows.len() == jobs.len() => {
+                    for (job, row) in jobs.into_iter().zip(rows) {
+                        let id = job.id;
+                        answer(shared, job, Response::Ok { id, row });
+                    }
+                }
+                Ok(rows) => {
+                    let msg = format!(
+                        "backend returned {} row(s) for {} request(s)",
+                        rows.len(),
+                        jobs.len()
+                    );
+                    for job in jobs {
+                        let id = job.id;
+                        answer(
+                            shared,
+                            job,
+                            Response::Error { id, code: 500, message: msg.clone() },
+                        );
+                    }
+                }
+                Err(message) => {
+                    for job in jobs {
+                        let id = job.id;
+                        answer(
+                            shared,
+                            job,
+                            Response::Error { id, code: 400, message: message.clone() },
+                        );
+                    }
+                }
+            }
+        }
+
+        if let Some(limit) = shared.max_requests {
+            let answered = shared.served.load(Ordering::SeqCst)
+                + shared.errors.load(Ordering::SeqCst);
+            if answered >= limit {
+                shared.begin_shutdown();
+            }
+        }
+    }
+    shared.park_registry();
+}
+
+fn write_line(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut line = response.to_json_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    obs::metrics::counter_inc("serve.connections");
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            shared.park_registry();
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    'conn: loop {
+        line.clear();
+        // Retry timed-out reads so a quiet connection notices shutdown;
+        // read_line appends, so a partial line survives the retry.
+        let read = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn,
+            }
+        };
+        if read == 0 {
+            break; // EOF: client hung up
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_request(trimmed) {
+            Err(message) => {
+                obs::metrics::counter_inc("serve.errors");
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                let resp = Response::Error { id: 0, code: 400, message };
+                if write_line(&mut writer, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(Request::Shutdown) => {
+                let _ = write_line(&mut writer, &Response::ShuttingDown);
+                shared.begin_shutdown();
+                break;
+            }
+            Ok(Request::Predict { id, kernel, index }) => {
+                obs::metrics::counter_inc("serve.requests");
+                let (tx, rx) = mpsc::channel();
+                let job = Job { id, kernel, index, enqueued: Instant::now(), reply: tx };
+                let response = match shared.queue.try_push(job) {
+                    Err((_, PushError::Full)) => {
+                        obs::metrics::counter_inc("serve.rejected");
+                        shared.rejected.fetch_add(1, Ordering::SeqCst);
+                        Response::Rejected { id }
+                    }
+                    Err((_, PushError::Closed)) => Response::Error {
+                        id,
+                        code: 503,
+                        message: "server is shutting down".into(),
+                    },
+                    Ok(()) => rx.recv_timeout(Duration::from_secs(60)).unwrap_or(
+                        Response::Error {
+                            id,
+                            code: 503,
+                            message: "server stopped before answering".into(),
+                        },
+                    ),
+                };
+                if write_line(&mut writer, &response).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    shared.park_registry();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Client;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    /// Deterministic backend: row fields are pure functions of the inputs.
+    struct EchoBackend;
+
+    fn echo_row(kernel: &str, index: u128) -> PredictionRow {
+        PredictionRow {
+            valid_prob: (index % 100) as f64 / 100.0,
+            cycles: (index as u64).wrapping_mul(3).wrapping_add(kernel.len() as u64),
+            dsp: (index % 5) as f64 / 10.0,
+            bram: (index % 7) as f64,
+            lut: kernel.len() as f64,
+            ff: (index % 13) as f64,
+        }
+    }
+
+    impl BatchPredictor for EchoBackend {
+        fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String> {
+            if kernel == "no-such-kernel" {
+                return Err(format!("unknown kernel `{kernel}`"));
+            }
+            Ok(indices.iter().map(|&i| echo_row(kernel, i)).collect())
+        }
+    }
+
+    /// Backend whose first call announces itself and then blocks on a
+    /// barrier — pins later jobs in the queue for backpressure tests.
+    struct GatedBackend {
+        gate: Arc<Barrier>,
+        calls: Arc<AtomicUsize>,
+    }
+
+    impl BatchPredictor for GatedBackend {
+        fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String> {
+            if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                self.gate.wait();
+            }
+            Ok(indices.iter().map(|&i| echo_row(kernel, i)).collect())
+        }
+    }
+
+    fn start(
+        config: ServeConfig,
+        backend: impl BatchPredictor + 'static,
+    ) -> (ServerHandle, std::thread::JoinHandle<ServeStats>) {
+        let server = Server::bind("127.0.0.1:0", config, backend).expect("bind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    fn wait_until(deadline_ms: u64, what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_get_deterministic_answers() {
+        let (handle, join) = start(ServeConfig::default(), EchoBackend);
+        let addr = handle.addr().to_string();
+        std::thread::scope(|s| {
+            for c in 0..6u64 {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    for i in 0..10u64 {
+                        let idx = u128::from(c * 1_000 + i);
+                        let resp = client.predict(c * 100 + i, "gemm", idx).expect("predict");
+                        match resp {
+                            Response::Ok { id, row } => {
+                                assert_eq!(id, c * 100 + i);
+                                assert_eq!(row, echo_row("gemm", idx), "responses are pure");
+                            }
+                            other => panic!("expected ok, got {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert_eq!(stats.served, 60);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_hanging() {
+        let gate = Arc::new(Barrier::new(2));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let backend = GatedBackend { gate: Arc::clone(&gate), calls: Arc::clone(&calls) };
+        let config = ServeConfig { queue_capacity: 1, max_batch: 1, max_requests: None };
+        let (handle, join) = start(config, backend);
+        let addr = handle.addr().to_string();
+
+        // Request 1 is popped by the batcher and blocks inside the backend.
+        let first = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                c.predict(1, "gemm", 10).expect("predict")
+            })
+        };
+        wait_until(5_000, "first batch to reach the backend", || {
+            calls.load(Ordering::SeqCst) >= 1
+        });
+
+        // Request 2 occupies the single queue slot (response arrives later).
+        let second = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                c.predict(2, "gemm", 20).expect("predict")
+            })
+        };
+        wait_until(5_000, "second request to occupy the queue", || handle.queue_depth() == 1);
+
+        // Request 3 finds the queue full: immediate 429, no hang.
+        let mut c3 = Client::connect(&addr).expect("connect");
+        let started = Instant::now();
+        let rejected = c3.predict(3, "gemm", 30).expect("predict");
+        assert_eq!(rejected, Response::Rejected { id: 3 });
+        assert_eq!(rejected.code(), 429);
+        assert!(started.elapsed() < Duration::from_secs(5), "rejection must be prompt");
+
+        // Open the gate: the pinned and queued requests complete normally.
+        gate.wait();
+        assert!(matches!(first.join().unwrap(), Response::Ok { id: 1, .. }));
+        assert!(matches!(second.join().unwrap(), Response::Ok { id: 2, .. }));
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn backend_errors_are_reported_not_fatal() {
+        let (handle, join) = start(ServeConfig::default(), EchoBackend);
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        match client.predict(5, "no-such-kernel", 1).expect("roundtrip") {
+            Response::Error { id: 5, code: 400, message } => {
+                assert!(message.contains("no-such-kernel"));
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        // The server is still healthy.
+        assert!(matches!(
+            client.predict(6, "gemm", 2).expect("roundtrip"),
+            Response::Ok { id: 6, .. }
+        ));
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn malformed_lines_get_400() {
+        let (handle, join) = start(ServeConfig::default(), EchoBackend);
+        let addr = handle.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"this is not json\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match Response::parse(line.trim()).unwrap() {
+            Response::Error { code: 400, .. } => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn protocol_shutdown_drains_and_exits() {
+        let (handle, join) = start(ServeConfig::default(), EchoBackend);
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        assert!(matches!(
+            client.predict(1, "gemm", 1).expect("roundtrip"),
+            Response::Ok { .. }
+        ));
+        client.shutdown_server().expect("shutdown ack");
+        let stats = join.join().unwrap();
+        let _ = handle;
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn request_limit_stops_the_server() {
+        let config = ServeConfig { max_requests: Some(3), ..ServeConfig::default() };
+        let (_handle, join) = start(config, EchoBackend);
+        let addr = _handle.addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        for i in 0..3u64 {
+            assert!(matches!(
+                client.predict(i, "gemm", u128::from(i)).expect("roundtrip"),
+                Response::Ok { .. }
+            ));
+        }
+        // No explicit shutdown: the limit ends the run.
+        let stats = join.join().unwrap();
+        assert_eq!(stats.served, 3);
+    }
+
+    #[test]
+    fn serve_metrics_are_merged_into_the_caller() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig::default(), EchoBackend).expect("bind");
+        let handle = server.handle();
+        // The merge lands in the registry of the thread that calls `run`,
+        // so capture that thread's snapshot alongside the stats.
+        let join = std::thread::spawn(move || {
+            obs::metrics::reset();
+            let stats = server.run();
+            (stats, obs::metrics::snapshot())
+        });
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        for i in 0..5u64 {
+            client.predict(i, "gemm", u128::from(i)).expect("roundtrip");
+        }
+        drop(client);
+        handle.shutdown();
+        let (_stats, snap) = join.join().unwrap();
+        assert_eq!(snap.counter("serve.requests"), Some(5));
+        assert_eq!(snap.counter("serve.predictions"), Some(5));
+        assert_eq!(snap.counter("serve.connections"), Some(1));
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve.batch_size")
+            .expect("batch-size histogram present");
+        assert!(hist.count >= 1);
+        assert!(snap.histograms.iter().any(|h| h.name == "serve.latency_us"));
+    }
+}

@@ -7,7 +7,7 @@
 
 use design_space::DesignSpace;
 use gnn_dse::explorer::{BottleneckExplorer, Budget, HybridExplorer, RandomExplorer};
-use gnn_dse::{pareto_front, Database};
+use gnn_dse::{pareto_front, Database, Explorer};
 use hls_ir::kernels;
 use merlin_sim::MerlinSimulator;
 
@@ -18,7 +18,14 @@ fn main() {
     let mut db = Database::new();
 
     // 1. The AutoDSE-style bottleneck optimizer finds high-quality designs.
-    let log = BottleneckExplorer::new().explore(&sim, &kernel, &space, &mut db, Budget::evals(80));
+    let log = Explorer::explore(
+        &BottleneckExplorer::new(),
+        &sim,
+        &kernel,
+        &space,
+        &mut db,
+        Budget::evals(80),
+    );
     println!(
         "bottleneck: {} evals, {:.0} modelled tool-minutes, best = {:?} cycles",
         log.evals,
@@ -27,11 +34,18 @@ fn main() {
     );
 
     // 2. The hybrid explorer adds neighbors of the incumbents.
-    let log = HybridExplorer::with_seed(1).explore(&sim, &kernel, &space, &mut db, Budget::evals(60));
+    let log = Explorer::explore(
+        &HybridExplorer::with_seed(1),
+        &sim,
+        &kernel,
+        &space,
+        &mut db,
+        Budget::evals(60),
+    );
     println!("hybrid    : db now {} entries (best {:?})", db.len(), log.best.map(|(_, r)| r.cycles));
 
     // 3. The random explorer covers what the guided ones skip.
-    RandomExplorer::new(2).explore(&sim, &kernel, &space, &mut db, Budget::evals(60));
+    Explorer::explore(&RandomExplorer::new(2), &sim, &kernel, &space, &mut db, Budget::evals(60));
     println!("random    : db now {} entries", db.len());
 
     // Database statistics (the Table 1 shape).

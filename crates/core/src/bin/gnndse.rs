@@ -14,6 +14,8 @@
 //! gnndse rounds <db.json>                          iterative DSE rounds (Fig. 7);
 //!                                                  --model model.gdse seeds round 1
 //! gnndse serve --model model.gdse                  serve predictions over JSON-lines TCP
+//! gnndse admin <addr> <reload|kill-replica N|shutdown>   control a running server
+//! gnndse chaos-proxy --upstream H:P                TCP fault-injection proxy (tests/CI)
 //! ```
 //!
 //! Model files are sniffed by content: binary `.gdse` artifacts (written by
@@ -28,11 +30,22 @@
 //! aborting the run. `rounds` additionally supports crash-safe
 //! `--checkpoint <file>` persistence and `--resume`.
 //!
-//! `serve` loads an artifact once and answers concurrent clients through a
+//! `serve` answers concurrent clients through a supervised pool of
+//! `--replicas N` workers, each owning its own copy of the model behind a
 //! bounded queue with micro-batched inference (`--queue`, `--batch`); a full
-//! queue rejects with a 429-style response instead of stalling, and
-//! `--max-requests N` stops the server gracefully after N answers (useful
-//! for smoke tests). `serve.*` metrics land in `--metrics-out`.
+//! queue rejects with a 429-style response instead of stalling, a crashed
+//! or wedged replica restarts under supervision while its requests are
+//! re-routed to siblings, and `--max-requests N` stops the server
+//! gracefully after N answers (useful for smoke tests). With a `.gdse`
+//! artifact, `--reload` watches the file and hot-swaps the model with
+//! zero downtime whenever it changes (a `gnndse admin <addr> reload`
+//! forces the same swap); a corrupt replacement is rejected — checksum
+//! plus canary prediction — and the previous model keeps serving.
+//! `serve.*` metrics land in `--metrics-out`.
+//!
+//! `chaos-proxy` places deterministic TCP faults (drop / delay / truncate
+//! / mid-response-kill) between a client and a server — how the chaos
+//! tests and the CI smoke prove the resilience story end to end.
 //!
 //! `gendb`, `rounds` and `dse` also take the observability flags
 //! `--log-level <error|warn|info|debug|trace>`, `--log-json <log.jsonl>`
@@ -44,13 +57,13 @@
 use design_space::DesignSpace;
 use gdse_gnn::{ModelConfig, ModelKind};
 use gdse_obs as obs;
-use gdse_serve::{Client, Response, ServeConfig, Server};
+use gdse_serve::{ChaosConfig, ChaosProxy, Client, ClientConfig, Response, ServeConfig, Server};
 use gnn_dse::dse::{run_dse_with_engine, DseConfig};
 use gnn_dse::harness::{HarnessBuilder, RetryPolicy};
 use gnn_dse::parallel::ExecEngine;
 use gnn_dse::rounds::{run_rounds_with_engine, RoundsConfig};
 use gnn_dse::trainer::TrainConfig;
-use gnn_dse::{dbgen, ArtifactMeta, Database, PredictService, Predictor};
+use gnn_dse::{dbgen, ArtifactMeta, ArtifactProvider, Database, PredictService, Predictor};
 use hls_ir::kernels;
 use merlin_sim::{FaultConfig, MerlinSimulator};
 use proggraph::build_graph_bidirectional;
@@ -58,7 +71,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,9 +86,11 @@ fn main() -> ExitCode {
         Some("predict") => cmd_predict(&args[1..]),
         Some("rounds") => cmd_rounds(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("admin") => cmd_admin(&args[1..]),
+        Some("chaos-proxy") => cmd_chaos_proxy(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict|rounds|serve> ..."
+                "usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict|rounds|serve|admin|chaos-proxy> ..."
             );
             eprintln!("see the crate docs for details");
             return ExitCode::from(2);
@@ -650,21 +665,33 @@ fn cmd_dse(args: &[String]) -> CliResult {
 }
 
 fn cmd_predict(args: &[String]) -> CliResult {
-    let (pos, flags) = split_flags(args, &["addr", "id"], &[])?;
+    let (pos, flags) =
+        split_flags(args, &["addr", "id", "retries", "timeout", "connect-timeout"], &[])?;
     let usage = "usage: gnndse predict <model> <kernel> <index> \
-                 (or: gnndse predict <kernel> <index> --addr HOST:PORT [--id N])";
+                 (or: gnndse predict <kernel> <index> --addr HOST:PORT \
+                 [--id N] [--retries N] [--timeout MS] [--connect-timeout MS])";
     if let Some(addr) = flags.get("addr") {
         let [kernel, index] = &pos[..] else {
             return Err(usage.into());
         };
         let index: u128 = index.parse().map_err(|e| format!("bad index: {e}"))?;
         let id: u64 = flag_or(&flags, "id", 1)?;
-        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        let retries: u32 = flag_or(&flags, "retries", 3)?;
+        let timeout_ms: u64 = flag_or(&flags, "timeout", 30_000)?;
+        let connect_ms: u64 = flag_or(&flags, "connect-timeout", 5_000)?;
+        let client_config = ClientConfig {
+            connect_timeout: Duration::from_millis(connect_ms),
+            read_timeout: Some(Duration::from_millis(timeout_ms)),
+            retries,
+            ..ClientConfig::default()
+        };
+        let mut client = Client::connect_with(addr, client_config).map_err(|e| e.to_string())?;
         let start = Instant::now();
         let response = client.predict(id, kernel, index).map_err(|e| e.to_string())?;
         match response {
-            Response::Ok { id, row } => {
+            Response::Ok { id, epoch, row } => {
                 println!("id        : {id}");
+                println!("epoch     : {epoch}");
                 println!("valid prob: {:.3}", row.valid_prob);
                 println!("cycles    : {}", row.cycles);
                 println!(
@@ -674,11 +701,11 @@ fn cmd_predict(args: &[String]) -> CliResult {
                 println!("latency   : {:?} (round trip)", start.elapsed());
                 Ok(())
             }
-            Response::Rejected { .. } => {
-                Err("rejected (429): prediction queue full, try again later".into())
-            }
+            Response::Rejected { retry_after_ms, .. } => Err(format!(
+                "rejected (429): prediction queue full, retry in {retry_after_ms} ms"
+            )),
             Response::Error { code, message, .. } => Err(format!("server error {code}: {message}")),
-            Response::ShuttingDown => Err("server is shutting down".into()),
+            other => Err(format!("unexpected response: {other:?}")),
         }
     } else {
         let [model_path, kernel, index] = &pos[..] else {
@@ -717,14 +744,18 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "queue",
             "batch",
             "max-requests",
+            "replicas",
+            "request-timeout",
+            "idle-timeout",
             "log-level",
             "log-json",
             "metrics-out",
         ],
-        &[],
+        &["reload"],
     )?;
     let usage = "usage: gnndse serve --model model.gdse [--addr 127.0.0.1:7878] [--jobs N] \
-                 [--queue N] [--batch N] [--max-requests N] \
+                 [--queue N] [--batch N] [--max-requests N] [--replicas N] [--reload] \
+                 [--request-timeout MS] [--idle-timeout MS] \
                  [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
     if !pos.is_empty() {
         return Err(format!("unexpected positional arguments\n{usage}"));
@@ -742,20 +773,89 @@ fn cmd_serve(args: &[String]) -> CliResult {
         Some(v) => Some(v.parse().map_err(|e| format!("bad value for --max-requests: {e}"))?),
         None => None,
     };
-
-    let predictor = {
-        let _io = obs::span::stage("io");
-        load_model(Path::new(model_path))?
+    let replicas: usize = flag_or(&flags, "replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let request_timeout_ms: u64 = flag_or(&flags, "request-timeout", 60_000)?;
+    let idle_timeout: Option<Duration> = match flags.get("idle-timeout") {
+        Some(v) => Some(Duration::from_millis(
+            v.parse().map_err(|e| format!("bad value for --idle-timeout: {e}"))?,
+        )),
+        None => None,
     };
-    let engine = jobs_arg(&flags)?;
-    let service = PredictService::new(predictor, engine);
-    let config = ServeConfig { queue_capacity, max_batch, max_requests };
-    let server = Server::bind(&addr, config, service).map_err(|e| e.to_string())?;
+    let watch = flags.contains_key("reload");
+
+    // Split the worker budget across replicas: each replica owns a private
+    // engine, so N replicas × per-replica jobs ≈ the machine budget.
+    let total_jobs: usize = flag_or(&flags, "jobs", {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })?;
+    if total_jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let per_replica_jobs = (total_jobs / replicas).max(1);
+
+    let config = ServeConfig {
+        queue_capacity,
+        max_batch,
+        max_requests,
+        replicas,
+        request_timeout: Duration::from_millis(request_timeout_ms),
+        idle_timeout,
+        reload_watch: watch.then(|| Duration::from_millis(500)),
+        ..ServeConfig::default()
+    };
+
+    // A binary artifact gets the versioned hot-swap provider; a legacy
+    // JSON model can still be served, but only statically.
+    let bytes =
+        std::fs::read(Path::new(model_path)).map_err(|e| format!("{model_path}: {e}"))?;
+    let server = if bytes.starts_with(&gdse_gnn::artifact::MAGIC) {
+        let provider = {
+            let _io = obs::span::stage("io");
+            ArtifactProvider::open(Path::new(model_path), per_replica_jobs)?
+        };
+        let meta = provider.meta();
+        obs::info!(
+            "model.loaded",
+            "loaded artifact {model_path} ({}, {} kernels, {} epochs, seed {})",
+            meta.model,
+            meta.kernels.len(),
+            meta.epochs,
+            meta.seed;
+            model = meta.model,
+            kernels = meta.kernels.len(),
+        );
+        Server::bind_with_provider(&addr, config, std::sync::Arc::new(provider))
+            .map_err(|e| e.to_string())?
+    } else {
+        if watch {
+            return Err(
+                "--reload needs a binary .gdse artifact (JSON models are served statically)"
+                    .into(),
+            );
+        }
+        let predictor = {
+            let _io = obs::span::stage("io");
+            load_model(Path::new(model_path))?
+        };
+        let engine = if per_replica_jobs <= 1 {
+            ExecEngine::serial()
+        } else {
+            ExecEngine::builder().jobs(per_replica_jobs).build()
+        };
+        let service = PredictService::new(predictor, engine);
+        Server::bind(&addr, config, service).map_err(|e| e.to_string())?
+    };
     let local = server.local_addr();
     obs::info!(
         "serve.listening",
-        "serving predictions on {local} (queue {queue_capacity}, batch {max_batch})";
+        "serving predictions on {local} ({replicas} replica(s) × {per_replica_jobs} job(s), \
+         queue {queue_capacity}, batch {max_batch}{})",
+        if watch { ", watching artifact for hot swap" } else { "" };
         addr = local.to_string(),
+        replicas = replicas,
         queue = queue_capacity,
         batch = max_batch,
     );
@@ -769,16 +869,132 @@ fn cmd_serve(args: &[String]) -> CliResult {
     };
     obs::info!(
         "serve.done",
-        "served {} predictions ({} rejected, {} errors)",
+        "served {} predictions ({} rejected, {} errors, {} rerouted, \
+         {} replica restarts, {} reloads, {} reload failures)",
         stats.served,
         stats.rejected,
-        stats.errors;
+        stats.errors,
+        stats.rerouted,
+        stats.replica_restarts,
+        stats.reloads,
+        stats.reload_failures;
         served = stats.served,
         rejected = stats.rejected,
         errors = stats.errors,
+        rerouted = stats.rerouted,
+        replica_restarts = stats.replica_restarts,
+        reloads = stats.reloads,
+        reload_failures = stats.reload_failures,
     );
     if let Some(p) = metrics_out {
         write_metrics(&p, "serve", started)?;
     }
+    Ok(())
+}
+
+/// `gnndse admin <addr> <command>` — poke a running server over its own
+/// protocol: force a hot swap, run a kill drill, or stop it.
+fn cmd_admin(args: &[String]) -> CliResult {
+    let usage = "usage: gnndse admin <addr> <reload | kill-replica N | shutdown>";
+    let [addr, command, rest @ ..] = args else {
+        return Err(usage.into());
+    };
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    match (command.as_str(), rest) {
+        ("reload", []) => match client.reload_server().map_err(|e| e.to_string())? {
+            Response::Reloaded { epoch } => {
+                println!("reloaded: serving epoch {epoch}");
+                Ok(())
+            }
+            Response::Error { code, message, .. } => {
+                Err(format!("reload rejected ({code}): {message}"))
+            }
+            other => Err(format!("unexpected response: {other:?}")),
+        },
+        ("kill-replica", [replica]) => {
+            let replica: usize =
+                replica.parse().map_err(|e| format!("bad replica index: {e}"))?;
+            match client.kill_replica(replica).map_err(|e| e.to_string())? {
+                Response::Killed { replica } => {
+                    println!("killed replica {replica} (it will restart under supervision)");
+                    Ok(())
+                }
+                Response::Error { code, message, .. } => {
+                    Err(format!("kill rejected ({code}): {message}"))
+                }
+                other => Err(format!("unexpected response: {other:?}")),
+            }
+        }
+        ("shutdown", []) => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server is shutting down");
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
+}
+
+/// `gnndse chaos-proxy` — a TCP fault-injection proxy between a client and
+/// a running server, for chaos tests and the CI smoke.
+fn cmd_chaos_proxy(args: &[String]) -> CliResult {
+    let (pos, flags) = split_flags(
+        args,
+        &[
+            "listen",
+            "upstream",
+            "drop",
+            "delay-rate",
+            "delay-ms",
+            "truncate",
+            "kill",
+            "seed",
+            "duration-secs",
+        ],
+        &[],
+    )?;
+    let usage = "usage: gnndse chaos-proxy --upstream HOST:PORT [--listen 127.0.0.1:0] \
+                 [--drop F] [--delay-rate F] [--delay-ms N] [--truncate F] [--kill F] \
+                 [--seed N] [--duration-secs N]";
+    if !pos.is_empty() {
+        return Err(format!("unexpected positional arguments\n{usage}"));
+    }
+    let upstream = flags.get("upstream").ok_or(usage)?;
+    let listen = flags.get("listen").cloned().unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let config = ChaosConfig {
+        drop_rate: flag_or(&flags, "drop", 0.0)?,
+        delay_rate: flag_or(&flags, "delay-rate", 0.0)?,
+        truncate_rate: flag_or(&flags, "truncate", 0.0)?,
+        kill_rate: flag_or(&flags, "kill", 0.0)?,
+        delay: Duration::from_millis(flag_or(&flags, "delay-ms", 100)?),
+        seed: flag_or(&flags, "seed", 7)?,
+    };
+    for (name, rate) in [
+        ("drop", config.drop_rate),
+        ("delay-rate", config.delay_rate),
+        ("truncate", config.truncate_rate),
+        ("kill", config.kill_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--{name} must be in [0, 1], got {rate}"));
+        }
+    }
+    let duration_secs: u64 = flag_or(&flags, "duration-secs", 0)?;
+    let mut proxy = ChaosProxy::start(&listen, upstream, config).map_err(|e| e.to_string())?;
+    // Scripts block on this line to learn the (possibly ephemeral) port.
+    println!("proxying on {} -> {upstream}", proxy.addr());
+    std::io::stdout().flush().ok();
+    if duration_secs == 0 {
+        // Run until killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(duration_secs));
+    let stats = proxy.stats();
+    proxy.shutdown();
+    println!(
+        "proxied {} connection(s): {} dropped, {} delayed, {} truncated, {} killed",
+        stats.connections, stats.dropped, stats.delayed, stats.truncated, stats.killed
+    );
     Ok(())
 }

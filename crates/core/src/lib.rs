@@ -71,5 +71,5 @@ pub use inference::{Prediction, Predictor};
 pub use parallel::{ExecEngine, ExecEngineBuilder};
 pub use report::{build_run_report, write_run_report};
 pub use rounds::{run_rounds, run_rounds_with_engine, RoundReport, RoundsConfig};
-pub use serving::PredictService;
+pub use serving::{ArtifactProvider, PredictService};
 pub use trainer::{ClassificationMetrics, RegressionMetrics, TrainConfig};

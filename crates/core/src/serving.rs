@@ -8,15 +8,25 @@
 //! `predict_ordered` call — so repeated queries hit the prediction cache and
 //! fresh ones amortize graph encoding across the batch, exactly like the
 //! offline DSE path.
+//!
+//! [`ArtifactProvider`] is the hot-swap source on top: it versions
+//! `.gdse` artifacts by epoch, and a reload only cuts over after the new
+//! bytes pass the checksum *and* a canary prediction — anything less
+//! (truncated file, bit flip, non-finite outputs) is rejected while the
+//! previous model keeps serving.
 
+use crate::artifact::{decode_predictor, ArtifactMeta};
 use crate::inference::Predictor;
 use crate::parallel::ExecEngine;
 use design_space::{DesignPoint, DesignSpace};
-use gdse_serve::{BatchPredictor, PredictionRow};
+use gdse_serve::{BatchPredictor, ModelProvider, PredictionRow};
 use hls_ir::kernels;
 use proggraph::ProgramGraph;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::UNIX_EPOCH;
 
 /// Per-kernel state the service builds lazily and reuses across requests.
 struct KernelEntry {
@@ -94,6 +104,140 @@ impl BatchPredictor for PredictService {
     }
 }
 
+/// `(mtime nanos, length)` of the artifact file — how the provider tells
+/// "the file changed underneath us" apart from "same bytes as before".
+type Fingerprint = (u128, u64);
+
+fn fingerprint(path: &Path) -> Option<Fingerprint> {
+    let meta = std::fs::metadata(path).ok()?;
+    let mtime = meta.modified().ok()?.duration_since(UNIX_EPOCH).ok()?.as_nanos();
+    Some((mtime, meta.len()))
+}
+
+struct ProviderState {
+    predictor: Predictor,
+    meta: ArtifactMeta,
+    /// Fingerprint of the artifact version we last *examined* — serving
+    /// or rejected. A persistently corrupt file on disk is validated
+    /// once, not on every watch tick.
+    seen: Option<Fingerprint>,
+}
+
+/// A [`ModelProvider`] over a `.gdse` artifact on disk: epoch 1 at open,
+/// +1 per accepted reload.
+///
+/// A reload re-reads the file and only cuts over after **every** check
+/// passes: envelope + checksum decode, and a canary prediction through a
+/// freshly built service whose outputs must all be finite. Any failure
+/// leaves the previous model serving (rollback is the default, not an
+/// action). [`ModelProvider::poll_reload`] makes the same decision when
+/// the file's mtime/length changes underneath a watching server.
+pub struct ArtifactProvider {
+    path: PathBuf,
+    /// Engine parallelism of each backend built from this provider.
+    jobs: usize,
+    epoch: AtomicU64,
+    state: Mutex<ProviderState>,
+}
+
+impl ArtifactProvider {
+    /// Loads the artifact at `path` and serves it as epoch 1; backends
+    /// built from this provider run their engine with `jobs` workers
+    /// (≤ 1 = serial).
+    ///
+    /// # Errors
+    ///
+    /// Why the artifact cannot be loaded (missing, corrupt, wrong schema).
+    pub fn open(path: &Path, jobs: usize) -> Result<Self, String> {
+        let (predictor, meta) =
+            Predictor::load_artifact(path).map_err(|e| format!("cannot load {path:?}: {e}"))?;
+        Ok(ArtifactProvider {
+            path: path.to_path_buf(),
+            jobs,
+            epoch: AtomicU64::new(1),
+            state: Mutex::new(ProviderState { predictor, meta, seen: fingerprint(path) }),
+        })
+    }
+
+    /// Metadata of the artifact version currently serving.
+    pub fn meta(&self) -> ArtifactMeta {
+        self.state.lock().expect("provider lock").meta.clone()
+    }
+
+    fn engine(&self) -> ExecEngine {
+        if self.jobs <= 1 {
+            ExecEngine::serial()
+        } else {
+            ExecEngine::with_jobs(self.jobs)
+        }
+    }
+
+    /// The canary gate: a candidate model must answer a real prediction
+    /// with finite values before it is allowed to serve.
+    fn canary(service: &PredictService, meta: &ArtifactMeta) -> Result<(), String> {
+        let kernel = meta.kernels.first().cloned().unwrap_or_else(|| "toy".to_string());
+        let rows = service
+            .predict(&kernel, &[0])
+            .map_err(|e| format!("canary prediction on `{kernel}` failed: {e}"))?;
+        let row = rows.first().ok_or("canary prediction returned no rows")?;
+        let finite = row.valid_prob.is_finite()
+            && row.dsp.is_finite()
+            && row.bram.is_finite()
+            && row.lut.is_finite()
+            && row.ff.is_finite();
+        if !finite {
+            return Err(format!("canary prediction on `{kernel}` is non-finite: {row:?}"));
+        }
+        Ok(())
+    }
+}
+
+impl ModelProvider for ArtifactProvider {
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn build(&self) -> Result<(Box<dyn BatchPredictor>, u64), String> {
+        let state = self.state.lock().expect("provider lock");
+        let service = PredictService::new(state.predictor.clone(), self.engine());
+        Ok((Box::new(service), self.epoch.load(Ordering::SeqCst)))
+    }
+
+    fn reload(&self) -> Result<u64, String> {
+        // Validate entirely outside the lock: replicas keep building the
+        // old version while the candidate is checked.
+        let fp = fingerprint(&self.path);
+        let outcome: Result<(Predictor, ArtifactMeta), String> = (|| {
+            let bytes = std::fs::read(&self.path)
+                .map_err(|e| format!("cannot read {:?}: {e}", self.path))?;
+            let (predictor, meta) =
+                decode_predictor(&bytes).map_err(|e| format!("artifact rejected: {e}"))?;
+            let service = PredictService::new(predictor.clone(), self.engine());
+            Self::canary(&service, &meta)?;
+            Ok((predictor, meta))
+        })();
+        let mut state = self.state.lock().expect("provider lock");
+        // Either way this version has been examined; don't re-validate it
+        // on every watch tick.
+        state.seen = fp;
+        let (predictor, meta) = outcome?;
+        state.predictor = predictor;
+        state.meta = meta;
+        Ok(self.epoch.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    fn poll_reload(&self) -> Option<Result<u64, String>> {
+        let fp = fingerprint(&self.path)?;
+        {
+            let state = self.state.lock().expect("provider lock");
+            if state.seen == Some(fp) {
+                return None;
+            }
+        }
+        Some(self.reload())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +286,78 @@ mod tests {
         let size = DesignSpace::from_kernel(&k).size();
         let err = svc.predict(k.name(), &[size]).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
+    }
+
+    fn train_tiny() -> (Predictor, ArtifactMeta) {
+        let ks = vec![kernels::gemm_ncubed()];
+        let db = generate_database(&ks, &[], 20, 7);
+        let (p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(2),
+        );
+        let meta = ArtifactMeta::describe(&p, &["gemm-ncubed".to_string()], 2);
+        (p, meta)
+    }
+
+    #[test]
+    fn artifact_provider_versions_reloads_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join("gnn_dse_artifact_provider_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gdse");
+
+        let (p, meta) = train_tiny();
+        p.save_artifact(&path, &meta).unwrap();
+        let provider = ArtifactProvider::open(&path, 1).expect("open");
+        assert_eq!(provider.epoch(), 1);
+        let (backend, epoch) = provider.build().expect("build");
+        assert_eq!(epoch, 1);
+        let baseline = backend.predict("gemm-ncubed", &[0, 1]).expect("serves");
+
+        // Unchanged file: the watcher sees nothing to do.
+        assert!(provider.poll_reload().is_none(), "unchanged artifact must not reload");
+
+        // A truncated artifact is rejected and the old model keeps serving.
+        let good = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let err = provider.reload().expect_err("truncated artifact must be rejected");
+        assert!(err.contains("rejected") || err.contains("corrupt"), "{err}");
+        assert_eq!(provider.epoch(), 1, "epoch must not advance on rejection");
+        let (backend, _) = provider.build().expect("old model still builds");
+        assert_eq!(backend.predict("gemm-ncubed", &[0, 1]).unwrap(), baseline);
+        // The corrupt version was examined once; the watcher must not
+        // hot-loop revalidating it.
+        assert!(provider.poll_reload().is_none(), "already-examined corrupt file");
+
+        // A bit-flipped artifact fails the checksum the same way.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        match provider.poll_reload() {
+            Some(Err(e)) => assert!(e.contains("rejected") || e.contains("corrupt"), "{e}"),
+            other => panic!("bit flip must be caught, got {other:?}"),
+        }
+        assert_eq!(provider.epoch(), 1);
+
+        // The intact artifact restored: the watcher cuts over to epoch 2.
+        // (The flipped and intact bytes are the same length, so give the
+        // mtime clock a tick to make the fingerprint move.)
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::fs::write(&path, &good).unwrap();
+        match provider.poll_reload() {
+            Some(Ok(2)) => {}
+            other => panic!("expected cut-over to epoch 2, got {other:?}"),
+        }
+        assert_eq!(provider.epoch(), 2);
+        let (backend, epoch) = provider.build().expect("build at epoch 2");
+        assert_eq!(epoch, 2);
+        assert_eq!(backend.predict("gemm-ncubed", &[0, 1]).unwrap(), baseline);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! A deterministic TCP fault-injection proxy — the network-layer twin of
+//! the oracle-layer `FaultyOracle`.
+//!
+//! The proxy sits between a client and the real server and misbehaves on
+//! purpose: it can **drop** a connection at accept, **delay** forwarded
+//! bytes, **truncate** a response mid-stream, or **kill** the connection
+//! right after the first response bytes. Which fault (if any) a connection
+//! suffers is decided by a seeded xorshift PRNG keyed on the connection
+//! ordinal, so a given `(seed, connection #)` always misbehaves the same
+//! way — chaos tests are reproducible, never flaky-by-construction.
+//!
+//! Faults corrupt *delivery*, never *content*: a byte that does arrive is
+//! the byte the server sent. Clients therefore see hangs, EOFs, and
+//! half-answers — exactly the failures [`crate::ClientConfig`] retries are
+//! built for — and anything that parses is still a truthful response.
+
+use crate::ServeError;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often forwarding loops wake up to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Fault mix of a [`ChaosProxy`]. Rates are probabilities in `[0, 1]`,
+/// evaluated per connection in ladder order (drop, delay, truncate, kill);
+/// their sum should stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Close the connection immediately at accept (client sees EOF/reset).
+    pub drop_rate: f64,
+    /// Stall every forwarded chunk by [`ChaosConfig::delay`].
+    pub delay_rate: f64,
+    /// Forward only half of the first server chunk, then close.
+    pub truncate_rate: f64,
+    /// Forward the first server chunk, then close before the next.
+    pub kill_rate: f64,
+    /// The stall injected on delayed connections.
+    pub delay: Duration,
+    /// PRNG seed: same seed, same per-connection fault schedule.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            truncate_rate: 0.0,
+            kill_rate: 0.0,
+            delay: Duration::from_millis(100),
+            seed: 7,
+        }
+    }
+}
+
+/// What the proxy did, cumulatively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections dropped at accept.
+    pub dropped: u64,
+    /// Connections with injected delays.
+    pub delayed: u64,
+    /// Connections whose response was truncated mid-stream.
+    pub truncated: u64,
+    /// Connections killed right after the first response bytes.
+    pub killed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    dropped: AtomicU64,
+    delayed: AtomicU64,
+    truncated: AtomicU64,
+    killed: AtomicU64,
+}
+
+/// Which fault a given connection suffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    Drop,
+    Delay,
+    Truncate,
+    Kill,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Decides the fault for connection `ordinal` under `config` — a pure
+/// function, so tests can predict the schedule.
+fn fault_for(config: &ChaosConfig, ordinal: u64) -> Fault {
+    let mut state = (config.seed ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+    let draw = (xorshift(&mut state) >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    let mut edge = config.drop_rate;
+    if draw < edge {
+        return Fault::Drop;
+    }
+    edge += config.delay_rate;
+    if draw < edge {
+        return Fault::Delay;
+    }
+    edge += config.truncate_rate;
+    if draw < edge {
+        return Fault::Truncate;
+    }
+    edge += config.kill_rate;
+    if draw < edge {
+        return Fault::Kill;
+    }
+    Fault::None
+}
+
+/// A running fault-injection proxy; dropping it (or calling
+/// [`ChaosProxy::shutdown`]) stops the accept loop.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on `listen` (e.g. `"127.0.0.1:0"`) forwarding to
+    /// `upstream`, injecting faults per `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when `listen` cannot be bound,
+    /// [`ServeError::Protocol`] when `upstream` does not resolve.
+    pub fn start(
+        listen: &str,
+        upstream: &str,
+        config: ChaosConfig,
+    ) -> Result<ChaosProxy, ServeError> {
+        let upstream_addr = upstream
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServeError::Protocol(format!("`{upstream}` resolves to no address")))?;
+        let listener = TcpListener::bind(listen)
+            .map_err(|source| ServeError::Bind { addr: listen.to_string(), source })?;
+        let addr = listener.local_addr().map_err(ServeError::Io)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                accept_loop(&listener, upstream_addr, config, &shutdown, &counters);
+            })
+        };
+        Ok(ChaosProxy { addr, shutdown, counters, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cumulative fault statistics.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            connections: self.counters.connections.load(Ordering::SeqCst),
+            dropped: self.counters.dropped.load(Ordering::SeqCst),
+            delayed: self.counters.delayed.load(Ordering::SeqCst),
+            truncated: self.counters.truncated.load(Ordering::SeqCst),
+            killed: self.counters.killed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops accepting and winds down the forwarding threads.
+    pub fn shutdown(&mut self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Unblock the accept loop.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    config: ChaosConfig,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+) {
+    let mut ordinal = 0u64;
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let (client, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        counters.connections.fetch_add(1, Ordering::SeqCst);
+        let fault = fault_for(&config, ordinal);
+        ordinal += 1;
+        if fault == Fault::Drop {
+            counters.dropped.fetch_add(1, Ordering::SeqCst);
+            drop(client); // EOF before a single byte
+            continue;
+        }
+        let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) else {
+            drop(client); // upstream down reads as a dropped connection
+            continue;
+        };
+        match fault {
+            Fault::Delay => {
+                counters.delayed.fetch_add(1, Ordering::SeqCst);
+            }
+            Fault::Truncate => {
+                counters.truncated.fetch_add(1, Ordering::SeqCst);
+            }
+            Fault::Kill => {
+                counters.killed.fetch_add(1, Ordering::SeqCst);
+            }
+            Fault::None | Fault::Drop => {}
+        }
+        let shutdown = Arc::clone(shutdown);
+        workers.push(std::thread::spawn(move || {
+            forward_connection(client, server, fault, config.delay, &shutdown);
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Forwards bytes both ways until either side closes, a fault fires, or
+/// the proxy shuts down. The client→server path is always faithful;
+/// response faults live on the server→client path.
+fn forward_connection(
+    client: TcpStream,
+    server: TcpStream,
+    fault: Fault,
+    delay: Duration,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let _ = client.set_read_timeout(Some(POLL));
+    let _ = server.set_read_timeout(Some(POLL));
+    // The proxy's only latency should be the configured faults, not
+    // Nagle stalls on the relayed writes.
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let up = {
+        // client → server: faithful.
+        let (mut from, mut to) = match (client.try_clone(), server.try_clone()) {
+            (Ok(f), Ok(t)) => (f, t),
+            _ => return,
+        };
+        let shutdown = Arc::clone(shutdown);
+        std::thread::spawn(move || pump(&mut from, &mut to, Fault::None, delay, &shutdown))
+    };
+    // server → client: where response faults are injected.
+    let (mut from, mut to) = (server, client);
+    pump(&mut from, &mut to, fault, delay, shutdown);
+    let _ = up.join();
+}
+
+fn pump(
+    from: &mut TcpStream,
+    to: &mut TcpStream,
+    fault: Fault,
+    delay: Duration,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut buf = [0u8; 4096];
+    let mut chunks_forwarded = 0u64;
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        match fault {
+            Fault::Delay => std::thread::sleep(delay),
+            Fault::Truncate if chunks_forwarded == 0 => {
+                // Half the first response chunk, then a hard close: the
+                // client is left holding an unparseable partial line.
+                let _ = to.write_all(&buf[..n / 2]);
+                let _ = to.shutdown(std::net::Shutdown::Both);
+                let _ = from.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Fault::Kill if chunks_forwarded >= 1 => {
+                // The first chunk went through whole; die before the next.
+                let _ = to.shutdown(std::net::Shutdown::Both);
+                let _ = from.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            _ => {}
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+        chunks_forwarded += 1;
+    }
+    let _ = to.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_rate_shaped() {
+        let config = ChaosConfig {
+            drop_rate: 0.25,
+            delay_rate: 0.25,
+            truncate_rate: 0.0,
+            kill_rate: 0.0,
+            ..ChaosConfig::default()
+        };
+        let a: Vec<Fault> = (0..100).map(|i| fault_for(&config, i)).collect();
+        let b: Vec<Fault> = (0..100).map(|i| fault_for(&config, i)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        let drops = a.iter().filter(|f| **f == Fault::Drop).count();
+        let clean = a.iter().filter(|f| **f == Fault::None).count();
+        assert!(drops > 5 && drops < 50, "drop rate wildly off: {drops}/100");
+        assert!(clean > 25, "too few clean connections: {clean}/100");
+        let zero = ChaosConfig::default();
+        assert!((0..100).all(|i| fault_for(&zero, i) == Fault::None));
+    }
+
+    #[test]
+    fn clean_proxy_is_transparent() {
+        // An upstream that echoes one line and closes.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap().to_string();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 64];
+            let n = s.read(&mut buf).unwrap();
+            s.write_all(&buf[..n]).unwrap();
+        });
+        let mut proxy =
+            ChaosProxy::start("127.0.0.1:0", &upstream_addr, ChaosConfig::default()).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"ping\n").unwrap();
+        let mut got = [0u8; 5];
+        c.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"ping\n");
+        echo.join().unwrap();
+        proxy.shutdown();
+        let stats = proxy.stats();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats, ChaosStats { connections: 1, ..ChaosStats::default() });
+    }
+
+    #[test]
+    fn drop_all_proxy_gives_immediate_eof() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap().to_string();
+        let config = ChaosConfig { drop_rate: 1.0, ..ChaosConfig::default() };
+        let mut proxy = ChaosProxy::start("127.0.0.1:0", &upstream_addr, config).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(c.read(&mut buf).unwrap(), 0, "dropped connection reads EOF");
+        proxy.shutdown();
+        assert_eq!(proxy.stats().dropped, 1);
+    }
+}

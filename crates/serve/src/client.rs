@@ -1,54 +1,220 @@
 //! A small blocking client for the JSON-lines protocol — what the `gnndse
 //! predict --addr` subcommand and the e2e tests use.
+//!
+//! The client is built for an unreliable wire: connects and reads are
+//! bounded by timeouts (a hung or half-dead server surfaces as
+//! [`ServeError::Timeout`], never an infinite block), and
+//! [`ClientConfig::retries`] turns transport failures and 429 rejections
+//! into bounded, jitter-backed reconnect-and-retry loops. Requests are
+//! idempotent predictions, so retrying after an ambiguous failure is safe.
 
 use crate::protocol::{Request, Response};
 use crate::ServeError;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side resilience knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Give up on `connect` after this long.
+    pub connect_timeout: Duration,
+    /// Give up on a response after this long (`None` = wait forever —
+    /// only sensible against an in-process test server).
+    pub read_timeout: Option<Duration>,
+    /// How many times one request is retried after a transport failure or
+    /// a 429 rejection (0 = fail fast). Each transport retry reconnects.
+    pub retries: u32,
+    /// Base backoff between retries; doubles per attempt, ±50% jitter.
+    pub backoff: Duration,
+    /// Honor 429 `retry_after_ms` hints by backing off and retrying
+    /// (only when `retries` allows).
+    pub retry_rejected: bool,
+    /// Seed of the jitter PRNG, so tests can be made deterministic.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            retry_rejected: true,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
 
 /// A connected protocol client issuing one request at a time.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addr: SocketAddr,
+    config: ClientConfig,
+    rng: u64,
 }
 
 impl Client {
-    /// Connects to a running server, e.g. `"127.0.0.1:7878"`.
+    /// Connects to a running server, e.g. `"127.0.0.1:7878"`, with the
+    /// default timeouts and no retries.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] when the connection fails.
+    /// [`ServeError::Io`] when the address does not resolve or the
+    /// connection fails; [`ServeError::Timeout`] when it hangs.
     pub fn connect(addr: &str) -> Result<Client, ServeError> {
-        let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer })
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit resilience settings.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address does not resolve or the
+    /// connection fails; [`ServeError::Timeout`] when it hangs.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Client, ServeError> {
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServeError::Protocol(format!("`{addr}` resolves to no address")))?;
+        let (reader, writer) = open(resolved, &config)?;
+        Ok(Client { reader, writer, addr: resolved, config, rng: config.jitter_seed | 1 })
+    }
+
+    /// Tears down the current connection and dials again.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::connect`].
+    pub fn reconnect(&mut self) -> Result<(), ServeError> {
+        let (reader, writer) = open(self.addr, &self.config)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     fn send_line(&mut self, line: &str) -> Result<(), ServeError> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        // One write per request: a separate write for the trailing newline
+        // would interact with Nagle + delayed ACK into ~40 ms round trips.
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed)?;
         Ok(())
     }
 
     fn read_response(&mut self) -> Result<Response, ServeError> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = self.reader.read_line(&mut line).map_err(|e| {
+            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                ServeError::Timeout {
+                    after: self.config.read_timeout.unwrap_or(Duration::ZERO),
+                }
+            } else {
+                ServeError::Io(e)
+            }
+        })?;
         if n == 0 {
             return Err(ServeError::Protocol("server closed the connection".into()));
         }
         Response::parse(line.trim()).map_err(ServeError::Protocol)
     }
 
+    fn roundtrip(&mut self, line: &str) -> Result<Response, ServeError> {
+        self.send_line(line)?;
+        self.read_response()
+    }
+
+    fn backoff_for(&mut self, attempt: u32, hint_ms: u64) -> Duration {
+        backoff_duration(self.config.backoff, attempt, hint_ms, &mut self.rng)
+    }
+
     /// Requests a prediction for `index` of `kernel` and waits for the
-    /// response (which may be a rejection or an error — inspect the variant).
+    /// response (which may be a rejection or an error — inspect the
+    /// variant). With [`ClientConfig::retries`] > 0, transport failures
+    /// reconnect and retry with jittered exponential backoff, and 429
+    /// rejections back off by at least the server's `retry_after_ms` hint;
+    /// when every attempt fails the last failure is wrapped in
+    /// [`ServeError::RetriesExhausted`].
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, timeouts, an unparseable response, or retry
+    /// exhaustion.
+    pub fn predict(&mut self, id: u64, kernel: &str, index: u128) -> Result<Response, ServeError> {
+        let line = request_line(&Request::Predict { id, kernel: kernel.to_string(), index });
+        let mut last: Option<ServeError> = None;
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                // Reconnect after transport failures (a failed dial is
+                // itself retried on the next lap).
+                if last.is_some() {
+                    if let Err(e) = self.reconnect() {
+                        let wait = self.backoff_for(attempt, 0);
+                        std::thread::sleep(wait);
+                        last = Some(e);
+                        continue;
+                    }
+                }
+            }
+            match self.roundtrip(&line) {
+                Ok(Response::Rejected { id: rid, retry_after_ms })
+                    if self.config.retry_rejected && attempt < self.config.retries =>
+                {
+                    let wait = self.backoff_for(attempt, retry_after_ms);
+                    std::thread::sleep(wait);
+                    last = None; // the connection is fine; no reconnect
+                    let _ = rid;
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) if attempt < self.config.retries => {
+                    let wait = self.backoff_for(attempt, 0);
+                    std::thread::sleep(wait);
+                    last = Some(e);
+                }
+                Err(e) => {
+                    return Err(if self.config.retries == 0 {
+                        e
+                    } else {
+                        ServeError::RetriesExhausted {
+                            attempts: self.config.retries + 1,
+                            last: Box::new(e),
+                        }
+                    });
+                }
+            }
+        }
+        // Every attempt was consumed by 429 backoffs: surface the shed.
+        Err(ServeError::RetriesExhausted {
+            attempts: self.config.retries + 1,
+            last: Box::new(last.unwrap_or_else(|| {
+                ServeError::Protocol("server kept shedding (429) through every retry".into())
+            })),
+        })
+    }
+
+    /// Asks the server to re-read its model artifact and cut over,
+    /// returning the server's verdict ([`Response::Reloaded`] with the new
+    /// epoch, or a `status: error` explaining the rollback).
     ///
     /// # Errors
     ///
     /// Socket failures or an unparseable response.
-    pub fn predict(&mut self, id: u64, kernel: &str, index: u128) -> Result<Response, ServeError> {
-        let line = request_line(&Request::Predict { id, kernel: kernel.to_string(), index });
-        self.send_line(&line)?;
-        self.read_response()
+    pub fn reload_server(&mut self) -> Result<Response, ServeError> {
+        let line = request_line(&Request::Reload);
+        self.roundtrip(&line)
+    }
+
+    /// Chaos drill: asks the server to crash replica `replica`.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures or an unparseable response.
+    pub fn kill_replica(&mut self, replica: usize) -> Result<Response, ServeError> {
+        let line = request_line(&Request::KillReplica { replica });
+        self.roundtrip(&line)
     }
 
     /// Asks the server to shut down gracefully and waits for the
@@ -66,6 +232,44 @@ impl Client {
             ))),
         }
     }
+}
+
+/// xorshift64* step — cheap deterministic jitter, no external RNG.
+fn next_jitter(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Exponential backoff with ±50% jitter: `base * 2^attempt` scaled by a
+/// factor drawn from [0.5, 1.5), floored to honor `hint_ms` (a 429's
+/// retry-after hint) when the server asked for a longer pause, and capped
+/// at 5 s so retry loops stay responsive.
+fn backoff_duration(base: Duration, attempt: u32, hint_ms: u64, rng: &mut u64) -> Duration {
+    let scaled = base.saturating_mul(1 << attempt.min(6));
+    let jitter_permille = 500 + (next_jitter(rng) % 1000); // [500, 1500)
+    let jittered = scaled.mul_f64(jitter_permille as f64 / 1000.0);
+    jittered.max(Duration::from_millis(hint_ms)).min(Duration::from_secs(5))
+}
+
+fn open(
+    addr: SocketAddr,
+    config: &ClientConfig,
+) -> Result<(BufReader<TcpStream>, TcpStream), ServeError> {
+    let stream = TcpStream::connect_timeout(&addr, config.connect_timeout).map_err(|e| {
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            ServeError::Timeout { after: config.connect_timeout }
+        } else {
+            ServeError::Io(e)
+        }
+    })?;
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_nodelay(true)?;
+    let writer = stream.try_clone()?;
+    Ok((BufReader::new(stream), writer))
 }
 
 /// Serializes a request as one JSON line (no trailing newline).
@@ -86,6 +290,10 @@ pub(crate) fn request_line(request: &Request) -> String {
             ),
         ]),
         Request::Shutdown => Value::Map(vec![("shutdown".into(), Value::Bool(true))]),
+        Request::Reload => Value::Map(vec![("reload".into(), Value::Bool(true))]),
+        Request::KillReplica { replica } => {
+            Value::Map(vec![("kill_replica".into(), Value::Int(*replica as i128))])
+        }
     };
     serde_json::to_string(&value).expect("protocol values always serialize")
 }
@@ -94,6 +302,9 @@ pub(crate) fn request_line(request: &Request) -> String {
 mod tests {
     use super::*;
     use crate::protocol::parse_request;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::time::Instant;
 
     #[test]
     fn request_lines_round_trip_through_the_parser() {
@@ -101,9 +312,100 @@ mod tests {
             Request::Predict { id: 3, kernel: "aes".into(), index: 77 },
             Request::Predict { id: 0, kernel: "gemm".into(), index: u128::MAX },
             Request::Shutdown,
+            Request::Reload,
+            Request::KillReplica { replica: 2 },
         ] {
             let line = request_line(&req);
             assert_eq!(parse_request(&line).unwrap(), req, "{line}");
         }
+    }
+
+    #[test]
+    fn hung_server_times_out_instead_of_blocking_forever() {
+        // A listener that accepts and then never answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let silent = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Hold the connection open until the client gives up.
+            let mut buf = [0u8; 256];
+            while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+        });
+        let config = ClientConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            ..ClientConfig::default()
+        };
+        let mut client = Client::connect_with(&addr, config).unwrap();
+        let started = Instant::now();
+        match client.predict(1, "gemm", 1) {
+            Err(ServeError::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(5));
+        drop(client);
+        silent.join().unwrap();
+    }
+
+    #[test]
+    fn retries_are_bounded_and_wrap_the_last_failure() {
+        // Nothing listens on this port (bind, learn the port, drop).
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let config = ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Some(Duration::from_millis(100)),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        // The initial connect fails fast (no retry loop wraps `connect`).
+        assert!(Client::connect_with(&addr, config).is_err());
+
+        // A connection that dies mid-stream exhausts its retries.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live_addr = listener.local_addr().unwrap().to_string();
+        let rst = std::thread::spawn(move || {
+            // Accept + immediately drop every connection: the initial dial
+            // plus one reconnect per retry — exactly 3 with retries: 2.
+            for _ in 0..3 {
+                if listener.accept().is_err() {
+                    break;
+                }
+            }
+        });
+        let mut client = Client::connect_with(&live_addr, config).unwrap();
+        match client.predict(1, "gemm", 1) {
+            Err(ServeError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert!(
+                    matches!(*last, ServeError::Protocol(_) | ServeError::Io(_)),
+                    "unexpected terminal error: {last:?}"
+                );
+            }
+            other => panic!("expected retry exhaustion, got {other:?}"),
+        }
+        drop(client);
+        rst.join().unwrap();
+    }
+
+    #[test]
+    fn jittered_backoff_honors_retry_after_hint_and_stays_bounded() {
+        let base = Duration::from_millis(10);
+        let mut rng = 42u64;
+        for attempt in 0..8 {
+            let d = backoff_duration(base, attempt, 0, &mut rng);
+            assert!(d >= Duration::from_millis(5), "attempt {attempt}: {d:?}");
+            assert!(d <= Duration::from_secs(5), "attempt {attempt}: {d:?}");
+        }
+        // The server's retry-after hint is a floor.
+        let d = backoff_duration(base, 0, 500, &mut rng);
+        assert!(d >= Duration::from_millis(500), "{d:?}");
+        // Jitter is deterministic per seed, and actually jitters.
+        let (mut a, mut b) = (7u64, 7u64);
+        let first = next_jitter(&mut a);
+        assert_eq!(first, next_jitter(&mut b));
+        assert_ne!(first, next_jitter(&mut a), "successive draws must differ");
     }
 }

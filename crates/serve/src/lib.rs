@@ -1,29 +1,48 @@
 //! # gdse-serve
 //!
-//! The prediction service of the GNN-DSE reproduction: a JSON-lines-over-TCP
-//! server that answers surrogate QoR queries from a persisted model, built on
-//! `std` networking only (no external dependencies, matching the `gdse-obs` /
-//! `gdse-exec` pattern).
+//! The fault-tolerant prediction service of the GNN-DSE reproduction: a
+//! JSON-lines-over-TCP server that answers surrogate QoR queries from a
+//! supervised pool of model replicas, built on `std` networking only (no
+//! external dependencies, matching the `gdse-obs` / `gdse-exec` pattern).
 //!
 //! The crate is deliberately model-agnostic: it knows nothing about GNNs,
 //! kernels, or design spaces. A backend implements [`BatchPredictor`]
-//! (`(kernel, design-point indices) -> prediction rows`), and the server
-//! supplies everything around it:
+//! (`(kernel, design-point indices) -> prediction rows`), a
+//! [`ModelProvider`] versions backends by **epoch** (for hot swap), and
+//! the server supplies everything around them:
 //!
-//! * a **bounded request queue** — when it is full, new requests are
-//!   *rejected immediately* with a 429-style JSON response instead of
-//!   queueing unboundedly or hanging the client (backpressure);
-//! * a **micro-batcher** — one dispatcher thread drains the queue in batches
-//!   of up to `max_batch` requests, groups them by kernel, and answers each
-//!   group with a single [`BatchPredictor::predict`] call, so concurrent
-//!   clients amortize graph encoding exactly like the offline
-//!   `predict_batch` path;
-//! * **graceful shutdown** — a protocol-level `{"shutdown": true}` request,
-//!   a [`ServerHandle::shutdown`] call, or an optional served-request limit
+//! * a **supervised replica pool** — N replicas, each owning a private
+//!   backend and a bounded queue, with per-kernel consistent shard routing
+//!   so per-kernel caches stay hot; a panicking, killed, or wedged replica
+//!   is isolated, its in-flight requests are re-routed to siblings, and it
+//!   restarts under exponential backoff (see [`crate::pool`]'s module docs
+//!   for the degradation ladder);
+//! * **zero-downtime hot swap** — a `{"reload": true}` request (or a
+//!   watched artifact changing on disk) makes every replica rebuild from
+//!   the provider's new epoch at its next batch boundary; a version that
+//!   fails validation is rolled back while the previous model keeps
+//!   serving, and every `ok` response is tagged with the epoch that
+//!   produced it;
+//! * **bounded queues + load shedding** — a full queue rejects immediately
+//!   with 429 + `retry_after_ms` instead of queueing unboundedly;
+//!   overload is never spilled across replicas (backpressure must reach
+//!   the client, not cascade);
+//! * **hardened edges** — request lines are size-capped (413 on
+//!   violation, connection stays in sync), connections can carry an idle
+//!   timeout (408), handlers answer 504 past a request deadline, and the
+//!   bundled [`Client`] adds connect/read timeouts with jittered bounded
+//!   retries;
+//! * **chaos tooling** — [`ChaosProxy`] injects deterministic TCP faults
+//!   (drop/delay/truncate/kill) between client and server, and
+//!   [`ServerHandle::kill_replica`] crashes replicas on purpose, so the
+//!   failure story is tested, not asserted;
+//! * **graceful shutdown** — a protocol-level `{"shutdown": true}`
+//!   request, a [`ServerHandle::shutdown`] call, or a served-request limit
 //!   all drain in-flight work before the server returns;
-//! * **`serve.*` metrics** — queue depth gauge, batch-size histogram, and a
-//!   request latency histogram (p50/p99 derivable from its buckets), merged
-//!   into the caller's [`gdse_obs`] registry when [`Server::run`] returns.
+//! * **`serve.*` metrics** — the full catalog (epoch gauge, restart /
+//!   reroute / shed / reload-failure counters, latency and batch-size
+//!   histograms) is documented in [`crate::server`] and merged into the
+//!   caller's [`gdse_obs`] registry when [`Server::run`] returns.
 //!
 //! ## Protocol
 //!
@@ -31,10 +50,15 @@
 //!
 //! ```text
 //! -> {"id": 7, "kernel": "gemm-ncubed", "index": 123}
-//! <- {"id": 7, "status": "ok", "code": 200, "valid_prob": 0.93, "cycles": 5113,
-//!     "dsp": 0.21, "bram": 0.08, "lut": 0.17, "ff": 0.12}
+//! <- {"id": 7, "status": "ok", "code": 200, "epoch": 3, "valid_prob": 0.93,
+//!     "cycles": 5113, "dsp": 0.21, "bram": 0.08, "lut": 0.17, "ff": 0.12}
 //! -> {"id": 8, "kernel": "gemm-ncubed", "index": 124}     (queue full)
-//! <- {"id": 8, "status": "rejected", "code": 429, "error": "prediction queue full"}
+//! <- {"id": 8, "status": "rejected", "code": 429, "retry_after_ms": 50,
+//!     "error": "prediction queue full"}
+//! -> {"reload": true}
+//! <- {"status": "reloaded", "code": 200, "epoch": 4}
+//! -> {"kill_replica": 1}
+//! <- {"status": "killed", "code": 200, "replica": 1}
 //! -> {"shutdown": true}
 //! <- {"status": "shutting_down", "code": 200}
 //! ```
@@ -45,19 +69,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod client;
+mod pool;
 mod protocol;
 mod queue;
 mod server;
 
-pub use client::Client;
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use client::{Client, ClientConfig};
+pub use pool::{BatchPredictor, ModelProvider, StaticProvider, BATCH_EDGES, MAX_ATTEMPTS};
 pub use protocol::{parse_request, PredictionRow, Request, Response};
-pub use server::{BatchPredictor, ServeConfig, ServeStats, Server, ServerHandle};
+pub use server::{ServeConfig, ServeStats, Server, ServerHandle};
 
 use std::fmt;
 use std::io;
+use std::time::Duration;
 
-/// Failures of the serve layer (bind, socket I/O, malformed protocol).
+/// Failures of the serve layer (bind, socket I/O, malformed protocol,
+/// timeouts, retry exhaustion).
 #[derive(Debug)]
 pub enum ServeError {
     /// The listener could not be bound.
@@ -71,6 +101,18 @@ pub enum ServeError {
     Io(io::Error),
     /// The peer sent something that is not valid protocol.
     Protocol(String),
+    /// A connect or read gave no answer within its deadline.
+    Timeout {
+        /// The deadline that expired.
+        after: Duration,
+    },
+    /// Every configured retry failed; `last` is the terminal failure.
+    RetriesExhausted {
+        /// Total attempts made (initial + retries).
+        attempts: u32,
+        /// The failure of the final attempt.
+        last: Box<ServeError>,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -79,6 +121,10 @@ impl fmt::Display for ServeError {
             ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
             ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Timeout { after } => write!(f, "no answer within {after:?}"),
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -88,7 +134,8 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Bind { source, .. } => Some(source),
             ServeError::Io(e) => Some(e),
-            ServeError::Protocol(_) => None,
+            ServeError::Protocol(_) | ServeError::Timeout { .. } => None,
+            ServeError::RetriesExhausted { last, .. } => Some(last.as_ref()),
         }
     }
 }

@@ -4,6 +4,12 @@
 //! directly (no derives), so the wire shape is explicit in this file and a
 //! malformed peer message degrades into a typed error string instead of a
 //! panic.
+//!
+//! Every successful prediction carries the **model epoch** that served it:
+//! clients observing a hot-swap see the epoch change mid-stream and can
+//! correlate answers with model versions. Rejections carry a
+//! `retry_after_ms` hint so a shedding server steers clients into backoff
+//! instead of a tight retry loop.
 
 use serde::Value;
 
@@ -38,6 +44,13 @@ pub enum Request {
     },
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Ask the server to re-read its model artifact and cut over.
+    Reload,
+    /// Chaos drill: crash one replica (it restarts under supervision).
+    KillReplica {
+        /// Zero-based replica index.
+        replica: usize,
+    },
 }
 
 fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
@@ -83,6 +96,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             return Ok(Request::Shutdown);
         }
     }
+    if let Some(v) = get(map, "reload") {
+        if *v == Value::Bool(true) {
+            return Ok(Request::Reload);
+        }
+    }
+    if let Some(v) = get(map, "kill_replica") {
+        let replica = as_u64(v).ok_or("`kill_replica` needs a non-negative replica index")?;
+        return Ok(Request::KillReplica { replica: replica as usize });
+    }
     let id = get(map, "id")
         .and_then(as_u64)
         .ok_or("request needs a non-negative integer `id`")?;
@@ -103,6 +125,8 @@ pub enum Response {
     Ok {
         /// Echo of the request id.
         id: u64,
+        /// Model epoch of the replica that answered (0 = unversioned).
+        epoch: u64,
         /// The predicted row.
         row: PredictionRow,
     },
@@ -110,15 +134,28 @@ pub enum Response {
     Rejected {
         /// Echo of the request id.
         id: u64,
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
     },
     /// The request was understood but could not be served.
     Error {
         /// Echo of the request id (0 when the id itself was unreadable).
         id: u64,
-        /// HTTP-style status code (400 bad request, 503 unavailable).
+        /// HTTP-style status code (400 bad request, 413 too large,
+        /// 500 replica failure, 503 unavailable, 504 deadline exceeded).
         code: u32,
         /// What went wrong.
         message: String,
+    },
+    /// Acknowledgement of a reload request, with the new model epoch.
+    Reloaded {
+        /// The model epoch now serving.
+        epoch: u64,
+    },
+    /// Acknowledgement of a kill-replica chaos drill.
+    Killed {
+        /// The replica that was crashed.
+        replica: usize,
     },
     /// Acknowledgement of a shutdown request.
     ShuttingDown,
@@ -128,7 +165,10 @@ impl Response {
     /// HTTP-style status code of this response.
     pub fn code(&self) -> u32 {
         match self {
-            Response::Ok { .. } | Response::ShuttingDown => 200,
+            Response::Ok { .. }
+            | Response::ShuttingDown
+            | Response::Reloaded { .. }
+            | Response::Killed { .. } => 200,
             Response::Rejected { .. } => 429,
             Response::Error { code, .. } => *code,
         }
@@ -137,10 +177,11 @@ impl Response {
     /// Serializes the response as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let value = match self {
-            Response::Ok { id, row } => Value::Map(vec![
+            Response::Ok { id, epoch, row } => Value::Map(vec![
                 ("id".into(), Value::Int(i128::from(*id))),
                 ("status".into(), Value::Str("ok".into())),
                 ("code".into(), Value::Int(200)),
+                ("epoch".into(), Value::Int(i128::from(*epoch))),
                 ("valid_prob".into(), Value::Float(row.valid_prob)),
                 ("cycles".into(), Value::Int(i128::from(row.cycles))),
                 ("dsp".into(), Value::Float(row.dsp)),
@@ -148,10 +189,11 @@ impl Response {
                 ("lut".into(), Value::Float(row.lut)),
                 ("ff".into(), Value::Float(row.ff)),
             ]),
-            Response::Rejected { id } => Value::Map(vec![
+            Response::Rejected { id, retry_after_ms } => Value::Map(vec![
                 ("id".into(), Value::Int(i128::from(*id))),
                 ("status".into(), Value::Str("rejected".into())),
                 ("code".into(), Value::Int(429)),
+                ("retry_after_ms".into(), Value::Int(i128::from(*retry_after_ms))),
                 ("error".into(), Value::Str("prediction queue full".into())),
             ]),
             Response::Error { id, code, message } => Value::Map(vec![
@@ -159,6 +201,16 @@ impl Response {
                 ("status".into(), Value::Str("error".into())),
                 ("code".into(), Value::Int(i128::from(*code))),
                 ("error".into(), Value::Str(message.clone())),
+            ]),
+            Response::Reloaded { epoch } => Value::Map(vec![
+                ("status".into(), Value::Str("reloaded".into())),
+                ("code".into(), Value::Int(200)),
+                ("epoch".into(), Value::Int(i128::from(*epoch))),
+            ]),
+            Response::Killed { replica } => Value::Map(vec![
+                ("status".into(), Value::Str("killed".into())),
+                ("code".into(), Value::Int(200)),
+                ("replica".into(), Value::Int(*replica as i128)),
             ]),
             Response::ShuttingDown => Value::Map(vec![
                 ("status".into(), Value::Str("shutting_down".into())),
@@ -192,6 +244,8 @@ impl Response {
                     .ok_or("ok response needs an integer `cycles`")?;
                 Ok(Response::Ok {
                     id,
+                    // Absent on pre-epoch servers: treat as unversioned.
+                    epoch: get(map, "epoch").and_then(as_u64).unwrap_or(0),
                     row: PredictionRow {
                         valid_prob: f("valid_prob")?,
                         cycles,
@@ -202,7 +256,10 @@ impl Response {
                     },
                 })
             }
-            "rejected" => Ok(Response::Rejected { id }),
+            "rejected" => Ok(Response::Rejected {
+                id,
+                retry_after_ms: get(map, "retry_after_ms").and_then(as_u64).unwrap_or(0),
+            }),
             "error" => Ok(Response::Error {
                 id,
                 code: get(map, "code").and_then(as_u64).unwrap_or(500) as u32,
@@ -210,6 +267,12 @@ impl Response {
                     .and_then(|v| v.as_str())
                     .unwrap_or("unknown error")
                     .to_string(),
+            }),
+            "reloaded" => Ok(Response::Reloaded {
+                epoch: get(map, "epoch").and_then(as_u64).unwrap_or(0),
+            }),
+            "killed" => Ok(Response::Killed {
+                replica: get(map, "replica").and_then(as_u64).unwrap_or(0) as usize,
             }),
             "shutting_down" => Ok(Response::ShuttingDown),
             other => Err(format!("unknown response status `{other}`")),
@@ -242,8 +305,14 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_request_parses() {
+    fn control_requests_parse() {
         assert_eq!(parse_request(r#"{"shutdown": true}"#).unwrap(), Request::Shutdown);
+        assert_eq!(parse_request(r#"{"reload": true}"#).unwrap(), Request::Reload);
+        assert_eq!(
+            parse_request(r#"{"kill_replica": 2}"#).unwrap(),
+            Request::KillReplica { replica: 2 }
+        );
+        assert!(parse_request(r#"{"kill_replica": -1}"#).is_err());
     }
 
     #[test]
@@ -258,9 +327,11 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         for resp in [
-            Response::Ok { id: 9, row: sample_row() },
-            Response::Rejected { id: 3 },
+            Response::Ok { id: 9, epoch: 3, row: sample_row() },
+            Response::Rejected { id: 3, retry_after_ms: 50 },
             Response::Error { id: 0, code: 400, message: "bad".into() },
+            Response::Reloaded { epoch: 2 },
+            Response::Killed { replica: 1 },
             Response::ShuttingDown,
         ] {
             let line = resp.to_json_line();
@@ -270,9 +341,20 @@ mod tests {
     }
 
     #[test]
+    fn epochless_ok_response_parses_as_unversioned() {
+        let legacy = r#"{"id": 1, "status": "ok", "code": 200, "valid_prob": 0.5,
+                         "cycles": 10, "dsp": 0.1, "bram": 0.1, "lut": 0.1, "ff": 0.1}"#;
+        match Response::parse(legacy).unwrap() {
+            Response::Ok { epoch: 0, .. } => {}
+            other => panic!("expected unversioned ok, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn response_codes_follow_http_convention() {
-        assert_eq!(Response::Ok { id: 1, row: sample_row() }.code(), 200);
-        assert_eq!(Response::Rejected { id: 1 }.code(), 429);
-        assert_eq!(Response::Error { id: 1, code: 400, message: String::new() }.code(), 400);
+        assert_eq!(Response::Ok { id: 1, epoch: 0, row: sample_row() }.code(), 200);
+        assert_eq!(Response::Rejected { id: 1, retry_after_ms: 0 }.code(), 429);
+        assert_eq!(Response::Error { id: 1, code: 413, message: String::new() }.code(), 413);
+        assert_eq!(Response::Reloaded { epoch: 2 }.code(), 200);
     }
 }

@@ -78,6 +78,12 @@ impl<T> BoundedQueue<T> {
         self.state.lock().expect("queue lock").items.len()
     }
 
+    /// Empties the queue without waiting — how the supervisor strands a
+    /// dead replica's backlog before re-routing it to siblings.
+    pub fn drain_all(&self) -> Vec<T> {
+        self.state.lock().expect("queue lock").items.drain(..).collect()
+    }
+
     /// Closes the queue: future pushes are rejected, the consumer drains
     /// what is left and then sees `None`.
     pub fn close(&self) {

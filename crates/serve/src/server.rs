@@ -1,12 +1,15 @@
-//! The prediction server: accept loop, connection handlers, micro-batcher.
+//! The prediction server: accept loop and connection handlers in front of
+//! the supervised replica pool ([`crate::pool`]).
 //!
 //! Thread model: the accept loop runs on the caller's thread
-//! ([`Server::run`]), one handler thread per connection parses requests and
-//! writes responses, and a single batcher thread drains the bounded queue
-//! and calls the [`BatchPredictor`]. Handler and batcher threads record into
-//! their own thread-local [`gdse_obs`] registries; each snapshot is
-//! accumulated at thread exit and merged into the caller's registry when
-//! `run` returns, so `run_report.json` sees one consistent `serve.*` total.
+//! ([`Server::run`]), one handler thread per connection parses requests
+//! and writes responses, one thread per replica drains its shard queue and
+//! calls its private [`BatchPredictor`], and one supervisor thread restarts
+//! crashed/wedged replicas and watches the model source. Every worker
+//! thread records into its own thread-local [`gdse_obs`] registry; each
+//! snapshot is accumulated at thread exit and merged into the caller's
+//! registry when `run` returns, so `run_report.json` sees one consistent
+//! `serve.*` total.
 //!
 //! ## Metric catalog (`serve.*`)
 //!
@@ -14,61 +17,88 @@
 //! |---|---|---|
 //! | `serve.connections` | counter | accepted TCP connections |
 //! | `serve.requests` | counter | parsed predict requests |
-//! | `serve.rejected` | counter | requests bounced off the full queue (429) |
+//! | `serve.rejected` | counter | requests bounced off a full queue (429) |
+//! | `serve.shed` | counter | load-shed requests (today identical to `serve.rejected`) |
 //! | `serve.errors` | counter | malformed/unservable requests |
 //! | `serve.predictions` | counter | rows answered with `status: ok` |
 //! | `serve.batches` | counter | predictor micro-batches dispatched |
 //! | `serve.batch_size` | histogram | requests per micro-batch ([`BATCH_EDGES`]) |
 //! | `serve.queue_depth` | gauge | queue depth after the last drain |
 //! | `serve.latency_us` | histogram | enqueue-to-response latency (p50/p99) |
+//! | `serve.epoch` | gauge | model epoch currently serving |
+//! | `serve.replica_crashes` | counter | replica panics/kill drills/wedges |
+//! | `serve.replica_wedged` | counter | replicas retired for making no progress |
+//! | `serve.replica_restarts` | counter | supervised replica restarts |
+//! | `serve.replica_swaps` | counter | per-replica hot-swap backend rebuilds |
+//! | `serve.rerouted` | counter | orphaned jobs re-routed to a sibling |
+//! | `serve.reloads` | counter | successful model reloads |
+//! | `serve.reload_failures` | counter | rejected model reloads (rolled back) |
+//! | `serve.oversize` | counter | request lines over the size cap (413) |
+//! | `serve.idle_closed` | counter | connections closed by the idle timeout |
+//! | `serve.deadline_exceeded` | counter | predict requests answered 504 |
 
-use crate::protocol::{parse_request, PredictionRow, Request, Response};
-use crate::queue::{BoundedQueue, PushError};
+use crate::pool::{self, Job, ModelProvider, Shared, StaticProvider, SubmitError};
+use crate::protocol::{parse_request, Request, Response};
 use crate::ServeError;
+use crate::pool::BatchPredictor;
 use gdse_obs as obs;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-/// Bucket edges of the `serve.batch_size` histogram.
-pub const BATCH_EDGES: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
-
-/// How long blocked reads/waits sleep before re-checking the shutdown flag.
-const POLL: Duration = Duration::from_millis(25);
-
-/// The model backend the server batches requests into.
-///
-/// Implementations answer one kernel's worth of design-point indices per
-/// call — the natural unit for amortized graph encoding. `Err` fails the
-/// whole group (e.g. unknown kernel); per-row failure is not modelled.
-pub trait BatchPredictor: Send + Sync {
-    /// Predicts QoR for `indices` of `kernel`'s design space, one row per
-    /// index, in order.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable reason the group cannot be served (reported to each
-    /// client as a `status: "error"` response).
-    fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String>;
-}
+use crate::pool::POLL;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Bounded queue capacity; a full queue rejects with 429 (0 rejects
-    /// everything — useful for drills).
+    /// Bounded queue capacity **per replica**; a full queue sheds with a
+    /// 429 + retry-after (0 rejects everything — useful for drills).
     pub queue_capacity: usize,
-    /// Most requests dispatched to the predictor in one micro-batch.
+    /// Most requests dispatched to one replica in one micro-batch.
     pub max_batch: usize,
     /// Stop (gracefully) after answering this many predict requests.
     pub max_requests: Option<u64>,
+    /// Replica count: independent workers, each owning its own backend.
+    pub replicas: usize,
+    /// How long a connection handler waits for its prediction before
+    /// answering 504.
+    pub request_timeout: Duration,
+    /// Close connections that send no complete request for this long
+    /// (`None` = never — trusted clients).
+    pub idle_timeout: Option<Duration>,
+    /// Longest accepted request line; longer lines are answered 413
+    /// without buffering them.
+    pub max_line_bytes: usize,
+    /// `retry_after_ms` hint attached to 429 responses.
+    pub retry_after: Duration,
+    /// Initial supervised-restart backoff (doubles per consecutive
+    /// failure, capped internally at 2 s).
+    pub restart_backoff: Duration,
+    /// Retire a replica making no progress inside one backend call for
+    /// this long (`None` = never).
+    pub wedge_timeout: Option<Duration>,
+    /// Poll the model source for changes this often (`None` = only
+    /// explicit `{"reload": true}` requests).
+    pub reload_watch: Option<Duration>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { queue_capacity: 64, max_batch: 16, max_requests: None }
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch: 16,
+            max_requests: None,
+            replicas: 1,
+            request_timeout: Duration::from_secs(60),
+            idle_timeout: None,
+            max_line_bytes: 64 * 1024,
+            retry_after: Duration::from_millis(50),
+            restart_backoff: Duration::from_millis(50),
+            wedge_timeout: None,
+            reload_watch: None,
+        }
     }
 }
 
@@ -77,55 +107,28 @@ impl Default for ServeConfig {
 pub struct ServeStats {
     /// Predict requests answered with `status: ok`.
     pub served: u64,
-    /// Requests rejected off the full queue.
+    /// Requests rejected off a full queue.
     pub rejected: u64,
     /// Requests answered with `status: error`.
     pub errors: u64,
-}
-
-struct Job {
-    id: u64,
-    kernel: String,
-    index: u128,
-    enqueued: Instant,
-    reply: mpsc::Sender<Response>,
-}
-
-struct Shared {
-    queue: BoundedQueue<Job>,
-    shutdown: AtomicBool,
-    served: AtomicU64,
-    rejected: AtomicU64,
-    errors: AtomicU64,
-    max_requests: Option<u64>,
-    addr: SocketAddr,
-    /// Thread-local registries of exited handler/batcher threads, merged
-    /// into the caller's registry when `run` returns.
-    registries: Mutex<Vec<obs::metrics::MetricsSnapshot>>,
-}
-
-impl Shared {
-    fn begin_shutdown(&self) {
-        if !self.shutdown.swap(true, Ordering::SeqCst) {
-            self.queue.close();
-            // Unblock the accept loop with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
-        }
-    }
-
-    fn park_registry(&self) {
-        let snap = obs::metrics::snapshot();
-        self.registries.lock().expect("registry lock").push(snap);
-        obs::metrics::reset();
-    }
+    /// Load-shed requests (currently identical to `rejected`).
+    pub shed: u64,
+    /// Replica crashes (panics, kill drills, wedges).
+    pub replica_crashes: u64,
+    /// Supervised replica restarts.
+    pub replica_restarts: u64,
+    /// Orphaned jobs re-routed to a sibling replica.
+    pub rerouted: u64,
+    /// Successful model reloads.
+    pub reloads: u64,
+    /// Rejected model reloads (previous model kept serving).
+    pub reload_failures: u64,
 }
 
 /// A bound, not-yet-running prediction server.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    predictor: Arc<dyn BatchPredictor>,
-    max_batch: usize,
 }
 
 /// Clonable remote control of a running [`Server`].
@@ -140,21 +143,65 @@ impl ServerHandle {
         self.shared.addr
     }
 
-    /// Initiates graceful shutdown: the queue drains, in-flight requests are
-    /// answered, then [`Server::run`] returns.
+    /// Initiates graceful shutdown: the queues drain, in-flight requests
+    /// are answered, then [`Server::run`] returns.
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
     }
 
-    /// Current depth of the bounded request queue.
+    /// Total depth across every replica's request queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.queue_depth()
+    }
+
+    /// The model epoch currently offered by the provider.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch()
+    }
+
+    /// Forces a model reload (validate, cut over or roll back).
+    ///
+    /// # Errors
+    ///
+    /// Why the new model version was rejected; the old one keeps serving.
+    pub fn reload(&self) -> Result<u64, String> {
+        self.shared.reload()
+    }
+
+    /// Chaos drill: crash replica `replica`; the supervisor re-routes its
+    /// requests and restarts it with backoff.
+    ///
+    /// # Errors
+    ///
+    /// When the index is out of range or the replica is already down.
+    pub fn kill_replica(&self, replica: usize) -> Result<(), String> {
+        self.shared.kill_replica(replica)
+    }
+
+    /// Lifetime stats so far (also returned by [`Server::run`]).
+    pub fn stats(&self) -> ServeStats {
+        stats_of(&self.shared)
+    }
+}
+
+fn stats_of(shared: &Shared) -> ServeStats {
+    ServeStats {
+        served: shared.served.load(Ordering::SeqCst),
+        rejected: shared.rejected.load(Ordering::SeqCst),
+        errors: shared.errors.load(Ordering::SeqCst),
+        shed: shared.shed.load(Ordering::SeqCst),
+        replica_crashes: shared.replica_crashes.load(Ordering::SeqCst),
+        replica_restarts: shared.replica_restarts.load(Ordering::SeqCst),
+        rerouted: shared.rerouted.load(Ordering::SeqCst),
+        reloads: shared.reloads.load(Ordering::SeqCst),
+        reload_failures: shared.reload_failures.load(Ordering::SeqCst),
     }
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:7878"`, or port 0 for an ephemeral
-    /// port) and prepares the server around `predictor`.
+    /// port) and prepares the server around a single fixed `predictor`
+    /// shared by every replica (epoch 0, not reloadable).
     ///
     /// # Errors
     ///
@@ -164,25 +211,25 @@ impl Server {
         config: ServeConfig,
         predictor: impl BatchPredictor + 'static,
     ) -> Result<Server, ServeError> {
+        Server::bind_with_provider(addr, config, Arc::new(StaticProvider::new(predictor)))
+    }
+
+    /// Binds `addr` around a versioned model source: each replica builds
+    /// its own backend from `provider` and follows its epoch (hot swap).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address cannot be bound.
+    pub fn bind_with_provider(
+        addr: &str,
+        config: ServeConfig,
+        provider: Arc<dyn ModelProvider>,
+    ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(addr)
             .map_err(|source| ServeError::Bind { addr: addr.to_string(), source })?;
         let local = listener.local_addr().map_err(ServeError::Io)?;
-        let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
-            shutdown: AtomicBool::new(false),
-            served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            max_requests: config.max_requests,
-            addr: local,
-            registries: Mutex::new(Vec::new()),
-        });
-        Ok(Server {
-            listener,
-            shared,
-            predictor: Arc::new(predictor),
-            max_batch: config.max_batch.max(1),
-        })
+        let shared = Arc::new(Shared::new(config, provider, local));
+        Ok(Server { listener, shared })
     }
 
     /// The bound address (useful with port 0).
@@ -190,7 +237,7 @@ impl Server {
         self.shared.addr
     }
 
-    /// A handle that can stop the server from another thread.
+    /// A handle that can control the server from another thread.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle { shared: Arc::clone(&self.shared) }
     }
@@ -200,10 +247,10 @@ impl Server {
     /// thread's `serve.*` metrics into the caller's registry, and reports
     /// what happened.
     pub fn run(self) -> ServeStats {
-        let Server { listener, shared, predictor, max_batch } = self;
-        let batcher = {
+        let Server { listener, shared } = self;
+        let supervisor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batcher_loop(&shared, predictor.as_ref(), max_batch))
+            std::thread::spawn(move || pool::supervise(&shared))
         };
 
         let mut handlers = Vec::new();
@@ -227,100 +274,13 @@ impl Server {
         for h in handlers {
             let _ = h.join();
         }
-        let _ = batcher.join();
+        let _ = supervisor.join();
 
         for snap in shared.registries.lock().expect("registry lock").drain(..) {
             obs::metrics::merge(&snap);
         }
-        ServeStats {
-            served: shared.served.load(Ordering::SeqCst),
-            rejected: shared.rejected.load(Ordering::SeqCst),
-            errors: shared.errors.load(Ordering::SeqCst),
-        }
+        stats_of(&shared)
     }
-}
-
-fn answer(shared: &Shared, job: Job, response: Response) {
-    obs::metrics::observe_us("serve.latency_us", job.enqueued.elapsed().as_micros() as u64);
-    match &response {
-        Response::Ok { .. } => {
-            shared.served.fetch_add(1, Ordering::SeqCst);
-            obs::metrics::counter_inc("serve.predictions");
-        }
-        _ => {
-            shared.errors.fetch_add(1, Ordering::SeqCst);
-            obs::metrics::counter_inc("serve.errors");
-        }
-    }
-    let _ = job.reply.send(response);
-}
-
-fn batcher_loop(shared: &Shared, predictor: &dyn BatchPredictor, max_batch: usize) {
-    loop {
-        let batch = match shared.queue.pop_batch(max_batch, POLL) {
-            None => break, // closed and fully drained
-            Some(b) if b.is_empty() => continue,
-            Some(b) => b,
-        };
-        obs::metrics::gauge_set("serve.queue_depth", shared.queue.len() as f64);
-        obs::metrics::counter_inc("serve.batches");
-        obs::metrics::observe_with_edges("serve.batch_size", &BATCH_EDGES, batch.len() as u64);
-
-        // Group by kernel, preserving arrival order, so each group is one
-        // predictor call with an amortized forward pass.
-        let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
-        for job in batch {
-            match groups.iter_mut().find(|(k, _)| *k == job.kernel) {
-                Some((_, jobs)) => jobs.push(job),
-                None => groups.push((job.kernel.clone(), vec![job])),
-            }
-        }
-        for (kernel, jobs) in groups {
-            let indices: Vec<u128> = jobs.iter().map(|j| j.index).collect();
-            match predictor.predict(&kernel, &indices) {
-                Ok(rows) if rows.len() == jobs.len() => {
-                    for (job, row) in jobs.into_iter().zip(rows) {
-                        let id = job.id;
-                        answer(shared, job, Response::Ok { id, row });
-                    }
-                }
-                Ok(rows) => {
-                    let msg = format!(
-                        "backend returned {} row(s) for {} request(s)",
-                        rows.len(),
-                        jobs.len()
-                    );
-                    for job in jobs {
-                        let id = job.id;
-                        answer(
-                            shared,
-                            job,
-                            Response::Error { id, code: 500, message: msg.clone() },
-                        );
-                    }
-                }
-                Err(message) => {
-                    for job in jobs {
-                        let id = job.id;
-                        answer(
-                            shared,
-                            job,
-                            Response::Error { id, code: 400, message: message.clone() },
-                        );
-                    }
-                }
-            }
-        }
-
-        if let Some(limit) = shared.max_requests {
-            let answered = shared.served.load(Ordering::SeqCst)
-                + shared.errors.load(Ordering::SeqCst);
-            if answered >= limit {
-                shared.begin_shutdown();
-            }
-        }
-    }
-    shared.park_registry();
 }
 
 fn write_line(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
@@ -329,9 +289,100 @@ fn write_line(stream: &mut TcpStream, response: &Response) -> std::io::Result<()
     stream.write_all(line.as_bytes())
 }
 
+/// One attempt at reading a request line, bounded in size and time.
+enum LineRead {
+    /// A complete line (without the newline).
+    Line(String),
+    /// The line exceeded the cap; the excess was discarded up to the next
+    /// newline, so the connection is still in sync.
+    TooLarge,
+    /// Peer hung up.
+    Eof,
+    /// Server is shutting down.
+    Shutdown,
+    /// No complete request within the idle timeout.
+    Idle,
+    /// Hard socket error.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line of at most `max_bytes` bytes, polling
+/// the shutdown flag and the idle deadline while blocked. Never buffers
+/// more than `max_bytes` + one socket read — an oversized line is
+/// discarded as it streams past, not accumulated.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+    max_bytes: usize,
+    idle: Option<Duration>,
+) -> LineRead {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let started = Instant::now();
+    loop {
+        enum Step {
+            Consumed(usize, bool), // (bytes, saw_newline)
+            Eof,
+            Blocked,
+            Failed,
+        }
+        let step = match reader.fill_buf() {
+            Ok([]) => Step::Eof,
+            Ok(available) => match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !discarding {
+                        line.extend_from_slice(&available[..pos]);
+                    }
+                    Step::Consumed(pos + 1, true)
+                }
+                None => {
+                    let n = available.len();
+                    if !discarding {
+                        if line.len() + n > max_bytes {
+                            discarding = true;
+                            line.clear();
+                        } else {
+                            line.extend_from_slice(available);
+                        }
+                    }
+                    Step::Consumed(n, false)
+                }
+            },
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Step::Blocked
+            }
+            Err(_) => Step::Failed,
+        };
+        match step {
+            Step::Consumed(n, saw_newline) => {
+                reader.consume(n);
+                if saw_newline {
+                    if discarding || line.len() > max_bytes {
+                        return LineRead::TooLarge;
+                    }
+                    return LineRead::Line(String::from_utf8_lossy(&line).into_owned());
+                }
+            }
+            Step::Eof => return LineRead::Eof,
+            Step::Blocked => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return LineRead::Shutdown;
+                }
+                if idle.is_some_and(|d| started.elapsed() > d) {
+                    return LineRead::Idle;
+                }
+            }
+            Step::Failed => return LineRead::Failed,
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     obs::metrics::counter_inc("serve.connections");
     let _ = stream.set_read_timeout(Some(POLL));
+    // Answers are one small write each; without TCP_NODELAY they can sit
+    // behind Nagle waiting for the peer's delayed ACK (~40 ms).
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => {
@@ -340,25 +391,44 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         }
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    'conn: loop {
-        line.clear();
-        // Retry timed-out reads so a quiet connection notices shutdown;
-        // read_line appends, so a partial line survives the retry.
-        let read = loop {
-            match reader.read_line(&mut line) {
-                Ok(n) => break n,
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        break 'conn;
-                    }
+    let config = shared.config;
+    loop {
+        let line = match read_request_line(
+            &mut reader,
+            shared,
+            config.max_line_bytes,
+            config.idle_timeout,
+        ) {
+            LineRead::Line(l) => l,
+            LineRead::TooLarge => {
+                obs::metrics::counter_inc("serve.oversize");
+                obs::metrics::counter_inc("serve.errors");
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                let resp = Response::Error {
+                    id: 0,
+                    code: 413,
+                    message: format!(
+                        "request line exceeds {} bytes (RequestTooLarge)",
+                        config.max_line_bytes
+                    ),
+                };
+                if write_line(&mut writer, &resp).is_err() {
+                    break;
                 }
-                Err(_) => break 'conn,
+                continue;
             }
+            LineRead::Idle => {
+                obs::metrics::counter_inc("serve.idle_closed");
+                let resp = Response::Error {
+                    id: 0,
+                    code: 408,
+                    message: "connection idle past the request timeout".into(),
+                };
+                let _ = write_line(&mut writer, &resp);
+                break;
+            }
+            LineRead::Eof | LineRead::Shutdown | LineRead::Failed => break,
         };
-        if read == 0 {
-            break; // EOF: client hung up
-        }
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -377,28 +447,75 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 shared.begin_shutdown();
                 break;
             }
+            Ok(Request::Reload) => {
+                let resp = match shared.reload() {
+                    Ok(epoch) => Response::Reloaded { epoch },
+                    Err(message) => Response::Error { id: 0, code: 500, message },
+                };
+                if write_line(&mut writer, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(Request::KillReplica { replica }) => {
+                let resp = match shared.kill_replica(replica) {
+                    Ok(()) => Response::Killed { replica },
+                    Err(message) => Response::Error { id: 0, code: 400, message },
+                };
+                if write_line(&mut writer, &resp).is_err() {
+                    break;
+                }
+            }
             Ok(Request::Predict { id, kernel, index }) => {
                 obs::metrics::counter_inc("serve.requests");
                 let (tx, rx) = mpsc::channel();
-                let job = Job { id, kernel, index, enqueued: Instant::now(), reply: tx };
-                let response = match shared.queue.try_push(job) {
-                    Err((_, PushError::Full)) => {
-                        obs::metrics::counter_inc("serve.rejected");
-                        shared.rejected.fetch_add(1, Ordering::SeqCst);
-                        Response::Rejected { id }
-                    }
-                    Err((_, PushError::Closed)) => Response::Error {
-                        id,
-                        code: 503,
-                        message: "server is shutting down".into(),
-                    },
-                    Ok(()) => rx.recv_timeout(Duration::from_secs(60)).unwrap_or(
-                        Response::Error {
+                let job = Job {
+                    id,
+                    kernel,
+                    index,
+                    attempts: 0,
+                    enqueued: Instant::now(),
+                    reply: tx,
+                };
+                let response = match shared.submit(job, None) {
+                    Ok(()) => match rx.recv_timeout(config.request_timeout) {
+                        Ok(r) => r,
+                        Err(_) if shared.shutdown.load(Ordering::SeqCst) => Response::Error {
                             id,
                             code: 503,
                             message: "server stopped before answering".into(),
                         },
-                    ),
+                        Err(_) => {
+                            obs::metrics::counter_inc("serve.deadline_exceeded");
+                            Response::Error {
+                                id,
+                                code: 504,
+                                message: "request deadline exceeded".into(),
+                            }
+                        }
+                    },
+                    Err((job, SubmitError::Shed)) => {
+                        let retry_after_ms = config.retry_after.as_millis() as u64;
+                        pool::answer(shared, job, Response::Rejected { id, retry_after_ms });
+                        rx.try_recv().unwrap_or(Response::Rejected { id, retry_after_ms })
+                    }
+                    Err((job, SubmitError::NoReplica)) => {
+                        let resp = Response::Error {
+                            id,
+                            code: 503,
+                            message: "no healthy replica available".into(),
+                        };
+                        pool::answer(shared, job, resp.clone());
+                        rx.try_recv().unwrap_or(resp)
+                    }
+                    Err((job, SubmitError::Closed)) => {
+                        let resp = Response::Error {
+                            id,
+                            code: 503,
+                            message: "server is shutting down".into(),
+                        };
+                        pool::answer(shared, job, resp.clone());
+                        rx.try_recv().unwrap_or(resp)
+                    }
                 };
                 if write_line(&mut writer, &response).is_err() {
                     break;
@@ -412,30 +529,34 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::ModelProvider;
+    use crate::protocol::PredictionRow;
     use crate::Client;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize};
     use std::sync::Barrier;
 
-    /// Deterministic backend: row fields are pure functions of the inputs.
-    struct EchoBackend;
-
-    fn echo_row(kernel: &str, index: u128) -> PredictionRow {
+    /// Deterministic backend: row fields are pure functions of the inputs,
+    /// except `lut`, which carries the epoch the backend was built at (so
+    /// hot-swap tests can prove the backend really rebuilt).
+    fn echo_row(kernel: &str, index: u128, epoch: u64) -> PredictionRow {
         PredictionRow {
             valid_prob: (index % 100) as f64 / 100.0,
             cycles: (index as u64).wrapping_mul(3).wrapping_add(kernel.len() as u64),
             dsp: (index % 5) as f64 / 10.0,
             bram: (index % 7) as f64,
-            lut: kernel.len() as f64,
+            lut: epoch as f64,
             ff: (index % 13) as f64,
         }
     }
+
+    struct EchoBackend;
 
     impl BatchPredictor for EchoBackend {
         fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String> {
             if kernel == "no-such-kernel" {
                 return Err(format!("unknown kernel `{kernel}`"));
             }
-            Ok(indices.iter().map(|&i| echo_row(kernel, i)).collect())
+            Ok(indices.iter().map(|&i| echo_row(kernel, i, 0)).collect())
         }
     }
 
@@ -451,7 +572,85 @@ mod tests {
             if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
                 self.gate.wait();
             }
-            Ok(indices.iter().map(|&i| echo_row(kernel, i)).collect())
+            Ok(indices.iter().map(|&i| echo_row(kernel, i, 0)).collect())
+        }
+    }
+
+    /// A chaos-instrumented provider: versioned echo backends that can be
+    /// told to panic on `poison` or stall on `slow` a bounded number of
+    /// times, plus a switch to make reloads fail.
+    struct TestProvider {
+        epoch: AtomicU64,
+        fail_reload: std::sync::atomic::AtomicBool,
+        poison_remaining: Arc<AtomicI64>,
+        slow_remaining: Arc<AtomicI64>,
+        slow_for: Duration,
+    }
+
+    impl TestProvider {
+        fn new() -> Self {
+            TestProvider {
+                epoch: AtomicU64::new(1),
+                fail_reload: std::sync::atomic::AtomicBool::new(false),
+                poison_remaining: Arc::new(AtomicI64::new(0)),
+                slow_remaining: Arc::new(AtomicI64::new(0)),
+                slow_for: Duration::from_millis(400),
+            }
+        }
+    }
+
+    fn take(counter: &AtomicI64) -> bool {
+        counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| match v {
+                0 => None,
+                v if v < 0 => Some(v), // negative = unlimited
+                v => Some(v - 1),
+            })
+            .is_ok()
+    }
+
+    struct TestBackend {
+        epoch: u64,
+        poison_remaining: Arc<AtomicI64>,
+        slow_remaining: Arc<AtomicI64>,
+        slow_for: Duration,
+    }
+
+    impl BatchPredictor for TestBackend {
+        fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String> {
+            if kernel == "poison" && take(&self.poison_remaining) {
+                panic!("synthetic backend crash");
+            }
+            if kernel == "slow" && take(&self.slow_remaining) {
+                std::thread::sleep(self.slow_for);
+            }
+            Ok(indices.iter().map(|&i| echo_row(kernel, i, self.epoch)).collect())
+        }
+    }
+
+    impl ModelProvider for TestProvider {
+        fn epoch(&self) -> u64 {
+            self.epoch.load(Ordering::SeqCst)
+        }
+
+        fn build(&self) -> Result<(Box<dyn BatchPredictor>, u64), String> {
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            Ok((
+                Box::new(TestBackend {
+                    epoch,
+                    poison_remaining: Arc::clone(&self.poison_remaining),
+                    slow_remaining: Arc::clone(&self.slow_remaining),
+                    slow_for: self.slow_for,
+                }),
+                epoch,
+            ))
+        }
+
+        fn reload(&self) -> Result<u64, String> {
+            if self.fail_reload.load(Ordering::SeqCst) {
+                return Err("checksum mismatch (synthetic)".into());
+            }
+            Ok(self.epoch.fetch_add(1, Ordering::SeqCst) + 1)
         }
     }
 
@@ -460,6 +659,16 @@ mod tests {
         backend: impl BatchPredictor + 'static,
     ) -> (ServerHandle, std::thread::JoinHandle<ServeStats>) {
         let server = Server::bind("127.0.0.1:0", config, backend).expect("bind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    fn start_with_provider(
+        config: ServeConfig,
+        provider: Arc<dyn ModelProvider>,
+    ) -> (ServerHandle, std::thread::JoinHandle<ServeStats>) {
+        let server = Server::bind_with_provider("127.0.0.1:0", config, provider).expect("bind");
         let handle = server.handle();
         let join = std::thread::spawn(move || server.run());
         (handle, join)
@@ -486,9 +695,9 @@ mod tests {
                         let idx = u128::from(c * 1_000 + i);
                         let resp = client.predict(c * 100 + i, "gemm", idx).expect("predict");
                         match resp {
-                            Response::Ok { id, row } => {
+                            Response::Ok { id, epoch: 0, row } => {
                                 assert_eq!(id, c * 100 + i);
-                                assert_eq!(row, echo_row("gemm", idx), "responses are pure");
+                                assert_eq!(row, echo_row("gemm", idx, 0), "responses are pure");
                             }
                             other => panic!("expected ok, got {other:?}"),
                         }
@@ -500,6 +709,7 @@ mod tests {
         let stats = join.join().unwrap();
         assert_eq!(stats.served, 60);
         assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.replica_crashes, 0);
     }
 
     #[test]
@@ -507,11 +717,15 @@ mod tests {
         let gate = Arc::new(Barrier::new(2));
         let calls = Arc::new(AtomicUsize::new(0));
         let backend = GatedBackend { gate: Arc::clone(&gate), calls: Arc::clone(&calls) };
-        let config = ServeConfig { queue_capacity: 1, max_batch: 1, max_requests: None };
+        let config = ServeConfig {
+            queue_capacity: 1,
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
         let (handle, join) = start(config, backend);
         let addr = handle.addr().to_string();
 
-        // Request 1 is popped by the batcher and blocks inside the backend.
+        // Request 1 is popped by the replica and blocks inside the backend.
         let first = {
             let addr = addr.clone();
             std::thread::spawn(move || {
@@ -533,11 +747,17 @@ mod tests {
         };
         wait_until(5_000, "second request to occupy the queue", || handle.queue_depth() == 1);
 
-        // Request 3 finds the queue full: immediate 429, no hang.
+        // Request 3 finds the queue full: immediate 429 with a backoff
+        // hint, no hang.
         let mut c3 = Client::connect(&addr).expect("connect");
         let started = Instant::now();
         let rejected = c3.predict(3, "gemm", 30).expect("predict");
-        assert_eq!(rejected, Response::Rejected { id: 3 });
+        match rejected {
+            Response::Rejected { id: 3, retry_after_ms } => {
+                assert!(retry_after_ms > 0, "shed responses carry a retry-after hint");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
         assert_eq!(rejected.code(), 429);
         assert!(started.elapsed() < Duration::from_secs(5), "rejection must be prompt");
 
@@ -549,6 +769,7 @@ mod tests {
         let stats = join.join().unwrap();
         assert_eq!(stats.served, 2);
         assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.shed, 1);
     }
 
     #[test]
@@ -591,6 +812,57 @@ mod tests {
     }
 
     #[test]
+    fn oversized_request_line_is_rejected_with_413_not_buffered() {
+        let config = ServeConfig { max_line_bytes: 1024, ..ServeConfig::default() };
+        let (handle, join) = start(config, EchoBackend);
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        // 64 KiB of garbage on one line: far over the 1 KiB cap.
+        let big = vec![b'x'; 64 * 1024];
+        stream.write_all(&big).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match Response::parse(line.trim()).unwrap() {
+            Response::Error { code: 413, message, .. } => {
+                assert!(message.contains("RequestTooLarge"), "{message}");
+            }
+            other => panic!("expected 413, got {other:?}"),
+        }
+        // The connection is still in sync: a normal request works.
+        stream.write_all(b"{\"id\": 9, \"kernel\": \"gemm\", \"index\": 4}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(matches!(
+            Response::parse(line.trim()).unwrap(),
+            Response::Ok { id: 9, .. }
+        ));
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn idle_connections_are_closed_after_the_timeout() {
+        let config = ServeConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServeConfig::default()
+        };
+        let (handle, join) = start(config, EchoBackend);
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        // Send nothing; the server must hang up (with a best-effort 408).
+        let n = reader.read_line(&mut line).unwrap();
+        if n > 0 {
+            assert_eq!(Response::parse(line.trim()).unwrap().code(), 408);
+        }
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
     fn protocol_shutdown_drains_and_exits() {
         let (handle, join) = start(ServeConfig::default(), EchoBackend);
         let addr = handle.addr().to_string();
@@ -623,6 +895,190 @@ mod tests {
     }
 
     #[test]
+    fn panicking_backend_is_isolated_and_requests_rerouted_to_a_sibling() {
+        let provider = Arc::new(TestProvider::new());
+        provider.poison_remaining.store(1, Ordering::SeqCst);
+        let config = ServeConfig {
+            replicas: 2,
+            restart_backoff: Duration::from_millis(10),
+            ..ServeConfig::default()
+        };
+        let (handle, join) = start_with_provider(config, Arc::clone(&provider) as _);
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        // The first `poison` request crashes its home replica; the job is
+        // re-routed to the sibling, whose backend serves it (the panic
+        // trigger is consumed by the first attempt).
+        match client.predict(1, "poison", 7).expect("roundtrip") {
+            Response::Ok { id: 1, row, .. } => assert_eq!(row, echo_row("poison", 7, 1)),
+            other => panic!("expected rerouted ok, got {other:?}"),
+        }
+        // The crashed replica restarts under supervision.
+        wait_until(5_000, "supervised restart", || handle.stats().replica_restarts >= 1);
+        // And ordinary traffic never stopped.
+        assert!(matches!(
+            client.predict(2, "gemm", 3).expect("roundtrip"),
+            Response::Ok { id: 2, .. }
+        ));
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert_eq!(stats.served, 2);
+        assert!(stats.replica_crashes >= 1);
+        assert!(stats.rerouted >= 1);
+        assert!(stats.replica_restarts >= 1);
+    }
+
+    #[test]
+    fn poison_pill_is_dropped_after_bounded_attempts_not_served_forever() {
+        let provider = Arc::new(TestProvider::new());
+        provider.poison_remaining.store(-1, Ordering::SeqCst); // always panic
+        let config = ServeConfig {
+            replicas: 2,
+            restart_backoff: Duration::from_millis(10),
+            ..ServeConfig::default()
+        };
+        let (handle, join) = start_with_provider(config, Arc::clone(&provider) as _);
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        match client.predict(1, "poison", 1).expect("roundtrip") {
+            Response::Error { code, .. } => {
+                assert!(
+                    code == 500 || code == 503,
+                    "poison pill must terminate as 500/503, got {code}"
+                );
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        // The pool heals: healthy traffic is served again.
+        wait_until(5_000, "a replica to come back up", || {
+            let mut c = Client::connect(&handle.addr().to_string()).expect("connect");
+            matches!(c.predict(9, "gemm", 2), Ok(Response::Ok { .. }))
+        });
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert!(stats.replica_crashes >= 2, "both dispatches must have crashed a replica");
+    }
+
+    #[test]
+    fn kill_drill_restarts_replica_while_siblings_serve() {
+        let provider = Arc::new(TestProvider::new());
+        let config = ServeConfig {
+            replicas: 3,
+            restart_backoff: Duration::from_millis(10),
+            ..ServeConfig::default()
+        };
+        let (handle, join) = start_with_provider(config, Arc::clone(&provider) as _);
+        let addr = handle.addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        assert!(matches!(client.predict(1, "gemm", 1), Ok(Response::Ok { .. })));
+        handle.kill_replica(0).expect("kill accepted");
+        // Traffic keeps flowing throughout the crash + restart window.
+        for i in 2..30u64 {
+            match client.predict(i, "gemm", u128::from(i)).expect("roundtrip") {
+                Response::Ok { .. } => {}
+                Response::Rejected { .. } => {} // shed under churn is allowed
+                other => panic!("request {i} failed: {other:?}"),
+            }
+        }
+        wait_until(5_000, "killed replica to restart", || {
+            handle.stats().replica_restarts >= 1
+        });
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert!(stats.replica_crashes >= 1);
+        assert!(stats.replica_restarts >= 1);
+    }
+
+    #[test]
+    fn hot_swap_retags_epoch_and_rebuilds_backends_without_downtime() {
+        let provider = Arc::new(TestProvider::new());
+        let (handle, join) =
+            start_with_provider(ServeConfig::default(), Arc::clone(&provider) as _);
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        match client.predict(1, "gemm", 5).expect("roundtrip") {
+            Response::Ok { epoch: 1, row, .. } => assert_eq!(row.lut, 1.0, "built at epoch 1"),
+            other => panic!("expected epoch-1 ok, got {other:?}"),
+        }
+        assert_eq!(handle.reload().expect("reload"), 2);
+        assert_eq!(handle.epoch(), 2);
+        // The replica follows at the next batch boundary.
+        wait_until(5_000, "replica to adopt epoch 2", || {
+            matches!(
+                client.predict(99, "gemm", 5),
+                Ok(Response::Ok { epoch: 2, row, .. }) if row.lut == 2.0
+            )
+        });
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert_eq!(stats.reloads, 1);
+        assert_eq!(stats.reload_failures, 0);
+    }
+
+    #[test]
+    fn failed_reload_rolls_back_and_previous_model_keeps_serving() {
+        let provider = Arc::new(TestProvider::new());
+        provider.fail_reload.store(true, Ordering::SeqCst);
+        let (handle, join) =
+            start_with_provider(ServeConfig::default(), Arc::clone(&provider) as _);
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        assert!(matches!(
+            client.predict(1, "gemm", 5),
+            Ok(Response::Ok { epoch: 1, .. })
+        ));
+        let err = handle.reload().expect_err("reload must fail");
+        assert!(err.contains("checksum"), "{err}");
+        assert_eq!(handle.epoch(), 1, "epoch must not advance on failure");
+        // Protocol-level reload reports the same failure.
+        assert!(matches!(
+            client.reload_server(),
+            Err(crate::ServeError::Protocol(_)) | Ok(_)
+        ));
+        assert!(matches!(
+            client.predict(2, "gemm", 5),
+            Ok(Response::Ok { epoch: 1, .. })
+        ));
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert!(stats.reload_failures >= 1);
+        assert_eq!(stats.reloads, 0);
+    }
+
+    #[test]
+    fn wedged_replica_is_retired_and_replaced() {
+        let provider = Arc::new(TestProvider::new());
+        provider.slow_remaining.store(1, Ordering::SeqCst);
+        let config = ServeConfig {
+            replicas: 1,
+            max_batch: 1,
+            wedge_timeout: Some(Duration::from_millis(100)),
+            restart_backoff: Duration::from_millis(10),
+            ..ServeConfig::default()
+        };
+        let (handle, join) = start_with_provider(config, Arc::clone(&provider) as _);
+        let addr = handle.addr().to_string();
+        // Request A wedges the only replica for 400 ms.
+        let slow = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                c.predict(1, "slow", 1).expect("roundtrip")
+            })
+        };
+        wait_until(5_000, "wedge to be detected", || handle.stats().replica_crashes >= 1);
+        // A replacement replica serves new traffic long before the stuck
+        // call would have finished.
+        wait_until(5_000, "replacement replica", || {
+            let mut c = Client::connect(&addr).expect("connect");
+            matches!(c.predict(2, "gemm", 2), Ok(Response::Ok { .. }))
+        });
+        // The stale instance answers its batch late (late beats never).
+        assert!(matches!(slow.join().unwrap(), Response::Ok { id: 1, .. }));
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert!(stats.replica_crashes >= 1);
+        assert!(stats.replica_restarts >= 1);
+    }
+
+    #[test]
     fn serve_metrics_are_merged_into_the_caller() {
         let server =
             Server::bind("127.0.0.1:0", ServeConfig::default(), EchoBackend).expect("bind");
@@ -645,6 +1101,7 @@ mod tests {
         assert_eq!(snap.counter("serve.requests"), Some(5));
         assert_eq!(snap.counter("serve.predictions"), Some(5));
         assert_eq!(snap.counter("serve.connections"), Some(1));
+        assert_eq!(snap.gauge("serve.epoch"), Some(0.0), "static provider serves epoch 0");
         let hist = snap
             .histograms
             .iter()
@@ -652,5 +1109,35 @@ mod tests {
             .expect("batch-size histogram present");
         assert!(hist.count >= 1);
         assert!(snap.histograms.iter().any(|h| h.name == "serve.latency_us"));
+    }
+
+    #[test]
+    fn shard_routing_is_stable_per_kernel() {
+        // Routing is an implementation detail, but its *stability* is the
+        // contract: the same kernel must always map to the same home.
+        let provider = Arc::new(TestProvider::new());
+        let config = ServeConfig { replicas: 4, ..ServeConfig::default() };
+        let shared = Shared::new(config, provider, "127.0.0.1:1".parse().unwrap());
+        let homes: Vec<usize> = (0..4)
+            .map(|_| {
+                let (tx, _rx) = mpsc::channel();
+                let job = Job {
+                    id: 0,
+                    kernel: "gemm-ncubed".into(),
+                    index: 0,
+                    attempts: 0,
+                    enqueued: Instant::now(),
+                    reply: tx,
+                };
+                shared.slots.iter().for_each(|s| s.up.store(true, Ordering::SeqCst));
+                shared.submit(job, None).ok().unwrap();
+                shared
+                    .slots
+                    .iter()
+                    .position(|s| s.queue.len() > 0)
+                    .expect("job landed somewhere")
+            })
+            .collect();
+        assert!(homes.windows(2).all(|w| w[0] == w[1]), "home must be stable: {homes:?}");
     }
 }

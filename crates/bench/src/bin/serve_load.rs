@@ -13,10 +13,16 @@
 //!   included;
 //! * `replica_restarts` (asserted >= 1 — the kill drill really ran),
 //!   `reloads`, `epochs_seen` (asserted to contain the pre- and
-//!   post-swap epochs).
+//!   post-swap epochs);
+//! * `stages`: per-stage latency attribution from the server's span
+//!   histograms (`ingress`/`route`/`queue_wait`/`batch_wait`/`infer`/
+//!   `write`, each with count + mean + p99), `trace_total_mean_us`, and
+//!   `stage_coverage` (asserted >= 0.9 — the spans must tile the
+//!   end-to-end latency, not sample it).
 //!
 //! `GNNDSE_CLIENTS` (default 4) and `GNNDSE_REQUESTS` (default 120,
-//! per client) size the load.
+//! per client) size the load. `serve_regress` compares the per-stage
+//! p99s of two such reports and fails on >25% regressions.
 
 use gdse_gnn::{ModelConfig, ModelKind};
 use gdse_serve::{Client, ClientConfig, Response, ServeConfig, Server};
@@ -29,6 +35,16 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const KERNELS: [&str; 2] = ["gemm-ncubed", "spmv-ellpack"];
+
+/// Where one pipeline stage spent its time, from the server's own
+/// `serve.trace.<stage>_us` span histograms.
+#[derive(serde::Serialize)]
+struct StageStat {
+    stage: String,
+    count: u64,
+    mean_us: f64,
+    p99_us: f64,
+}
 
 #[derive(serde::Serialize)]
 struct ServeBenchReport {
@@ -46,7 +62,17 @@ struct ServeBenchReport {
     reloads: u64,
     reload_failures: u64,
     epochs_seen: Vec<u64>,
+    /// Per-stage latency attribution, in pipeline order.
+    stages: Vec<StageStat>,
+    /// Mean end-to-end traced duration (first byte seen → response written).
+    trace_total_mean_us: f64,
+    /// Σ stage time / Σ end-to-end time: how much of the latency the spans
+    /// explain. Near 1.0 when the spans tile; << 1 means a blind spot.
+    stage_coverage: f64,
 }
+
+/// The span taxonomy, in pipeline order (also the report's row order).
+const STAGES: [&str; 6] = ["ingress", "route", "queue_wait", "batch_wait", "infer", "write"];
 
 fn env_or(name: &str, default: u64) -> u64 {
     match std::env::var(name) {
@@ -107,7 +133,13 @@ fn main() {
     let server = Server::bind_with_provider("127.0.0.1:0", config, provider).expect("bind");
     let handle = server.handle();
     let addr = handle.addr().to_string();
-    let run = std::thread::spawn(move || server.run());
+    // The server folds its span histograms into the running thread's
+    // registry when it returns; snapshot there to read the attribution.
+    let run = std::thread::spawn(move || {
+        gdse_obs::metrics::reset();
+        let stats = server.run();
+        (stats, gdse_obs::metrics::snapshot())
+    });
 
     let completed = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
@@ -195,11 +227,38 @@ fn main() {
 
     let mut admin = Client::connect(&addr).expect("admin connect");
     admin.shutdown_server().expect("shutdown");
-    let stats = run.join().unwrap();
+    let (stats, snap) = run.join().unwrap();
 
     let mut lat = latencies.into_inner().unwrap();
     lat.sort_unstable();
     let epochs_seen: Vec<u64> = epochs.into_inner().unwrap().into_iter().collect();
+
+    // Per-stage attribution from the server's own span histograms.
+    let hist = |name: &str| snap.histograms.iter().find(|h| h.name == name);
+    let stages: Vec<StageStat> = STAGES
+        .iter()
+        .map(|stage| {
+            let h = hist(&format!("serve.trace.{stage}_us"))
+                .unwrap_or_else(|| panic!("span histogram for `{stage}` missing"));
+            StageStat {
+                stage: (*stage).to_string(),
+                count: h.count,
+                mean_us: h.mean(),
+                p99_us: h.quantile(0.99),
+            }
+        })
+        .collect();
+    let total_hist = hist("serve.trace.total_us").expect("total trace histogram");
+    let trace_total_mean_us = total_hist.mean();
+    let stage_sum: u64 = stages
+        .iter()
+        .map(|s| hist(&format!("serve.trace.{}_us", s.stage)).map_or(0, |h| h.sum))
+        .sum();
+    let stage_coverage = if total_hist.sum == 0 {
+        0.0
+    } else {
+        stage_sum as f64 / total_hist.sum as f64
+    };
     let report = ServeBenchReport {
         clients,
         requests_per_client: per_client,
@@ -215,6 +274,9 @@ fn main() {
         reloads: stats.reloads,
         reload_failures: stats.reload_failures,
         epochs_seen: epochs_seen.clone(),
+        stages,
+        trace_total_mean_us,
+        stage_coverage,
     };
 
     out!();
@@ -229,8 +291,23 @@ fn main() {
         report.reloads
     );
     out!("  epochs     {:?}", report.epochs_seen);
+    out!();
+    out!("  per-stage attribution (mean / p99, us):");
+    for s in &report.stages {
+        out!("    {:<11} {:>9.1} / {:>9.1}  (n={})", s.stage, s.mean_us, s.p99_us, s.count);
+    }
+    out!(
+        "  total      {:>9.1} us mean | spans explain {:.1}% of it",
+        report.trace_total_mean_us,
+        report.stage_coverage * 100.0
+    );
 
     assert_eq!(report.failed, 0, "chaos must be invisible to clients");
+    assert!(
+        report.stage_coverage >= 0.9,
+        "span timelines must tile end-to-end latency, covered only {:.1}%",
+        report.stage_coverage * 100.0
+    );
     assert!(report.replica_restarts >= 1, "the kill drill must have restarted replica 1");
     assert_eq!(report.reloads, 1, "exactly one hot swap ran");
     assert!(

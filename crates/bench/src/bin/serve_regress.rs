@@ -1,0 +1,145 @@
+//! **Serving-tier latency regression checker** — compares two
+//! `BENCH_serve.json` reports (baseline vs current) stage by stage and
+//! fails when any per-stage p99 — or the end-to-end p99 — regressed by
+//! more than 25% *and* more than 100 µs (the absolute floor keeps noise
+//! on sub-100 µs stages from flagging phantom regressions).
+//!
+//! ```text
+//! serve_regress <baseline.json> <current.json> [--report-only]
+//! ```
+//!
+//! `--report-only` prints the comparison and always exits 0 — how CI runs
+//! it on ephemeral runners whose absolute timings are not comparable
+//! across jobs; a stable perf rig drops the flag to enforce.
+
+use gnn_dse_bench::{init_obs_from_env, out, rule};
+use std::process::ExitCode;
+
+/// Regression gate: more than 25% over baseline AND more than 100 µs.
+const RATIO: f64 = 1.25;
+const FLOOR_US: f64 = 100.0;
+
+/// One compared latency: a stage p99 or the end-to-end p99.
+struct Row {
+    name: String,
+    base_us: f64,
+    current_us: f64,
+}
+
+impl Row {
+    fn regressed(&self) -> bool {
+        self.current_us > self.base_us * RATIO && self.current_us - self.base_us > FLOOR_US
+    }
+}
+
+fn get<'a>(map: &'a [(String, serde::Value)], key: &str) -> Option<&'a serde::Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::Float(f) => Some(*f),
+        serde::Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Extracts `(name, p99_us)` rows from one report: every stage in
+/// `stages`, plus the end-to-end `latency_p99_us`.
+fn p99s(report: &serde::Value) -> Result<Vec<(String, f64)>, String> {
+    let map = report.as_map().ok_or("report is not a JSON object")?;
+    let mut rows = Vec::new();
+    if let Some(stages) = get(map, "stages").and_then(|v| v.as_seq()) {
+        for stage in stages {
+            let sm = stage.as_map().ok_or("stage entry is not an object")?;
+            let name = get(sm, "stage")
+                .and_then(|v| v.as_str())
+                .ok_or("stage entry without a name")?;
+            let p99 = get(sm, "p99_us")
+                .and_then(as_f64)
+                .ok_or_else(|| format!("stage `{name}` without p99_us"))?;
+            rows.push((format!("stage:{name}"), p99));
+        }
+    }
+    let e2e = get(map, "latency_p99_us")
+        .and_then(as_f64)
+        .ok_or("report without latency_p99_us")?;
+    rows.push(("end_to_end".to_string(), e2e));
+    Ok(rows)
+}
+
+fn load(path: &str) -> Result<serde::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(baseline_path: &str, current_path: &str, report_only: bool) -> Result<bool, String> {
+    let baseline = p99s(&load(baseline_path)?)?;
+    let current = p99s(&load(current_path)?)?;
+
+    // A stage present in the current report but absent from the baseline
+    // (older format) is new coverage, not a regression — skip it. A stage
+    // that *vanished* is suspicious and compared as regressed-by-absence.
+    let mut rows = Vec::new();
+    for (name, base_us) in &baseline {
+        match current.iter().find(|(n, _)| n == name) {
+            Some((_, current_us)) => rows.push(Row {
+                name: name.clone(),
+                base_us: *base_us,
+                current_us: *current_us,
+            }),
+            None => return Err(format!("`{name}` present in baseline but missing now")),
+        }
+    }
+
+    out!("serve latency regression check ({baseline_path} -> {current_path})");
+    rule(72);
+    let mut regressions = 0usize;
+    for row in &rows {
+        let delta = row.current_us - row.base_us;
+        let pct = if row.base_us > 0.0 { delta / row.base_us * 100.0 } else { 0.0 };
+        let verdict = if row.regressed() { "REGRESSED" } else { "ok" };
+        out!(
+            "  {:<18} {:>10.1} -> {:>10.1} us  ({:>+7.1}%)  {}",
+            row.name,
+            row.base_us,
+            row.current_us,
+            pct,
+            verdict
+        );
+        if row.regressed() {
+            regressions += 1;
+        }
+    }
+    rule(72);
+    if regressions == 0 {
+        out!("no p99 regressions over {:.0}% + {:.0} us", (RATIO - 1.0) * 100.0, FLOOR_US);
+    } else {
+        out!(
+            "{regressions} p99 regression(s) over {:.0}% + {:.0} us{}",
+            (RATIO - 1.0) * 100.0,
+            FLOOR_US,
+            if report_only { " (report-only: not failing)" } else { "" }
+        );
+    }
+    Ok(regressions == 0 || report_only)
+}
+
+fn main() -> ExitCode {
+    init_obs_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report_only = args.iter().any(|a| a == "--report-only");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline, current] = positional.as_slice() else {
+        eprintln!("usage: serve_regress <baseline.json> <current.json> [--report-only]");
+        return ExitCode::from(2);
+    };
+    match run(baseline, current, report_only) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("serve_regress: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //!                                                  --model model.gdse seeds round 1
 //! gnndse serve --model model.gdse                  serve predictions over JSON-lines TCP
 //! gnndse admin <addr> <reload|kill-replica N|shutdown>   control a running server
+//! gnndse admin <addr> stats [--prom]               live telemetry (JSON or Prometheus text)
+//! gnndse admin <addr> trace <id|slow>              span timelines from the flight recorder
 //! gnndse chaos-proxy --upstream H:P                TCP fault-injection proxy (tests/CI)
 //! ```
 //!
@@ -42,6 +44,17 @@
 //! forces the same swap); a corrupt replacement is rejected — checksum
 //! plus canary prediction — and the previous model keeps serving.
 //! `serve.*` metrics land in `--metrics-out`.
+//!
+//! Every request is traced end to end: the server adopts the client's
+//! `trace_id` (or mints one), stamps `ingress`/`route`/`queue_wait`/
+//! `batch_wait`/`infer`/`write` spans, echoes the id on the response, and
+//! remembers recent timelines in a bounded in-memory flight recorder
+//! (`--trace-capacity N` per replica). `--trace-slow-ms MS` dumps a Warn
+//! log line with the full span timeline for any slower request. `admin
+//! <addr> stats` reads live per-replica depth/epoch/restart state and
+//! interpolated p50/p95/p99 latency quantiles from the *running* server
+//! (`--prom` renders Prometheus text exposition); `admin <addr> trace
+//! slow` (or a concrete id) fetches remembered span timelines.
 //!
 //! `chaos-proxy` places deterministic TCP faults (drop / delay / truncate
 //! / mid-response-kill) between a client and a server — how the chaos
@@ -747,6 +760,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "replicas",
             "request-timeout",
             "idle-timeout",
+            "trace-slow-ms",
+            "trace-capacity",
             "log-level",
             "log-json",
             "metrics-out",
@@ -756,6 +771,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let usage = "usage: gnndse serve --model model.gdse [--addr 127.0.0.1:7878] [--jobs N] \
                  [--queue N] [--batch N] [--max-requests N] [--replicas N] [--reload] \
                  [--request-timeout MS] [--idle-timeout MS] \
+                 [--trace-slow-ms MS] [--trace-capacity N] \
                  [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
     if !pos.is_empty() {
         return Err(format!("unexpected positional arguments\n{usage}"));
@@ -785,6 +801,13 @@ fn cmd_serve(args: &[String]) -> CliResult {
         None => None,
     };
     let watch = flags.contains_key("reload");
+    let trace_slow: Option<Duration> = match flags.get("trace-slow-ms") {
+        Some(v) => Some(Duration::from_millis(
+            v.parse().map_err(|e| format!("bad value for --trace-slow-ms: {e}"))?,
+        )),
+        None => None,
+    };
+    let trace_capacity: usize = flag_or(&flags, "trace-capacity", 256)?;
 
     // Split the worker budget across replicas: each replica owns a private
     // engine, so N replicas × per-replica jobs ≈ the machine budget.
@@ -804,6 +827,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
         request_timeout: Duration::from_millis(request_timeout_ms),
         idle_timeout,
         reload_watch: watch.then(|| Duration::from_millis(500)),
+        trace_slow,
+        trace_capacity,
         ..ServeConfig::default()
     };
 
@@ -893,14 +918,54 @@ fn cmd_serve(args: &[String]) -> CliResult {
 }
 
 /// `gnndse admin <addr> <command>` — poke a running server over its own
-/// protocol: force a hot swap, run a kill drill, or stop it.
+/// protocol: force a hot swap, run a kill drill, read live telemetry and
+/// traces, or stop it.
 fn cmd_admin(args: &[String]) -> CliResult {
-    let usage = "usage: gnndse admin <addr> <reload | kill-replica N | shutdown>";
+    let usage = "usage: gnndse admin <addr> \
+                 <reload | kill-replica N | stats [--prom] | trace <id|slow> | shutdown>";
     let [addr, command, rest @ ..] = args else {
         return Err(usage.into());
     };
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     match (command.as_str(), rest) {
+        ("stats", rest) => {
+            let prom = match rest {
+                [] => false,
+                [f] if f == "--prom" => true,
+                _ => return Err(usage.into()),
+            };
+            let body = client.stats().map_err(|e| e.to_string())?;
+            if prom {
+                // The snapshot rides inside the stats document; re-render
+                // it as Prometheus text exposition for scrapers.
+                let metrics = body
+                    .as_map()
+                    .and_then(|m| m.iter().find(|(k, _)| k == "metrics"))
+                    .map(|(_, v)| v.clone())
+                    .ok_or("stats response carries no `metrics` snapshot")?;
+                let json = serde_json::to_string(&metrics)
+                    .map_err(|e| format!("metrics re-serialize: {e}"))?;
+                let snap: obs::MetricsSnapshot = serde_json::from_str(&json)
+                    .map_err(|e| format!("metrics snapshot decode: {e}"))?;
+                print!("{}", obs::prom::render(&snap));
+            } else {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&body)
+                        .map_err(|e| format!("stats serialize: {e}"))?
+                );
+            }
+            Ok(())
+        }
+        ("trace", [query]) => {
+            let body = client.trace(query).map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&body)
+                    .map_err(|e| format!("trace serialize: {e}"))?
+            );
+            Ok(())
+        }
         ("reload", []) => match client.reload_server().map_err(|e| e.to_string())? {
             Response::Reloaded { epoch } => {
                 println!("reloaded: serving epoch {epoch}");

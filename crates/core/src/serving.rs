@@ -75,6 +75,9 @@ impl PredictService {
 
 impl BatchPredictor for PredictService {
     fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String> {
+        // Books replica-thread inference time under `stage.infer.busy_us`;
+        // self-nesting is safe (inner engine stages book only once).
+        let _infer = gdse_obs::span::stage("infer");
         let entry = self.resolve(kernel)?;
         let points: Vec<DesignPoint> = indices
             .iter()

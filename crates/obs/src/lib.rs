@@ -23,6 +23,15 @@
 //!   `span.<name>_us` histogram, giving every rounds-loop iteration a
 //!   per-stage wall-time breakdown.
 //!
+//! Two further layers serve the live serving tier:
+//!
+//! * [`trace`] — per-request span timelines: a [`trace::TraceId`] travels
+//!   with each request, every hop appends [`trace::Span`]s, and completed
+//!   [`trace::RequestTrace`]s land in a bounded [`trace::FlightRecorder`]
+//!   a running server answers `admin trace` queries from.
+//! * [`prom`] — renders any [`MetricsSnapshot`] in the Prometheus text
+//!   exposition format for scraping.
+//!
 //! [`report::RunReport`] distills a metrics snapshot into the
 //! `run_report.json` artifact written at campaign end: per-stage wall time,
 //! evaluation/retry/fault counts, and the modelled-HLS vs. surrogate
@@ -49,13 +58,16 @@
 
 pub mod log;
 pub mod metrics;
+pub mod prom;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use log::{HumanStyle, Level, LogConfig};
-pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, SharedMetrics};
 pub use report::{OracleSummary, RunReport, StageTime, SurrogateSummary};
 pub use span::{stage, StageTimer};
+pub use trace::{FlightRecorder, RequestTrace, Span, TraceBuilder, TraceId};
 
 /// Logs at [`Level::Error`]: `obs::error!(event, fmt-args...; field = value, ...)`.
 #[macro_export]

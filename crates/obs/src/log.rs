@@ -463,6 +463,33 @@ mod tests {
     }
 
     #[test]
+    fn trace_fields_escape_into_parseable_jsonl() {
+        // Trace ids logged by the serving tier come off the wire; a
+        // hostile or buggy client can put anything in them, and the slow-
+        // request dump quotes span timelines wholesale. None of it may
+        // break the JSONL sink.
+        let hostile = "dead\"beef\\\u{00}\n{evil}";
+        let line = format_json_record(
+            42,
+            Level::Warn,
+            "serve.trace.slow",
+            "request exceeded threshold",
+            &[
+                ("trace_id", FieldValue::Str(hostile.into())),
+                ("timeline", FieldValue::Str("ingress@+0us/12us write@+90us/3us".into())),
+                ("total_us", FieldValue::U64(93)),
+            ],
+        );
+        let v: serde::Value = serde_json::from_str(&line).expect("trace record parses");
+        let map = v.as_map().unwrap();
+        let fields = map.iter().find(|(k, _)| k == "fields").unwrap().1.as_map().unwrap();
+        let tid = fields.iter().find(|(k, _)| k == "trace_id").unwrap().1.as_str().unwrap();
+        assert_eq!(tid, hostile, "trace id survives the round trip byte-for-byte");
+        assert!(!line.bytes().any(|b| b < 0x20), "raw control byte leaked: {line}");
+        assert_eq!(line.lines().count(), 1, "one record stays one JSONL line");
+    }
+
+    #[test]
     fn nonfinite_floats_degrade_to_null() {
         let line =
             format_json_record(0, Level::Info, "x", "", &[("v", FieldValue::F64(f64::NAN))]);

@@ -161,6 +161,35 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Interpolated quantile `q` (clamped to `[0, 1]`): walks the
+    /// cumulative bucket counts to the bucket containing the `q·count`-th
+    /// observation and interpolates linearly inside it, the same estimate
+    /// Prometheus' `histogram_quantile` computes. Observations in the
+    /// overflow bucket clamp to the last edge (their true magnitude is
+    /// unknown); an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.edges.is_empty() {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let last_edge = *self.edges.last().expect("non-empty edges") as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if c > 0 && next >= target {
+                if i >= self.edges.len() {
+                    return last_edge;
+                }
+                let lower = if i == 0 { 0.0 } else { self.edges[i - 1] as f64 };
+                let upper = self.edges[i] as f64;
+                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+            cum = next;
+        }
+        last_edge
+    }
 }
 
 /// Deterministic, serializable copy of a whole registry. Entries are sorted
@@ -349,6 +378,96 @@ pub fn reset() {
     REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
 }
 
+/// A mutex-guarded registry shared **across** threads, for metrics that
+/// must be readable *while* worker threads are still running.
+///
+/// The thread-local registry is the right default (no locks, no
+/// cross-test interference), but its contents only become visible to
+/// other threads after a worker parks its snapshot at exit — useless for
+/// a live `admin stats` endpoint. Hot paths that feed live telemetry
+/// (request-span histograms, queue-depth gauges) record into a
+/// `SharedMetrics` instead; the owner folds [`SharedMetrics::snapshot`]
+/// into the ordinary registry via [`merge`] at shutdown so end-of-run
+/// reports see one unified registry.
+#[derive(Default)]
+pub struct SharedMetrics {
+    inner: std::sync::Mutex<Registry>,
+}
+
+impl SharedMetrics {
+    /// An empty shared registry.
+    pub fn new() -> SharedMetrics {
+        SharedMetrics::default()
+    }
+
+    fn with<T>(&self, f: impl FnOnce(&mut Registry) -> T) -> T {
+        f(&mut self.inner.lock().expect("shared metrics lock"))
+    }
+
+    /// Adds `delta` to counter `name` (creating it at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.with(|r| *r.counters.entry(name.to_string()).or_insert(0) += delta);
+    }
+
+    /// Increments counter `name` by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// The current value of counter `name` (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.with(|r| r.counters.get(name).copied().unwrap_or(0))
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.with(|r| {
+            r.gauges.insert(name.to_string(), value);
+        });
+    }
+
+    /// The current value of gauge `name`, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.with(|r| r.gauges.get(name).copied())
+    }
+
+    /// Records `us` into histogram `name` (created over
+    /// [`DEFAULT_US_EDGES`]).
+    pub fn observe_us(&self, name: &str, us: u64) {
+        self.with(|r| {
+            r.histograms
+                .entry(name.to_string())
+                .or_insert_with(Histogram::default_us)
+                .record(us);
+        });
+    }
+
+    /// Records `us` into histogram `name`, creating it over `edges` if new.
+    pub fn observe_with_edges(&self, name: &str, edges: &[u64], us: u64) {
+        self.with(|r| {
+            r.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histogram::new(edges))
+                .record(us);
+        });
+    }
+
+    /// A deterministic (sorted) copy of the shared registry — safe to call
+    /// from any thread at any time.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.with(|r| MetricsSnapshot {
+            counters: r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: r.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: r.histograms.iter().map(|(k, h)| h.snapshot(k)).collect(),
+        })
+    }
+
+    /// Clears the shared registry.
+    pub fn reset(&self) {
+        self.with(|r| *r = Registry::default());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +608,66 @@ mod tests {
             merge(p);
         }
         assert_eq!(snapshot(), serial);
+        reset();
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets_and_clamp_overflow() {
+        let mut h = Histogram::new(&[100, 200, 1_000]);
+        // 10 observations in (0, 100], 10 in (100, 200].
+        for _ in 0..10 {
+            h.record(50);
+            h.record(150);
+        }
+        let s = h.snapshot("q");
+        // p50 sits exactly at the boundary of the first bucket.
+        assert_eq!(s.quantile(0.50), 100.0);
+        // p25: halfway through the first bucket (5th of 10 obs in (0,100]).
+        assert_eq!(s.quantile(0.25), 50.0);
+        // p75: halfway through the second bucket.
+        assert_eq!(s.quantile(0.75), 150.0);
+        // p100 = upper edge of the last occupied bucket.
+        assert_eq!(s.quantile(1.0), 200.0);
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(s.quantile(-1.0), s.quantile(0.0));
+        assert_eq!(s.quantile(2.0), s.quantile(1.0));
+
+        // Overflow observations clamp to the last edge.
+        let mut h = Histogram::new(&[100]);
+        h.record(999_999);
+        assert_eq!(h.snapshot("o").quantile(0.99), 100.0);
+
+        // Empty histogram reports 0.
+        assert_eq!(Histogram::default_us().snapshot("e").quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn shared_metrics_are_visible_across_threads_while_running() {
+        let shared = std::sync::Arc::new(SharedMetrics::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let shared = std::sync::Arc::clone(&shared);
+                s.spawn(move || {
+                    for i in 0..25 {
+                        shared.counter_inc("hits");
+                        shared.observe_us("lat_us", t * 100 + i);
+                    }
+                    shared.gauge_set(&labeled("depth", "worker", &t.to_string()), t as f64);
+                });
+            }
+        });
+        // Readable without any park/merge handshake.
+        assert_eq!(shared.counter_value("hits"), 100);
+        assert_eq!(shared.gauge_value("depth{worker=3}"), Some(3.0));
+        let snap = shared.snapshot();
+        assert_eq!(snap.histogram("lat_us").unwrap().count, 100);
+
+        // Folding the shared registry into the thread-local one unifies
+        // shutdown reporting.
+        reset();
+        counter_add("hits", 1);
+        merge(&snap);
+        assert_eq!(counter_value("hits"), 101);
         reset();
     }
 

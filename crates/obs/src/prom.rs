@@ -1,0 +1,178 @@
+//! Prometheus text exposition rendering of a [`MetricsSnapshot`].
+//!
+//! The workspace's metric names are dotted (`serve.trace.infer_us`) with
+//! an optional one-label suffix (`serve.queue_depth{replica=0}`);
+//! Prometheus names allow `[a-zA-Z0-9_:]`, so dots become underscores and
+//! the label is re-quoted into Prometheus label syntax. Counters are
+//! suffixed `_total` per convention; histograms render as cumulative
+//! `_bucket{le="…"}` series with `_sum` and `_count`, which is exactly
+//! what `histogram_quantile()` consumes.
+//!
+//! ```text
+//! # TYPE serve_trace_infer_us histogram
+//! serve_trace_infer_us_bucket{le="10"} 3
+//! serve_trace_infer_us_bucket{le="+Inf"} 17
+//! serve_trace_infer_us_sum 48213
+//! serve_trace_infer_us_count 17
+//! ```
+
+use crate::metrics::MetricsSnapshot;
+
+/// Splits a composed key `name{key=value}` into its base name and label.
+fn split_label(name: &str) -> (&str, Option<(&str, &str)>) {
+    if let Some(open) = name.find('{') {
+        if let Some(rest) = name[open + 1..].strip_suffix('}') {
+            if let Some(eq) = rest.find('=') {
+                return (&name[..open], Some((&rest[..eq], &rest[eq + 1..])));
+            }
+        }
+    }
+    (name, None)
+}
+
+/// Maps a dotted metric name onto the Prometheus alphabet.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn labels_fragment(label: Option<(&str, &str)>, extra: Option<(&str, String)>) -> String {
+    let mut parts = Vec::new();
+    if let Some((k, v)) = label {
+        parts.push(format!("{}=\"{}\"", sanitize(k), escape_label(v)));
+    }
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn type_line(out: &mut String, seen: &mut Vec<String>, family: &str, kind: &str) {
+    if !seen.iter().any(|f| f == family) {
+        out.push_str(&format!("# TYPE {family} {kind}\n"));
+        seen.push(family.to_string());
+    }
+}
+
+/// Renders `snap` in the Prometheus text exposition format. Entries are
+/// already sorted (snapshots are deterministic), so series of one family
+/// group naturally under a single `# TYPE` line.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut seen = Vec::new();
+
+    for (name, value) in &snap.counters {
+        let (base, label) = split_label(name);
+        let family = format!("{}_total", sanitize(base));
+        type_line(&mut out, &mut seen, &family, "counter");
+        out.push_str(&format!("{family}{} {value}\n", labels_fragment(label, None)));
+    }
+
+    for (name, value) in &snap.gauges {
+        let (base, label) = split_label(name);
+        let family = sanitize(base);
+        type_line(&mut out, &mut seen, &family, "gauge");
+        out.push_str(&format!("{family}{} {value}\n", labels_fragment(label, None)));
+    }
+
+    for h in &snap.histograms {
+        let (base, label) = split_label(&h.name);
+        let family = sanitize(base);
+        type_line(&mut out, &mut seen, &family, "histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.counts.iter().enumerate() {
+            cum += c;
+            let le = match h.edges.get(i) {
+                Some(e) => e.to_string(),
+                None => "+Inf".to_string(),
+            };
+            out.push_str(&format!(
+                "{family}_bucket{} {cum}\n",
+                labels_fragment(label, Some(("le", le)))
+            ));
+        }
+        out.push_str(&format!("{family}_sum{} {}\n", labels_fragment(label, None), h.sum));
+        out.push_str(&format!("{family}_count{} {}\n", labels_fragment(label, None), h.count));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn names_and_labels_translate_to_the_prometheus_alphabet() {
+        assert_eq!(sanitize("serve.trace.infer_us"), "serve_trace_infer_us");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(split_label("a.b{replica=2}"), ("a.b", Some(("replica", "2"))));
+        assert_eq!(split_label("a.b"), ("a.b", None));
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_render_as_exposition_text() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5_000);
+        let snap = MetricsSnapshot {
+            counters: vec![
+                ("serve.requests".into(), 7),
+                ("serve.requests{kernel=gemm}".into(), 4),
+            ],
+            gauges: vec![("serve.queue_depth{replica=0}".into(), 3.0)],
+            histograms: vec![h.snapshot("serve.trace.infer_us")],
+        };
+        let text = render(&snap);
+        assert!(text.contains("# TYPE serve_requests_total counter\n"));
+        assert_eq!(
+            text.matches("# TYPE serve_requests_total counter").count(),
+            1,
+            "one TYPE line per family"
+        );
+        assert!(text.contains("serve_requests_total 7\n"));
+        assert!(text.contains("serve_requests_total{kernel=\"gemm\"} 4\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\n"));
+        assert!(text.contains("serve_queue_depth{replica=\"0\"} 3\n"));
+        assert!(text.contains("# TYPE serve_trace_infer_us histogram\n"));
+        // Buckets are cumulative and end in +Inf == count.
+        assert!(text.contains("serve_trace_infer_us_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("serve_trace_infer_us_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("serve_trace_infer_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("serve_trace_infer_us_sum 5055\n"));
+        assert!(text.contains("serve_trace_infer_us_count 3\n"));
+    }
+
+    #[test]
+    fn labeled_histograms_merge_the_le_label() {
+        let mut h = Histogram::new(&[10]);
+        h.record(1);
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![h.snapshot("lat_us{replica=1}")],
+        };
+        let text = render(&snap);
+        assert!(text.contains("lat_us_bucket{replica=\"1\",le=\"10\"} 1\n"));
+        assert!(text.contains("lat_us_sum{replica=\"1\"} 1\n"));
+        assert!(text.contains("lat_us_count{replica=\"1\"} 1\n"));
+    }
+}

@@ -13,22 +13,42 @@
 //!
 //! Stage names form a flat namespace by convention (`setup`, `train`,
 //! `dse`, `validate`, `checkpoint`, `explore`, `io`); timers for *different*
-//! stages may nest, but the same stage must not nest inside itself or its
-//! busy time double-counts.
+//! stages may nest freely. Timers for the **same** stage may nest too —
+//! e.g. a helper that times `infer` called from a caller already timing
+//! `infer` — and only the outermost scope books `stage.<name>.busy_us`,
+//! so busy time is wall time, never double-counted. Every scope still
+//! records its own `span.<name>_us` observation (per-invocation latency
+//! is meaningful at any depth).
 
 use crate::log::Level;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::time::Instant;
+
+thread_local! {
+    /// Per-thread count of live timers by stage name; a timer created
+    /// while its name is already active is nested, and skips the busy
+    /// counter on drop.
+    static ACTIVE: RefCell<HashMap<&'static str, u32>> = RefCell::new(HashMap::new());
+}
 
 /// Times a stage from construction to drop. Create via [`stage`].
 #[derive(Debug)]
 pub struct StageTimer {
     name: &'static str,
     start: Instant,
+    outermost: bool,
 }
 
 /// Starts timing stage `name`.
 pub fn stage(name: &'static str) -> StageTimer {
-    StageTimer { name, start: Instant::now() }
+    let outermost = ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let depth = a.entry(name).or_insert(0);
+        *depth += 1;
+        *depth == 1
+    });
+    StageTimer { name, start: Instant::now(), outermost }
 }
 
 impl StageTimer {
@@ -46,7 +66,21 @@ impl StageTimer {
 impl Drop for StageTimer {
     fn drop(&mut self) {
         let us = self.elapsed_us();
-        crate::metrics::counter_add(&format!("stage.{}.busy_us", self.name), us);
+        ACTIVE.with(|a| {
+            let mut a = a.borrow_mut();
+            if let Some(depth) = a.get_mut(self.name) {
+                *depth = depth.saturating_sub(1);
+                if *depth == 0 {
+                    a.remove(self.name);
+                }
+            }
+        });
+        // A timer moved across threads drops on a thread whose ACTIVE map
+        // never saw it — harmless: the decrement no-ops and `outermost`
+        // was fixed at construction.
+        if self.outermost {
+            crate::metrics::counter_add(&format!("stage.{}.busy_us", self.name), us);
+        }
         crate::metrics::observe_us(&format!("span.{}_us", self.name), us);
         if crate::log::enabled(Level::Debug) {
             crate::log::emit(
@@ -85,5 +119,36 @@ mod tests {
         let h = snap.histogram("span.unit_test_stage_us").unwrap();
         assert_eq!(h.count, 2, "one observation per scope");
         assert_eq!(h.sum, busy, "histogram sum equals booked busy time");
+    }
+
+    #[test]
+    fn self_nested_timers_book_busy_time_once() {
+        metrics::reset();
+        {
+            let _outer = stage("nested_stage");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let inner = stage("nested_stage");
+                assert!(!inner.outermost, "inner scope of the same stage is nested");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let busy = metrics::counter_value("stage.nested_stage.busy_us");
+        // The outer scope alone slept ~6ms; double-counting would book
+        // ~8ms+ (outer 6 + inner 2). Assert busy stays below the sum.
+        assert!(busy >= 6_000, "outer scope books its wall time, got {busy}us");
+        let snap = metrics::snapshot();
+        let h = snap.histogram("span.nested_stage_us").unwrap();
+        assert_eq!(h.count, 2, "both scopes observe their span latency");
+        assert!(
+            busy < h.sum,
+            "busy ({busy}) must exclude the inner scope (span sum {})",
+            h.sum
+        );
+
+        // After everything dropped, the stage re-opens as outermost again.
+        let t = stage("nested_stage");
+        assert!(t.outermost);
+        drop(t);
     }
 }

@@ -15,10 +15,11 @@
 //! built for — and anything that parses is still a truthful response.
 
 use crate::ServeError;
+use gdse_obs as obs;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -89,6 +90,51 @@ enum Fault {
     Delay,
     Truncate,
     Kill,
+}
+
+/// Best-effort sniff of a `"trace_id": "<hex>"` field inside a forwarded
+/// chunk — how the proxy learns which request a fault is about to hurt,
+/// without parsing the protocol. Returns the *last* id in the chunk (the
+/// request most recently pipelined is the one the next fault hits).
+/// Values over 64 bytes are assumed to be hostile, not trace ids.
+fn extract_trace_id(chunk: &[u8]) -> Option<String> {
+    const KEY: &[u8] = b"\"trace_id\"";
+    let mut found = None;
+    let mut at = 0;
+    while at + KEY.len() <= chunk.len() {
+        let Some(pos) = chunk[at..]
+            .windows(KEY.len())
+            .position(|w| w == KEY)
+            .map(|p| at + p)
+        else {
+            break;
+        };
+        at = pos + KEY.len();
+        let mut i = at;
+        while i < chunk.len() && (chunk[i] == b' ' || chunk[i] == b'\t') {
+            i += 1;
+        }
+        if i >= chunk.len() || chunk[i] != b':' {
+            continue;
+        }
+        i += 1;
+        while i < chunk.len() && (chunk[i] == b' ' || chunk[i] == b'\t') {
+            i += 1;
+        }
+        if i >= chunk.len() || chunk[i] != b'"' {
+            continue;
+        }
+        i += 1;
+        let start = i;
+        while i < chunk.len() && chunk[i] != b'"' && i - start <= 64 {
+            i += 1;
+        }
+        if i < chunk.len() && chunk[i] == b'"' {
+            found = Some(String::from_utf8_lossy(&chunk[start..i]).into_owned());
+        }
+        at = i;
+    }
+    found
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -227,6 +273,14 @@ fn accept_loop(
         ordinal += 1;
         if fault == Fault::Drop {
             counters.dropped.fetch_add(1, Ordering::SeqCst);
+            // Dropped at accept: no bytes flowed, so no trace id to blame.
+            obs::warn!(
+                "chaos.fault",
+                "connection #{} dropped at accept", ordinal - 1;
+                fault = "drop",
+                trace_id = "-",
+                connection = ordinal - 1,
+            );
             drop(client); // EOF before a single byte
             continue;
         }
@@ -272,6 +326,10 @@ fn forward_connection(
     // Nagle stalls on the relayed writes.
     let _ = client.set_nodelay(true);
     let _ = server.set_nodelay(true);
+    // The client→server pump sniffs trace ids off forwarded requests into
+    // this slot; the server→client pump reads it when a fault fires, so
+    // the chaos log names its victim.
+    let victim: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
     let up = {
         // client → server: faithful.
         let (mut from, mut to) = match (client.try_clone(), server.try_clone()) {
@@ -279,23 +337,56 @@ fn forward_connection(
             _ => return,
         };
         let shutdown = Arc::clone(shutdown);
-        std::thread::spawn(move || pump(&mut from, &mut to, Fault::None, delay, &shutdown))
+        let victim = Arc::clone(&victim);
+        std::thread::spawn(move || {
+            pump(&mut from, &mut to, Pump::Sniff(&victim), Fault::None, delay, &shutdown);
+        })
     };
     // server → client: where response faults are injected.
     let (mut from, mut to) = (server, client);
-    pump(&mut from, &mut to, fault, delay, shutdown);
+    pump(&mut from, &mut to, Pump::Inject(&victim), fault, delay, shutdown);
     let _ = up.join();
+}
+
+/// Which side of the connection a [`pump`] relays, and its relationship
+/// to the shared victim slot.
+enum Pump<'a> {
+    /// client → server: records the last trace id seen in a request.
+    Sniff(&'a Mutex<Option<String>>),
+    /// server → client: blames the recorded id when a fault fires.
+    Inject(&'a Mutex<Option<String>>),
+}
+
+/// The trace id the next fault should blame: the last one sniffed, or
+/// `"-"` for untraced traffic.
+fn victim_id(slot: &Mutex<Option<String>>) -> String {
+    slot.lock()
+        .ok()
+        .and_then(|v| v.clone())
+        .unwrap_or_else(|| "-".into())
+}
+
+fn log_fault(name: &str, slot: &Mutex<Option<String>>) {
+    let trace_id = victim_id(slot);
+    obs::warn!(
+        "chaos.fault",
+        "injected {name} (victim trace {trace_id})";
+        fault = name,
+        trace_id = trace_id.clone(),
+    );
 }
 
 fn pump(
     from: &mut TcpStream,
     to: &mut TcpStream,
+    role: Pump<'_>,
     fault: Fault,
     delay: Duration,
     shutdown: &Arc<AtomicBool>,
 ) {
     let mut buf = [0u8; 4096];
     let mut chunks_forwarded = 0u64;
+    let mut delay_logged = false;
     loop {
         let n = match from.read(&mut buf) {
             Ok(0) => break,
@@ -308,18 +399,35 @@ fn pump(
             }
             Err(_) => break,
         };
-        match fault {
-            Fault::Delay => std::thread::sleep(delay),
-            Fault::Truncate if chunks_forwarded == 0 => {
+        if let Pump::Sniff(slot) = &role {
+            if let Some(id) = extract_trace_id(&buf[..n]) {
+                if let Ok(mut v) = slot.lock() {
+                    *v = Some(id);
+                }
+            }
+        }
+        match (&role, fault) {
+            (Pump::Inject(slot), Fault::Delay) => {
+                // Delay fires per chunk; one log line per connection is
+                // enough to correlate.
+                if !delay_logged {
+                    log_fault("delay", slot);
+                    delay_logged = true;
+                }
+                std::thread::sleep(delay);
+            }
+            (Pump::Inject(slot), Fault::Truncate) if chunks_forwarded == 0 => {
                 // Half the first response chunk, then a hard close: the
                 // client is left holding an unparseable partial line.
+                log_fault("truncate", slot);
                 let _ = to.write_all(&buf[..n / 2]);
                 let _ = to.shutdown(std::net::Shutdown::Both);
                 let _ = from.shutdown(std::net::Shutdown::Both);
                 return;
             }
-            Fault::Kill if chunks_forwarded >= 1 => {
+            (Pump::Inject(slot), Fault::Kill) if chunks_forwarded >= 1 => {
                 // The first chunk went through whole; die before the next.
+                log_fault("kill", slot);
                 let _ = to.shutdown(std::net::Shutdown::Both);
                 let _ = from.shutdown(std::net::Shutdown::Both);
                 return;
@@ -356,6 +464,32 @@ mod tests {
         assert!(clean > 25, "too few clean connections: {clean}/100");
         let zero = ChaosConfig::default();
         assert!((0..100).all(|i| fault_for(&zero, i) == Fault::None));
+    }
+
+    #[test]
+    fn trace_ids_are_sniffed_from_forwarded_chunks() {
+        // The normal shapes: with and without whitespace, mid-chunk.
+        assert_eq!(
+            extract_trace_id(br#"{"id": 1, "kernel": "gemm", "trace_id": "00000000deadbeef"}"#),
+            Some("00000000deadbeef".into())
+        );
+        assert_eq!(
+            extract_trace_id(b"{\"trace_id\":\"abc123\"}"),
+            Some("abc123".into())
+        );
+        // Two pipelined requests: the last id wins (it's the next victim).
+        assert_eq!(
+            extract_trace_id(
+                b"{\"trace_id\": \"1111111111111111\"}\n{\"trace_id\": \"2222222222222222\"}\n"
+            ),
+            Some("2222222222222222".into())
+        );
+        // No field, wrong type, unterminated, or absurdly long: nothing.
+        assert_eq!(extract_trace_id(b"{\"id\": 1}"), None);
+        assert_eq!(extract_trace_id(b"{\"trace_id\": 42}"), None);
+        assert_eq!(extract_trace_id(b"{\"trace_id\": \"unterminat"), None);
+        let long = format!("{{\"trace_id\": \"{}\"}}", "a".repeat(200));
+        assert_eq!(extract_trace_id(long.as_bytes()), None);
     }
 
     #[test]

@@ -105,7 +105,7 @@ impl Client {
         Ok(())
     }
 
-    fn read_response(&mut self) -> Result<Response, ServeError> {
+    fn read_line(&mut self) -> Result<String, ServeError> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line).map_err(|e| {
             if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
@@ -119,12 +119,28 @@ impl Client {
         if n == 0 {
             return Err(ServeError::Protocol("server closed the connection".into()));
         }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> Result<Response, ServeError> {
+        let line = self.read_line()?;
         Response::parse(line.trim()).map_err(ServeError::Protocol)
     }
 
     fn roundtrip(&mut self, line: &str) -> Result<Response, ServeError> {
         self.send_line(line)?;
         self.read_response()
+    }
+
+    /// Like [`Client::roundtrip`] but also returns the server's echoed
+    /// `trace_id`, when present and well-formed.
+    fn roundtrip_traced(
+        &mut self,
+        line: &str,
+    ) -> Result<(Response, Option<String>), ServeError> {
+        self.send_line(line)?;
+        let answer = self.read_line()?;
+        Response::parse_traced(answer.trim()).map_err(ServeError::Protocol)
     }
 
     fn backoff_for(&mut self, attempt: u32, hint_ms: u64) -> Duration {
@@ -144,7 +160,31 @@ impl Client {
     /// Socket failures, timeouts, an unparseable response, or retry
     /// exhaustion.
     pub fn predict(&mut self, id: u64, kernel: &str, index: u128) -> Result<Response, ServeError> {
-        let line = request_line(&Request::Predict { id, kernel: kernel.to_string(), index });
+        self.predict_traced(id, kernel, index, None).map(|(resp, _)| resp)
+    }
+
+    /// [`Client::predict`] with request tracing: sends `trace` as the
+    /// request's trace id (or lets the server mint one when `None`) and
+    /// returns the trace id the server echoed alongside the response —
+    /// the key for `admin <addr> trace <id>` and for correlating client
+    /// and server logs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::predict`].
+    pub fn predict_traced(
+        &mut self,
+        id: u64,
+        kernel: &str,
+        index: u128,
+        trace: Option<&str>,
+    ) -> Result<(Response, Option<String>), ServeError> {
+        let line = request_line(&Request::Predict {
+            id,
+            kernel: kernel.to_string(),
+            index,
+            trace: trace.map(str::to_string),
+        });
         let mut last: Option<ServeError> = None;
         for attempt in 0..=self.config.retries {
             if attempt > 0 {
@@ -159,8 +199,8 @@ impl Client {
                     }
                 }
             }
-            match self.roundtrip(&line) {
-                Ok(Response::Rejected { id: rid, retry_after_ms })
+            match self.roundtrip_traced(&line) {
+                Ok((Response::Rejected { id: rid, retry_after_ms }, _))
                     if self.config.retry_rejected && attempt < self.config.retries =>
                 {
                     let wait = self.backoff_for(attempt, retry_after_ms);
@@ -168,7 +208,7 @@ impl Client {
                     last = None; // the connection is fine; no reconnect
                     let _ = rid;
                 }
-                Ok(resp) => return Ok(resp),
+                Ok(answer) => return Ok(answer),
                 Err(e) if attempt < self.config.retries => {
                     let wait = self.backoff_for(attempt, 0);
                     std::thread::sleep(wait);
@@ -232,6 +272,36 @@ impl Client {
             ))),
         }
     }
+
+    /// Fetches the live telemetry snapshot of the RUNNING server: uptime,
+    /// per-replica state, interpolated latency quantiles, and the full
+    /// metrics snapshot (see `admin <addr> stats`).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures or a non-stats response.
+    pub fn stats(&mut self) -> Result<serde::Value, ServeError> {
+        let line = request_line(&Request::Stats);
+        match self.roundtrip(&line)? {
+            Response::Stats { body } => Ok(body),
+            other => Err(ServeError::Protocol(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Queries the server's flight recorder: `"slow"` for the slowest
+    /// remembered traces, anything else as a trace-id lookup. Always an
+    /// array (empty = nothing remembered, not an error).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures or a non-trace response.
+    pub fn trace(&mut self, query: &str) -> Result<serde::Value, ServeError> {
+        let line = request_line(&Request::Trace { query: query.to_string() });
+        match self.roundtrip(&line)? {
+            Response::Trace { body } => Ok(body),
+            other => Err(ServeError::Protocol(format!("expected trace, got {other:?}"))),
+        }
+    }
 }
 
 /// xorshift64* step — cheap deterministic jitter, no external RNG.
@@ -276,23 +346,33 @@ fn open(
 pub(crate) fn request_line(request: &Request) -> String {
     use serde::Value;
     let value = match request {
-        Request::Predict { id, kernel, index } => Value::Map(vec![
-            ("id".into(), Value::Int(i128::from(*id))),
-            ("kernel".into(), Value::Str(kernel.clone())),
-            // i128 covers every index our design spaces produce; fall back
-            // to the string form for the (theoretical) top bit.
-            (
-                "index".into(),
-                match i128::try_from(*index) {
-                    Ok(i) => Value::Int(i),
-                    Err(_) => Value::Str(index.to_string()),
-                },
-            ),
-        ]),
+        Request::Predict { id, kernel, index, trace } => {
+            let mut fields = vec![
+                ("id".into(), Value::Int(i128::from(*id))),
+                ("kernel".into(), Value::Str(kernel.clone())),
+                // i128 covers every index our design spaces produce; fall
+                // back to the string form for the (theoretical) top bit.
+                (
+                    "index".into(),
+                    match i128::try_from(*index) {
+                        Ok(i) => Value::Int(i),
+                        Err(_) => Value::Str(index.to_string()),
+                    },
+                ),
+            ];
+            if let Some(t) = trace {
+                fields.push(("trace_id".into(), Value::Str(t.clone())));
+            }
+            Value::Map(fields)
+        }
         Request::Shutdown => Value::Map(vec![("shutdown".into(), Value::Bool(true))]),
         Request::Reload => Value::Map(vec![("reload".into(), Value::Bool(true))]),
         Request::KillReplica { replica } => {
             Value::Map(vec![("kill_replica".into(), Value::Int(*replica as i128))])
+        }
+        Request::Stats => Value::Map(vec![("stats".into(), Value::Bool(true))]),
+        Request::Trace { query } => {
+            Value::Map(vec![("trace".into(), Value::Str(query.clone()))])
         }
     };
     serde_json::to_string(&value).expect("protocol values always serialize")
@@ -309,11 +389,19 @@ mod tests {
     #[test]
     fn request_lines_round_trip_through_the_parser() {
         for req in [
-            Request::Predict { id: 3, kernel: "aes".into(), index: 77 },
-            Request::Predict { id: 0, kernel: "gemm".into(), index: u128::MAX },
+            Request::Predict { id: 3, kernel: "aes".into(), index: 77, trace: None },
+            Request::Predict { id: 0, kernel: "gemm".into(), index: u128::MAX, trace: None },
+            Request::Predict {
+                id: 9,
+                kernel: "spmv".into(),
+                index: 1,
+                trace: Some("00000000deadbeef".into()),
+            },
             Request::Shutdown,
             Request::Reload,
             Request::KillReplica { replica: 2 },
+            Request::Stats,
+            Request::Trace { query: "slow".into() },
         ] {
             let line = request_line(&req);
             assert_eq!(parse_request(&line).unwrap(), req, "{line}");

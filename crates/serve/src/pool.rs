@@ -171,7 +171,25 @@ pub(crate) struct Job {
     /// Dispatch count; capped at [`MAX_ATTEMPTS`].
     pub attempts: u32,
     pub enqueued: Instant,
-    pub reply: mpsc::Sender<Response>,
+    /// When the router last pushed this job onto a replica queue — the
+    /// boundary between the `route` and `queue_wait` spans.
+    pub routed: Instant,
+    /// The replica that popped this job (None until then, or when it
+    /// never reached one).
+    pub replica: Option<usize>,
+    /// The request's span timeline, appended to at every hop and handed
+    /// back to the connection handler inside [`Answer`].
+    pub trace: obs::trace::TraceBuilder,
+    pub reply: mpsc::Sender<Answer>,
+}
+
+/// What a replica (or the shed/error path) sends back on a job's reply
+/// channel: the response plus the trace that traveled with the request,
+/// so the handler can seal the timeline after the `write` span.
+pub(crate) struct Answer {
+    pub response: Response,
+    pub trace: obs::trace::TraceBuilder,
+    pub replica: Option<usize>,
 }
 
 /// Per-replica shared state: the routing/queueing surface of one replica.
@@ -185,15 +203,17 @@ pub(crate) struct ReplicaSlot {
     generation: AtomicU64,
     /// Model epoch of the backend currently serving this slot.
     pub epoch: AtomicU64,
+    /// Times this slot's replica was restarted by the supervisor.
+    pub restarts: AtomicU64,
     /// `0` when idle, else (ms since pool start of the current backend
     /// call) + 1 — the wedge-detection heartbeat.
     busy_since_ms: AtomicU64,
 }
 
 impl ReplicaSlot {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, observer: Option<crate::queue::DepthObserver>) -> Self {
         ReplicaSlot {
-            queue: BoundedQueue::new(capacity),
+            queue: BoundedQueue::with_observer(capacity, observer),
             // Born up (optimistically): requests arriving while the first
             // backend is still building queue here instead of bouncing
             // with 503; a failed build crashes the replica and the
@@ -202,6 +222,7 @@ impl ReplicaSlot {
             kill: AtomicBool::new(false),
             generation: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
             busy_since_ms: AtomicU64::new(0),
         }
     }
@@ -245,6 +266,13 @@ pub(crate) struct Shared {
     /// Thread-local registries of exited worker threads, merged into the
     /// caller's registry when `run` returns.
     pub registries: Mutex<Vec<obs::metrics::MetricsSnapshot>>,
+    /// Cross-thread registry feeding the live `admin stats` endpoint:
+    /// span histograms and queue-depth gauges land here (and *only* here)
+    /// so they are readable while worker threads still run; `Server::run`
+    /// folds it into the caller's registry at shutdown.
+    pub live: Arc<obs::metrics::SharedMetrics>,
+    /// Bounded rings of completed request traces (`admin trace`'s source).
+    pub recorder: Arc<obs::trace::FlightRecorder>,
     started: Instant,
 }
 
@@ -255,8 +283,26 @@ impl Shared {
         addr: SocketAddr,
     ) -> Self {
         let replicas = config.replicas.max(1);
+        let live = Arc::new(obs::metrics::SharedMetrics::new());
+        let slots = (0..replicas)
+            .map(|i| {
+                // Each queue reports its depth into the live registry the
+                // moment it changes — `admin stats` shows instantaneous
+                // backlog, not a stale poll.
+                let live = Arc::clone(&live);
+                let gauge = obs::metrics::labeled("serve.queue_depth", "replica", &i.to_string());
+                let observer: crate::queue::DepthObserver =
+                    Box::new(move |depth| live.gauge_set(&gauge, depth as f64));
+                Arc::new(ReplicaSlot::new(config.queue_capacity, Some(observer)))
+            })
+            .collect();
         Shared {
-            slots: (0..replicas).map(|_| Arc::new(ReplicaSlot::new(config.queue_capacity))).collect(),
+            slots,
+            recorder: Arc::new(obs::trace::FlightRecorder::new(
+                replicas,
+                config.trace_capacity,
+            )),
+            live,
             provider,
             config,
             shutdown: AtomicBool::new(false),
@@ -347,6 +393,10 @@ impl Shared {
     /// # Errors
     ///
     /// The job plus why it could not be enqueued.
+    // The Err variant hands the whole Job back on purpose — the caller
+    // must answer its reply channel and seal its trace. Boxing it would
+    // put an allocation on the hot submit path to slim a cold error.
+    #[allow(clippy::result_large_err)]
     pub fn submit(&self, job: Job, skip: Option<usize>) -> Result<(), (Job, SubmitError)> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err((job, SubmitError::Closed));
@@ -363,6 +413,9 @@ impl Shared {
             if !slot.up.load(Ordering::SeqCst) {
                 continue;
             }
+            // Stamp the route/queue boundary per attempt, so `queue_wait`
+            // measures only the time actually spent in *this* queue.
+            job.routed = Instant::now();
             match slot.queue.try_push(job) {
                 Ok(()) => return Ok(()),
                 // The first *healthy* replica on the ring is full: shed.
@@ -376,6 +429,93 @@ impl Shared {
             }
         }
         Err((job, SubmitError::NoReplica))
+    }
+
+    /// The live telemetry document `admin stats` serves: uptime, epoch,
+    /// per-replica state (depth/epoch/up/restarts), lifetime counters, and
+    /// every live histogram with interpolated p50/p95/p99 — plus the full
+    /// [`obs::MetricsSnapshot`] under `"metrics"` so clients can re-render
+    /// it (e.g. as Prometheus exposition text) without a second verb.
+    pub fn stats_value(&self) -> serde::Value {
+        use serde::Value;
+        let mut snap = self.live.snapshot();
+        // Fold the lifetime atomics in as counters: one document carries
+        // the whole picture regardless of which registry a metric lives in.
+        let lifetime: [(&str, u64); 9] = [
+            ("serve.predictions", self.served.load(Ordering::SeqCst)),
+            ("serve.rejected", self.rejected.load(Ordering::SeqCst)),
+            ("serve.errors", self.errors.load(Ordering::SeqCst)),
+            ("serve.shed", self.shed.load(Ordering::SeqCst)),
+            ("serve.replica_restarts", self.replica_restarts.load(Ordering::SeqCst)),
+            ("serve.replica_crashes", self.replica_crashes.load(Ordering::SeqCst)),
+            ("serve.rerouted", self.rerouted.load(Ordering::SeqCst)),
+            ("serve.reloads", self.reloads.load(Ordering::SeqCst)),
+            ("serve.reload_failures", self.reload_failures.load(Ordering::SeqCst)),
+        ];
+        for (k, v) in lifetime {
+            if !snap.counters.iter().any(|(n, _)| n == k) {
+                snap.counters.push((k.to_string(), v));
+            }
+        }
+        snap.counters.sort();
+        if !snap.gauges.iter().any(|(n, _)| n == "serve.epoch") {
+            snap.gauges.push(("serve.epoch".into(), self.provider.epoch() as f64));
+            snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+
+        let replicas: Vec<Value> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Value::Map(vec![
+                    ("replica".into(), Value::Int(i as i128)),
+                    ("queue_depth".into(), Value::Int(s.queue.len() as i128)),
+                    ("epoch".into(), Value::Int(i128::from(s.epoch.load(Ordering::SeqCst)))),
+                    ("up".into(), Value::Bool(s.up.load(Ordering::SeqCst))),
+                    ("restarts".into(), Value::Int(i128::from(s.restarts.load(Ordering::SeqCst)))),
+                ])
+            })
+            .collect();
+        let histograms: Vec<Value> = snap
+            .histograms
+            .iter()
+            .map(|h| {
+                Value::Map(vec![
+                    ("name".into(), Value::Str(h.name.clone())),
+                    ("count".into(), Value::Int(i128::from(h.count))),
+                    ("sum".into(), Value::Int(i128::from(h.sum))),
+                    ("mean".into(), Value::Float(h.mean())),
+                    ("p50".into(), Value::Float(h.quantile(0.50))),
+                    ("p95".into(), Value::Float(h.quantile(0.95))),
+                    ("p99".into(), Value::Float(h.quantile(0.99))),
+                ])
+            })
+            .collect();
+        let metrics: Value =
+            serde_json::from_str(&serde_json::to_string(&snap).expect("snapshot serializes"))
+                .expect("snapshot round-trips");
+        Value::Map(vec![
+            ("uptime_us".into(), Value::Int(self.started.elapsed().as_micros() as i128)),
+            ("epoch".into(), Value::Int(i128::from(self.provider.epoch()))),
+            ("replicas".into(), Value::Seq(replicas)),
+            ("traces_recorded".into(), Value::Int(self.recorder.len() as i128)),
+            ("histograms".into(), Value::Seq(histograms)),
+            ("metrics".into(), metrics),
+        ])
+    }
+
+    /// Flight-recorder lookup for `admin trace`: `"slow"` returns the
+    /// slowest remembered traces, anything else is an id lookup. Always a
+    /// JSON array (possibly empty — nothing remembered is not an error).
+    pub fn trace_value(&self, query: &str) -> serde::Value {
+        let traces = if query == "slow" {
+            self.recorder.slow(5)
+        } else {
+            self.recorder.get(query).into_iter().collect()
+        };
+        serde_json::from_str(&serde_json::to_string(&traces).expect("traces serialize"))
+            .expect("traces round-trip")
     }
 }
 
@@ -408,7 +548,8 @@ pub(crate) fn answer(shared: &Shared, job: Job, response: Response) {
             obs::metrics::counter_inc("serve.errors");
         }
     }
-    let _ = job.reply.send(response);
+    let Job { reply, trace, replica, .. } = job;
+    let _ = reply.send(Answer { response, trace, replica });
     if let Some(limit) = shared.config.max_requests {
         let answered =
             shared.served.load(Ordering::SeqCst) + shared.errors.load(Ordering::SeqCst);
@@ -458,7 +599,7 @@ fn replica_serve(shared: &Shared, idx: usize, generation: u64) -> ExitKind {
                 obs::metrics::counter_inc("serve.replica_swaps");
             }
         }
-        let batch = match slot.queue.pop_batch(shared.config.max_batch.max(1), POLL) {
+        let mut batch = match slot.queue.pop_batch(shared.config.max_batch.max(1), POLL) {
             None => return ExitKind::Drained,
             Some(b) if b.is_empty() => continue,
             Some(b) => b,
@@ -466,6 +607,14 @@ fn replica_serve(shared: &Shared, idx: usize, generation: u64) -> ExitKind {
         obs::metrics::gauge_set("serve.queue_depth", slot.queue.len() as f64);
         obs::metrics::counter_inc("serve.batches");
         obs::metrics::observe_with_edges("serve.batch_size", &BATCH_EDGES, batch.len() as u64);
+        let popped = Instant::now();
+        for job in &mut batch {
+            job.replica = Some(idx);
+            // A re-routed job records a second route/queue_wait pair — the
+            // timeline shows every hop it took, not just the last.
+            job.trace.span("route", job.enqueued, job.routed);
+            job.trace.span("queue_wait", job.routed, popped);
+        }
 
         // Group by kernel, preserving arrival order, so each group is one
         // backend call with an amortized forward pass.
@@ -486,12 +635,20 @@ fn replica_serve(shared: &Shared, idx: usize, generation: u64) -> ExitKind {
                     orphans: flatten_groups(groups),
                 };
             }
-            let (kernel, jobs) = groups.remove(0);
+            let (kernel, mut jobs) = groups.remove(0);
             let indices: Vec<u128> = jobs.iter().map(|j| j.index).collect();
+            let infer_start = Instant::now();
+            for job in &mut jobs {
+                job.trace.span("batch_wait", popped, infer_start);
+            }
             slot.busy_since_ms.store(shared.now_ms() + 1, Ordering::SeqCst);
             let outcome =
                 catch_unwind(AssertUnwindSafe(|| backend.predict(&kernel, &indices)));
             slot.busy_since_ms.store(0, Ordering::SeqCst);
+            let infer_end = Instant::now();
+            for job in &mut jobs {
+                job.trace.span("infer", infer_start, infer_end);
+            }
             match outcome {
                 Err(_) => {
                     let mut orphans = jobs;
@@ -651,6 +808,7 @@ pub(crate) fn supervise(shared: &Arc<Shared>) {
                 st.handle = Some(spawn_replica(shared, i, st.generation, tx.clone()));
                 alive += 1;
                 shared.replica_restarts.fetch_add(1, Ordering::SeqCst);
+                shared.slots[i].restarts.fetch_add(1, Ordering::SeqCst);
                 obs::metrics::counter_inc("serve.replica_restarts");
                 obs::info!(
                     "serve.replica_restarted",

@@ -10,7 +10,18 @@
 //! correlate answers with model versions. Rejections carry a
 //! `retry_after_ms` hint so a shedding server steers clients into backoff
 //! instead of a tight retry loop.
+//!
+//! **Trace ids.** Predict requests may carry a `trace_id` (16 hex chars);
+//! the server echoes it on the response and threads it through every hop
+//! so logs, the flight recorder, and chaos-proxy fault records all
+//! correlate. The field is optional in both directions: requests without
+//! one get an id minted at ingress, and a *malformed* id is treated as
+//! absent (minted over) rather than rejected — tracing must never turn a
+//! servable request into an error. Responses append `trace_id` as an
+//! extra top-level field via [`Response::to_json_line_traced`], which old
+//! clients ignore by construction (parsing is field-tolerant).
 
+use gdse_obs as obs;
 use serde::Value;
 
 /// One predicted row, as served over the wire.
@@ -41,6 +52,9 @@ pub enum Request {
         kernel: String,
         /// Design-point index into the kernel's design space.
         index: u128,
+        /// Normalized trace id, if the client sent a well-formed one
+        /// (absent or malformed → the server mints one at ingress).
+        trace: Option<String>,
     },
     /// Ask the server to drain and exit.
     Shutdown,
@@ -50,6 +64,14 @@ pub enum Request {
     KillReplica {
         /// Zero-based replica index.
         replica: usize,
+    },
+    /// Ask for a live telemetry snapshot of the running server.
+    Stats,
+    /// Fetch traces from the flight recorder: a specific id, or `"slow"`
+    /// for the slowest remembered requests.
+    Trace {
+        /// `"slow"` or a 16-hex-char trace id.
+        query: String,
     },
 }
 
@@ -105,6 +127,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         let replica = as_u64(v).ok_or("`kill_replica` needs a non-negative replica index")?;
         return Ok(Request::KillReplica { replica: replica as usize });
     }
+    if let Some(v) = get(map, "stats") {
+        if *v == Value::Bool(true) {
+            return Ok(Request::Stats);
+        }
+    }
+    if let Some(v) = get(map, "trace") {
+        let query = v.as_str().ok_or("`trace` needs a string query (an id, or \"slow\")")?;
+        return Ok(Request::Trace { query: query.to_string() });
+    }
     let id = get(map, "id")
         .and_then(as_u64)
         .ok_or("request needs a non-negative integer `id`")?;
@@ -115,7 +146,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let index = get(map, "index")
         .and_then(as_u128)
         .ok_or("request needs a non-negative integer `index`")?;
-    Ok(Request::Predict { id, kernel, index })
+    // A malformed id is *normalized away*, not an error: tracing is an
+    // overlay and must never cost a client its prediction.
+    let trace = get(map, "trace_id")
+        .and_then(|v| v.as_str())
+        .and_then(obs::trace::TraceId::parse)
+        .map(|t| t.to_string());
+    Ok(Request::Predict { id, kernel, index, trace })
 }
 
 /// A server response, one per request line.
@@ -159,6 +196,16 @@ pub enum Response {
     },
     /// Acknowledgement of a shutdown request.
     ShuttingDown,
+    /// Live telemetry snapshot of the running server.
+    Stats {
+        /// The snapshot document (replicas, histograms, percentiles, …).
+        body: Value,
+    },
+    /// Traces fetched from the flight recorder.
+    Trace {
+        /// An array of trace documents (possibly empty).
+        body: Value,
+    },
 }
 
 impl Response {
@@ -168,7 +215,9 @@ impl Response {
             Response::Ok { .. }
             | Response::ShuttingDown
             | Response::Reloaded { .. }
-            | Response::Killed { .. } => 200,
+            | Response::Killed { .. }
+            | Response::Stats { .. }
+            | Response::Trace { .. } => 200,
             Response::Rejected { .. } => 429,
             Response::Error { code, .. } => *code,
         }
@@ -176,7 +225,23 @@ impl Response {
 
     /// Serializes the response as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
-        let value = match self {
+        serde_json::to_string(&self.to_value()).expect("protocol values always serialize")
+    }
+
+    /// Like [`Response::to_json_line`], but appends a top-level `trace_id`
+    /// field when one is given. Kept at the wire layer (rather than on
+    /// every enum variant) so the ~30 response construction sites stay
+    /// trace-agnostic; old clients simply ignore the extra field.
+    pub fn to_json_line_traced(&self, trace_id: Option<&str>) -> String {
+        let mut value = self.to_value();
+        if let (Some(tid), Value::Map(map)) = (trace_id, &mut value) {
+            map.push(("trace_id".into(), Value::Str(tid.to_string())));
+        }
+        serde_json::to_string(&value).expect("protocol values always serialize")
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
             Response::Ok { id, epoch, row } => Value::Map(vec![
                 ("id".into(), Value::Int(i128::from(*id))),
                 ("status".into(), Value::Str("ok".into())),
@@ -216,8 +281,17 @@ impl Response {
                 ("status".into(), Value::Str("shutting_down".into())),
                 ("code".into(), Value::Int(200)),
             ]),
-        };
-        serde_json::to_string(&value).expect("protocol values always serialize")
+            Response::Stats { body } => Value::Map(vec![
+                ("status".into(), Value::Str("stats".into())),
+                ("code".into(), Value::Int(200)),
+                ("body".into(), body.clone()),
+            ]),
+            Response::Trace { body } => Value::Map(vec![
+                ("status".into(), Value::Str("trace".into())),
+                ("code".into(), Value::Int(200)),
+                ("body".into(), body.clone()),
+            ]),
+        }
     }
 
     /// Parses a response line (the client side of [`Response::to_json_line`]).
@@ -275,8 +349,32 @@ impl Response {
                 replica: get(map, "replica").and_then(as_u64).unwrap_or(0) as usize,
             }),
             "shutting_down" => Ok(Response::ShuttingDown),
+            "stats" => Ok(Response::Stats {
+                body: get(map, "body").cloned().unwrap_or(Value::Null),
+            }),
+            "trace" => Ok(Response::Trace {
+                body: get(map, "body").cloned().unwrap_or(Value::Seq(vec![])),
+            }),
             other => Err(format!("unknown response status `{other}`")),
         }
+    }
+
+    /// Parses a response line *and* its echoed `trace_id`, if present and
+    /// well-formed (the pair to [`Response::to_json_line_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field.
+    pub fn parse_traced(line: &str) -> Result<(Response, Option<String>), String> {
+        let response = Response::parse(line)?;
+        let value: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let trace_id = value
+            .as_map()
+            .and_then(|m| get(m, "trace_id"))
+            .and_then(|v| v.as_str())
+            .and_then(obs::trace::TraceId::parse)
+            .map(|t| t.to_string());
+        Ok((response, trace_id))
     }
 }
 
@@ -293,7 +391,7 @@ mod tests {
         let r = parse_request(r#"{"id": 7, "kernel": "gemm-ncubed", "index": 123}"#).unwrap();
         assert_eq!(
             r,
-            Request::Predict { id: 7, kernel: "gemm-ncubed".into(), index: 123 }
+            Request::Predict { id: 7, kernel: "gemm-ncubed".into(), index: 123, trace: None }
         );
     }
 
@@ -301,7 +399,60 @@ mod tests {
     fn string_index_is_accepted() {
         let r = parse_request(r#"{"id": 1, "kernel": "aes", "index": "340282366920938463463374607431768211455"}"#)
             .unwrap();
-        assert_eq!(r, Request::Predict { id: 1, kernel: "aes".into(), index: u128::MAX });
+        assert_eq!(
+            r,
+            Request::Predict { id: 1, kernel: "aes".into(), index: u128::MAX, trace: None }
+        );
+    }
+
+    #[test]
+    fn trace_ids_parse_present_absent_and_malformed() {
+        // Present and well-formed: normalized to 16 lowercase hex chars.
+        let r = parse_request(
+            r#"{"id": 1, "kernel": "aes", "index": 0, "trace_id": "DEADBEEF"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Predict {
+                id: 1,
+                kernel: "aes".into(),
+                index: 0,
+                trace: Some("00000000deadbeef".into())
+            }
+        );
+        // Absent: old clients keep working, server mints later.
+        match parse_request(r#"{"id": 1, "kernel": "aes", "index": 0}"#).unwrap() {
+            Request::Predict { trace: None, .. } => {}
+            other => panic!("expected traceless predict, got {other:?}"),
+        }
+        // Malformed ids (wrong alphabet, too long, wrong type) degrade to
+        // absent — the request is still served.
+        for bad in [
+            r#"{"id": 1, "kernel": "aes", "index": 0, "trace_id": "not-hex!"}"#,
+            r#"{"id": 1, "kernel": "aes", "index": 0, "trace_id": "00112233445566778899"}"#,
+            r#"{"id": 1, "kernel": "aes", "index": 0, "trace_id": 1234}"#,
+            r#"{"id": 1, "kernel": "aes", "index": 0, "trace_id": ""}"#,
+        ] {
+            match parse_request(bad).unwrap() {
+                Request::Predict { trace: None, .. } => {}
+                other => panic!("malformed trace_id must degrade to None, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_trace_requests_parse() {
+        assert_eq!(parse_request(r#"{"stats": true}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"trace": "slow"}"#).unwrap(),
+            Request::Trace { query: "slow".into() }
+        );
+        assert_eq!(
+            parse_request(r#"{"trace": "00000000deadbeef"}"#).unwrap(),
+            Request::Trace { query: "00000000deadbeef".into() }
+        );
+        assert!(parse_request(r#"{"trace": 7}"#).is_err(), "trace query must be a string");
     }
 
     #[test]
@@ -337,6 +488,55 @@ mod tests {
             let line = resp.to_json_line();
             assert!(!line.contains('\n'));
             assert_eq!(Response::parse(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn traced_responses_round_trip_and_tolerate_garbage() {
+        let resp = Response::Ok { id: 9, epoch: 3, row: sample_row() };
+        // Echoed id comes back through parse_traced.
+        let line = resp.to_json_line_traced(Some("00000000deadbeef"));
+        assert_eq!(
+            Response::parse_traced(&line).unwrap(),
+            (resp.clone(), Some("00000000deadbeef".into()))
+        );
+        // Old clients parse the traced line exactly like an untraced one.
+        assert_eq!(Response::parse(&line).unwrap(), resp);
+        // No trace -> identical to the plain serialization.
+        assert_eq!(resp.to_json_line_traced(None), resp.to_json_line());
+        assert_eq!(Response::parse_traced(&resp.to_json_line()).unwrap(), (resp.clone(), None));
+        // A server echoing garbage degrades to None, never an error.
+        let garbled = r#"{"status": "shutting_down", "code": 200, "trace_id": "zz"}"#;
+        assert_eq!(
+            Response::parse_traced(garbled).unwrap(),
+            (Response::ShuttingDown, None)
+        );
+        // Errors and rejections carry the echo too.
+        for r in [
+            Response::Rejected { id: 3, retry_after_ms: 50 },
+            Response::Error { id: 0, code: 503, message: "unavailable".into() },
+        ] {
+            let line = r.to_json_line_traced(Some("abc123"));
+            let (back, tid) = Response::parse_traced(&line).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(tid, Some("0000000000abc123".into()), "{line}");
+        }
+    }
+
+    #[test]
+    fn stats_and_trace_responses_round_trip() {
+        let body = Value::Map(vec![
+            ("epoch".into(), Value::Int(2)),
+            ("replicas".into(), Value::Seq(vec![Value::Int(0), Value::Int(1)])),
+        ]);
+        for resp in [
+            Response::Stats { body: body.clone() },
+            Response::Trace { body: Value::Seq(vec![body]) },
+        ] {
+            let line = resp.to_json_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::parse(&line).unwrap(), resp, "{line}");
+            assert_eq!(resp.code(), 200);
         }
     }
 

@@ -9,6 +9,12 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+/// Callback invoked with the queue's new depth after every enqueue and
+/// dequeue — how the serving tier keeps a live `serve.queue_depth{replica}`
+/// gauge without polling. Called *after* the queue lock is released, so
+/// observers may take their own locks freely.
+pub(crate) type DepthObserver = Box<dyn Fn(usize) + Send + Sync>;
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -19,6 +25,7 @@ pub(crate) struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     capacity: usize,
     ready: Condvar,
+    observer: Option<DepthObserver>,
 }
 
 /// Why `try_push` gave the item back.
@@ -31,11 +38,26 @@ pub(crate) enum PushError {
 }
 
 impl<T> BoundedQueue<T> {
+    /// A queue with no depth observer — the production path always
+    /// attaches one, so this shorthand only serves the unit tests.
+    #[cfg(test)]
     pub fn new(capacity: usize) -> Self {
+        Self::with_observer(capacity, None)
+    }
+
+    /// A queue that reports its depth to `observer` after every mutation.
+    pub fn with_observer(capacity: usize, observer: Option<DepthObserver>) -> Self {
         BoundedQueue {
             state: Mutex::new(State { items: VecDeque::new(), closed: false }),
             capacity,
             ready: Condvar::new(),
+            observer,
+        }
+    }
+
+    fn observe(&self, depth: usize) {
+        if let Some(f) = &self.observer {
+            f(depth);
         }
     }
 
@@ -49,8 +71,10 @@ impl<T> BoundedQueue<T> {
             return Err((item, PushError::Full));
         }
         s.items.push_back(item);
+        let depth = s.items.len();
         drop(s);
         self.ready.notify_one();
+        self.observe(depth);
         Ok(())
     }
 
@@ -70,7 +94,11 @@ impl<T> BoundedQueue<T> {
             }
         }
         let n = s.items.len().min(max.max(1));
-        Some(s.items.drain(..n).collect())
+        let batch: Vec<T> = s.items.drain(..n).collect();
+        let depth = s.items.len();
+        drop(s);
+        self.observe(depth);
+        Some(batch)
     }
 
     /// Current depth.
@@ -81,7 +109,11 @@ impl<T> BoundedQueue<T> {
     /// Empties the queue without waiting — how the supervisor strands a
     /// dead replica's backlog before re-routing it to siblings.
     pub fn drain_all(&self) -> Vec<T> {
-        self.state.lock().expect("queue lock").items.drain(..).collect()
+        let mut s = self.state.lock().expect("queue lock");
+        let drained: Vec<T> = s.items.drain(..).collect();
+        drop(s);
+        self.observe(0);
+        drained
     }
 
     /// Closes the queue: future pushes are rejected, the consumer drains
@@ -133,6 +165,23 @@ mod tests {
         q.close();
         assert_eq!(q.pop_batch(8, Duration::from_millis(10)), Some(vec![1]));
         assert_eq!(q.pop_batch(8, Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn depth_observer_sees_every_enqueue_and_dequeue() {
+        use std::sync::Arc;
+        let seen = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let sink = Arc::clone(&seen);
+        let q = BoundedQueue::with_observer(
+            4,
+            Some(Box::new(move |d| sink.lock().unwrap().push(d))),
+        );
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.pop_batch(1, Duration::from_millis(5)).unwrap();
+        q.try_push(3).unwrap();
+        q.drain_all();
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 1, 2, 0]);
     }
 
     #[test]

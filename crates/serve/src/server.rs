@@ -36,6 +36,20 @@
 //! | `serve.oversize` | counter | request lines over the size cap (413) |
 //! | `serve.idle_closed` | counter | connections closed by the idle timeout |
 //! | `serve.deadline_exceeded` | counter | predict requests answered 504 |
+//! | `serve.queue_depth{replica}` | gauge | live per-replica queue depth (updated on every enqueue/dequeue) |
+//! | `serve.trace.total_us` | histogram | end-to-end traced request duration |
+//! | `serve.trace.ingress_us` | histogram | read + parse + job construction |
+//! | `serve.trace.route_us` | histogram | shard routing / enqueue attempts |
+//! | `serve.trace.queue_wait_us` | histogram | enqueued → popped by a replica (also per `{kernel}`/`{replica}`) |
+//! | `serve.trace.batch_wait_us` | histogram | popped → backend dispatch (also per `{kernel}`/`{replica}`) |
+//! | `serve.trace.infer_us` | histogram | the backend call itself (also per `{kernel}`/`{replica}`) |
+//! | `serve.trace.write_us` | histogram | response serialization + socket write (also per `{kernel}`/`{replica}`) |
+//! | `serve.trace.slow` | counter | traces over [`ServeConfig::trace_slow`], each dumped at Warn |
+//!
+//! Trace histograms and the queue-depth gauge live in the pool's
+//! *shared* registry so `admin stats` reads them from the running server;
+//! they are folded into the caller's thread-local registry exactly once,
+//! when [`Server::run`] returns.
 
 use crate::pool::{self, Job, ModelProvider, Shared, StaticProvider, SubmitError};
 use crate::protocol::{parse_request, Request, Response};
@@ -82,6 +96,13 @@ pub struct ServeConfig {
     /// Poll the model source for changes this often (`None` = only
     /// explicit `{"reload": true}` requests).
     pub reload_watch: Option<Duration>,
+    /// Dump a Warn-level span timeline for any request slower than this
+    /// (`None` = never).
+    pub trace_slow: Option<Duration>,
+    /// Completed traces remembered per flight-recorder ring (per replica,
+    /// plus one ring for requests that never reached a replica). 0 disables
+    /// the recorder; `admin trace` then always answers an empty array.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +119,8 @@ impl Default for ServeConfig {
             restart_backoff: Duration::from_millis(50),
             wedge_timeout: None,
             reload_watch: None,
+            trace_slow: None,
+            trace_capacity: 256,
         }
     }
 }
@@ -279,6 +302,10 @@ impl Server {
         for snap in shared.registries.lock().expect("registry lock").drain(..) {
             obs::metrics::merge(&snap);
         }
+        // Trace histograms and queue-depth gauges live in the shared live
+        // registry (so `admin stats` sees them mid-flight); fold them into
+        // the caller exactly once, here.
+        obs::metrics::merge(&shared.live.snapshot());
         stats_of(&shared)
     }
 }
@@ -287,6 +314,61 @@ fn write_line(stream: &mut TcpStream, response: &Response) -> std::io::Result<()
     let mut line = response.to_json_line();
     line.push('\n');
     stream.write_all(line.as_bytes())
+}
+
+/// Writes `response` with the request's trace id echoed as a top-level
+/// `trace_id` field, so clients can correlate answers with their own logs.
+fn write_line_traced(
+    stream: &mut TcpStream,
+    response: &Response,
+    trace_id: &str,
+) -> std::io::Result<()> {
+    let mut line = response.to_json_line_traced(Some(trace_id));
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Span names that also get per-kernel and per-replica labeled histogram
+/// variants. `ingress`/`route`/`total` stay base-only: they happen before
+/// routing, so replica labels would lie and kernel labels add little.
+const LABELED_SPANS: [&str; 4] = ["queue_wait", "batch_wait", "infer", "write"];
+
+/// Books a sealed trace into the live registry and the flight recorder,
+/// and dumps a Warn-level timeline when it crossed the slow threshold.
+fn record_trace(shared: &Shared, trace: &obs::trace::RequestTrace) {
+    let live = &shared.live;
+    live.observe_us("serve.trace.total_us", trace.total_us);
+    for span in &trace.spans {
+        let base = format!("serve.trace.{}_us", span.name);
+        live.observe_us(&base, span.dur_us);
+        if LABELED_SPANS.contains(&span.name.as_str()) {
+            live.observe_us(&obs::metrics::labeled(&base, "kernel", &trace.kernel), span.dur_us);
+            if trace.replica >= 0 {
+                live.observe_us(
+                    &obs::metrics::labeled(&base, "replica", &trace.replica.to_string()),
+                    span.dur_us,
+                );
+            }
+        }
+    }
+    shared.recorder.record(trace.clone());
+    if let Some(slow) = shared.config.trace_slow {
+        if u128::from(trace.total_us) >= slow.as_micros() {
+            live.counter_inc("serve.trace.slow");
+            obs::warn!(
+                "serve.trace.slow",
+                "trace {} took {} us ({})",
+                trace.trace_id,
+                trace.total_us,
+                trace.timeline();
+                trace_id = trace.trace_id.clone(),
+                kernel = trace.kernel.clone(),
+                replica = trace.replica,
+                total_us = trace.total_us,
+                timeline = trace.timeline(),
+            );
+        }
+    }
 }
 
 /// One attempt at reading a request line, bounded in size and time.
@@ -429,6 +511,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
             LineRead::Eof | LineRead::Shutdown | LineRead::Failed => break,
         };
+        // Trace clock zero: the moment the request line was fully read.
+        let received = Instant::now();
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -465,38 +549,76 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     break;
                 }
             }
-            Ok(Request::Predict { id, kernel, index }) => {
+            Ok(Request::Stats) => {
+                let resp = Response::Stats { body: shared.stats_value() };
+                if write_line(&mut writer, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(Request::Trace { query }) => {
+                let resp = Response::Trace { body: shared.trace_value(&query) };
+                if write_line(&mut writer, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(Request::Predict { id, kernel, index, trace }) => {
                 obs::metrics::counter_inc("serve.requests");
+                // A usable client id is adopted; absent or malformed ones
+                // are replaced by a minted id — every request is traced.
+                let tid = trace
+                    .as_deref()
+                    .and_then(obs::trace::TraceId::parse)
+                    .unwrap_or_else(obs::trace::TraceId::mint);
+                let trace_id = tid.to_string();
+                let kernel_name = kernel.clone();
+                let mut tb = obs::trace::TraceBuilder::new_at(tid, received);
+                let accepted = Instant::now();
+                tb.span("ingress", received, accepted);
                 let (tx, rx) = mpsc::channel();
                 let job = Job {
                     id,
                     kernel,
                     index,
                     attempts: 0,
-                    enqueued: Instant::now(),
+                    enqueued: accepted,
+                    routed: accepted,
+                    replica: None,
+                    trace: tb,
                     reply: tx,
                 };
-                let response = match shared.submit(job, None) {
+                // `sealed` is the trace that traveled with the job, handed
+                // back by whichever path answered; a timed-out request's
+                // trace is still in flight, so there is nothing to seal.
+                let (response, sealed) = match shared.submit(job, None) {
                     Ok(()) => match rx.recv_timeout(config.request_timeout) {
-                        Ok(r) => r,
-                        Err(_) if shared.shutdown.load(Ordering::SeqCst) => Response::Error {
-                            id,
-                            code: 503,
-                            message: "server stopped before answering".into(),
-                        },
-                        Err(_) => {
-                            obs::metrics::counter_inc("serve.deadline_exceeded");
+                        Ok(ans) => (ans.response, Some((ans.trace, ans.replica))),
+                        Err(_) if shared.shutdown.load(Ordering::SeqCst) => (
                             Response::Error {
                                 id,
-                                code: 504,
-                                message: "request deadline exceeded".into(),
-                            }
+                                code: 503,
+                                message: "server stopped before answering".into(),
+                            },
+                            None,
+                        ),
+                        Err(_) => {
+                            obs::metrics::counter_inc("serve.deadline_exceeded");
+                            (
+                                Response::Error {
+                                    id,
+                                    code: 504,
+                                    message: "request deadline exceeded".into(),
+                                },
+                                None,
+                            )
                         }
                     },
                     Err((job, SubmitError::Shed)) => {
                         let retry_after_ms = config.retry_after.as_millis() as u64;
                         pool::answer(shared, job, Response::Rejected { id, retry_after_ms });
-                        rx.try_recv().unwrap_or(Response::Rejected { id, retry_after_ms })
+                        match rx.try_recv() {
+                            Ok(ans) => (ans.response, Some((ans.trace, ans.replica))),
+                            Err(_) => (Response::Rejected { id, retry_after_ms }, None),
+                        }
                     }
                     Err((job, SubmitError::NoReplica)) => {
                         let resp = Response::Error {
@@ -505,7 +627,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                             message: "no healthy replica available".into(),
                         };
                         pool::answer(shared, job, resp.clone());
-                        rx.try_recv().unwrap_or(resp)
+                        match rx.try_recv() {
+                            Ok(ans) => (ans.response, Some((ans.trace, ans.replica))),
+                            Err(_) => (resp, None),
+                        }
                     }
                     Err((job, SubmitError::Closed)) => {
                         let resp = Response::Error {
@@ -514,10 +639,23 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                             message: "server is shutting down".into(),
                         };
                         pool::answer(shared, job, resp.clone());
-                        rx.try_recv().unwrap_or(resp)
+                        match rx.try_recv() {
+                            Ok(ans) => (ans.response, Some((ans.trace, ans.replica))),
+                            Err(_) => (resp, None),
+                        }
                     }
                 };
-                if write_line(&mut writer, &response).is_err() {
+                let write_start = Instant::now();
+                let wrote = write_line_traced(&mut writer, &response, &trace_id);
+                if let Some((mut tb, replica)) = sealed {
+                    tb.span("write", write_start, Instant::now());
+                    let epoch = match &response {
+                        Response::Ok { epoch, .. } => *epoch,
+                        _ => 0,
+                    };
+                    record_trace(shared, &tb.finish(&kernel_name, replica, epoch));
+                }
+                if wrote.is_err() {
                     break;
                 }
             }
@@ -1112,6 +1250,107 @@ mod tests {
     }
 
     #[test]
+    fn stats_and_trace_endpoints_reflect_live_state() {
+        let config = ServeConfig { replicas: 2, ..ServeConfig::default() };
+        let (handle, join) = start(config, EchoBackend);
+        let addr = handle.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+
+        // A traced predict: the echoed trace_id matches what we sent.
+        stream
+            .write_all(b"{\"id\": 1, \"kernel\": \"gemm\", \"index\": 5, \"trace_id\": \"deadbeef\"}\n")
+            .unwrap();
+        reader.read_line(&mut line).unwrap();
+        let (resp, tid) = Response::parse_traced(line.trim()).unwrap();
+        assert!(matches!(resp, Response::Ok { id: 1, .. }));
+        assert_eq!(tid.as_deref(), Some("00000000deadbeef"), "client id normalized + echoed");
+
+        // An untraced predict still gets a (minted) id echoed back.
+        line.clear();
+        stream.write_all(b"{\"id\": 2, \"kernel\": \"gemm\", \"index\": 6}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let (_, minted) = Response::parse_traced(line.trim()).unwrap();
+        let minted = minted.expect("server mints when the client sends none");
+        assert_eq!(minted.len(), 16);
+        assert_ne!(minted, "00000000deadbeef");
+
+        // Live stats from the RUNNING server: per-replica state + span
+        // histograms with interpolated quantiles.
+        line.clear();
+        stream.write_all(b"{\"stats\": true}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let body = match Response::parse(line.trim()).unwrap() {
+            Response::Stats { body } => body,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        let map = body.as_map().expect("stats body is a map");
+        let get = |k: &str| map.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        let replicas = get("replicas").unwrap();
+        assert_eq!(replicas.as_seq().unwrap().len(), 2);
+        for r in replicas.as_seq().unwrap() {
+            let rm = r.as_map().unwrap();
+            for field in ["replica", "queue_depth", "epoch", "up", "restarts"] {
+                assert!(rm.iter().any(|(n, _)| n == field), "replica entry has {field}");
+            }
+        }
+        let hists = get("histograms").unwrap();
+        let infer = hists
+            .as_seq()
+            .unwrap()
+            .iter()
+            .find(|h| {
+                h.as_map()
+                    .unwrap()
+                    .iter()
+                    .any(|(n, v)| n == "name" && v.as_str() == Some("serve.trace.infer_us"))
+            })
+            .expect("infer span histogram present in live stats")
+            .as_map()
+            .unwrap();
+        let num = |k: &str| -> f64 {
+            match infer.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()) {
+                Some(serde::Value::Int(i)) => i as f64,
+                Some(serde::Value::Float(f)) => f,
+                other => panic!("{k} missing or non-numeric: {other:?}"),
+            }
+        };
+        assert!(num("count") >= 2.0, "both predicts recorded an infer span");
+        assert!(num("p50") <= num("p95") && num("p95") <= num("p99"));
+
+        // The flight recorder answers by id and by "slow".
+        line.clear();
+        stream.write_all(b"{\"trace\": \"00000000deadbeef\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let by_id = match Response::parse(line.trim()).unwrap() {
+            Response::Trace { body } => body,
+            other => panic!("expected trace, got {other:?}"),
+        };
+        assert_eq!(by_id.as_seq().unwrap().len(), 1);
+        line.clear();
+        stream.write_all(b"{\"trace\": \"slow\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        let slow = match Response::parse(line.trim()).unwrap() {
+            Response::Trace { body } => body,
+            other => panic!("expected trace, got {other:?}"),
+        };
+        let slowest = slow.as_seq().unwrap();
+        assert!(!slowest.is_empty(), "slow listing remembers completed traces");
+        let spans = slowest[0]
+            .as_map()
+            .unwrap()
+            .iter()
+            .find(|(n, _)| n == "spans")
+            .map(|(_, v)| v.clone())
+            .expect("trace carries its span timeline");
+        assert!(!spans.as_seq().unwrap().is_empty());
+
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
     fn shard_routing_is_stable_per_kernel() {
         // Routing is an implementation detail, but its *stability* is the
         // contract: the same kernel must always map to the same home.
@@ -1121,12 +1360,16 @@ mod tests {
         let homes: Vec<usize> = (0..4)
             .map(|_| {
                 let (tx, _rx) = mpsc::channel();
+                let now = Instant::now();
                 let job = Job {
                     id: 0,
                     kernel: "gemm-ncubed".into(),
                     index: 0,
                     attempts: 0,
-                    enqueued: Instant::now(),
+                    enqueued: now,
+                    routed: now,
+                    replica: None,
+                    trace: obs::trace::TraceBuilder::new(obs::trace::TraceId::mint()),
                     reply: tx,
                 };
                 shared.slots.iter().for_each(|s| s.up.store(true, Ordering::SeqCst));

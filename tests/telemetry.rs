@@ -1,0 +1,161 @@
+//! End-to-end request tracing and the live telemetry plane: trace ids
+//! round-trip client → server → client, span timelines land in the flight
+//! recorder, `stats`/`trace` protocol verbs read the RUNNING server, and
+//! the trace histograms fold into the caller's registry at shutdown.
+
+use gdse_serve::{BatchPredictor, Client, PredictionRow, Response, ServeConfig, Server};
+use serde::Value;
+use std::time::Duration;
+
+/// A deterministic, slightly slow backend: the sleep guarantees every
+/// request books non-zero `infer` time, so quantiles are meaningful.
+struct EchoBackend;
+
+impl BatchPredictor for EchoBackend {
+    fn predict(&self, kernel: &str, indices: &[u128]) -> Result<Vec<PredictionRow>, String> {
+        std::thread::sleep(Duration::from_micros(300));
+        Ok(indices
+            .iter()
+            .map(|&i| PredictionRow {
+                valid_prob: 0.5,
+                cycles: i as u64 + kernel.len() as u64,
+                dsp: 0.0,
+                bram: 0.0,
+                lut: 0.0,
+                ff: 0.0,
+            })
+            .collect())
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.as_map()
+        .unwrap_or_else(|| panic!("expected a map looking up `{key}`"))
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("field `{key}` missing"))
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+#[test]
+fn traces_flow_end_to_end_and_the_live_plane_reports_them() {
+    let config = ServeConfig {
+        replicas: 3,
+        // Everything is "slow": exercises the slow-trace counter + dump.
+        trace_slow: Some(Duration::from_micros(1)),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config, EchoBackend).expect("bind");
+    let handle = server.handle();
+    let addr = handle.addr().to_string();
+    // Snapshot the run thread's registry: the server must fold the live
+    // trace histograms into it when it returns.
+    let join = std::thread::spawn(move || {
+        gdse_obs::metrics::reset();
+        let stats = server.run();
+        (stats, gdse_obs::metrics::snapshot())
+    });
+
+    // Load burst across kernels, from a few concurrent clients.
+    std::thread::scope(|s| {
+        for c in 0..3u64 {
+            let addr = addr.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let kernel = if c % 2 == 0 { "gemm" } else { "spmv" };
+                for i in 0..12u64 {
+                    let resp = client.predict(c * 100 + i, kernel, u128::from(i)).expect("ok");
+                    assert!(matches!(resp, Response::Ok { .. }));
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A client-supplied trace id is normalized and echoed back.
+    let (resp, echoed) =
+        client.predict_traced(777, "gemm", 3, Some("DEADBEEF")).expect("traced predict");
+    assert!(matches!(resp, Response::Ok { id: 777, .. }));
+    assert_eq!(echoed.as_deref(), Some("00000000deadbeef"));
+
+    // Without one, the server mints: 16 lowercase hex chars.
+    let (_, minted) = client.predict_traced(778, "gemm", 4, None).expect("untraced predict");
+    let minted = minted.expect("server-minted trace id");
+    assert_eq!(minted.len(), 16);
+    assert!(minted.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    // Live stats from the running server.
+    let stats = client.stats().expect("stats");
+    let replicas = field(&stats, "replicas").as_seq().expect("replicas array");
+    assert_eq!(replicas.len(), 3);
+    for r in replicas {
+        for key in ["replica", "queue_depth", "epoch", "up", "restarts"] {
+            let _ = field(r, key);
+        }
+    }
+    let histograms = field(&stats, "histograms").as_seq().expect("histograms array");
+    let infer = histograms
+        .iter()
+        .find(|h| field(h, "name").as_str() == Some("serve.trace.infer_us"))
+        .expect("live infer span histogram");
+    assert!(as_f64(field(infer, "count")) >= 38.0, "all predicts recorded an infer span");
+    let (p50, p95, p99) = (
+        as_f64(field(infer, "p50")),
+        as_f64(field(infer, "p95")),
+        as_f64(field(infer, "p99")),
+    );
+    assert!(p50 > 0.0, "the backend sleep guarantees non-zero infer time");
+    assert!(p50 <= p95 && p95 <= p99, "quantiles must be ordered: {p50} {p95} {p99}");
+    assert!(as_f64(field(&stats, "traces_recorded")) >= 38.0);
+
+    // Flight recorder: by id, and the slowest-remembered listing.
+    let by_id = client.trace("00000000deadbeef").expect("trace by id");
+    let traces = by_id.as_seq().expect("trace array");
+    assert_eq!(traces.len(), 1);
+    assert_eq!(field(&traces[0], "kernel").as_str(), Some("gemm"));
+    let spans = field(&traces[0], "spans").as_seq().expect("spans");
+    let names: Vec<&str> =
+        spans.iter().map(|s| field(s, "name").as_str().unwrap()).collect();
+    for expected in ["ingress", "route", "queue_wait", "batch_wait", "infer", "write"] {
+        assert!(names.contains(&expected), "span `{expected}` missing from {names:?}");
+    }
+
+    let slow = client.trace("slow").expect("trace slow");
+    let slow = slow.as_seq().expect("slow array");
+    assert!(!slow.is_empty(), "a loaded server remembers slow traces");
+    assert!(as_f64(field(&slow[0], "total_us")) > 0.0);
+    assert!(!field(&slow[0], "spans").as_seq().unwrap().is_empty());
+
+    // An unknown id is an empty array, not an error.
+    assert!(client.trace("ffffffffffffffff").expect("lookup").as_seq().unwrap().is_empty());
+
+    drop(client);
+    handle.shutdown();
+    let (run_stats, snap) = join.join().unwrap();
+    assert_eq!(run_stats.served, 38);
+
+    // The live registry folded into the caller: span histograms, labeled
+    // variants, the queue-depth gauge, and the slow counter all arrived.
+    let hist = |name: &str| {
+        snap.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .unwrap_or_else(|| panic!("histogram `{name}` missing after merge"))
+    };
+    assert_eq!(hist("serve.trace.total_us").count, 38);
+    assert_eq!(hist("serve.trace.write_us").count, 38);
+    assert!(hist("serve.trace.infer_us{kernel=gemm}").count >= 1);
+    assert!(hist("serve.trace.infer_us{kernel=spmv}").count >= 1);
+    assert!(snap.histograms.iter().any(|h| h.name.starts_with("serve.trace.infer_us{replica=")));
+    assert!(snap.gauges.iter().any(|(n, _)| n.starts_with("serve.queue_depth{replica=")));
+    assert_eq!(snap.counter("serve.trace.slow"), Some(38), "every request crossed 1 us");
+}

@@ -40,6 +40,7 @@ fn main() {
             ..DseConfig::default()
         },
         fine_tune: false,
+        fine_tune_initial: false,
         stop_after: None,
         initial_model: None,
     };

@@ -14,9 +14,11 @@
 //! gnndse rounds <db.json>                          iterative DSE rounds (Fig. 7);
 //!                                                  --model model.gdse seeds round 1
 //! gnndse serve --model model.gdse                  serve predictions over JSON-lines TCP
+//! gnndse daemon --db db.json --model model.gdse    serve + background fine-tune/hot-swap
 //! gnndse admin <addr> <reload|kill-replica N|shutdown>   control a running server
 //! gnndse admin <addr> stats [--prom]               live telemetry (JSON or Prometheus text)
 //! gnndse admin <addr> trace <id|slow>              span timelines from the flight recorder
+//! gnndse admin <addr> learn-status                 continuous-learning driver status
 //! gnndse chaos-proxy --upstream H:P                TCP fault-injection proxy (tests/CI)
 //! ```
 //!
@@ -55,6 +57,17 @@
 //! interpolated p50/p95/p99 latency quantiles from the *running* server
 //! (`--prom` renders Prometheus text exposition); `admin <addr> trace
 //! slow` (or a concrete id) fetches remembered span timelines.
+//!
+//! `daemon` is the continuous-learning mode: the same replicated server as
+//! `serve`, plus a background campaign driver that interleaves DSE, oracle
+//! validation, and fine-tuning with serving. Each round's freshly validated
+//! results enter a bounded, dedup-by-config replay buffer; the fine-tuned
+//! model is written atomically over the served `.gdse` artifact and
+//! hot-swapped (canary-validated, rolled back on rejection while the old
+//! epoch keeps serving). Campaign checkpoint and replay window are
+//! crash-safe: a killed daemon restarted on the same paths resumes
+//! learning where it stopped. `gnndse admin <addr> learn-status` reads the
+//! driver state, and `learn.*` metrics ride the live telemetry plane.
 //!
 //! `chaos-proxy` places deterministic TCP faults (drop / delay / truncate
 //! / mid-response-kill) between a client and a server — how the chaos
@@ -99,11 +112,12 @@ fn main() -> ExitCode {
         Some("predict") => cmd_predict(&args[1..]),
         Some("rounds") => cmd_rounds(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("daemon") => cmd_daemon(&args[1..]),
         Some("admin") => cmd_admin(&args[1..]),
         Some("chaos-proxy") => cmd_chaos_proxy(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict|rounds|serve|admin|chaos-proxy> ..."
+                "usage: gnndse <kernels|evaluate|report|emit|gendb|train|dse|predict|rounds|serve|daemon|admin|chaos-proxy> ..."
             );
             eprintln!("see the crate docs for details");
             return ExitCode::from(2);
@@ -470,6 +484,7 @@ fn cmd_rounds(args: &[String]) -> CliResult {
         Some(v) => Some(v.parse().map_err(|e| format!("bad value for --stop-after: {e}"))?),
         None => None,
     };
+    let mut model_ignored = false;
     let initial_model = match flags.get("model") {
         Some(p) if resume => {
             obs::warn!(
@@ -477,6 +492,7 @@ fn cmd_rounds(args: &[String]) -> CliResult {
                 "--model {p} is ignored when resuming: the checkpoint already \
                  carries the training state"
             );
+            model_ignored = true;
             None
         }
         Some(p) => Some(load_model(Path::new(p))?),
@@ -518,6 +534,13 @@ fn cmd_rounds(args: &[String]) -> CliResult {
         &engine,
     )
     .map_err(|e| e.to_string())?;
+    if model_ignored {
+        // Surface the ignored flag in run_report.json too, not only on
+        // stderr — scripted runs read the report, not the log. Booked
+        // *after* the campaign: resuming restores the checkpoint's metrics
+        // snapshot, which would wipe a counter booked earlier.
+        obs::metrics::counter_inc("rounds.model_ignored");
+    }
 
     let stats = harness.stats();
     if stats.attempts > 0 && !faults.is_disabled() {
@@ -917,12 +940,145 @@ fn cmd_serve(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `gnndse daemon` — the continuous-learning service: the replicated
+/// prediction server plus a background DSE/fine-tune driver that hot-swaps
+/// the served artifact after every round.
+fn cmd_daemon(args: &[String]) -> CliResult {
+    let (pos, flags) = split_flags(
+        args,
+        &[
+            "db",
+            "model",
+            "addr",
+            "rounds",
+            "checkpoint",
+            "replay",
+            "replay-capacity",
+            "train-epochs",
+            "pause-ms",
+            "jobs",
+            "queue",
+            "batch",
+            "replicas",
+            "max-requests",
+            "request-timeout",
+            "watch-ms",
+            "log-level",
+            "log-json",
+            "metrics-out",
+        ],
+        &[],
+    )?;
+    let usage = "usage: gnndse daemon --db db.json --model model.gdse \
+                 [--addr 127.0.0.1:7878] [--rounds N] [--checkpoint ck.json] \
+                 [--replay replay.json] [--replay-capacity N] [--train-epochs N] \
+                 [--pause-ms MS] [--jobs N] [--queue N] [--batch N] [--replicas N] \
+                 [--max-requests N] [--request-timeout MS] [--watch-ms MS] \
+                 [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
+    if !pos.is_empty() {
+        return Err(format!("unexpected positional arguments\n{usage}"));
+    }
+    let db = flags.get("db").ok_or(usage)?;
+    let model = flags.get("model").ok_or(usage)?;
+    let addr = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let metrics_out = obs_args(&flags)?;
+    let started = Instant::now();
+    let n_rounds: usize = flag_or(&flags, "rounds", 4)?;
+    let checkpoint =
+        flags.get("checkpoint").cloned().unwrap_or_else(|| format!("{model}.ck.json"));
+    let replay = flags.get("replay").cloned().unwrap_or_else(|| format!("{model}.replay.json"));
+    let replay_capacity: usize = flag_or(&flags, "replay-capacity", 512)?;
+    let train_epochs: usize = flag_or(&flags, "train-epochs", 4)?;
+    let pause_ms: u64 = flag_or(&flags, "pause-ms", 500)?;
+    let replicas: usize = flag_or(&flags, "replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let max_requests: Option<u64> = match flags.get("max-requests") {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad value for --max-requests: {e}"))?),
+        None => None,
+    };
+    let watch: Option<Duration> = match flags.get("watch-ms") {
+        Some(v) => Some(Duration::from_millis(
+            v.parse().map_err(|e| format!("bad value for --watch-ms: {e}"))?,
+        )),
+        None => None,
+    };
+    let jobs: usize = flag_or(&flags, "jobs", {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let serve = ServeConfig {
+        queue_capacity: flag_or(&flags, "queue", 64)?,
+        max_batch: flag_or(&flags, "batch", 16)?,
+        max_requests,
+        replicas,
+        request_timeout: Duration::from_millis(flag_or(&flags, "request-timeout", 60_000)?),
+        reload_watch: watch,
+        ..ServeConfig::default()
+    };
+    if serve.max_batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let rounds = RoundsConfig {
+        rounds: n_rounds,
+        train_cfg: gnn_dse::TrainConfig::quick().with_epochs(train_epochs),
+        ..RoundsConfig::quick()
+    };
+    let cfg = gnn_dse::DaemonConfig {
+        addr,
+        db: PathBuf::from(db),
+        artifact: PathBuf::from(model),
+        checkpoint: PathBuf::from(checkpoint),
+        replay: PathBuf::from(replay),
+        replay_capacity,
+        rounds,
+        serve,
+        jobs,
+        round_pause: Duration::from_millis(pause_ms),
+    };
+    let daemon = gnn_dse::Daemon::start(cfg)?;
+    let local = daemon.addr();
+    // Scripts block on this line to learn the (possibly ephemeral) port.
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+    let report = daemon.run()?;
+    obs::info!(
+        "daemon.done",
+        "served {} predictions ({} errors, {} reloads, {} reload failures); \
+         completed {} learning round(s){}",
+        report.serve.served,
+        report.serve.errors,
+        report.serve.reloads,
+        report.serve.reload_failures,
+        report.rounds.len(),
+        match &report.learner_error {
+            Some(e) => format!("; learner failed: {e}"),
+            None => String::new(),
+        };
+        served = report.serve.served,
+        errors = report.serve.errors,
+        reloads = report.serve.reloads,
+        rounds = report.rounds.len(),
+    );
+    if let Some(p) = metrics_out {
+        write_metrics(&p, "daemon", started)?;
+    }
+    match report.learner_error {
+        Some(e) => Err(format!("learning plane failed: {e}")),
+        None => Ok(()),
+    }
+}
+
 /// `gnndse admin <addr> <command>` — poke a running server over its own
 /// protocol: force a hot swap, run a kill drill, read live telemetry and
 /// traces, or stop it.
 fn cmd_admin(args: &[String]) -> CliResult {
     let usage = "usage: gnndse admin <addr> \
-                 <reload | kill-replica N | stats [--prom] | trace <id|slow> | shutdown>";
+                 <reload | kill-replica N | stats [--prom] | trace <id|slow> | \
+                 learn-status | shutdown>";
     let [addr, command, rest @ ..] = args else {
         return Err(usage.into());
     };
@@ -955,6 +1111,15 @@ fn cmd_admin(args: &[String]) -> CliResult {
                         .map_err(|e| format!("stats serialize: {e}"))?
                 );
             }
+            Ok(())
+        }
+        ("learn-status", []) => {
+            let body = client.learn_status().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&body)
+                    .map_err(|e| format!("learn-status serialize: {e}"))?
+            );
             Ok(())
         }
         ("trace", [query]) => {

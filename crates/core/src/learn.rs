@@ -1,0 +1,254 @@
+//! The continuous-learning replay buffer: a bounded, deduplicated window of
+//! **validated** oracle results that feeds fine-tune batches.
+//!
+//! The daemon's background driver validates top-M candidates every round;
+//! the same design can surface in several rounds (the DSE re-proposes
+//! near-optimal points, restarts replay the campaign). Feeding raw
+//! validation streams to the fine-tuner would weight repeated designs by
+//! how often they were validated — the buffer dedups by **canonical
+//! config** (`(kernel, DesignPoint)`, the same key the [`Database`] index
+//! uses), so each design contributes exactly one sample regardless of how
+//! many times the oracle confirmed it.
+//!
+//! Persistence reuses the crash-safe database machinery: [`ReplayBuffer::save`]
+//! serializes the window *as a database* through the atomic-write path, and
+//! [`ReplayBuffer::load`] restores it, so a killed daemon resumes learning
+//! from exactly the window it had. Metrics booked on the recording thread:
+//! `learn.replay_inserted`, `learn.duplicates_dropped`, `learn.replay_evicted`.
+
+use crate::db::{Database, DbEntry, DbError};
+use design_space::DesignPoint;
+use gdse_obs as obs;
+use merlin_sim::HlsResult;
+use std::collections::{HashSet, VecDeque};
+use std::path::Path;
+
+/// Lifetime counters of one buffer (not persisted; a restarted daemon
+/// starts fresh counts over the restored window).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Fresh results admitted to the window.
+    pub inserted: u64,
+    /// Results dropped because their canonical config was already buffered.
+    pub duplicates: u64,
+    /// Oldest results evicted to keep the window within capacity.
+    pub evicted: u64,
+}
+
+/// A bounded FIFO of validated oracle results, deduplicated by canonical
+/// design configuration. See the module docs for the role it plays in the
+/// continuous-learning loop.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    entries: VecDeque<DbEntry>,
+    index: HashSet<(String, DesignPoint)>,
+    stats: ReplayStats,
+}
+
+impl ReplayBuffer {
+    /// An empty buffer holding at most `capacity` results (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ReplayBuffer {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            index: HashSet::new(),
+            stats: ReplayStats::default(),
+        }
+    }
+
+    /// Buffered result count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime insert/duplicate/evict counts.
+    pub fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Admits one validated result. Returns `false` (and books
+    /// `learn.duplicates_dropped`) when the canonical config is already
+    /// buffered; evicts the oldest entry when the window is full.
+    pub fn record(&mut self, kernel: &str, point: DesignPoint, result: HlsResult) -> bool {
+        let key = (kernel.to_string(), point.clone());
+        if self.index.contains(&key) {
+            self.stats.duplicates += 1;
+            obs::metrics::counter_inc("learn.duplicates_dropped");
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(old) = self.entries.pop_front() {
+                self.index.remove(&(old.kernel, old.point));
+                self.stats.evicted += 1;
+                obs::metrics::counter_inc("learn.replay_evicted");
+            }
+        }
+        self.index.insert(key);
+        self.entries.push_back(DbEntry { kernel: kernel.to_string(), point, result });
+        self.stats.inserted += 1;
+        obs::metrics::counter_inc("learn.replay_inserted");
+        true
+    }
+
+    /// Restores one entry without booking metrics or stats — the load/seed
+    /// path, where the entries were already counted when first recorded.
+    fn restore(&mut self, entry: DbEntry) {
+        let key = (entry.kernel.clone(), entry.point.clone());
+        if self.index.contains(&key) {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(old) = self.entries.pop_front() {
+                self.index.remove(&(old.kernel, old.point));
+            }
+        }
+        self.index.insert(key);
+        self.entries.push_back(entry);
+    }
+
+    /// Seeds a fresh buffer with the newest `capacity` entries of `db`
+    /// (oldest of those first, so later evictions drop the oldest seed
+    /// first). Used when a daemon starts without a persisted buffer: the
+    /// first fine-tune round then has a full window to draw from.
+    pub fn seed_from(db: &Database, capacity: usize) -> Self {
+        let mut buf = ReplayBuffer::new(capacity);
+        let entries = db.entries();
+        let skip = entries.len().saturating_sub(buf.capacity);
+        for e in entries.iter().skip(skip) {
+            buf.restore(e.clone());
+        }
+        buf
+    }
+
+    /// The window as a [`Database`] — the form the trainer consumes, and
+    /// the on-disk representation.
+    pub fn as_database(&self) -> Database {
+        let mut db = Database::new();
+        for e in &self.entries {
+            db.insert(&e.kernel, e.point.clone(), e.result);
+        }
+        db
+    }
+
+    /// Persists the window through the database's crash-safe atomic-write
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or I/O failure of the underlying database save.
+    pub fn save(&self, path: &Path) -> Result<(), DbError> {
+        self.as_database().save(path)
+    }
+
+    /// Restores a window persisted by [`save`](ReplayBuffer::save). Entry
+    /// order is the on-disk order, so FIFO eviction picks up where the
+    /// saved buffer left off.
+    ///
+    /// # Errors
+    ///
+    /// I/O or parse failure of the underlying database load.
+    pub fn load(path: &Path, capacity: usize) -> Result<Self, DbError> {
+        let db = Database::load(path)?;
+        let mut buf = ReplayBuffer::new(capacity);
+        for e in db.entries() {
+            buf.restore(e.clone());
+        }
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::generate_database;
+    use design_space::DesignSpace;
+    use hls_ir::kernels;
+    use merlin_sim::MerlinSimulator;
+
+    fn sample_results(n: usize) -> Vec<(DesignPoint, HlsResult)> {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        (0..n as u128)
+            .map(|i| {
+                let p = space.point_at(i % space.size());
+                let r = sim.evaluate(&k, &space, &p);
+                (p, r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dedups_by_canonical_config() {
+        let mut buf = ReplayBuffer::new(16);
+        let samples = sample_results(3);
+        for (p, r) in &samples {
+            assert!(buf.record("gemm-ncubed", p.clone(), *r));
+        }
+        // Re-validating the same designs must not grow the window.
+        for (p, r) in &samples {
+            assert!(!buf.record("gemm-ncubed", p.clone(), *r));
+        }
+        assert_eq!(buf.len(), 3);
+        let s = buf.stats();
+        assert_eq!((s.inserted, s.duplicates, s.evicted), (3, 3, 0));
+        // The same point under a different kernel name is a different config.
+        let (p, r) = &samples[0];
+        assert!(buf.record("spmv-ellpack", p.clone(), *r));
+    }
+
+    #[test]
+    fn bounded_fifo_evicts_oldest_and_readmits_them() {
+        let mut buf = ReplayBuffer::new(4);
+        let samples = sample_results(6);
+        for (p, r) in &samples {
+            buf.record("gemm-ncubed", p.clone(), *r);
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.stats().evicted, 2);
+        // The evicted (oldest) configs are admissible again.
+        let (p0, r0) = &samples[0];
+        assert!(buf.record("gemm-ncubed", p0.clone(), *r0), "evicted config re-enters");
+    }
+
+    #[test]
+    fn save_load_round_trips_through_the_crash_safe_db() {
+        let dir = std::env::temp_dir().join("gnn_dse_replay_roundtrip_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay.json");
+        let mut buf = ReplayBuffer::new(8);
+        for (p, r) in sample_results(5) {
+            buf.record("gemm-ncubed", p, r);
+        }
+        buf.save(&path).unwrap();
+        let restored = ReplayBuffer::load(&path, 8).unwrap();
+        assert_eq!(restored.len(), buf.len());
+        assert_eq!(restored.as_database().entries(), buf.as_database().entries());
+        // Restored entries were not re-counted.
+        assert_eq!(restored.stats(), ReplayStats::default());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeding_takes_the_newest_database_entries() {
+        let ks = vec![kernels::gemm_ncubed()];
+        let db = generate_database(&ks, &[("gemm-ncubed", 20)], 20, 7);
+        let buf = ReplayBuffer::seed_from(&db, 8);
+        assert_eq!(buf.len(), 8.min(db.len()));
+        let window = buf.as_database();
+        // The seed is the tail of the database.
+        let tail = &db.entries()[db.len() - buf.len()..];
+        assert_eq!(window.entries(), tail);
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod daemon;
 pub mod dataset;
 pub mod db;
 pub mod dbgen;
@@ -53,6 +54,7 @@ pub mod error;
 pub mod explorer;
 pub mod harness;
 pub mod inference;
+pub mod learn;
 pub mod parallel;
 pub mod persist;
 pub mod report;
@@ -61,6 +63,7 @@ pub mod serving;
 pub mod trainer;
 
 pub use artifact::{decode_predictor, encode_predictor, ArtifactMeta, META_SCHEMA_VERSION};
+pub use daemon::{run_daemon, Daemon, DaemonConfig, DaemonReport, DaemonStatus};
 pub use dataset::{Dataset, Normalizer};
 pub use db::{Database, DbEntry, DbError};
 pub use dse::{pareto_front, run_dse, run_dse_with_engine, DseConfig, DseOutcome};
@@ -68,8 +71,9 @@ pub use error::Error;
 pub use explorer::{Budget, Explorer};
 pub use harness::{EvalBackend, EvalError, Harness, HarnessBuilder, HarnessStats, RetryPolicy};
 pub use inference::{Prediction, Predictor};
+pub use learn::{ReplayBuffer, ReplayStats};
 pub use parallel::{ExecEngine, ExecEngineBuilder};
 pub use report::{build_run_report, write_run_report};
-pub use rounds::{run_rounds, run_rounds_with_engine, RoundReport, RoundsConfig};
+pub use rounds::{run_rounds, run_rounds_with_engine, CampaignDriver, RoundReport, RoundsConfig};
 pub use serving::{ArtifactProvider, PredictService};
 pub use trainer::{ClassificationMetrics, RegressionMetrics, TrainConfig};

@@ -18,11 +18,29 @@
 //! boundary; because the loop itself is deterministic (seeded models,
 //! stateless per-attempt fault decisions), the resumed run converges to a
 //! byte-identical final database.
+//!
+//! ## Step-function form
+//!
+//! The loop is implemented as a resumable [`CampaignDriver`]: [`new`]
+//! performs setup (or checkpoint resume), and each [`step`] runs exactly one
+//! round and persists the checkpoint before returning. The run-to-completion
+//! functions ([`run_rounds`], [`run_rounds_with`], [`run_rounds_with_engine`])
+//! are thin wrappers that step the driver until it is done. A supervisor —
+//! e.g. the continuous-learning daemon in [`crate::daemon`] — instead
+//! interleaves steps with serving: publish an artifact after one step, wait,
+//! step again. An optional [`ReplayBuffer`] attached to the driver collects
+//! each round's freshly validated oracle results (deduplicated by canonical
+//! config) and, when fine-tuning, replaces the whole-database fine-tune set
+//! with the buffer's bounded recent window.
+//!
+//! [`new`]: CampaignDriver::new
+//! [`step`]: CampaignDriver::step
 
 use crate::db::Database;
 use crate::dse::{run_dse_with_engine, DseConfig};
 use crate::harness::EvalBackend;
 use crate::inference::Predictor;
+use crate::learn::ReplayBuffer;
 use crate::parallel::ExecEngine;
 use crate::persist::atomic_write;
 use crate::trainer::TrainConfig;
@@ -31,7 +49,7 @@ use gdse_gnn::{ModelConfig, ModelKind};
 use gdse_obs as obs;
 use hls_ir::Kernel;
 use merlin_sim::MerlinSimulator;
-use proggraph::build_graph_bidirectional;
+use proggraph::ProgramGraph;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -52,6 +70,11 @@ pub struct RoundsConfig {
     /// Fine-tune the previous round's predictor on the augmented database
     /// instead of retraining from scratch (cheaper; the paper retrains).
     pub fine_tune: bool,
+    /// With `initial_model` set *and* `fine_tune`, fine-tune the preloaded
+    /// model in round 1 instead of serving it as-is. The daemon sets this:
+    /// its round-1 artifact already serves traffic, so the first learning
+    /// round should improve on it, not replay it.
+    pub fine_tune_initial: bool,
     /// A pre-trained predictor (e.g. loaded from a `.gdse` artifact) used
     /// as-is for round 1 instead of training from scratch; later rounds
     /// retrain (or fine-tune) on the augmented database as usual. Ignored
@@ -72,6 +95,7 @@ impl RoundsConfig {
             train_cfg: TrainConfig::quick().with_epochs(4),
             dse: DseConfig::quick(),
             fine_tune: false,
+            fine_tune_initial: false,
             initial_model: None,
             stop_after: None,
         }
@@ -196,6 +220,350 @@ impl Checkpoint {
     }
 }
 
+/// The rounds loop as a resumable step function.
+///
+/// [`CampaignDriver::new`] performs all setup — design spaces, program
+/// graphs, checkpoint resume or fresh-state derivation — and each
+/// [`CampaignDriver::step`] runs exactly one round (train → DSE → validate →
+/// commit → checkpoint). Between steps the campaign is fully at rest: the
+/// checkpoint on disk is current, [`carried_model`] is the predictor the
+/// round produced, and a supervisor thread is free to publish artifacts,
+/// serve traffic, or sleep before stepping again.
+///
+/// [`carried_model`]: CampaignDriver::carried_model
+pub struct CampaignDriver<'a, B: EvalBackend + Sync> {
+    db: &'a mut Database,
+    kernels: &'a [Kernel],
+    cfg: &'a RoundsConfig,
+    eval: &'a B,
+    checkpoint: Option<&'a Path>,
+    engine: &'a ExecEngine,
+    spaces: Vec<DesignSpace>,
+    graphs: Vec<ProgramGraph>,
+    next_round: usize,
+    reports: Vec<RoundReport>,
+    initial_best: Vec<(String, u64)>,
+    best_dse: Vec<Option<u64>>,
+    carried: Option<Predictor>,
+    replay: Option<ReplayBuffer>,
+}
+
+impl<'a, B: EvalBackend + Sync> CampaignDriver<'a, B> {
+    /// Sets up a campaign over `kernels`, resuming from `checkpoint` when
+    /// `resume` is set and the file exists.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O, corruption, or kernel-set mismatch on resume.
+    pub fn new(
+        db: &'a mut Database,
+        kernels: &'a [Kernel],
+        cfg: &'a RoundsConfig,
+        eval: &'a B,
+        checkpoint: Option<&'a Path>,
+        resume: bool,
+        engine: &'a ExecEngine,
+    ) -> Result<Self, RoundsError> {
+        let (spaces, graphs) = {
+            let _stage = obs::span::stage("setup");
+            let spaces: Vec<DesignSpace> = kernels.iter().map(DesignSpace::from_kernel).collect();
+            let graphs: Vec<_> = kernels
+                .iter()
+                .zip(&spaces)
+                .map(|(k, s)| proggraph::build_graph_bidirectional(k, s))
+                .collect();
+            (spaces, graphs)
+        };
+
+        // Either resume the saved state or derive a fresh one from `db`.
+        let resumed = match checkpoint {
+            Some(path) if resume && path.exists() => {
+                let ck = Checkpoint::load(path)?;
+                let names: Vec<&str> = ck.initial_best.iter().map(|(n, _)| n.as_str()).collect();
+                let expect: Vec<&str> = kernels.iter().map(|k| k.name()).collect();
+                if names != expect {
+                    return Err(RoundsError::Mismatch {
+                        path: path.to_path_buf(),
+                        detail: format!("checkpoint kernels {names:?}, requested {expect:?}"),
+                    });
+                }
+                Some(ck)
+            }
+            _ => None,
+        };
+
+        let (mut next_round, reports, initial_best, best_dse, carried) = match resumed {
+            Some(ck) => {
+                *db = ck.db;
+                // Replace (not merge) the registry: the snapshot already covers
+                // everything the campaign did before the crash, so after the
+                // remaining rounds the deterministic counters match an
+                // uninterrupted run.
+                obs::metrics::restore(&ck.metrics);
+                obs::info!(
+                    "rounds.resume",
+                    "resuming at round {} of {}",
+                    ck.next_round,
+                    cfg.rounds;
+                    next_round = ck.next_round,
+                    rounds = cfg.rounds,
+                );
+                (ck.next_round, ck.reports, ck.initial_best, ck.best_dse, ck.carried_model)
+            }
+            None => {
+                let initial_best: Vec<(String, u64)> = kernels
+                    .iter()
+                    .map(|k| {
+                        let best = db
+                            .best_design(k.name(), cfg.dse.util_threshold)
+                            .map(|e| e.result.cycles)
+                            .unwrap_or(u64::MAX);
+                        (k.name().to_string(), best)
+                    })
+                    .collect();
+                (
+                    1,
+                    Vec::with_capacity(cfg.rounds),
+                    initial_best,
+                    vec![None; kernels.len()],
+                    // A preloaded model enters the loop as the carried state.
+                    cfg.initial_model.clone(),
+                )
+            }
+        };
+        // A checkpoint from a run with more rounds than requested: nothing to do.
+        next_round = next_round.min(cfg.rounds + 1);
+
+        Ok(CampaignDriver {
+            db,
+            kernels,
+            cfg,
+            eval,
+            checkpoint,
+            engine,
+            spaces,
+            graphs,
+            next_round,
+            reports,
+            initial_best,
+            best_dse,
+            carried,
+            replay: None,
+        })
+    }
+
+    /// Attaches a replay buffer: every freshly validated result committed by
+    /// later steps is also recorded in the buffer (deduplicated by canonical
+    /// config), and — when `fine_tune` is set — fine-tune rounds train on
+    /// the buffer's bounded window instead of the whole database.
+    pub fn attach_replay(&mut self, replay: ReplayBuffer) {
+        self.replay = Some(replay);
+    }
+
+    /// The attached replay buffer, if any.
+    pub fn replay(&self) -> Option<&ReplayBuffer> {
+        self.replay.as_ref()
+    }
+
+    /// Detaches and returns the replay buffer, if one was attached.
+    pub fn take_replay(&mut self) -> Option<ReplayBuffer> {
+        self.replay.take()
+    }
+
+    /// Whether the campaign has run every configured round (or hit its
+    /// `stop_after` test hook).
+    pub fn is_done(&self) -> bool {
+        self.next_round > self.cfg.rounds
+            || self.cfg.stop_after.is_some_and(|n| self.next_round > n)
+    }
+
+    /// The next round [`step`] would run (1-based).
+    ///
+    /// [`step`]: CampaignDriver::step
+    pub fn next_round(&self) -> usize {
+        self.next_round
+    }
+
+    /// Reports of every completed round, oldest first.
+    pub fn reports(&self) -> &[RoundReport] {
+        &self.reports
+    }
+
+    /// The predictor the latest round produced (the model a daemon
+    /// publishes). `None` before the first step unless a model was
+    /// preloaded or resumed.
+    pub fn carried_model(&self) -> Option<&Predictor> {
+        self.carried.as_ref()
+    }
+
+    /// Consumes the driver, returning the accumulated round reports.
+    pub fn into_reports(self) -> Vec<RoundReport> {
+        self.reports
+    }
+
+    /// Runs exactly one round and checkpoints it. Returns the round's
+    /// report, or `None` when the campaign is already done (nothing ran).
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint serialization/I/O errors; a driver without a
+    /// checkpoint path never fails.
+    pub fn step(&mut self) -> Result<Option<&RoundReport>, RoundsError> {
+        if self.is_done() {
+            return Ok(None);
+        }
+        let round = self.next_round;
+        let cfg = self.cfg;
+        let predictor = {
+            let _stage = obs::span::stage("train");
+            match self.carried.take() {
+                // A preloaded artifact model serves round 1 exactly as
+                // saved — no retraining, predictions byte-identical to the
+                // model that wrote the artifact. (Resume never lands here:
+                // checkpoints always store `next_round >= 2`.) The daemon
+                // opts out via `fine_tune_initial`: its artifact already
+                // serves traffic, so round 1 should learn, not replay.
+                Some(p)
+                    if round == 1
+                        && cfg.initial_model.is_some()
+                        && !(cfg.fine_tune && cfg.fine_tune_initial) =>
+                {
+                    p
+                }
+                Some(mut p) if cfg.fine_tune => {
+                    // Fine-tune the carried model on the augmented database
+                    // with a third of the full budget. With a replay buffer
+                    // attached, the fine-tune set is the buffer's bounded,
+                    // deduplicated window of validated results instead.
+                    let ft_cfg = cfg.train_cfg.with_epochs((cfg.train_cfg.epochs / 3).max(2));
+                    match &self.replay {
+                        Some(buf) => {
+                            let window = buf.as_database();
+                            p.fine_tune(&window, self.kernels, &ft_cfg);
+                        }
+                        None => {
+                            p.fine_tune(self.db, self.kernels, &ft_cfg);
+                        }
+                    }
+                    p
+                }
+                _ => {
+                    let (p, _) = Predictor::train(
+                        self.db,
+                        self.kernels,
+                        cfg.model,
+                        cfg.model_cfg
+                            .clone()
+                            .with_seed(cfg.model_cfg.seed.wrapping_add(round as u64)),
+                        &cfg.train_cfg,
+                    );
+                    p
+                }
+            }
+        };
+        // The model just changed; predictions from the previous round's
+        // model are stale.
+        self.engine.clear_predictions();
+
+        let mut per_kernel = Vec::with_capacity(self.kernels.len());
+        for (ki, kernel) in self.kernels.iter().enumerate() {
+            let outcome = run_dse_with_engine(
+                &predictor,
+                kernel,
+                &self.spaces[ki],
+                &self.graphs[ki],
+                &cfg.dse,
+                self.engine,
+            );
+            let mut added = 0;
+            let mut lost = 0;
+            let _stage = obs::span::stage("validate");
+            // Top-M candidates are distinct canonical points (the DSE
+            // dedupes), so the not-yet-evaluated subset can be validated as
+            // one parallel batch; committing in candidate order keeps the
+            // database identical to the serial loop's. Lost candidates are
+            // not committed and stay eligible next round.
+            let missing: Vec<_> = outcome
+                .top
+                .iter()
+                .map(|(p, _)| p.clone())
+                .filter(|p| !self.db.contains(kernel.name(), p))
+                .collect();
+            let results = self.engine.evaluate_ordered(self.eval, kernel, &self.spaces[ki], &missing);
+            for (point, result) in missing.iter().zip(results) {
+                match result {
+                    Ok(r) => {
+                        self.db.insert(kernel.name(), point.clone(), r);
+                        if let Some(buf) = self.replay.as_mut() {
+                            buf.record(kernel.name(), point.clone(), r);
+                        }
+                        added += 1;
+                    }
+                    Err(_) => lost += 1,
+                }
+            }
+            for (point, _) in &outcome.top {
+                if let Some(e) = self.db.get(kernel.name(), point) {
+                    if e.result.is_valid() && e.result.util.fits(cfg.dse.util_threshold) {
+                        let c = e.result.cycles;
+                        self.best_dse[ki] =
+                            Some(self.best_dse[ki].map_or(c, |b: u64| b.min(c)));
+                    }
+                }
+            }
+            obs::metrics::counter_add("rounds.designs_added", added as u64);
+            obs::metrics::counter_add("rounds.validations_lost", lost as u64);
+            let initial = self.initial_best[ki].1;
+            let speedup = match self.best_dse[ki] {
+                Some(b) if initial != u64::MAX => initial as f64 / b as f64,
+                _ => 0.0,
+            };
+            per_kernel.push(KernelRound {
+                kernel: kernel.name().to_string(),
+                best_dse_cycles: self.best_dse[ki],
+                initial_best_cycles: initial,
+                speedup,
+                added,
+                lost,
+            });
+        }
+        let avg = per_kernel.iter().map(|k| k.speedup).sum::<f64>() / per_kernel.len() as f64;
+        let lost = per_kernel.iter().map(|k| k.lost).sum();
+        let added: usize = per_kernel.iter().map(|k| k.added).sum();
+        self.reports.push(RoundReport { round, kernels: per_kernel, avg_speedup: avg, lost });
+        self.carried = Some(predictor);
+        self.next_round = round + 1;
+        obs::metrics::counter_inc("rounds.completed");
+        obs::metrics::gauge_set("rounds.avg_speedup", avg);
+        obs::info!(
+            "rounds.round",
+            "round {round}/{}: avg speedup {avg:.2}x, {added} designs added, {lost} lost",
+            cfg.rounds;
+            round = round,
+            avg_speedup = avg,
+            added = added,
+            lost = lost,
+        );
+
+        if let Some(path) = self.checkpoint {
+            let _stage = obs::span::stage("checkpoint");
+            Checkpoint {
+                next_round: round + 1,
+                reports: self.reports.clone(),
+                initial_best: self.initial_best.clone(),
+                best_dse: self.best_dse.clone(),
+                db: self.db.clone(),
+                // The carried model only affects later rounds when
+                // fine-tuning; skip the (large) serialization otherwise.
+                carried_model: if cfg.fine_tune { self.carried.clone() } else { None },
+                metrics: obs::metrics::snapshot(),
+            }
+            .save(path)?;
+        }
+        Ok(self.reports.last())
+    }
+}
+
 /// Runs `cfg.rounds` rounds of train -> DSE -> validate -> augment over all
 /// `kernels`, mutating `db` in place. Evaluates with the infallible
 /// analytical simulator and no checkpointing — the original API.
@@ -249,204 +617,9 @@ pub fn run_rounds_with_engine<B: EvalBackend + Sync>(
     resume: bool,
     engine: &ExecEngine,
 ) -> Result<Vec<RoundReport>, RoundsError> {
-    let (spaces, graphs) = {
-        let _stage = obs::span::stage("setup");
-        let spaces: Vec<DesignSpace> = kernels.iter().map(DesignSpace::from_kernel).collect();
-        let graphs: Vec<_> = kernels
-            .iter()
-            .zip(&spaces)
-            .map(|(k, s)| build_graph_bidirectional(k, s))
-            .collect();
-        (spaces, graphs)
-    };
-
-    // Either resume the saved state or derive a fresh one from `db`.
-    let resumed = match checkpoint {
-        Some(path) if resume && path.exists() => {
-            let ck = Checkpoint::load(path)?;
-            let names: Vec<&str> = ck.initial_best.iter().map(|(n, _)| n.as_str()).collect();
-            let expect: Vec<&str> = kernels.iter().map(|k| k.name()).collect();
-            if names != expect {
-                return Err(RoundsError::Mismatch {
-                    path: path.to_path_buf(),
-                    detail: format!("checkpoint kernels {names:?}, requested {expect:?}"),
-                });
-            }
-            Some(ck)
-        }
-        _ => None,
-    };
-
-    let (mut start_round, mut reports, initial_best, mut best_dse, mut carried) = match resumed {
-        Some(ck) => {
-            *db = ck.db;
-            // Replace (not merge) the registry: the snapshot already covers
-            // everything the campaign did before the crash, so after the
-            // remaining rounds the deterministic counters match an
-            // uninterrupted run.
-            obs::metrics::restore(&ck.metrics);
-            obs::info!(
-                "rounds.resume",
-                "resuming at round {} of {}",
-                ck.next_round,
-                cfg.rounds;
-                next_round = ck.next_round,
-                rounds = cfg.rounds,
-            );
-            (ck.next_round, ck.reports, ck.initial_best, ck.best_dse, ck.carried_model)
-        }
-        None => {
-            let initial_best: Vec<(String, u64)> = kernels
-                .iter()
-                .map(|k| {
-                    let best = db
-                        .best_design(k.name(), cfg.dse.util_threshold)
-                        .map(|e| e.result.cycles)
-                        .unwrap_or(u64::MAX);
-                    (k.name().to_string(), best)
-                })
-                .collect();
-            (
-                1,
-                Vec::with_capacity(cfg.rounds),
-                initial_best,
-                vec![None; kernels.len()],
-                // A preloaded model enters the loop as the carried state.
-                cfg.initial_model.clone(),
-            )
-        }
-    };
-    // A checkpoint from a run with more rounds than requested: nothing to do.
-    start_round = start_round.min(cfg.rounds + 1);
-
-    for round in start_round..=cfg.rounds {
-        let predictor = {
-            let _stage = obs::span::stage("train");
-            match carried.take() {
-                // A preloaded artifact model serves round 1 exactly as
-                // saved — no retraining, predictions byte-identical to the
-                // model that wrote the artifact. (Resume never lands here:
-                // checkpoints always store `next_round >= 2`.)
-                Some(p) if round == 1 && cfg.initial_model.is_some() => p,
-                Some(mut p) if cfg.fine_tune => {
-                    // Fine-tune the carried model on the augmented database
-                    // with a third of the full budget.
-                    let ft_cfg = cfg.train_cfg.with_epochs((cfg.train_cfg.epochs / 3).max(2));
-                    p.fine_tune(db, kernels, &ft_cfg);
-                    p
-                }
-                _ => {
-                    let (p, _) = Predictor::train(
-                        db,
-                        kernels,
-                        cfg.model,
-                        cfg.model_cfg
-                            .clone()
-                            .with_seed(cfg.model_cfg.seed.wrapping_add(round as u64)),
-                        &cfg.train_cfg,
-                    );
-                    p
-                }
-            }
-        };
-        // The model just changed; predictions from the previous round's
-        // model are stale.
-        engine.clear_predictions();
-
-        let mut per_kernel = Vec::with_capacity(kernels.len());
-        for (ki, kernel) in kernels.iter().enumerate() {
-            let outcome =
-                run_dse_with_engine(&predictor, kernel, &spaces[ki], &graphs[ki], &cfg.dse, engine);
-            let mut added = 0;
-            let mut lost = 0;
-            let _stage = obs::span::stage("validate");
-            // Top-M candidates are distinct canonical points (the DSE
-            // dedupes), so the not-yet-evaluated subset can be validated as
-            // one parallel batch; committing in candidate order keeps the
-            // database identical to the serial loop's. Lost candidates are
-            // not committed and stay eligible next round.
-            let missing: Vec<_> = outcome
-                .top
-                .iter()
-                .map(|(p, _)| p.clone())
-                .filter(|p| !db.contains(kernel.name(), p))
-                .collect();
-            let results = engine.evaluate_ordered(eval, kernel, &spaces[ki], &missing);
-            for (point, result) in missing.iter().zip(results) {
-                match result {
-                    Ok(r) => {
-                        db.insert(kernel.name(), point.clone(), r);
-                        added += 1;
-                    }
-                    Err(_) => lost += 1,
-                }
-            }
-            for (point, _) in &outcome.top {
-                if let Some(e) = db.get(kernel.name(), point) {
-                    if e.result.is_valid() && e.result.util.fits(cfg.dse.util_threshold) {
-                        let c = e.result.cycles;
-                        best_dse[ki] =
-                            Some(best_dse[ki].map_or(c, |b: u64| b.min(c)));
-                    }
-                }
-            }
-            obs::metrics::counter_add("rounds.designs_added", added as u64);
-            obs::metrics::counter_add("rounds.validations_lost", lost as u64);
-            let initial = initial_best[ki].1;
-            let speedup = match best_dse[ki] {
-                Some(b) if initial != u64::MAX => initial as f64 / b as f64,
-                _ => 0.0,
-            };
-            per_kernel.push(KernelRound {
-                kernel: kernel.name().to_string(),
-                best_dse_cycles: best_dse[ki],
-                initial_best_cycles: initial,
-                speedup,
-                added,
-                lost,
-            });
-        }
-        let avg = per_kernel.iter().map(|k| k.speedup).sum::<f64>() / per_kernel.len() as f64;
-        let lost = per_kernel.iter().map(|k| k.lost).sum();
-        let added: usize = per_kernel.iter().map(|k| k.added).sum();
-        reports.push(RoundReport { round, kernels: per_kernel, avg_speedup: avg, lost });
-        carried = Some(predictor);
-        obs::metrics::counter_inc("rounds.completed");
-        obs::metrics::gauge_set("rounds.avg_speedup", avg);
-        obs::info!(
-            "rounds.round",
-            "round {round}/{}: avg speedup {avg:.2}x, {added} designs added, {lost} lost",
-            cfg.rounds;
-            round = round,
-            avg_speedup = avg,
-            added = added,
-            lost = lost,
-        );
-
-        if let Some(path) = checkpoint {
-            let _stage = obs::span::stage("checkpoint");
-            Checkpoint {
-                next_round: round + 1,
-                reports: reports.clone(),
-                initial_best: initial_best.clone(),
-                best_dse: best_dse.clone(),
-                db: db.clone(),
-                // The carried model only affects later rounds when
-                // fine-tuning; skip the (large) serialization otherwise.
-                carried_model: if cfg.fine_tune { carried.clone() } else { None },
-                metrics: obs::metrics::snapshot(),
-            }
-            .save(path)?;
-        }
-
-        if cfg.stop_after.is_some_and(|n| round >= n) {
-            // Simulated kill: return what completed, like a real crash
-            // would leave behind (the checkpoint, if any, is already
-            // written).
-            break;
-        }
-    }
-    Ok(reports)
+    let mut driver = CampaignDriver::new(db, kernels, cfg, eval, checkpoint, resume, engine)?;
+    while driver.step()?.is_some() {}
+    Ok(driver.into_reports())
 }
 
 #[cfg(test)]
@@ -620,5 +793,56 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, RoundsError::Corrupt { .. }), "got {err}");
         std::fs::remove_file(&ck).ok();
+    }
+
+    #[test]
+    fn stepwise_driver_matches_run_to_completion() {
+        let ks = vec![kernels::spmv_ellpack()];
+        let base_db = generate_database(&ks, &[("spmv-ellpack", 30)], 30, 31);
+        let cfg = RoundsConfig::quick();
+        let sim = MerlinSimulator::new();
+        let engine = ExecEngine::serial();
+
+        let mut db_loop = base_db.clone();
+        let loop_reports = run_rounds(&mut db_loop, &ks, &cfg);
+
+        let mut db_step = base_db.clone();
+        let mut driver =
+            CampaignDriver::new(&mut db_step, &ks, &cfg, &sim, None, false, &engine).unwrap();
+        assert_eq!(driver.next_round(), 1);
+        assert!(!driver.is_done());
+        let mut stepped = 0;
+        while let Some(report) = driver.step().unwrap() {
+            stepped += 1;
+            assert_eq!(report.round, stepped);
+            assert!(driver.carried_model().is_some(), "each step leaves a publishable model");
+        }
+        assert!(driver.is_done());
+        assert_eq!(stepped, cfg.rounds);
+        // A step past the end is a no-op, not an error.
+        assert!(driver.step().unwrap().is_none());
+        let step_reports = driver.into_reports();
+
+        assert_eq!(step_reports, loop_reports, "stepping must equal the loop");
+        assert_eq!(db_step.entries(), db_loop.entries());
+    }
+
+    #[test]
+    fn driver_records_validated_results_in_an_attached_replay_buffer() {
+        let ks = vec![kernels::spmv_ellpack()];
+        let mut db = generate_database(&ks, &[("spmv-ellpack", 30)], 30, 31);
+        let before = db.len();
+        let cfg = RoundsConfig { fine_tune: true, ..RoundsConfig::quick() };
+        let sim = MerlinSimulator::new();
+        let engine = ExecEngine::serial();
+        let mut driver =
+            CampaignDriver::new(&mut db, &ks, &cfg, &sim, None, false, &engine).unwrap();
+        driver.attach_replay(ReplayBuffer::new(64));
+        while driver.step().unwrap().is_some() {}
+        let buf = driver.take_replay().expect("buffer stays attached");
+        drop(driver);
+        let added = db.len() - before;
+        assert_eq!(buf.len(), added, "every committed validation lands in the buffer once");
+        assert_eq!(buf.as_database().len(), buf.len());
     }
 }

@@ -288,6 +288,25 @@ impl Client {
         }
     }
 
+    /// Fetches the continuous-learning daemon's status document: round,
+    /// epoch, replay-buffer depth, last fine-tune loss. A plain server
+    /// without a learner answers 404, surfaced as
+    /// [`ServeError::Protocol`].
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, a 404 (no learner attached), or a non-learn-status
+    /// response.
+    pub fn learn_status(&mut self) -> Result<serde::Value, ServeError> {
+        let line = request_line(&Request::LearnStatus);
+        match self.roundtrip(&line)? {
+            Response::LearnStatus { body } => Ok(body),
+            other => {
+                Err(ServeError::Protocol(format!("expected learn-status, got {other:?}")))
+            }
+        }
+    }
+
     /// Queries the server's flight recorder: `"slow"` for the slowest
     /// remembered traces, anything else as a trace-id lookup. Always an
     /// array (empty = nothing remembered, not an error).
@@ -371,6 +390,9 @@ pub(crate) fn request_line(request: &Request) -> String {
             Value::Map(vec![("kill_replica".into(), Value::Int(*replica as i128))])
         }
         Request::Stats => Value::Map(vec![("stats".into(), Value::Bool(true))]),
+        Request::LearnStatus => {
+            Value::Map(vec![("learn-status".into(), Value::Bool(true))])
+        }
         Request::Trace { query } => {
             Value::Map(vec![("trace".into(), Value::Str(query.clone()))])
         }
@@ -401,6 +423,7 @@ mod tests {
             Request::Reload,
             Request::KillReplica { replica: 2 },
             Request::Stats,
+            Request::LearnStatus,
             Request::Trace { query: "slow".into() },
         ] {
             let line = request_line(&req);

@@ -78,7 +78,9 @@ mod server;
 
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
 pub use client::{Client, ClientConfig};
-pub use pool::{BatchPredictor, ModelProvider, StaticProvider, BATCH_EDGES, MAX_ATTEMPTS};
+pub use pool::{
+    BatchPredictor, LearnStatusSource, ModelProvider, StaticProvider, BATCH_EDGES, MAX_ATTEMPTS,
+};
 pub use protocol::{parse_request, PredictionRow, Request, Response};
 pub use server::{ServeConfig, ServeStats, Server, ServerHandle};
 

@@ -115,6 +115,18 @@ pub trait ModelProvider: Send + Sync {
     }
 }
 
+/// Where the `learn-status` admin verb gets its answer.
+///
+/// A continuous-learning daemon attaches one of these to the server
+/// ([`crate::ServerHandle::attach_learn_status`]) so operators can inspect
+/// the background trainer — current round, model epoch, replay-buffer
+/// depth, last fine-tune loss — through the same admin socket that serves
+/// `stats`. Servers without a learner answer the verb with 404.
+pub trait LearnStatusSource: Send + Sync {
+    /// A JSON document describing the learner's current state.
+    fn learn_status(&self) -> serde::Value;
+}
+
 /// A [`ModelProvider`] over one fixed backend shared by every replica:
 /// epoch 0, never reloadable. What [`crate::Server::bind`] wraps a bare
 /// [`BatchPredictor`] in.
@@ -273,6 +285,9 @@ pub(crate) struct Shared {
     pub live: Arc<obs::metrics::SharedMetrics>,
     /// Bounded rings of completed request traces (`admin trace`'s source).
     pub recorder: Arc<obs::trace::FlightRecorder>,
+    /// The attached continuous-learning status source, if any (`admin
+    /// learn-status` answers 404 while this is `None`).
+    pub learn: Mutex<Option<Arc<dyn LearnStatusSource>>>,
     started: Instant,
 }
 
@@ -317,6 +332,7 @@ impl Shared {
             reloads: AtomicU64::new(0),
             reload_failures: AtomicU64::new(0),
             registries: Mutex::new(Vec::new()),
+            learn: Mutex::new(None),
             started: Instant::now(),
         }
     }

@@ -67,6 +67,10 @@ pub enum Request {
     },
     /// Ask for a live telemetry snapshot of the running server.
     Stats,
+    /// Ask for the continuous-learning driver's status (round, epoch,
+    /// replay-buffer depth, last fine-tune loss). Only a daemon-mode
+    /// server has one; a plain server answers 404.
+    LearnStatus,
     /// Fetch traces from the flight recorder: a specific id, or `"slow"`
     /// for the slowest remembered requests.
     Trace {
@@ -130,6 +134,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     if let Some(v) = get(map, "stats") {
         if *v == Value::Bool(true) {
             return Ok(Request::Stats);
+        }
+    }
+    if let Some(v) = get(map, "learn-status") {
+        if *v == Value::Bool(true) {
+            return Ok(Request::LearnStatus);
         }
     }
     if let Some(v) = get(map, "trace") {
@@ -206,6 +215,11 @@ pub enum Response {
         /// An array of trace documents (possibly empty).
         body: Value,
     },
+    /// Status of the continuous-learning driver attached to the server.
+    LearnStatus {
+        /// The status document (round, epoch, buffer depth, last loss, …).
+        body: Value,
+    },
 }
 
 impl Response {
@@ -217,7 +231,8 @@ impl Response {
             | Response::Reloaded { .. }
             | Response::Killed { .. }
             | Response::Stats { .. }
-            | Response::Trace { .. } => 200,
+            | Response::Trace { .. }
+            | Response::LearnStatus { .. } => 200,
             Response::Rejected { .. } => 429,
             Response::Error { code, .. } => *code,
         }
@@ -291,6 +306,11 @@ impl Response {
                 ("code".into(), Value::Int(200)),
                 ("body".into(), body.clone()),
             ]),
+            Response::LearnStatus { body } => Value::Map(vec![
+                ("status".into(), Value::Str("learn_status".into())),
+                ("code".into(), Value::Int(200)),
+                ("body".into(), body.clone()),
+            ]),
         }
     }
 
@@ -354,6 +374,9 @@ impl Response {
             }),
             "trace" => Ok(Response::Trace {
                 body: get(map, "body").cloned().unwrap_or(Value::Seq(vec![])),
+            }),
+            "learn_status" => Ok(Response::LearnStatus {
+                body: get(map, "body").cloned().unwrap_or(Value::Null),
             }),
             other => Err(format!("unknown response status `{other}`")),
         }
@@ -445,6 +468,10 @@ mod tests {
     fn stats_and_trace_requests_parse() {
         assert_eq!(parse_request(r#"{"stats": true}"#).unwrap(), Request::Stats);
         assert_eq!(
+            parse_request(r#"{"learn-status": true}"#).unwrap(),
+            Request::LearnStatus
+        );
+        assert_eq!(
             parse_request(r#"{"trace": "slow"}"#).unwrap(),
             Request::Trace { query: "slow".into() }
         );
@@ -531,7 +558,8 @@ mod tests {
         ]);
         for resp in [
             Response::Stats { body: body.clone() },
-            Response::Trace { body: Value::Seq(vec![body]) },
+            Response::Trace { body: Value::Seq(vec![body.clone()]) },
+            Response::LearnStatus { body },
         ] {
             let line = resp.to_json_line();
             assert!(!line.contains('\n'));

@@ -46,6 +46,12 @@
 //! | `serve.trace.write_us` | histogram | response serialization + socket write (also per `{kernel}`/`{replica}`) |
 //! | `serve.trace.slow` | counter | traces over [`ServeConfig::trace_slow`], each dumped at Warn |
 //!
+//! A continuous-learning daemon additionally mirrors its `learn.*` series
+//! (rounds, buffer depth, last fine-tune loss, swap counts) into the same
+//! live registry through [`ServerHandle::live_metrics`], and answers the
+//! `{"learn-status": true}` admin verb through an attached
+//! [`crate::LearnStatusSource`]; servers without a learner answer it 404.
+//!
 //! Trace histograms and the queue-depth gauge live in the pool's
 //! *shared* registry so `admin stats` reads them from the running server;
 //! they are folded into the caller's thread-local registry exactly once,
@@ -204,6 +210,25 @@ impl ServerHandle {
     /// Lifetime stats so far (also returned by [`Server::run`]).
     pub fn stats(&self) -> ServeStats {
         stats_of(&self.shared)
+    }
+
+    /// Attaches the source the `{"learn-status": true}` admin verb answers
+    /// from. Until one is attached the verb answers 404.
+    pub fn attach_learn_status(&self, source: Arc<dyn crate::LearnStatusSource>) {
+        *self.shared.learn.lock().expect("learn lock") = Some(source);
+    }
+
+    /// The pool's live cross-thread registry: what `admin stats` reads
+    /// while the server runs. A learner thread mirrors its `learn.*`
+    /// series here so operators see them mid-flight.
+    pub fn live_metrics(&self) -> Arc<obs::metrics::SharedMetrics> {
+        Arc::clone(&self.shared.live)
+    }
+
+    /// Whether shutdown has begun (graceful drain in progress or done).
+    /// A background learner polls this to stop between rounds.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
     }
 }
 
@@ -551,6 +576,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
             Ok(Request::Stats) => {
                 let resp = Response::Stats { body: shared.stats_value() };
+                if write_line(&mut writer, &resp).is_err() {
+                    break;
+                }
+            }
+            Ok(Request::LearnStatus) => {
+                let source = shared.learn.lock().expect("learn lock").clone();
+                let resp = match source {
+                    Some(src) => Response::LearnStatus { body: src.learn_status() },
+                    None => Response::Error {
+                        id: 0,
+                        code: 404,
+                        message: "no continuous-learning driver attached".into(),
+                    },
+                };
                 if write_line(&mut writer, &resp).is_err() {
                     break;
                 }

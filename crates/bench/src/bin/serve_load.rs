@@ -18,7 +18,10 @@
 //!   histograms (`ingress`/`route`/`queue_wait`/`batch_wait`/`infer`/
 //!   `write`, each with count + mean + p99), `trace_total_mean_us`, and
 //!   `stage_coverage` (asserted >= 0.9 — the spans must tile the
-//!   end-to-end latency, not sample it).
+//!   end-to-end latency, not sample it);
+//! * `kernels`: matmul-level attribution inside the `infer` stage from
+//!   the `infer.gemm_*` / `infer.quant_*` kernel counters, with
+//!   `share_of_infer` = kernel time / infer-stage span time.
 //!
 //! `GNNDSE_CLIENTS` (default 4) and `GNNDSE_REQUESTS` (default 120,
 //! per client) size the load. `serve_regress` compares the per-stage
@@ -46,6 +49,21 @@ struct StageStat {
     p99_us: f64,
 }
 
+/// Where the `infer` stage itself spent its time, from the tensor
+/// kernels' own counters (`infer.gemm_*` booked by the blocked f32 GEMM,
+/// `infer.quant_*` by the int8 panel kernel). `share_of_infer` is
+/// Σ kernel time / Σ `infer`-stage span time: how much of the inference
+/// stage the matmuls explain (the rest is graph encoding, batching glue
+/// and head bookkeeping). Report-only — attribution, not a threshold.
+#[derive(serde::Serialize)]
+struct KernelAttribution {
+    gemm_calls: u64,
+    gemm_us: u64,
+    quant_calls: u64,
+    quant_us: u64,
+    share_of_infer: f64,
+}
+
 #[derive(serde::Serialize)]
 struct ServeBenchReport {
     clients: usize,
@@ -69,6 +87,8 @@ struct ServeBenchReport {
     /// Σ stage time / Σ end-to-end time: how much of the latency the spans
     /// explain. Near 1.0 when the spans tile; << 1 means a blind spot.
     stage_coverage: f64,
+    /// Kernel-level breakdown of the `infer` stage.
+    kernels: KernelAttribution,
 }
 
 /// The span taxonomy, in pipeline order (also the report's row order).
@@ -259,6 +279,23 @@ fn main() {
     } else {
         stage_sum as f64 / total_hist.sum as f64
     };
+
+    // Kernel-level breakdown of the infer stage, from the tensor kernels'
+    // own counters (folded into the same registry as the span histograms).
+    let ctr = |name: &str| snap.counter(name).unwrap_or(0);
+    let infer_sum = hist("serve.trace.infer_us").map_or(0, |h| h.sum);
+    let (gemm_us, quant_us) = (ctr("infer.gemm_us"), ctr("infer.quant_us"));
+    let kernels = KernelAttribution {
+        gemm_calls: ctr("infer.gemm_calls"),
+        gemm_us,
+        quant_calls: ctr("infer.quant_calls"),
+        quant_us,
+        share_of_infer: if infer_sum == 0 {
+            0.0
+        } else {
+            (gemm_us + quant_us) as f64 / infer_sum as f64
+        },
+    };
     let report = ServeBenchReport {
         clients,
         requests_per_client: per_client,
@@ -277,6 +314,7 @@ fn main() {
         stages,
         trace_total_mean_us,
         stage_coverage,
+        kernels,
     };
 
     out!();
@@ -300,6 +338,14 @@ fn main() {
         "  total      {:>9.1} us mean | spans explain {:.1}% of it",
         report.trace_total_mean_us,
         report.stage_coverage * 100.0
+    );
+    out!(
+        "  kernels    gemm {} us over {} call(s) | quant {} us over {} call(s) | {:.1}% of infer",
+        report.kernels.gemm_us,
+        report.kernels.gemm_calls,
+        report.kernels.quant_us,
+        report.kernels.quant_calls,
+        report.kernels.share_of_infer * 100.0
     );
 
     assert_eq!(report.failed, 0, "chaos must be invisible to clients");

@@ -7,13 +7,15 @@
 //! gnndse emit <kernel> [index]                     Merlin-annotated C (placeholders or filled)
 //! gnndse gendb <out.json> [budget] [seed]          generate a training database
 //! gnndse train <db.json> [model.json] [epochs]     train the surrogate (M7);
-//!                                                  --save model.gdse writes a binary artifact
+//!                                                  --save model.gdse writes a binary artifact,
+//!                                                  --save-quant model_q.gdse an int8 one
 //! gnndse dse <model> <kernel> [top_m]              surrogate-driven DSE (or --model model.gdse)
 //! gnndse predict <model> <kernel> <index>          predict one design point locally
 //! gnndse predict <kernel> <index> --addr H:P       ... or against a running server
 //! gnndse rounds <db.json>                          iterative DSE rounds (Fig. 7);
 //!                                                  --model model.gdse seeds round 1
 //! gnndse serve --model model.gdse                  serve predictions over JSON-lines TCP
+//!                                                  (--quant serves the int8 inference path)
 //! gnndse daemon --db db.json --model model.gdse    serve + background fine-tune/hot-swap
 //! gnndse admin <addr> <reload|kill-replica N|shutdown>   control a running server
 //! gnndse admin <addr> stats [--prom]               live telemetry (JSON or Prometheus text)
@@ -89,7 +91,7 @@ use gnn_dse::harness::{HarnessBuilder, RetryPolicy};
 use gnn_dse::parallel::ExecEngine;
 use gnn_dse::rounds::{run_rounds_with_engine, RoundsConfig};
 use gnn_dse::trainer::TrainConfig;
-use gnn_dse::{dbgen, ArtifactMeta, ArtifactProvider, Database, PredictService, Predictor};
+use gnn_dse::{dbgen, ArtifactMeta, ArtifactProvider, Database, PredictService, Predictor, QuantPredictor};
 use hls_ir::kernels;
 use merlin_sim::{FaultConfig, MerlinSimulator};
 use proggraph::build_graph_bidirectional;
@@ -578,9 +580,9 @@ fn cmd_rounds(args: &[String]) -> CliResult {
 }
 
 fn cmd_train(args: &[String]) -> CliResult {
-    let (pos, flags) = split_flags(args, &["save", "epochs"], &[])?;
-    let usage =
-        "usage: gnndse train <db.json> [model.json] [epochs] [--epochs N] [--save model.gdse]";
+    let (pos, flags) = split_flags(args, &["save", "save-quant", "epochs"], &[])?;
+    let usage = "usage: gnndse train <db.json> [model.json] [epochs] [--epochs N] \
+                 [--save model.gdse] [--save-quant model_q.gdse]";
     let [db_path, rest @ ..] = &pos[..] else {
         return Err(usage.into());
     };
@@ -590,9 +592,11 @@ fn cmd_train(args: &[String]) -> CliResult {
         None => flag_or(&flags, "epochs", 40)?,
     };
     let save = flags.get("save").map(PathBuf::from);
-    if model_json.is_none() && save.is_none() {
+    let save_quant = flags.get("save-quant").map(PathBuf::from);
+    if model_json.is_none() && save.is_none() && save_quant.is_none() {
         return Err(format!(
-            "nothing to write: give a model.json positional or --save model.gdse\n{usage}"
+            "nothing to write: give a model.json positional, --save model.gdse, \
+             or --save-quant model_q.gdse\n{usage}"
         ));
     }
     let db = Database::load(Path::new(db_path)).map_err(|e| e.to_string())?;
@@ -609,18 +613,33 @@ fn cmd_train(args: &[String]) -> CliResult {
         p.save(Path::new(model_path)).map_err(|e| e.to_string())?;
         println!("saved model to {model_path}");
     }
-    if let Some(path) = save {
+    if save.is_some() || save_quant.is_some() {
         let trained_on: Vec<String> =
             referenced.iter().map(|k| k.name().to_string()).collect();
         let meta = ArtifactMeta::describe(&p, &trained_on, epochs);
-        p.save_artifact(&path, &meta).map_err(|e| e.to_string())?;
-        println!(
-            "saved artifact ({}, {} kernels, schema v{}) to {}",
-            meta.model,
-            meta.kernels.len(),
-            meta.schema_version,
-            path.display()
-        );
+        if let Some(path) = save {
+            p.save_artifact(&path, &meta).map_err(|e| e.to_string())?;
+            println!(
+                "saved artifact ({}, {} kernels, schema v{}) to {}",
+                meta.model,
+                meta.kernels.len(),
+                meta.schema_version,
+                path.display()
+            );
+        }
+        if let Some(path) = save_quant {
+            let qp = QuantPredictor::quantize(&p);
+            qp.save_artifact(&path, &meta).map_err(|e| e.to_string())?;
+            let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "saved int8-quantized artifact ({}, {} kernels, {} KiB) to {} \
+                 — serve it with `gnndse serve --quant`",
+                meta.model,
+                meta.kernels.len(),
+                size / 1024,
+                path.display()
+            );
+        }
     }
     Ok(())
 }
@@ -789,11 +808,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "log-json",
             "metrics-out",
         ],
-        &["reload"],
+        &["reload", "quant"],
     )?;
     let usage = "usage: gnndse serve --model model.gdse [--addr 127.0.0.1:7878] [--jobs N] \
                  [--queue N] [--batch N] [--max-requests N] [--replicas N] [--reload] \
-                 [--request-timeout MS] [--idle-timeout MS] \
+                 [--quant] [--request-timeout MS] [--idle-timeout MS] \
                  [--trace-slow-ms MS] [--trace-capacity N] \
                  [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
     if !pos.is_empty() {
@@ -824,6 +843,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         None => None,
     };
     let watch = flags.contains_key("reload");
+    let quant = flags.contains_key("quant");
     let trace_slow: Option<Duration> = match flags.get("trace-slow-ms") {
         Some(v) => Some(Duration::from_millis(
             v.parse().map_err(|e| format!("bad value for --trace-slow-ms: {e}"))?,
@@ -862,18 +882,24 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let server = if bytes.starts_with(&gdse_gnn::artifact::MAGIC) {
         let provider = {
             let _io = obs::span::stage("io");
-            ArtifactProvider::open(Path::new(model_path), per_replica_jobs)?
+            if quant {
+                ArtifactProvider::open_quant(Path::new(model_path), per_replica_jobs)?
+            } else {
+                ArtifactProvider::open(Path::new(model_path), per_replica_jobs)?
+            }
         };
         let meta = provider.meta();
         obs::info!(
             "model.loaded",
-            "loaded artifact {model_path} ({}, {} kernels, {} epochs, seed {})",
+            "loaded artifact {model_path} ({}, {} kernels, {} epochs, seed {}{})",
             meta.model,
             meta.kernels.len(),
             meta.epochs,
-            meta.seed;
+            meta.seed,
+            if meta.quant { ", int8" } else { "" };
             model = meta.model,
             kernels = meta.kernels.len(),
+            quant = meta.quant,
         );
         Server::bind_with_provider(&addr, config, std::sync::Arc::new(provider))
             .map_err(|e| e.to_string())?
@@ -893,7 +919,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
         } else {
             ExecEngine::builder().jobs(per_replica_jobs).build()
         };
-        let service = PredictService::new(predictor, engine);
+        let service = if quant {
+            PredictService::new_quant(QuantPredictor::quantize(&predictor), engine)
+        } else {
+            PredictService::new(predictor, engine)
+        };
         Server::bind(&addr, config, service).map_err(|e| e.to_string())?
     };
     let local = server.local_addr();

@@ -5,10 +5,12 @@ use crate::db::Database;
 use crate::trainer::{train_classifier, train_regression, TrainConfig};
 use design_space::DesignPoint;
 use gdse_gnn::{GraphBatch, GraphInput, ModelConfig, ModelKind, PredictionModel};
+use gdse_tensor::QuantParamSet;
 use hls_ir::Kernel;
 use merlin_sim::Utilization;
 use proggraph::ProgramGraph;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Predicted quality of one design point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -227,6 +229,118 @@ impl Predictor {
     }
 }
 
+/// The int8 twin of a [`Predictor`]: the same three models with every
+/// weight matrix calibrated to per-tensor symmetric int8
+/// ([`gdse_gnn::PredictionModel::quantize`]), served through the packed
+/// FMA kernel in `gdse_tensor::quant`.
+///
+/// The quantized path is **forward-only** and trades a bounded prediction
+/// drift (tested per kernel in the repo's quantization suite) for
+/// substantially higher inference throughput and a ~4x smaller on-disk
+/// artifact. It never replaces the f32 path implicitly: serving it requires
+/// an explicit opt-in (`gnndse serve --quant`).
+#[derive(Debug, Clone)]
+pub struct QuantPredictor {
+    base: Predictor,
+    classifier_q: Arc<QuantParamSet>,
+    regressor_q: Arc<QuantParamSet>,
+    bram_q: Arc<QuantParamSet>,
+}
+
+impl QuantPredictor {
+    /// Calibrates int8 weights from a trained f32 predictor.
+    pub fn quantize(p: &Predictor) -> Self {
+        QuantPredictor {
+            classifier_q: Arc::new(p.classifier.quantize()),
+            regressor_q: Arc::new(p.regressor.quantize()),
+            bram_q: Arc::new(p.bram_model.quantize()),
+            base: p.clone(),
+        }
+    }
+
+    /// Reassembles a quantized predictor from decoded parts — the loading
+    /// half of the version-2 artifact path (see [`crate::artifact`]).
+    pub fn from_parts(
+        base: Predictor,
+        classifier_q: QuantParamSet,
+        regressor_q: QuantParamSet,
+        bram_q: QuantParamSet,
+    ) -> Self {
+        QuantPredictor {
+            base,
+            classifier_q: Arc::new(classifier_q),
+            regressor_q: Arc::new(regressor_q),
+            bram_q: Arc::new(bram_q),
+        }
+    }
+
+    /// The underlying models and normalizer. For int8-loaded artifacts the
+    /// base holds *dequantized* weights, so its own `predict_batch` only
+    /// approximates the f32 original; the quantized forward through
+    /// [`QuantPredictor::predict_batch`] is the exact persisted pipeline.
+    pub fn base(&self) -> &Predictor {
+        &self.base
+    }
+
+    /// The calibrated weight sets, in (classifier, regressor, bram) order.
+    pub fn param_sets(&self) -> (&QuantParamSet, &QuantParamSet, &QuantParamSet) {
+        (&self.classifier_q, &self.regressor_q, &self.bram_q)
+    }
+
+    /// The latency normalizer.
+    pub fn normalizer(&self) -> &Normalizer {
+        self.base.normalizer()
+    }
+
+    /// Predicts a batch of design points of one kernel through the int8
+    /// kernels — the quantized mirror of [`Predictor::predict_batch`].
+    pub fn predict_batch(&self, graph: &ProgramGraph, points: &[DesignPoint]) -> Vec<Prediction> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let started = std::time::Instant::now();
+        let inputs: Vec<(GraphInput, &DesignPoint)> = points
+            .iter()
+            .map(|p| (GraphInput::from_graph(graph, Some(p)), p))
+            .collect();
+        let refs: Vec<(&GraphInput, &DesignPoint)> =
+            inputs.iter().map(|(gi, p)| (gi, *p)).collect();
+        let batch = GraphBatch::new(&refs);
+
+        let cls = self.base.classifier.forward_quant(&batch, &self.classifier_q);
+        let reg = self.base.regressor.forward_quant(&batch, &self.regressor_q);
+        let bram = self.base.bram_model.forward_quant(&batch, &self.bram_q);
+
+        let preds: Vec<Prediction> = (0..points.len())
+            .map(|i| {
+                let logit = cls.graph.value(cls.outputs[0]).get(i, 0);
+                let valid_prob = f64::from(1.0 / (1.0 + (-logit).exp()));
+                let t_lat = f64::from(reg.graph.value(reg.outputs[0]).get(i, 0));
+                let util = Utilization {
+                    dsp: f64::from(reg.graph.value(reg.outputs[1]).get(i, 0)),
+                    lut: f64::from(reg.graph.value(reg.outputs[2]).get(i, 0)),
+                    ff: f64::from(reg.graph.value(reg.outputs[3]).get(i, 0)),
+                    bram: f64::from(bram.graph.value(bram.outputs[0]).get(i, 0)),
+                };
+                Prediction {
+                    valid_prob,
+                    cycles: self.base.normalizer.inverse(t_lat),
+                    util,
+                }
+            })
+            .collect();
+        gdse_obs::metrics::counter_add("surrogate.inferences", points.len() as u64);
+        gdse_obs::metrics::counter_add("surrogate.quant_inferences", points.len() as u64);
+        gdse_obs::metrics::counter_add("surrogate.busy_us", started.elapsed().as_micros() as u64);
+        preds
+    }
+
+    /// Predicts a single design point through the int8 kernels.
+    pub fn predict(&self, graph: &ProgramGraph, point: &DesignPoint) -> Prediction {
+        self.predict_batch(graph, std::slice::from_ref(point))[0]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +440,60 @@ mod tests {
         let pt = space.point_at(3);
         assert_eq!(p.predict(&graph, &pt), loaded.predict(&graph, &pt));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quantized_predictor_tracks_f32_predictions() {
+        use gdse_obs as obs;
+        let ks = vec![kernels::gemm_ncubed()];
+        let db = generate_database(&ks, &[], 40, 23);
+        let (p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Transformer,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(3),
+        );
+        let qp = QuantPredictor::quantize(&p);
+        let space = DesignSpace::from_kernel(&ks[0]);
+        let graph = build_graph_bidirectional(&ks[0], &space);
+        let points: Vec<_> = (0..6u128).map(|i| space.point_at(i * 13 % space.size())).collect();
+
+        obs::metrics::reset();
+        let f = p.predict_batch(&graph, &points);
+        let q = qp.predict_batch(&graph, &points);
+        assert_eq!(f.len(), q.len());
+        for (a, b) in f.iter().zip(&q) {
+            assert!((a.valid_prob - b.valid_prob).abs() < 0.25, "{a:?} vs {b:?}");
+            let (ca, cb) = (a.cycles as f64, b.cycles as f64);
+            let ratio = ca.max(cb) / ca.min(cb).max(1.0);
+            assert!(ratio < 1.5, "cycles drifted {ca} vs {cb}");
+            assert!(b.util.dsp.is_finite() && b.util.bram.is_finite());
+        }
+        let snap = obs::metrics::snapshot();
+        assert_eq!(snap.counter("surrogate.quant_inferences"), Some(points.len() as u64));
+        assert!(snap.counter("infer.quant_calls").unwrap_or(0) > 0, "int8 kernel must run");
+    }
+
+    #[test]
+    fn quantized_predict_single_matches_its_batch() {
+        let ks = vec![kernels::spmv_ellpack()];
+        let db = generate_database(&ks, &[], 25, 41);
+        let (p, _) = Predictor::train(
+            &db,
+            &ks,
+            ModelKind::Gcn,
+            ModelConfig::small(),
+            &TrainConfig::quick().with_epochs(2),
+        );
+        let qp = QuantPredictor::quantize(&p);
+        let space = DesignSpace::from_kernel(&ks[0]);
+        let graph = build_graph_bidirectional(&ks[0], &space);
+        let pt = space.point_at(4);
+        let single = qp.predict(&graph, &pt);
+        let batch = qp.predict_batch(&graph, &[pt.clone(), space.default_point()]);
+        assert_eq!(single.cycles, batch[0].cycles);
+        assert_eq!(single.valid_prob.to_bits(), batch[0].valid_prob.to_bits());
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use dse::{pareto_front, run_dse, run_dse_with_engine, DseConfig, DseOutcome}
 pub use error::Error;
 pub use explorer::{Budget, Explorer};
 pub use harness::{EvalBackend, EvalError, Harness, HarnessBuilder, HarnessStats, RetryPolicy};
-pub use inference::{Prediction, Predictor};
+pub use inference::{Prediction, Predictor, QuantPredictor};
 pub use learn::{ReplayBuffer, ReplayStats};
 pub use parallel::{ExecEngine, ExecEngineBuilder};
 pub use report::{build_run_report, write_run_report};

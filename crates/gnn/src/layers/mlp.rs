@@ -1,6 +1,6 @@
 //! Multi-layer perceptron.
 
-use gdse_tensor::{Graph, Init, NodeId, ParamId, ParamStore};
+use gdse_tensor::{Activation, Graph, Init, NodeId, ParamId, ParamStore};
 use serde::{Deserialize, Serialize};
 
 /// A stack of linear layers with ReLU between them (none after the last).
@@ -29,17 +29,18 @@ impl Mlp {
     }
 
     /// Applies the MLP row-wise to `x: [N, dims[0]]`.
+    ///
+    /// Each layer is one fused [`Graph::linear`] call (`act(x*W + b)`), which
+    /// is bit-identical to the `matmul` / `add_bias` / `relu` chain it
+    /// replaces but materializes no intermediate tensors.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
         let mut h = x;
         let last = self.weights.len() - 1;
         for (i, (&w, &b)) in self.weights.iter().zip(&self.biases).enumerate() {
             let wv = g.param(store, w);
             let bv = g.param(store, b);
-            let lin = g.matmul(h, wv);
-            h = g.add_bias(lin, bv);
-            if i < last {
-                h = g.relu(h);
-            }
+            let act = if i < last { Activation::Relu } else { Activation::None };
+            h = g.linear(h, wv, bv, act);
         }
         h
     }

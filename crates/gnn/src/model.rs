@@ -4,9 +4,10 @@ use crate::encoder::{ConvKind, EncoderOutput, GnnEncoder};
 use crate::input::{GraphBatch, GraphInput};
 use crate::layers::mlp::Mlp;
 use design_space::{DesignPoint, PragmaValue};
-use gdse_tensor::{Graph, Matrix, NodeId, ParamStore};
+use gdse_tensor::{Graph, Matrix, NodeId, ParamStore, QuantMatrix, QuantParamSet};
 use proggraph::NODE_FEATS;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Model variants evaluated in Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -299,8 +300,37 @@ impl PredictionModel {
     /// Runs a forward pass on a batch of designs (M1 reads only the pragma
     /// encodings; M2-M7 read the graphs).
     pub fn forward(&self, batch: &GraphBatch) -> ModelOutput {
+        self.forward_on(Graph::new(), batch)
+    }
+
+    /// Calibrates an int8 [`QuantParamSet`] from the current weights.
+    ///
+    /// Every weight matrix (`rows >= 2`) gets per-tensor symmetric int8
+    /// quantization; biases and any other `[1, F]` parameters stay f32 —
+    /// they are tiny, and keeping them exact costs nothing while removing a
+    /// quantization error term from every layer.
+    pub fn quantize(&self) -> QuantParamSet {
+        let mut qs = QuantParamSet::new();
+        for id in self.store.ids() {
+            let v = self.store.value(id);
+            if v.rows() >= 2 {
+                qs.insert(id, QuantMatrix::quantize(v));
+            }
+        }
+        qs
+    }
+
+    /// Forward pass routing every calibrated weight through the int8
+    /// kernel. The returned tape is **forward-only**: quantized ops record
+    /// no gradient function, so `backward` on it stops at every such op.
+    /// Use [`quantize`](Self::quantize) to build the set once and share it
+    /// across calls.
+    pub fn forward_quant(&self, batch: &GraphBatch, quant: &Arc<QuantParamSet>) -> ModelOutput {
+        self.forward_on(Graph::with_quant(Arc::clone(quant)), batch)
+    }
+
+    fn forward_on(&self, mut g: Graph, batch: &GraphBatch) -> ModelOutput {
         let started = std::time::Instant::now();
-        let mut g = Graph::new();
         let (graph_emb, attention) = match &self.body {
             Body::PragmaMlp(trunk) => {
                 let x = g.input(batch.pragma_x.clone());
@@ -457,6 +487,41 @@ mod tests {
                 }
             }
             assert_eq!(i, items.len(), "chunk={chunk} covers every item");
+        }
+    }
+
+    #[test]
+    fn quantize_covers_weights_and_skips_biases() {
+        let model = PredictionModel::new(ModelKind::Full, ModelConfig::small(), &["latency"]);
+        let qs = model.quantize();
+        assert!(!qs.is_empty());
+        for id in model.store().ids() {
+            let v = model.store().value(id);
+            if v.rows() >= 2 {
+                assert!(qs.get(id).is_some(), "weight {} not calibrated", model.store().name(id));
+            } else {
+                assert!(qs.get(id).is_none(), "bias {} must stay f32", model.store().name(id));
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_on_every_kind() {
+        let (input, p0, _) = sample();
+        for kind in ModelKind::ALL {
+            let model = PredictionModel::new(kind, ModelConfig::small(), &["latency", "dsp"]);
+            let qs = Arc::new(model.quantize());
+            let batch = GraphBatch::single(&input, &p0);
+            let f = model.forward(&batch).values();
+            let q = model.forward_quant(&batch, &qs).values();
+            assert_eq!(f.len(), q.len(), "{kind:?}");
+            for (a, b) in f.iter().zip(&q) {
+                assert!(b.is_finite(), "{kind:?}");
+                assert!(
+                    (a - b).abs() < 0.25 * (1.0 + a.abs()),
+                    "{kind:?}: f32 {a} vs quant {b} drift too large"
+                );
+            }
         }
     }
 

@@ -11,8 +11,12 @@
 //! (per-edge attention scores), column-broadcast multiply, concatenation and
 //! elementwise max over a set of tensors (Jumping Knowledge).
 
+use crate::arena;
+use crate::gemm::{self, Activation};
 use crate::matrix::Matrix;
 use crate::params::{GradStore, ParamId, ParamStore};
+use crate::quant::{self, QuantParamSet};
+use std::sync::Arc;
 
 /// Handle to a value recorded on a [`Graph`] tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +29,11 @@ enum Backward {
     /// Leaf tied to a trainable parameter; gradient is routed to the store.
     Param(ParamId),
     Matmul { a: NodeId, b: NodeId },
+    /// Fused `act(a * w + bias)`; gradients mirror the unfused
+    /// matmul / add_bias / activation chain exactly.
+    Linear { a: NodeId, w: NodeId, bias: NodeId, act: Activation },
+    /// Result of the int8 serving kernel; forward-only, no gradient.
+    Quantized,
     Add { a: NodeId, b: NodeId },
     Sub { a: NodeId, b: NodeId },
     Mul { a: NodeId, b: NodeId },
@@ -92,17 +101,46 @@ struct Node {
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    quant: Option<Arc<QuantParamSet>>,
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self { nodes: Vec::new(), quant: None }
     }
 
     /// Creates an empty tape with room for `cap` nodes.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { nodes: Vec::with_capacity(cap) }
+        Self { nodes: Vec::with_capacity(cap), quant: None }
+    }
+
+    /// Creates a tape that serves [`matmul`](Self::matmul) /
+    /// [`linear`](Self::linear) calls whose right-hand side is a parameter in
+    /// `quant` through the int8 kernel.
+    ///
+    /// Quantized results record no gradient function, so a tape built this
+    /// way is **forward-only**: calling [`backward`](Self::backward) will
+    /// silently stop gradient flow at every quantized op.
+    pub fn with_quant(quant: Arc<QuantParamSet>) -> Self {
+        Self { nodes: Vec::new(), quant: Some(quant) }
+    }
+
+    /// Whether this tape dispatches quantized parameters to the int8 kernel.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// The quantized weights of parameter `rhs`, when this tape carries a
+    /// [`QuantParamSet`] that calibrated it.
+    fn quant_weights(&self, rhs: NodeId) -> Option<(Arc<QuantParamSet>, ParamId)> {
+        let qs = self.quant.as_ref()?;
+        if let Backward::Param(pid) = self.nodes[rhs.0].back {
+            if qs.get(pid).is_some() {
+                return Some((Arc::clone(qs), pid));
+            }
+        }
+        None
     }
 
     fn push(&mut self, value: Matrix, back: Backward) -> NodeId {
@@ -137,12 +175,58 @@ impl Graph {
 
     /// Matrix product.
     ///
+    /// On a tape built with [`with_quant`](Self::with_quant), a product whose
+    /// right-hand side is a calibrated parameter runs through the int8 kernel
+    /// instead (forward-only).
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some((qs, pid)) = self.quant_weights(b) {
+            let qw = qs.get(pid).expect("quant_weights checked presence");
+            let v = quant::linear(self.value(a), qw, None, Activation::None);
+            return self.push(v, Backward::Quantized);
+        }
         let v = self.value(a).matmul(self.value(b));
         self.push(v, Backward::Matmul { a, b })
+    }
+
+    /// Fused linear layer `act(a * w + bias)` — one kernel call instead of
+    /// the `matmul` / `add_bias` / activation chain, with no intermediate
+    /// tensors materialized. Values and gradients are bit-identical to the
+    /// unfused chain.
+    ///
+    /// On a tape built with [`with_quant`](Self::with_quant), a calibrated
+    /// `w` routes the whole fused op through the int8 kernel (forward-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != w.rows()` or `bias` is not `[1, w.cols()]`.
+    pub fn linear(&mut self, a: NodeId, w: NodeId, bias: NodeId, act: Activation) -> NodeId {
+        let bv = self.value(bias);
+        assert_eq!(
+            bv.shape(),
+            (1, self.value(w).cols()),
+            "linear: bias must be [1, F]"
+        );
+        if let Some((qs, pid)) = self.quant_weights(w) {
+            let qw = qs.get(pid).expect("quant_weights checked presence");
+            let v = quant::linear(
+                self.value(a),
+                qw,
+                Some(self.value(bias).row(0)),
+                act,
+            );
+            return self.push(v, Backward::Quantized);
+        }
+        let v = gemm::gemm_bias_act(
+            self.value(a),
+            self.value(w),
+            Some(self.value(bias).row(0)),
+            act,
+        );
+        self.push(v, Backward::Linear { a, w, bias, act })
     }
 
     /// Elementwise sum of two same-shape nodes.
@@ -453,8 +537,32 @@ impl Graph {
         for i in (0..=root.0).rev() {
             let Some(g) = adj[i].take() else { continue };
             match &self.nodes[i].back {
-                Backward::Leaf => {}
+                Backward::Leaf | Backward::Quantized => {}
                 Backward::Param(pid) => grads.accumulate(*pid, &g),
+                Backward::Linear { a, w, bias, act } => {
+                    // Same float ops as the unfused chain: activation mask
+                    // (derivable from the output: y > 0 iff pre-act > 0),
+                    // bias column-sum, then the two matmul adjoints.
+                    let gz = match act {
+                        Activation::Relu => {
+                            let y = &self.nodes[i].value;
+                            g.zip_map(y, |gy, yv| if yv > 0.0 { gy } else { 0.0 })
+                        }
+                        Activation::None => g,
+                    };
+                    let mut gb = Matrix::zeros(1, gz.cols());
+                    for r in 0..gz.rows() {
+                        for (o, x) in gb.row_mut(0).iter_mut().zip(gz.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    let (av, wv) = (&self.nodes[a.0].value, &self.nodes[w.0].value);
+                    let ga = gz.matmul(&wv.transpose());
+                    let gw = av.transpose().matmul(&gz);
+                    accumulate(&mut adj, *a, ga);
+                    accumulate(&mut adj, *w, gw);
+                    accumulate(&mut adj, *bias, gb);
+                }
                 Backward::Matmul { a, b } => {
                     let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
                     let ga = g.matmul(&bv.transpose());
@@ -646,6 +754,16 @@ impl Graph {
                     accumulate(&mut adj, *logits, gz);
                 }
             }
+        }
+    }
+}
+
+impl Drop for Graph {
+    /// Retires every node buffer into the thread-local [`arena`] so the next
+    /// forward pass on this thread reuses the allocations.
+    fn drop(&mut self) {
+        for node in self.nodes.drain(..) {
+            arena::recycle(node.value);
         }
     }
 }
@@ -990,6 +1108,135 @@ mod tests {
         }
         // d/dw (w-1)^2 = 2(w-1) = -2 at w=0, accumulated 3 times.
         assert!((grads.grad(w).scalar() + 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_linear_fused() {
+        check_grad(
+            |g, store, w| {
+                let x = g.input(Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.7]]));
+                let wv = g.param(store, w);
+                let b = g.input(Matrix::from_rows(&[&[0.1, -0.2]]));
+                let y = g.linear(x, wv, b, Activation::Relu);
+                g.mse_loss(y, Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]))
+            },
+            3,
+            2,
+            59,
+        );
+    }
+
+    #[test]
+    fn linear_matches_unfused_chain_bitwise() {
+        let mut store = ParamStore::new(61);
+        let w = store.add("w", 5, 4, Init::XavierUniform);
+        let b = store.add("b", 1, 4, Init::Uniform(0.3));
+        let x = Matrix::from_fn(7, 5, |i, j| ((i * 3 + j) as f32 * 0.37).sin());
+
+        let mut g1 = Graph::new();
+        let x1 = g1.input(x.clone());
+        let wv = g1.param(&store, w);
+        let bv = g1.param(&store, b);
+        let fused = g1.linear(x1, wv, bv, Activation::Relu);
+
+        let mut g2 = Graph::new();
+        let x2 = g2.input(x.clone());
+        let wv2 = g2.param(&store, w);
+        let bv2 = g2.param(&store, b);
+        let mm = g2.matmul(x2, wv2);
+        let ab = g2.add_bias(mm, bv2);
+        let unfused = g2.relu(ab);
+
+        for (a, b) in g1.value(fused).as_slice().iter().zip(g2.value(unfused).as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Gradients match bitwise too.
+        let loss1 = {
+            let t = Matrix::filled(7, 4, 0.5);
+            g1.mse_loss(fused, t)
+        };
+        let loss2 = {
+            let t = Matrix::filled(7, 4, 0.5);
+            g2.mse_loss(unfused, t)
+        };
+        let mut grads1 = store.zero_grads();
+        g1.backward(loss1, &mut grads1);
+        let mut grads2 = store.zero_grads();
+        g2.backward(loss2, &mut grads2);
+        for id in store.ids() {
+            for (a, b) in grads1.grad(id).as_slice().iter().zip(grads2.grad(id).as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "param {}", store.name(id));
+            }
+        }
+    }
+
+    #[test]
+    fn quant_tape_dispatches_param_matmuls() {
+        use crate::quant::{QuantMatrix, QuantParamSet};
+
+        let mut store = ParamStore::new(67);
+        let w = store.add("w", 6, 4, Init::XavierUniform);
+        let b = store.add("b", 1, 4, Init::Uniform(0.2));
+        let mut qs = QuantParamSet::new();
+        qs.insert(w, QuantMatrix::quantize(store.value(w)));
+        let qs = Arc::new(qs);
+
+        let x = Matrix::from_fn(3, 6, |i, j| ((i + j) as f32 * 0.21).cos());
+
+        let mut gq = Graph::with_quant(Arc::clone(&qs));
+        assert!(gq.is_quantized());
+        let xq = gq.input(x.clone());
+        let wq = gq.param(&store, w);
+        let bq = gq.param(&store, b);
+        let yq = gq.linear(xq, wq, bq, Activation::Relu);
+
+        let mut gf = Graph::new();
+        let xf = gf.input(x.clone());
+        let wf = gf.param(&store, w);
+        let bf = gf.param(&store, b);
+        let yf = gf.linear(xf, wf, bf, Activation::Relu);
+
+        // Quantized output approximates the f32 output but is not (in
+        // general) identical; with 8 bits over small Xavier weights the
+        // relative drift stays small.
+        let vq = gq.value(yq);
+        let vf = gf.value(yf);
+        let num: f32 = vq
+            .as_slice()
+            .iter()
+            .zip(vf.as_slice())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let den: f32 = vf.as_slice().iter().map(|v| v * v).sum::<f32>().max(1e-12);
+        assert!((num / den).sqrt() < 0.05, "rel rmse {}", (num / den).sqrt());
+
+        // Matmul with a non-quantized rhs still runs in f32 on a quant tape
+        // and records a differentiable Matmul node.
+        let rhs = gq.input(Matrix::from_fn(6, 2, |i, j| (i + j) as f32 * 0.1));
+        let plain = gq.matmul(xq, rhs);
+        assert!(!gq.value(plain).has_non_finite());
+    }
+
+    #[test]
+    fn graph_drop_recycles_node_buffers() {
+        arena::clear();
+        {
+            let mut g = Graph::new();
+            let a = g.input(Matrix::filled(8, 8, 1.0));
+            let b = g.input(Matrix::filled(8, 8, 2.0));
+            let _ = g.matmul(a, b);
+        }
+        let (_, hits_before) = arena::stats();
+        // A fresh same-shape graph reuses the retired buffers: the matmul
+        // output comes from the arena, and the dropped tape refilled it.
+        let mut g = Graph::new();
+        let a = g.input(Matrix::filled(8, 8, 1.0));
+        let b = g.input(Matrix::filled(8, 8, 2.0));
+        let m = g.matmul(a, b);
+        assert_eq!(g.value(m).get(0, 0), 16.0);
+        let (_, hits_after) = arena::stats();
+        assert!(hits_after > hits_before, "matmul output should reuse a retired buffer");
     }
 
     #[test]

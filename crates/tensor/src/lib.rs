@@ -36,12 +36,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod gemm;
 mod graph;
 mod matrix;
 mod optim;
 mod params;
+pub mod quant;
 
+pub use gemm::Activation;
 pub use graph::{Graph, NodeId};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{GradStore, Init, ParamId, ParamStore};
+pub use quant::{QuantMatrix, QuantParamSet};

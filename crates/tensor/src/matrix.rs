@@ -192,14 +192,27 @@ impl Matrix {
         self.data[0]
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs` through the blocked kernel in
+    /// [`crate::gemm`].
     ///
-    /// Uses an i-k-j loop order so the inner loop streams contiguous rows.
+    /// Bit-identical to [`Matrix::matmul_reference`] for finite inputs: both
+    /// accumulate each output element over the full `k` extent in
+    /// increasing-`k` order with individual `f32` adds.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        crate::gemm::gemm(self, rhs)
+    }
+
+    /// The pre-blocking scalar i-k-j kernel (with its per-element zero skip),
+    /// kept as the parity baseline for tests and the `infer` microbench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {:?} * {:?}",
@@ -223,14 +236,10 @@ impl Matrix {
         out
     }
 
-    /// Transposed copy.
+    /// Transposed copy (tile-blocked; see [`crate::gemm::TILE`]).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.set(j, i, self.get(i, j));
-            }
-        }
+        let mut out = crate::arena::zeros(self.cols, self.rows);
+        crate::gemm::transpose_into(&self.data, self.rows, self.cols, &mut out.data);
         out
     }
 

@@ -95,13 +95,15 @@ fn main() {
 
         // --- AutoDSE baseline ---
         let mut baseline_db = Database::new();
-        let log = gnn_dse::Explorer::explore(
-            &BottleneckExplorer::new(),
+        let autodse = BottleneckExplorer::new();
+        let log = gnn_dse::Explorer::explore_scored(
+            &autodse,
             &sim,
             &kernel,
             &space,
             &mut baseline_db,
             Budget::evals(200),
+            &gnn_dse::Explorer::objective(&autodse),
         );
         let autodse_minutes = log.tool_minutes.min(AUTODSE_LIMIT_MINUTES);
         let autodse_best = log.best.as_ref().map(|(_, r)| r.cycles).unwrap_or(u64::MAX);

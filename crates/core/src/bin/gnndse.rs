@@ -36,6 +36,16 @@
 //! aborting the run. `rounds` additionally supports crash-safe
 //! `--checkpoint <file>` persistence and `--resume`.
 //!
+//! `dse` and `rounds` share the multi-objective flags: `--objective
+//! latency|weighted|pareto` picks what "better" means (scalar latency, a
+//! weighted latency/resource sum, or a true Pareto front over cycles and
+//! the four resource axes), `--budget dsp=0.8,bram=0.7` adds per-device
+//! resource-budget constraints enforced through the surrogate's validity
+//! head, and `--explorer sweep|gflow` chooses between the priority-order
+//! candidate sweep and the learned GFlowNet-style trajectory sampler. In
+//! `pareto` mode the DSE also logs the predicted front, and every round
+//! report carries its validated front.
+//!
 //! `serve` answers concurrent clients through a supervised pool of
 //! `--replicas N` workers, each owning its own copy of the model behind a
 //! bounded queue with micro-batched inference (`--queue`, `--batch`); a full
@@ -86,8 +96,9 @@ use design_space::DesignSpace;
 use gdse_gnn::{ModelConfig, ModelKind};
 use gdse_obs as obs;
 use gdse_serve::{ChaosConfig, ChaosProxy, Client, ClientConfig, Response, ServeConfig, Server};
-use gnn_dse::dse::{run_dse_with_engine, DseConfig};
+use gnn_dse::dse::{run_dse_with_engine, CandidateSampler, DseConfig};
 use gnn_dse::harness::{HarnessBuilder, RetryPolicy};
+use gnn_dse::objective::{Objective, ObjectiveKind, ObjectiveWeights, ResourceBudget};
 use gnn_dse::parallel::ExecEngine;
 use gnn_dse::rounds::{run_rounds_with_engine, RoundsConfig};
 use gnn_dse::trainer::TrainConfig;
@@ -229,6 +240,30 @@ fn jobs_arg(flags: &HashMap<String, String>) -> Result<ExecEngine, String> {
     }
     obs::debug!("exec.jobs", "running on {jobs} workers"; jobs = jobs);
     Ok(ExecEngine::builder().jobs(jobs).build())
+}
+
+/// The `--objective`/`--budget`/`--explorer` triple shared by `dse` and
+/// `rounds`: what "better" means (`latency`, `weighted`, or a true `pareto`
+/// front), the per-device resource budget (`dsp=0.8,bram=0.7`, enforced via
+/// the validity head), and which candidate sampler proposes configurations
+/// (`sweep` or the learned `gflow` trajectory sampler).
+fn objective_args(
+    flags: &HashMap<String, String>,
+) -> Result<(Objective, CandidateSampler), String> {
+    let mut objective = match flags.get("objective").map(String::as_str) {
+        None | Some("latency") => Objective::latency(),
+        Some("weighted") => Objective::weighted(ObjectiveWeights::default()),
+        Some("pareto") => Objective::pareto(),
+        Some(other) => {
+            return Err(format!("--objective must be latency|weighted|pareto, got '{other}'"))
+        }
+    };
+    if let Some(spec) = flags.get("budget") {
+        let budget = ResourceBudget::parse(spec).map_err(|e| format!("bad --budget: {e}"))?;
+        objective = objective.with_budget(budget);
+    }
+    let sampler: CandidateSampler = flag_or(flags, "explorer", CandidateSampler::default())?;
+    Ok((objective, sampler))
 }
 
 /// The `--fault-rate`/`--fault-seed`/`--max-retries` triple shared by
@@ -460,6 +495,9 @@ fn cmd_rounds(args: &[String]) -> CliResult {
             "max-retries",
             "checkpoint",
             "stop-after",
+            "objective",
+            "budget",
+            "explorer",
             "log-level",
             "log-json",
             "metrics-out",
@@ -470,6 +508,8 @@ fn cmd_rounds(args: &[String]) -> CliResult {
                  [--model model.gdse] \
                  [--fault-rate F] [--fault-seed S] [--max-retries N] \
                  [--checkpoint ck.json] [--resume] [--stop-after N] \
+                 [--objective latency|weighted|pareto] [--budget dsp=0.8,bram=0.7] \
+                 [--explorer sweep|gflow] \
                  [--log-level L] [--log-json log.jsonl] [--metrics-out report.json]";
     let db_path = pos.first().ok_or(usage)?;
     let n_rounds: usize = flag_or(&flags, "rounds", 4)?;
@@ -512,8 +552,11 @@ fn cmd_rounds(args: &[String]) -> CliResult {
     if ks.is_empty() {
         return Err(format!("{db_path} contains no known kernels"));
     }
-    let cfg =
+    let (objective, sampler) = objective_args(&flags)?;
+    let mut cfg =
         RoundsConfig { rounds: n_rounds, stop_after, initial_model, ..RoundsConfig::quick() };
+    cfg.dse.objective = objective;
+    cfg.dse.sampler = sampler;
 
     obs::info!(
         "rounds.start",
@@ -647,11 +690,23 @@ fn cmd_train(args: &[String]) -> CliResult {
 fn cmd_dse(args: &[String]) -> CliResult {
     let (pos, flags) = split_flags(
         args,
-        &["top-m", "jobs", "model", "log-level", "log-json", "metrics-out"],
+        &[
+            "top-m",
+            "jobs",
+            "model",
+            "objective",
+            "budget",
+            "explorer",
+            "log-level",
+            "log-json",
+            "metrics-out",
+        ],
         &[],
     )?;
     let usage = "usage: gnndse dse <model> <kernel> [top_m] (or: gnndse dse <kernel> \
-                 --model model.gdse) [--jobs N] [--log-level L] \
+                 --model model.gdse) [--jobs N] \
+                 [--objective latency|weighted|pareto] [--budget dsp=0.8,bram=0.7] \
+                 [--explorer sweep|gflow] [--log-level L] \
                  [--log-json log.jsonl] [--metrics-out report.json]";
     let (model_path, kernel, rest) = match flags.get("model") {
         Some(m) => {
@@ -679,7 +734,8 @@ fn cmd_dse(args: &[String]) -> CliResult {
     };
     let kernel = lookup_kernel(kernel)?;
     let space = DesignSpace::from_kernel(&kernel);
-    let cfg = DseConfig { top_m, ..DseConfig::default() };
+    let (objective, sampler) = objective_args(&flags)?;
+    let cfg = DseConfig { top_m, objective, sampler, ..DseConfig::default() };
     let engine = jobs_arg(&flags)?;
     let graph = build_graph_bidirectional(&kernel, &space);
     let outcome = run_dse_with_engine(&predictor, &kernel, &space, &graph, &cfg, &engine);
@@ -713,6 +769,27 @@ fn cmd_dse(args: &[String]) -> CliResult {
         );
     }
     drop(_validate);
+    if objective.kind == ObjectiveKind::Pareto {
+        obs::info!(
+            "dse.front",
+            "predicted Pareto front: {} mutually non-dominated designs",
+            outcome.front.len();
+            front_points = outcome.front.len(),
+        );
+        for (point, pred) in &outcome.front {
+            obs::info!(
+                "dse.front_point",
+                "front: {:>10} cycles | dsp {:.2} bram {:.2} lut {:.2} ff {:.2} | {}",
+                pred.cycles,
+                pred.util.dsp,
+                pred.util.bram,
+                pred.util.lut,
+                pred.util.ff,
+                point.describe(space.slots());
+                predicted_cycles = pred.cycles,
+            );
+        }
+    }
     if let Some(p) = metrics_out {
         write_metrics(&p, "dse", started)?;
     }

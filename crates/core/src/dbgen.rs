@@ -62,34 +62,37 @@ pub fn explore_kernel_with<B: EvalBackend + Sync>(
     let before = db.len();
     let greedy_share = (budget * 4) / 10;
     let hybrid_share = (budget * 3) / 10;
-    Explorer::explore_with(
-        &BottleneckExplorer::new(),
+    let greedy = BottleneckExplorer::new();
+    greedy.explore_scored_with(
         engine,
         eval,
         kernel,
         space,
         db,
         Budget::evals(greedy_share),
+        &greedy.objective(),
     );
-    Explorer::explore_with(
-        &HybridExplorer::with_seed(seed),
+    let hybrid = HybridExplorer::with_seed(seed);
+    hybrid.explore_scored_with(
         engine,
         eval,
         kernel,
         space,
         db,
         Budget::evals(hybrid_share),
+        &hybrid.objective(),
     );
     let used = db.len() - before;
     let rest = budget.saturating_sub(used);
-    Explorer::explore_with(
-        &RandomExplorer::new(seed ^ 0x9e37_79b9),
+    let random = RandomExplorer::new(seed ^ 0x9e37_79b9);
+    random.explore_scored_with(
         engine,
         eval,
         kernel,
         space,
         db,
         Budget::evals(rest),
+        &random.objective(),
     );
 }
 

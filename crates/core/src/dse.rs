@@ -4,22 +4,63 @@
 //! enormous spaces are swept in the ordered-pragma priority order (innermost
 //! loops first, parallel > pipeline > tile, dependencies promoted) so the
 //! most promising candidates are evaluated before the budget or time limit
-//! runs out.
+//! runs out — or, with [`CandidateSampler::Gflow`], sampled from a learned
+//! trajectory policy trained online on surrogate rewards.
+//!
+//! What "promising" means is the [`Objective`]: scalar latency (the paper's
+//! contract), a weighted sum, or true Pareto exploration, each optionally
+//! constrained by a per-device [`ResourceBudget`](crate::objective::ResourceBudget)
+//! enforced through the validity head plus predicted utilization. In Pareto
+//! mode the run additionally maintains an incremental
+//! [`ParetoArchive`](crate::pareto::ParetoArchive) whose front is returned
+//! in [`DseOutcome::front`].
 
+use crate::evaluated::Evaluated;
+use crate::explorer::GFlowSampler;
 use crate::inference::{Prediction, Predictor};
+use crate::objective::{Objective, ObjectiveKind};
 use crate::parallel::ExecEngine;
+use crate::pareto::{prediction_axes, strictly_dominates, ParetoArchive};
 use design_space::{order::ordered_slots, rules, DesignPoint, DesignSpace};
 use gdse_obs as obs;
 use hls_ir::Kernel;
-use merlin_sim::HlsResult;
 use proggraph::{build_graph_bidirectional, ProgramGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
+
+/// How the heuristic DSE generates candidates for spaces too large to
+/// enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateSampler {
+    /// Priority-ordered mixed-radix sweep (§4.4 order) — the default.
+    #[default]
+    PrioritySweep,
+    /// GFlowNet-style trajectory sampler trained online on surrogate
+    /// rewards: samples diverse high-reward configurations in proportion
+    /// to reward (`--explorer gflow`).
+    Gflow,
+}
+
+impl std::str::FromStr for CandidateSampler {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sweep" | "priority" => Ok(Self::PrioritySweep),
+            "gflow" => Ok(Self::Gflow),
+            other => Err(format!("unknown explorer `{other}` (sweep|gflow)")),
+        }
+    }
+}
 
 /// DSE limits and constraints.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DseConfig {
-    /// Utilization constraint `T_u` (eq. 7).
+    /// Utilization constraint `T_u` (eq. 7). Authoritative: the effective
+    /// objective is [`DseConfig::objective`] with *this* threshold, so
+    /// legacy callers that only set `util_threshold` keep their semantics.
     pub util_threshold: f64,
     /// How many top designs to return for HLS validation (§5.3: top 10).
     pub top_m: usize,
@@ -31,6 +72,11 @@ pub struct DseConfig {
     pub max_inferences: usize,
     /// Wall-clock limit (the paper uses 1 hour for `mvt` and `2mm`).
     pub time_limit: Duration,
+    /// What to optimize (kind + resource budget; the utilization threshold
+    /// inside is overridden by [`DseConfig::util_threshold`]).
+    pub objective: Objective,
+    /// Candidate generation for non-exhaustive spaces.
+    pub sampler: CandidateSampler,
 }
 
 impl Default for DseConfig {
@@ -42,6 +88,8 @@ impl Default for DseConfig {
             exhaustive_limit: 100_000,
             max_inferences: 60_000,
             time_limit: Duration::from_secs(3600),
+            objective: Objective::latency(),
+            sampler: CandidateSampler::PrioritySweep,
         }
     }
 }
@@ -56,20 +104,35 @@ impl DseConfig {
             ..Self::default()
         }
     }
+
+    /// The objective actually enforced: [`DseConfig::objective`] under
+    /// [`DseConfig::util_threshold`].
+    pub fn effective_objective(&self) -> Objective {
+        self.objective.with_util_threshold(self.util_threshold)
+    }
 }
 
 /// Outcome of one DSE run.
 #[derive(Debug, Clone)]
 pub struct DseOutcome {
-    /// The top-M designs by predicted latency among usable predictions,
-    /// best first.
+    /// The top-M designs among usable predictions, best first — by
+    /// predicted cycles under the latency and Pareto objectives, by the
+    /// weighted sum under the weighted objective.
     pub top: Vec<(DesignPoint, Prediction)>,
+    /// The predicted Pareto front (sorted by cycles, then resources) under
+    /// [`ObjectiveKind::Pareto`]; empty for the scalar objectives.
+    pub front: Vec<(DesignPoint, Prediction)>,
     /// Surrogate inferences performed.
     pub inferences: usize,
     /// Wall-clock spent.
     pub wall: Duration,
     /// Whether the whole (canonical) space was covered.
     pub exhaustive: bool,
+    /// Whether `top` is the *fallback* list: the model marked nothing as
+    /// usable, so the best predictions regardless of constraints are
+    /// returned for validation to refute. Fallback candidates may violate
+    /// a resource budget; non-fallback candidates never do.
+    pub used_fallback: bool,
 }
 
 /// Runs the surrogate-driven DSE for one kernel.
@@ -113,61 +176,151 @@ pub fn run_dse_with_engine(
 ) -> DseOutcome {
     let _stage = obs::span::stage("dse");
     let start = Instant::now();
+    let objective = cfg.effective_objective();
+    let pareto_mode = objective.kind == ObjectiveKind::Pareto;
     let exhaustive = space.size() <= cfg.exhaustive_limit;
     let mut top: Vec<(DesignPoint, Prediction)> = Vec::new();
     // Best-by-cycles regardless of the usability filter: returned when the
     // model (e.g. early in the rounds loop) marks nothing as usable, so the
     // tool validation step always has candidates to refute.
     let mut fallback: Vec<(DesignPoint, Prediction)> = Vec::new();
+    let mut archive: ParetoArchive<(DesignPoint, Prediction)> =
+        ParetoArchive::new(cfg.top_m.max(64));
     let mut inferences = 0usize;
     let mut seen: HashSet<DesignPoint> = HashSet::new();
     let mut pending: Vec<DesignPoint> = Vec::with_capacity(cfg.batch_size);
 
+    // Rank `top` by the objective (exact cycle sort for latency/Pareto —
+    // bit-identical to the pre-objective code — weighted sum otherwise) and
+    // `fallback` always by predicted cycles.
+    let sort_top = |v: &mut Vec<(DesignPoint, Prediction)>| match objective.kind {
+        ObjectiveKind::Weighted(w) => v.sort_by(|a, b| {
+            w.combine(a.1.cycles, &a.1.util)
+                .total_cmp(&w.combine(b.1.cycles, &b.1.util))
+                .then(a.1.cycles.cmp(&b.1.cycles))
+        }),
+        _ => v.sort_by_key(|(_, pr)| pr.cycles),
+    };
+
+    // Classify predicted candidates and keep both lists bounded.
+    let absorb = |pairs: &mut Vec<(DesignPoint, Prediction)>,
+                      top: &mut Vec<(DesignPoint, Prediction)>,
+                      fallback: &mut Vec<(DesignPoint, Prediction)>,
+                      archive: &mut ParetoArchive<(DesignPoint, Prediction)>| {
+        for (p, pred) in pairs.drain(..) {
+            if objective.feasible_prediction(&pred) {
+                if pareto_mode {
+                    archive.insert(prediction_axes(&pred), (p.clone(), pred));
+                }
+                top.push((p, pred));
+            } else {
+                fallback.push((p, pred));
+            }
+        }
+        sort_top(top);
+        top.truncate(cfg.top_m.max(64));
+        fallback.sort_by_key(|(_, pr)| pr.cycles);
+        fallback.truncate(cfg.top_m);
+    };
+
     let flush = |pending: &mut Vec<DesignPoint>,
                      top: &mut Vec<(DesignPoint, Prediction)>,
                      fallback: &mut Vec<(DesignPoint, Prediction)>,
+                     archive: &mut ParetoArchive<(DesignPoint, Prediction)>,
                      inferences: &mut usize| {
         if pending.is_empty() {
             return;
         }
         let preds = engine.predict_ordered(predictor, graph, kernel.name(), pending);
         *inferences += pending.len();
-        for (p, pred) in pending.drain(..).zip(preds) {
-            if pred.usable(cfg.util_threshold) {
-                top.push((p, pred));
-            } else {
-                fallback.push((p, pred));
-            }
-        }
-        // Keep both candidate lists bounded.
-        top.sort_by_key(|(_, pr)| pr.cycles);
-        top.truncate(cfg.top_m.max(64));
-        fallback.sort_by_key(|(_, pr)| pr.cycles);
-        fallback.truncate(cfg.top_m);
+        let mut pairs: Vec<(DesignPoint, Prediction)> =
+            pending.drain(..).zip(preds).collect();
+        absorb(&mut pairs, top, fallback, archive);
     };
 
-    let candidates = candidate_order(kernel, space, exhaustive, cfg);
-    for point in candidates {
-        if start.elapsed() > cfg.time_limit || inferences >= cfg.max_inferences && !exhaustive {
-            break;
-        }
-        let canonical = rules::canonicalize(kernel, space, &point);
-        if !seen.insert(canonical.clone()) {
-            continue;
-        }
-        pending.push(canonical);
-        if pending.len() >= cfg.batch_size {
-            flush(&mut pending, &mut top, &mut fallback, &mut inferences);
-        }
-    }
-    flush(&mut pending, &mut top, &mut fallback, &mut inferences);
+    if !exhaustive && cfg.sampler == CandidateSampler::Gflow {
+        // Learned candidate generation: sample trajectory waves from a
+        // tabular policy and train it on surrogate rewards. The policy
+        // starts uniform and sharpens toward configurations the surrogate
+        // rewards; duplicates still update the policy (the engine's
+        // prediction cache makes them cheap) but only unseen canonical
+        // configs count as inferences or enter the candidate lists.
+        let mut policy = GFlowSampler::new(space, 0.05);
+        let mut rng = StdRng::seed_from_u64(fnv1a(kernel.name()));
+        let default = rules::canonicalize(kernel, space, &space.default_point());
+        let baseline_pred = engine
+            .predict_ordered(predictor, graph, kernel.name(), std::slice::from_ref(&default))
+            .pop()
+            .expect("one prediction per submitted point");
+        inferences += 1;
+        seen.insert(default.clone());
+        let mut pairs = vec![(default, baseline_pred)];
+        absorb(&mut pairs, &mut top, &mut fallback, &mut archive);
+        let baseline = baseline_pred.cycles.max(1) as f64;
 
-    if top.is_empty() {
+        let max_attempts = cfg.max_inferences.saturating_mul(4).max(64);
+        let mut attempts = 0usize;
+        while inferences < cfg.max_inferences
+            && attempts < max_attempts
+            && start.elapsed() <= cfg.time_limit
+        {
+            let n = cfg.batch_size.max(1).min(max_attempts - attempts);
+            let trajectories: Vec<(DesignPoint, Vec<usize>)> =
+                (0..n).map(|_| policy.sample(space, &mut rng)).collect();
+            attempts += n;
+            let wave: Vec<DesignPoint> = trajectories
+                .iter()
+                .map(|(p, _)| rules::canonicalize(kernel, space, p))
+                .collect();
+            let preds = engine.predict_ordered(predictor, graph, kernel.name(), &wave);
+            let mut pairs: Vec<(DesignPoint, Prediction)> = Vec::new();
+            for ((canonical, pred), (_, choices)) in
+                wave.into_iter().zip(preds).zip(&trajectories)
+            {
+                if seen.insert(canonical.clone()) {
+                    inferences += 1;
+                    pairs.push((canonical, pred));
+                }
+                let reward = match objective.score_prediction(&pred).scalar() {
+                    Some(v) => (baseline / v.max(1.0)).clamp(1e-4, 1e6),
+                    None => 1e-4,
+                };
+                policy.update(choices, reward);
+            }
+            absorb(&mut pairs, &mut top, &mut fallback, &mut archive);
+        }
+    } else {
+        let candidates = candidate_order(kernel, space, exhaustive, cfg);
+        for point in candidates {
+            if start.elapsed() > cfg.time_limit || inferences >= cfg.max_inferences && !exhaustive
+            {
+                break;
+            }
+            let canonical = rules::canonicalize(kernel, space, &point);
+            if !seen.insert(canonical.clone()) {
+                continue;
+            }
+            pending.push(canonical);
+            if pending.len() >= cfg.batch_size {
+                flush(&mut pending, &mut top, &mut fallback, &mut archive, &mut inferences);
+            }
+        }
+        flush(&mut pending, &mut top, &mut fallback, &mut archive, &mut inferences);
+    }
+
+    let used_fallback = top.is_empty();
+    if used_fallback {
         top = fallback;
     }
     top.truncate(cfg.top_m);
+    let front: Vec<(DesignPoint, Prediction)> =
+        archive.front().into_iter().map(|m| m.item.clone()).collect();
+    let budget_violations =
+        top.iter().filter(|(_, pr)| !objective.budget.admits(&pr.util)).count();
     obs::metrics::counter_add("dse.points_explored", inferences as u64);
     obs::metrics::counter_add("dse.candidates_returned", top.len() as u64);
+    obs::metrics::counter_add("dse.front_points", front.len() as u64);
+    obs::metrics::counter_add("dse.budget_violations", budget_violations as u64);
     obs::debug!(
         "dse.done",
         "explored {inferences} candidates for {} ({})",
@@ -176,10 +329,22 @@ pub fn run_dse_with_engine(
         kernel = kernel.name(),
         inferences = inferences,
         top = top.len(),
+        front = front.len(),
         exhaustive = exhaustive,
         wall_us = start.elapsed(),
     );
-    DseOutcome { top, inferences, wall: start.elapsed(), exhaustive }
+    DseOutcome { top, front, inferences, wall: start.elapsed(), exhaustive, used_fallback }
+}
+
+/// FNV-1a of a kernel name: a stable per-kernel RNG seed for the learned
+/// sampler (no global seed plumbing required, identical across runs).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The candidate stream: full enumeration for small spaces, priority-ordered
@@ -216,28 +381,28 @@ fn candidate_order<'a>(
 
 /// Indices of the Pareto-optimal entries, minimizing cycles and every
 /// resource count jointly.
-pub fn pareto_front(results: &[(DesignPoint, HlsResult)]) -> Vec<usize> {
-    let dominated = |a: &HlsResult, b: &HlsResult| {
-        // b dominates a.
-        let better_eq = b.cycles <= a.cycles
-            && b.counts.dsp <= a.counts.dsp
-            && b.counts.bram18 <= a.counts.bram18
-            && b.counts.lut <= a.counts.lut
-            && b.counts.ff <= a.counts.ff;
-        let strictly = b.cycles < a.cycles
-            || b.counts.dsp < a.counts.dsp
-            || b.counts.bram18 < a.counts.bram18
-            || b.counts.lut < a.counts.lut
-            || b.counts.ff < a.counts.ff;
-        better_eq && strictly
-    };
+///
+/// Dominance semantics (deterministic, order-independent membership):
+///
+/// * invalid results never make the front;
+/// * a valid entry is excluded iff some valid entry **strictly dominates**
+///   it — no worse on all five axes (cycles, DSP, BRAM18, LUT, FF) and
+///   strictly better on at least one. Weak dominance that is not strict
+///   means the two objective vectors are *identical*, which is handled by:
+/// * exact ties (identical cycles and resource counts): only the
+///   lowest-index entry is kept. The historical scan kept every duplicate,
+///   making front size depend on arrival order; now the front is a set of
+///   distinct objective vectors plus one deterministic representative each.
+pub fn pareto_front(results: &[Evaluated]) -> Vec<usize> {
+    let axes: Vec<Option<[f64; 5]>> =
+        results.iter().map(|e| e.result.is_valid().then(|| e.axes())).collect();
     (0..results.len())
         .filter(|&i| {
-            results[i].1.is_valid()
-                && !results
-                    .iter()
-                    .enumerate()
-                    .any(|(j, (_, rj))| j != i && rj.is_valid() && dominated(&results[i].1, rj))
+            let Some(a) = axes[i] else { return false };
+            !axes.iter().enumerate().any(|(j, b)| {
+                let Some(b) = b else { return false };
+                j != i && (strictly_dominates(b, &a) || (*b == a && j < i))
+            })
         })
         .collect()
 }
@@ -246,6 +411,7 @@ pub fn pareto_front(results: &[(DesignPoint, HlsResult)]) -> Vec<usize> {
 mod tests {
     use super::*;
     use crate::dbgen::generate_database;
+    use crate::objective::ResourceBudget;
     use crate::trainer::TrainConfig;
     use gdse_gnn::{ModelConfig, ModelKind};
     use hls_ir::kernels;
@@ -266,6 +432,17 @@ mod tests {
         (p, k, space)
     }
 
+    fn evaluated_all(kernel: &Kernel, space: &DesignSpace) -> Vec<Evaluated> {
+        let sim = MerlinSimulator::new();
+        (0..space.size())
+            .map(|i| {
+                let pt = space.point_at(i);
+                let r = sim.evaluate(kernel, space, &pt);
+                Evaluated::new(pt, r, 0, &Objective::latency())
+            })
+            .collect()
+    }
+
     #[test]
     fn exhaustive_dse_covers_small_space() {
         let (p, k, space) = trained(kernels::aes, 30);
@@ -273,6 +450,7 @@ mod tests {
         assert!(out.exhaustive);
         assert!(out.inferences > 0);
         assert!(out.top.len() <= 10);
+        assert!(out.front.is_empty(), "latency mode publishes no front");
     }
 
     #[test]
@@ -311,6 +489,26 @@ mod tests {
     }
 
     #[test]
+    fn gflow_sampler_dse_is_jobs_invariant() {
+        let (p, k, space) = trained(kernels::gemm_ncubed, 40);
+        let graph = build_graph_bidirectional(&k, &space);
+        let mut cfg = DseConfig::quick();
+        cfg.exhaustive_limit = 10; // force the heuristic path
+        cfg.max_inferences = 400;
+        cfg.sampler = CandidateSampler::Gflow;
+        let serial = run_dse_with_graph(&p, &k, &space, &graph, &cfg);
+        assert!(!serial.exhaustive);
+        assert!(serial.inferences <= cfg.max_inferences + cfg.batch_size);
+        assert!(!serial.top.is_empty());
+        for jobs in [2, 4] {
+            let engine = ExecEngine::with_jobs(jobs);
+            let par = run_dse_with_engine(&p, &k, &space, &graph, &cfg, &engine);
+            assert_eq!(par.inferences, serial.inferences, "jobs={jobs}");
+            assert_eq!(par.top, serial.top, "jobs={jobs}");
+        }
+    }
+
+    #[test]
     fn top_designs_are_sorted_by_predicted_cycles() {
         let (p, k, space) = trained(kernels::spmv_ellpack, 40);
         let out = run_dse(&p, &k, &space, &DseConfig::quick());
@@ -329,8 +527,48 @@ mod tests {
         cfg.util_threshold = -1.0;
         let out = run_dse(&p, &k, &space, &cfg);
         assert!(!out.top.is_empty(), "fallback candidates expected");
+        assert!(out.used_fallback);
         for w in out.top.windows(2) {
             assert!(w[0].1.cycles <= w[1].1.cycles, "fallback is sorted too");
+        }
+    }
+
+    #[test]
+    fn pareto_objective_publishes_a_mutually_non_dominated_front() {
+        let (p, k, space) = trained(kernels::spmv_ellpack, 40);
+        let mut cfg = DseConfig::quick();
+        cfg.objective = Objective::pareto();
+        let out = run_dse(&p, &k, &space, &cfg);
+        if out.used_fallback {
+            return; // nothing usable predicted; nothing to check
+        }
+        assert!(!out.front.is_empty(), "usable predictions imply a front");
+        for (i, (_, a)) in out.front.iter().enumerate() {
+            for (j, (_, b)) in out.front.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !strictly_dominates(&prediction_axes(b), &prediction_axes(a)),
+                        "front member {i} dominated by {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_constrained_dse_returns_no_violating_candidate() {
+        let (p, k, space) = trained(kernels::spmv_ellpack, 40);
+        let mut cfg = DseConfig::quick();
+        let budget = ResourceBudget::parse("dsp=0.6,bram=0.6").unwrap();
+        cfg.objective = Objective::pareto().with_budget(budget);
+        let out = run_dse(&p, &k, &space, &cfg);
+        if !out.used_fallback {
+            for (_, pred) in &out.top {
+                assert!(budget.admits(&pred.util), "top candidate violates the budget");
+            }
+        }
+        for (_, pred) in &out.front {
+            assert!(budget.admits(&pred.util), "front member violates the budget");
         }
     }
 
@@ -338,30 +576,40 @@ mod tests {
     fn pareto_front_filters_dominated() {
         let k = kernels::aes();
         let space = DesignSpace::from_kernel(&k);
-        let sim = MerlinSimulator::new();
-        let results: Vec<(DesignPoint, HlsResult)> = (0..space.size())
-            .map(|i| {
-                let pt = space.point_at(i);
-                let r = sim.evaluate(&k, &space, &pt);
-                (pt, r)
-            })
-            .collect();
+        let results = evaluated_all(&k, &space);
         let front = pareto_front(&results);
         assert!(!front.is_empty());
-        // No front member dominates another.
+        // No front member strictly dominates another.
         for &i in &front {
             for &j in &front {
                 if i != j {
-                    let (a, b) = (&results[i].1, &results[j].1);
-                    let dominates = b.cycles <= a.cycles
-                        && b.counts.dsp <= a.counts.dsp
-                        && b.counts.lut <= a.counts.lut
-                        && (b.cycles < a.cycles || b.counts.dsp < a.counts.dsp);
                     assert!(
-                        !(dominates && b.counts.bram18 <= a.counts.bram18 && b.counts.ff <= a.counts.ff),
+                        !strictly_dominates(&results[j].axes(), &results[i].axes()),
                         "front member {i} dominated by {j}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_keeps_one_deterministic_representative_per_tie() {
+        let k = kernels::aes();
+        let space = DesignSpace::from_kernel(&k);
+        let mut results = evaluated_all(&k, &space);
+        let n = results.len();
+        // Duplicate the whole set: every entry now has an exact objective
+        // tie at index i + n. The front must keep only the low-index copy.
+        results.extend(results.clone());
+        let front = pareto_front(&results);
+        assert!(!front.is_empty());
+        assert!(front.iter().all(|&i| i < n), "ties resolve to the lowest index");
+        // Membership equals the single-copy front.
+        assert_eq!(front, pareto_front(&results[..n]));
+        // And distinct objective vectors: no two front members tie exactly.
+        for (a, &i) in front.iter().enumerate() {
+            for &j in front.iter().skip(a + 1) {
+                assert_ne!(results[i].axes(), results[j].axes());
             }
         }
     }

@@ -1,0 +1,73 @@
+//! A named record for one oracle-validated design evaluation.
+//!
+//! [`Evaluated`] replaces the loose `(DesignPoint, HlsResult)` tuples that
+//! used to flow between [`dse`](crate::dse), [`rounds`](crate::rounds) and
+//! [`learn`](crate::learn): Pareto bookkeeping, the replay buffer and the
+//! round reports now share one type that also remembers *when* a design was
+//! evaluated (campaign epoch) and *how it scored* under the objective in
+//! force at the time.
+
+use design_space::DesignPoint;
+use merlin_sim::HlsResult;
+use serde::{Deserialize, Serialize};
+
+use crate::objective::{Objective, Score};
+use crate::pareto::{result_axes, AXES};
+
+/// One validated design: the point, its oracle result, the campaign epoch
+/// that produced it, and its score under the objective in force.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluated {
+    /// The pragma configuration.
+    pub point: DesignPoint,
+    /// The oracle (HLS) result.
+    pub result: HlsResult,
+    /// Campaign epoch (DSE round) that validated this design; 0 for initial
+    /// databases and standalone runs.
+    #[serde(default)]
+    pub epoch: usize,
+    /// Snapshot of the objective's verdict at evaluation time.
+    pub score: Score,
+}
+
+impl Evaluated {
+    /// Records an evaluation, scoring it under `objective`.
+    pub fn new(point: DesignPoint, result: HlsResult, epoch: usize, objective: &Objective) -> Self {
+        let score = objective.score_result(&result);
+        Self { point, result, epoch, score }
+    }
+
+    /// The five Pareto axes of the result (see
+    /// [`result_axes`](crate::pareto::result_axes)).
+    pub fn axes(&self) -> [f64; AXES] {
+        result_axes(&self.result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use design_space::DesignSpace;
+    use hls_ir::kernels;
+    use merlin_sim::MerlinSimulator;
+
+    #[test]
+    fn evaluated_snapshots_the_objective_verdict() {
+        let kernel = kernels::spmv_ellpack();
+        let space = DesignSpace::from_kernel(&kernel);
+        let point = space.default_point();
+        let result = MerlinSimulator::new().evaluate(&kernel, &space, &point);
+        let ev = Evaluated::new(point.clone(), result, 3, &Objective::latency());
+        assert_eq!(ev.epoch, 3);
+        assert_eq!(ev.axes()[0], result.cycles as f64);
+        if result.is_valid() && result.util.fits(0.8) {
+            assert_eq!(ev.score, Score::Cycles(result.cycles));
+        } else {
+            assert_eq!(ev.score, Score::Infeasible);
+        }
+        // Round-trips through serde (round reports persist fronts).
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: Evaluated = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+    }
+}

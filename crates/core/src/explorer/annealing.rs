@@ -7,6 +7,7 @@ use super::{evaluate_into_db_with, Budget, Explorer};
 use crate::db::Database;
 use crate::explorer::ExplorationLog;
 use crate::harness::EvalBackend;
+use crate::objective::Objective;
 use crate::parallel::ExecEngine;
 use design_space::{DesignPoint, DesignSpace};
 use gdse_obs as obs;
@@ -16,12 +17,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Simulated annealing over the pragma space: single-slot mutations,
-/// latency-based energy, geometric cooling. Infeasible designs (invalid or
-/// over the utilization threshold) get a large penalty energy instead of
-/// outright rejection so the walk can traverse them.
+/// objective-scalar energy (latency under the default objective), geometric
+/// cooling. Infeasible designs (invalid, over the utilization threshold, or
+/// over the resource budget) get a large penalty energy instead of outright
+/// rejection so the walk can traverse them.
 #[derive(Debug, Clone)]
 pub struct AnnealingExplorer {
-    /// Utilization constraint.
+    /// Utilization constraint for the deprecated scalar entry points (the
+    /// scored entry points take it from their [`Objective`] argument).
     pub util_threshold: f64,
     /// Initial temperature as a fraction of the default design's latency.
     pub initial_temp_frac: f64,
@@ -43,39 +46,11 @@ impl AnnealingExplorer {
         Self { seed, ..Self::default() }
     }
 
-    fn energy(&self, r: &HlsResult, penalty: f64) -> f64 {
-        if r.is_valid() && r.util.fits(self.util_threshold) {
-            r.cycles as f64
-        } else {
-            penalty
-        }
-    }
-
-    /// Deprecated inherent shim for [`Explorer::explore`].
-    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
-    pub fn explore<B: EvalBackend + Sync>(
-        &self,
-        sim: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> ExplorationLog {
-        Explorer::explore(self, sim, kernel, space, db, budget)
-    }
-
-    /// Deprecated inherent shim for [`Explorer::explore_with`].
-    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
-    pub fn explore_with<B: EvalBackend + Sync>(
-        &self,
-        engine: &ExecEngine,
-        eval: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> ExplorationLog {
-        Explorer::explore_with(self, engine, eval, kernel, space, db, budget)
+    /// Walk energy: the objective's scalar view for feasible designs
+    /// (cycles under latency/Pareto, the sum under weighted), the penalty
+    /// otherwise.
+    fn energy(objective: &Objective, r: &HlsResult, penalty: f64) -> f64 {
+        objective.score_result(r).scalar().unwrap_or(penalty)
     }
 }
 
@@ -88,7 +63,7 @@ impl Explorer for AnnealingExplorer {
     /// through the engine still buys the oracle cache and the merged
     /// per-worker accounting, and lets a parallel campaign share one engine
     /// across all explorers.
-    fn explore_with<B: EvalBackend + Sync>(
+    fn explore_scored_with<B: EvalBackend + Sync>(
         &self,
         engine: &ExecEngine,
         eval: &B,
@@ -96,6 +71,7 @@ impl Explorer for AnnealingExplorer {
         space: &DesignSpace,
         db: &mut Database,
         budget: Budget,
+        objective: &Objective,
     ) -> ExplorationLog {
         let mut log = ExplorationLog::default();
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -110,21 +86,21 @@ impl Explorer for AnnealingExplorer {
             log.evals += 1;
         }
         // Without a starting energy there is nothing to anneal from.
-        let Some(mut cur_res) = first else { return log };
+        let Some(cur_res) = first else { return log };
         if fresh {
             log.tool_minutes += cur_res.synth_minutes;
         }
         let penalty = (cur_res.cycles.max(1) as f64) * 10.0;
-        let mut cur_energy = self.energy(&cur_res, penalty);
+        let mut cur_energy = Self::energy(objective, &cur_res, penalty);
         let mut temp = penalty * self.initial_temp_frac;
 
-        let mut best: Option<(DesignPoint, HlsResult)> =
-            if cur_res.is_valid() && cur_res.util.fits(self.util_threshold) {
-                log.trace.push((log.evals, cur_res.cycles));
-                Some((current.clone(), cur_res))
-            } else {
-                None
-            };
+        let mut best_score = objective.score_result(&cur_res);
+        let mut best: Option<(DesignPoint, HlsResult)> = if best_score.is_feasible() {
+            log.trace.push((log.evals, cur_res.cycles));
+            Some((current.clone(), cur_res))
+        } else {
+            None
+        };
 
         while log.evals < budget.max_evals {
             // Single-slot mutation.
@@ -146,19 +122,21 @@ impl Explorer for AnnealingExplorer {
             if fresh {
                 log.tool_minutes += r.synth_minutes;
             }
-            let e = self.energy(&r, penalty);
+            let e = Self::energy(objective, &r, penalty);
             let accept = e <= cur_energy
                 || rng.gen::<f64>() < ((cur_energy - e) / temp.max(1e-9)).exp();
             if accept {
                 current = cand.clone();
-                cur_res = r;
                 cur_energy = e;
-                let improved = cur_res.is_valid()
-                    && cur_res.util.fits(self.util_threshold)
-                    && best.as_ref().map(|(_, b)| cur_res.cycles < b.cycles).unwrap_or(true);
+                let score = objective.score_result(&r);
+                let improved = match &best {
+                    None => score.is_feasible(),
+                    Some(_) => score.better_than(&best_score),
+                };
                 if improved {
-                    log.trace.push((log.evals, cur_res.cycles));
-                    best = Some((cand, cur_res));
+                    log.trace.push((log.evals, r.cycles));
+                    best = Some((cand, r));
+                    best_score = score;
                 }
             }
             temp *= self.cooling;
@@ -176,6 +154,10 @@ impl Explorer for AnnealingExplorer {
         );
         log
     }
+
+    fn objective(&self) -> Objective {
+        Objective::latency().with_util_threshold(self.util_threshold)
+    }
 }
 
 #[cfg(test)]
@@ -190,13 +172,13 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log = Explorer::explore(
-            &AnnealingExplorer::with_seed(3),
+        let log = AnnealingExplorer::with_seed(3).explore_scored(
             &sim,
             &k,
             &space,
             &mut db,
             Budget::evals(150),
+            &Objective::latency(),
         );
         let default = sim.evaluate(&k, &space, &space.default_point());
         let (_, best) = log.best.expect("finds a valid design");
@@ -210,13 +192,13 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log = Explorer::explore(
-            &AnnealingExplorer::with_seed(5),
+        let log = AnnealingExplorer::with_seed(5).explore_scored(
             &sim,
             &k,
             &space,
             &mut db,
             Budget::evals(40),
+            &Objective::latency(),
         );
         assert!(log.evals <= 40);
         assert_eq!(db.len(), log.evals);
@@ -227,28 +209,29 @@ mod tests {
         let k = kernels::spmv_ellpack();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
+        let obj = Objective::latency();
 
         let mut db_serial = Database::new();
-        let serial = Explorer::explore(
-            &AnnealingExplorer::with_seed(9),
+        let serial = AnnealingExplorer::with_seed(9).explore_scored(
             &sim,
             &k,
             &space,
             &mut db_serial,
             Budget::evals(30),
+            &obj,
         );
 
         for jobs in [1, 4] {
             let engine = ExecEngine::with_jobs(jobs);
             let mut db = Database::new();
-            let log = Explorer::explore_with(
-                &AnnealingExplorer::with_seed(9),
+            let log = AnnealingExplorer::with_seed(9).explore_scored_with(
                 &engine,
                 &sim,
                 &k,
                 &space,
                 &mut db,
                 Budget::evals(30),
+                &obj,
             );
             assert_eq!(log.evals, serial.evals, "jobs={jobs}");
             assert_eq!(log.trace, serial.trace, "jobs={jobs}");
@@ -263,22 +246,11 @@ mod tests {
         let sim = MerlinSimulator::new();
         let mut a = Database::new();
         let mut b = Database::new();
-        let la = Explorer::explore(
-            &AnnealingExplorer::with_seed(9),
-            &sim,
-            &k,
-            &space,
-            &mut a,
-            Budget::evals(30),
-        );
-        let lb = Explorer::explore(
-            &AnnealingExplorer::with_seed(9),
-            &sim,
-            &k,
-            &space,
-            &mut b,
-            Budget::evals(30),
-        );
+        let obj = Objective::latency();
+        let la = AnnealingExplorer::with_seed(9)
+            .explore_scored(&sim, &k, &space, &mut a, Budget::evals(30), &obj);
+        let lb = AnnealingExplorer::with_seed(9)
+            .explore_scored(&sim, &k, &space, &mut b, Budget::evals(30), &obj);
         assert_eq!(a.entries(), b.entries());
         assert_eq!(la.best.map(|(_, r)| r.cycles), lb.best.map(|(_, r)| r.cycles));
     }

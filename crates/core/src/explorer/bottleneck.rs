@@ -5,7 +5,10 @@
 //! the §4.4 priority order (innermost loops first, parallel > pipeline >
 //! tile — the pragmas that address the hot inner loops *are* the bottleneck
 //! pragmas), commits every improving option, and repeats until a full pass
-//! yields no improvement or the budget runs out.
+//! yields no improvement or the budget runs out. "Improving" is judged by
+//! the [`Objective`]'s [`Score`](crate::objective::Score): under the default
+//! latency objective that is the exact cycle comparison the pre-objective
+//! explorer used, so default behavior is bit-identical.
 //!
 //! This explorer doubles as the **AutoDSE baseline** of Table 3: its
 //! modelled tool runtime is the sum of the synthesis minutes of everything
@@ -14,6 +17,7 @@
 use super::{evaluate_frontier, Budget, Explorer};
 use crate::db::Database;
 use crate::harness::EvalBackend;
+use crate::objective::{Objective, Score};
 use crate::parallel::ExecEngine;
 use design_space::{order::ordered_slots, DesignPoint, DesignSpace};
 use gdse_obs as obs;
@@ -29,9 +33,11 @@ pub struct ExplorationLog {
     pub evals: usize,
     /// Modelled tool wall-clock spent, in minutes.
     pub tool_minutes: f64,
-    /// Incumbent (best-so-far) trace: `(eval index, cycles)`.
+    /// Incumbent (best-so-far) trace: `(eval index, cycles)`. Cycles are
+    /// recorded under every objective — the trace is a latency trajectory,
+    /// not an objective value.
     pub trace: Vec<(usize, u64)>,
-    /// The best point found, if any valid one exists.
+    /// The best point found, if any feasible one exists.
     pub best: Option<(DesignPoint, HlsResult)>,
 }
 
@@ -43,6 +49,9 @@ pub struct ExplorationLog {
 #[derive(Debug, Clone)]
 pub struct BottleneckExplorer {
     /// Designs must keep every utilization below this threshold (eq. 7).
+    /// Used by [`Explorer::objective`] for the deprecated scalar entry
+    /// points; the scored entry points take the threshold from their
+    /// [`Objective`] argument.
     pub util_threshold: f64,
     /// Seed for the restart points.
     pub seed: u64,
@@ -60,33 +69,6 @@ impl BottleneckExplorer {
         Self::default()
     }
 
-    /// Deprecated inherent shim for [`Explorer::explore`].
-    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
-    pub fn explore<B: EvalBackend + Sync>(
-        &self,
-        sim: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> ExplorationLog {
-        Explorer::explore(self, sim, kernel, space, db, budget)
-    }
-
-    /// Deprecated inherent shim for [`Explorer::explore_with`].
-    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
-    pub fn explore_with<B: EvalBackend + Sync>(
-        &self,
-        engine: &ExecEngine,
-        eval: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> ExplorationLog {
-        Explorer::explore_with(self, engine, eval, kernel, space, db, budget)
-    }
-
     /// One greedy pass from `start`, scoring each slot's option frontier as
     /// a batch. The frontier is folded in candidate order, so acceptance,
     /// budget, and trace bookkeeping match a point-by-point sweep.
@@ -99,11 +81,11 @@ impl BottleneckExplorer {
         space: &DesignSpace,
         db: &mut Database,
         budget: Budget,
+        objective: &Objective,
         start: DesignPoint,
         log: &mut ExplorationLog,
     ) -> Option<(DesignPoint, HlsResult)> {
         let order = ordered_slots(kernel, space);
-        let acceptable = |r: &HlsResult, thr: f64| r.is_valid() && r.util.fits(thr);
 
         let mut current = start;
         let first = evaluate_frontier(
@@ -127,7 +109,7 @@ impl BottleneckExplorer {
         if first.fresh {
             log.tool_minutes += best_result.synth_minutes;
         }
-        if acceptable(&best_result, self.util_threshold) {
+        if objective.feasible_result(&best_result) {
             log.trace.push((log.evals, best_result.cycles));
         }
 
@@ -155,6 +137,7 @@ impl BottleneckExplorer {
                 );
                 let mut best_here = current.clone();
                 let mut best_here_result = best_result;
+                let mut best_here_score = objective.score_result(&best_here_result);
                 for (item, cand) in items.iter().zip(&cands) {
                     if item.fresh {
                         log.evals += 1;
@@ -163,12 +146,11 @@ impl BottleneckExplorer {
                     if item.fresh {
                         log.tool_minutes += r.synth_minutes;
                     }
-                    let better = acceptable(&r, self.util_threshold)
-                        && (!acceptable(&best_here_result, self.util_threshold)
-                            || r.cycles < best_here_result.cycles);
-                    if better {
+                    let score = objective.score_result(&r);
+                    if score.better_than(&best_here_score) {
                         best_here = cand.clone();
                         best_here_result = r;
+                        best_here_score = score;
                     }
                 }
                 if best_here != current {
@@ -183,7 +165,7 @@ impl BottleneckExplorer {
             }
         }
 
-        acceptable(&best_result, self.util_threshold).then_some((current, best_result))
+        objective.feasible_result(&best_result).then_some((current, best_result))
     }
 }
 
@@ -195,7 +177,7 @@ impl Explorer for BottleneckExplorer {
     /// slot's candidate frontier is scored through the engine's worker pool
     /// (batched, cached evaluation); with an infallible backend any worker
     /// count visits exactly the same points in the same order.
-    fn explore_with<B: EvalBackend + Sync>(
+    fn explore_scored_with<B: EvalBackend + Sync>(
         &self,
         engine: &ExecEngine,
         eval: &B,
@@ -203,21 +185,26 @@ impl Explorer for BottleneckExplorer {
         space: &DesignSpace,
         db: &mut Database,
         budget: Budget,
+        objective: &Objective,
     ) -> ExplorationLog {
         let mut log = ExplorationLog::default();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut start = space.default_point();
         let mut global_best: Option<(DesignPoint, HlsResult)> = None;
+        let mut global_best_score = Score::Infeasible;
 
         while log.evals < budget.max_evals {
             let before = log.evals;
-            let best =
-                self.greedy_sweep(engine, eval, kernel, space, db, budget, start, &mut log);
+            let best = self.greedy_sweep(
+                engine, eval, kernel, space, db, budget, objective, start, &mut log,
+            );
             if let Some((pt, r)) = best {
-                let better =
-                    global_best.as_ref().map(|(_, b)| r.cycles < b.cycles).unwrap_or(true);
-                if better {
+                // The sweep only returns feasible results, so a strict
+                // score comparison suffices (ties keep the earlier best).
+                let score = objective.score_result(&r);
+                if score.better_than(&global_best_score) {
                     global_best = Some((pt, r));
+                    global_best_score = score;
                 }
             }
             if log.evals == before {
@@ -251,11 +238,16 @@ impl Explorer for BottleneckExplorer {
         );
         log
     }
+
+    fn objective(&self) -> Objective {
+        Objective::latency().with_util_threshold(self.util_threshold)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::objective::ResourceBudget;
     use hls_ir::kernels;
     use merlin_sim::MerlinSimulator;
 
@@ -265,13 +257,13 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log = Explorer::explore(
-            &BottleneckExplorer::new(),
+        let log = BottleneckExplorer::new().explore_scored(
             &sim,
             &k,
             &space,
             &mut db,
             Budget::evals(150),
+            &Objective::latency(),
         );
         let (_, best) = log.best.expect("gemm has valid optimized designs");
         let default = sim.evaluate(&k, &space, &space.default_point());
@@ -291,13 +283,13 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log = Explorer::explore(
-            &BottleneckExplorer::new(),
+        let log = BottleneckExplorer::new().explore_scored(
             &sim,
             &k,
             &space,
             &mut db,
             Budget::evals(25),
+            &Objective::latency(),
         );
         assert!(log.evals <= 25);
         assert!(log.tool_minutes > 0.0);
@@ -308,28 +300,29 @@ mod tests {
         let k = kernels::gemm_ncubed();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
+        let obj = Objective::latency();
 
         let mut db_serial = Database::new();
-        let serial = Explorer::explore(
-            &BottleneckExplorer::new(),
+        let serial = BottleneckExplorer::new().explore_scored(
             &sim,
             &k,
             &space,
             &mut db_serial,
             Budget::evals(80),
+            &obj,
         );
 
         for jobs in [1, 4] {
             let engine = ExecEngine::with_jobs(jobs);
             let mut db = Database::new();
-            let log = Explorer::explore_with(
-                &BottleneckExplorer::new(),
+            let log = BottleneckExplorer::new().explore_scored_with(
                 &engine,
                 &sim,
                 &k,
                 &space,
                 &mut db,
                 Budget::evals(80),
+                &obj,
             );
             assert_eq!(log.evals, serial.evals, "jobs={jobs}");
             assert_eq!(log.trace, serial.trace, "jobs={jobs}");
@@ -348,16 +341,37 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let log = Explorer::explore(
-            &BottleneckExplorer::new(),
+        let log = BottleneckExplorer::new().explore_scored(
             &sim,
             &k,
             &space,
             &mut db,
             Budget::evals(120),
+            &Objective::latency(),
         );
         for w in log.trace.windows(2) {
             assert!(w[1].1 <= w[0].1, "incumbent cycles must not regress");
+        }
+    }
+
+    #[test]
+    fn budgeted_objective_constrains_the_returned_best() {
+        let k = kernels::gemm_ncubed();
+        let space = DesignSpace::from_kernel(&k);
+        let sim = MerlinSimulator::new();
+        let mut db = Database::new();
+        let budget = ResourceBudget::parse("dsp=0.5,lut=0.5").unwrap();
+        let obj = Objective::latency().with_budget(budget);
+        let log = BottleneckExplorer::new().explore_scored(
+            &sim,
+            &k,
+            &space,
+            &mut db,
+            Budget::evals(120),
+            &obj,
+        );
+        if let Some((_, best)) = log.best {
+            assert!(budget.admits(&best.util), "best must respect the budget: {:?}", best.util);
         }
     }
 }

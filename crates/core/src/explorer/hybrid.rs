@@ -13,6 +13,7 @@ use super::bottleneck::{BottleneckExplorer, ExplorationLog};
 use super::{dedupe_canonical, evaluate_frontier, Budget, Explorer};
 use crate::db::Database;
 use crate::harness::EvalBackend;
+use crate::objective::Objective;
 use crate::parallel::ExecEngine;
 use design_space::DesignSpace;
 use gdse_obs as obs;
@@ -25,7 +26,8 @@ use rand::SeedableRng;
 /// incumbents that improved the design by at least `improvement_pct`.
 #[derive(Debug, Clone)]
 pub struct HybridExplorer {
-    /// Utilization constraint.
+    /// Utilization constraint for the deprecated scalar entry points (the
+    /// scored entry points take it from their [`Objective`] argument).
     pub util_threshold: f64,
     /// Neighbors evaluated per improvement event (the paper's `P`).
     pub neighbors_per_improvement: usize,
@@ -46,43 +48,16 @@ impl HybridExplorer {
     pub fn with_seed(seed: u64) -> Self {
         Self { seed, ..Self::default() }
     }
-
-    /// Deprecated inherent shim for [`Explorer::explore`].
-    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
-    pub fn explore<B: EvalBackend + Sync>(
-        &self,
-        sim: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> ExplorationLog {
-        Explorer::explore(self, sim, kernel, space, db, budget)
-    }
-
-    /// Deprecated inherent shim for [`Explorer::explore_with`].
-    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
-    pub fn explore_with<B: EvalBackend + Sync>(
-        &self,
-        engine: &ExecEngine,
-        eval: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> ExplorationLog {
-        Explorer::explore_with(self, engine, eval, kernel, space, db, budget)
-    }
 }
 
 impl Explorer for HybridExplorer {
     type Log = ExplorationLog;
 
     /// Runs bottleneck + local search, recording everything into `db`. The
-    /// greedy phase is delegated to [`BottleneckExplorer`]; each
-    /// local-search round's deduplicated neighbor list is scored as one
-    /// batch on the engine's pool.
-    fn explore_with<B: EvalBackend + Sync>(
+    /// greedy phase is delegated to [`BottleneckExplorer`] under the same
+    /// objective; each local-search round's deduplicated neighbor list is
+    /// scored as one batch on the engine's pool.
+    fn explore_scored_with<B: EvalBackend + Sync>(
         &self,
         engine: &ExecEngine,
         eval: &B,
@@ -90,19 +65,25 @@ impl Explorer for HybridExplorer {
         space: &DesignSpace,
         db: &mut Database,
         budget: Budget,
+        objective: &Objective,
     ) -> ExplorationLog {
         // Phase 1: greedy, with half the budget.
         let greedy = BottleneckExplorer { util_threshold: self.util_threshold, seed: self.seed };
-        let mut log = Explorer::explore_with(
-            &greedy,
+        let mut log = greedy.explore_scored_with(
             engine,
             eval,
             kernel,
             space,
             db,
             Budget::evals(budget.max_evals / 2),
+            objective,
         );
         let greedy_evals = log.evals;
+        let mut best_score = log
+            .best
+            .as_ref()
+            .map(|(_, r)| objective.score_result(r))
+            .unwrap_or(crate::objective::Score::Infeasible);
 
         // Phase 2: local search around incumbents that improved >= X%.
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -163,12 +144,15 @@ impl Explorer for HybridExplorer {
                 if item.fresh {
                     log.tool_minutes += r.synth_minutes;
                 }
-                let better = r.is_valid()
-                    && r.util.fits(self.util_threshold)
-                    && log.best.as_ref().map(|(_, b)| r.cycles < b.cycles).unwrap_or(true);
+                let score = objective.score_result(&r);
+                let better = match &log.best {
+                    None => score.is_feasible(),
+                    Some(_) => score.better_than(&best_score),
+                };
                 if better {
                     log.trace.push((log.evals, r.cycles));
                     log.best = Some((item.point.clone(), r));
+                    best_score = score;
                     centers.push(item.point);
                 }
             }
@@ -188,6 +172,10 @@ impl Explorer for HybridExplorer {
         );
         log
     }
+
+    fn objective(&self) -> Objective {
+        Objective::latency().with_util_threshold(self.util_threshold)
+    }
 }
 
 #[cfg(test)]
@@ -201,25 +189,26 @@ mod tests {
         let k = kernels::gemm_ncubed();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
+        let obj = Objective::latency();
 
         let mut db_greedy = Database::new();
-        Explorer::explore(
-            &BottleneckExplorer::new(),
+        BottleneckExplorer::new().explore_scored(
             &sim,
             &k,
             &space,
             &mut db_greedy,
             Budget::evals(60),
+            &obj,
         );
 
         let mut db_hybrid = Database::new();
-        let log = Explorer::explore(
-            &HybridExplorer::with_seed(1),
+        let log = HybridExplorer::with_seed(1).explore_scored(
             &sim,
             &k,
             &space,
             &mut db_hybrid,
             Budget::evals(120),
+            &obj,
         );
         assert!(log.best.is_some());
         // The hybrid run covers points the greedy run (with the same first
@@ -237,28 +226,29 @@ mod tests {
         let k = kernels::gemm_ncubed();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
+        let obj = Objective::latency();
 
         let mut db_serial = Database::new();
-        let serial = Explorer::explore(
-            &HybridExplorer::with_seed(1),
+        let serial = HybridExplorer::with_seed(1).explore_scored(
             &sim,
             &k,
             &space,
             &mut db_serial,
             Budget::evals(100),
+            &obj,
         );
 
         for jobs in [1, 4] {
             let engine = ExecEngine::with_jobs(jobs);
             let mut db = Database::new();
-            let log = Explorer::explore_with(
-                &HybridExplorer::with_seed(1),
+            let log = HybridExplorer::with_seed(1).explore_scored_with(
                 &engine,
                 &sim,
                 &k,
                 &space,
                 &mut db,
                 Budget::evals(100),
+                &obj,
             );
             assert_eq!(log.evals, serial.evals, "jobs={jobs}");
             assert_eq!(
@@ -275,9 +265,10 @@ mod tests {
         let k = kernels::atax();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
+        let obj = Objective::latency();
         let mut db = Database::new();
         let explorer = HybridExplorer::with_seed(2);
-        let log = Explorer::explore(&explorer, &sim, &k, &space, &mut db, Budget::evals(100));
+        let log = explorer.explore_scored(&sim, &k, &space, &mut db, Budget::evals(100), &obj);
         let best = log.best.expect("valid design").1;
         let mut db2 = Database::new();
         // Reconstruct exactly the greedy phase the hybrid ran (same seed and
@@ -285,7 +276,8 @@ mod tests {
         // than dependent on a particular RNG stream.
         let greedy_phase =
             BottleneckExplorer { util_threshold: explorer.util_threshold, seed: explorer.seed };
-        let greedy = Explorer::explore(&greedy_phase, &sim, &k, &space, &mut db2, Budget::evals(50));
+        let greedy =
+            greedy_phase.explore_scored(&sim, &k, &space, &mut db2, Budget::evals(50), &obj);
         let greedy_best = greedy.best.expect("valid design").1;
         assert!(best.cycles <= greedy_best.cycles);
     }

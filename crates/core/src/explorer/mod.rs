@@ -12,25 +12,34 @@
 //!
 //! [`AnnealingExplorer`] adds the classic simulated-annealing baseline from
 //! the related work (not part of the paper's database generator, used for
-//! baseline comparisons).
+//! baseline comparisons), and [`GFlowExplorer`] a learned trajectory
+//! sampler that draws diverse high-reward configurations in proportion to
+//! their reward.
 
-//! All four implement the [`Explorer`] trait — one engine-taking entry
-//! point, [`Explorer::explore_with`], with [`Explorer::explore`] as a
+//! All five implement the [`Explorer`] trait — one engine-taking,
+//! [`Objective`]-parameterized entry point,
+//! [`Explorer::explore_scored_with`], with [`Explorer::explore_scored`] as a
 //! serial-engine convenience — so campaigns can drive any mix of explorers
-//! through one shared [`ExecEngine`].
+//! through one shared [`ExecEngine`] under any objective (scalar latency,
+//! weighted sum, or Pareto, with optional resource budgets).
 
 mod annealing;
 mod bottleneck;
+mod gflow;
 mod hybrid;
 mod random;
 
 pub use annealing::AnnealingExplorer;
 pub use bottleneck::{BottleneckExplorer, ExplorationLog};
+pub use gflow::GFlowExplorer;
 pub use hybrid::HybridExplorer;
 pub use random::RandomExplorer;
 
+pub(crate) use gflow::GFlowSampler;
+
 use crate::db::Database;
 use crate::harness::EvalBackend;
+use crate::objective::Objective;
 use crate::parallel::ExecEngine;
 use design_space::{DesignPoint, DesignSpace};
 use hls_ir::Kernel;
@@ -54,18 +63,62 @@ impl Budget {
 /// The unified exploration interface.
 ///
 /// Every explorer has exactly one implementation of its search, written
-/// against an [`ExecEngine`]: candidate frontiers are scored through the
-/// engine's worker pool and oracle cache, and the serial behavior is just
-/// the same code on a single-worker engine. [`Explorer::explore`] is that
-/// serial convenience — a default method, so implementors only write
-/// [`Explorer::explore_with`].
+/// against an [`ExecEngine`] and an [`Objective`]: candidate frontiers are
+/// scored through the engine's worker pool and oracle cache, comparisons go
+/// through the objective's ordered, dominance-aware
+/// [`Score`](crate::objective::Score) (never raw `f64` cycles), and the
+/// serial behavior is just the same code on a single-worker engine.
+/// [`Explorer::explore_scored`] is that serial convenience — a default
+/// method, so implementors only write [`Explorer::explore_scored_with`].
+///
+/// The scalar entry points [`Explorer::explore_with`] / [`Explorer::explore`]
+/// predate the objective parameter; they are deprecated shims that run the
+/// search under [`Explorer::objective`] (each explorer's own threshold,
+/// latency mode) so external callers compile — and behave — unchanged.
 pub trait Explorer {
     /// What one run returns: an [`ExplorationLog`] for the guided
     /// explorers, the fresh-evaluation count for [`RandomExplorer`].
     type Log;
 
-    /// Explores `kernel`'s `space` within `budget`, scoring candidates
-    /// through `engine` and recording every evaluation into `db`.
+    /// Explores `kernel`'s `space` within `budget` under `objective`,
+    /// scoring candidates through `engine` and recording every evaluation
+    /// into `db`.
+    #[allow(clippy::too_many_arguments)]
+    fn explore_scored_with<B: EvalBackend + Sync>(
+        &self,
+        engine: &ExecEngine,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+        objective: &Objective,
+    ) -> Self::Log;
+
+    /// [`Explorer::explore_scored_with`] on a fresh single-worker engine:
+    /// batched code path, serial execution.
+    fn explore_scored<B: EvalBackend + Sync>(
+        &self,
+        eval: &B,
+        kernel: &Kernel,
+        space: &DesignSpace,
+        db: &mut Database,
+        budget: Budget,
+        objective: &Objective,
+    ) -> Self::Log {
+        self.explore_scored_with(&ExecEngine::serial(), eval, kernel, space, db, budget, objective)
+    }
+
+    /// The objective this explorer optimizes when called through the
+    /// deprecated scalar entry points: latency mode under the explorer's
+    /// own utilization threshold — exactly the pre-redesign behavior.
+    fn objective(&self) -> Objective {
+        Objective::default()
+    }
+
+    /// Deprecated scalar shim: [`Explorer::explore_scored_with`] under
+    /// [`Explorer::objective`].
+    #[deprecated(note = "use `explore_scored_with` with an explicit `Objective`")]
     fn explore_with<B: EvalBackend + Sync>(
         &self,
         engine: &ExecEngine,
@@ -74,10 +127,13 @@ pub trait Explorer {
         space: &DesignSpace,
         db: &mut Database,
         budget: Budget,
-    ) -> Self::Log;
+    ) -> Self::Log {
+        self.explore_scored_with(engine, eval, kernel, space, db, budget, &self.objective())
+    }
 
-    /// [`Explorer::explore_with`] on a fresh single-worker engine: batched
-    /// code path, serial execution.
+    /// Deprecated scalar shim: [`Explorer::explore_scored`] under
+    /// [`Explorer::objective`].
+    #[deprecated(note = "use `explore_scored` with an explicit `Objective`")]
     fn explore<B: EvalBackend + Sync>(
         &self,
         eval: &B,
@@ -86,7 +142,7 @@ pub trait Explorer {
         db: &mut Database,
         budget: Budget,
     ) -> Self::Log {
-        self.explore_with(&ExecEngine::serial(), eval, kernel, space, db, budget)
+        self.explore_scored(eval, kernel, space, db, budget, &self.objective())
     }
 }
 

@@ -3,6 +3,7 @@
 use super::{evaluate_frontier, Budget, Explorer};
 use crate::db::Database;
 use crate::harness::EvalBackend;
+use crate::objective::Objective;
 use crate::parallel::ExecEngine;
 use design_space::DesignSpace;
 use gdse_obs as obs;
@@ -22,33 +23,6 @@ impl RandomExplorer {
     pub fn new(seed: u64) -> Self {
         Self { seed }
     }
-
-    /// Deprecated inherent shim for [`Explorer::explore`].
-    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
-    pub fn explore<B: EvalBackend + Sync>(
-        &self,
-        sim: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> usize {
-        Explorer::explore(self, sim, kernel, space, db, budget)
-    }
-
-    /// Deprecated inherent shim for [`Explorer::explore_with`].
-    #[deprecated(note = "use the `explorer::Explorer` trait method instead")]
-    pub fn explore_with<B: EvalBackend + Sync>(
-        &self,
-        engine: &ExecEngine,
-        eval: &B,
-        kernel: &Kernel,
-        space: &DesignSpace,
-        db: &mut Database,
-        budget: Budget,
-    ) -> usize {
-        Explorer::explore_with(self, engine, eval, kernel, space, db, budget)
-    }
 }
 
 impl Explorer for RandomExplorer {
@@ -60,8 +34,10 @@ impl Explorer for RandomExplorer {
     ///
     /// The wave size is a constant (not a function of the worker count), so
     /// the RNG stream — and with it the sampled points, the database, and
-    /// the eval count — is identical at every `--jobs` setting.
-    fn explore_with<B: EvalBackend + Sync>(
+    /// the eval count — is identical at every `--jobs` setting. Uniform
+    /// sampling optimizes nothing, so the objective is ignored: the same
+    /// configurations are drawn under every [`Objective`].
+    fn explore_scored_with<B: EvalBackend + Sync>(
         &self,
         engine: &ExecEngine,
         eval: &B,
@@ -69,6 +45,7 @@ impl Explorer for RandomExplorer {
         space: &DesignSpace,
         db: &mut Database,
         budget: Budget,
+        _objective: &Objective,
     ) -> usize {
         const WAVE: usize = 64;
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -111,8 +88,14 @@ mod tests {
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
-        let n =
-            Explorer::explore(&RandomExplorer::new(3), &sim, &k, &space, &mut db, Budget::evals(40));
+        let n = RandomExplorer::new(3).explore_scored(
+            &sim,
+            &k,
+            &space,
+            &mut db,
+            Budget::evals(40),
+            &Objective::latency(),
+        );
         assert_eq!(n, 40);
         assert_eq!(db.len(), 40);
     }
@@ -124,13 +107,13 @@ mod tests {
         let sim = MerlinSimulator::new();
         let mut db = Database::new();
         // Budget exceeds the canonical space; attempts cap must stop it.
-        let n = Explorer::explore(
-            &RandomExplorer::new(4),
+        let n = RandomExplorer::new(4).explore_scored(
             &sim,
             &k,
             &space,
             &mut db,
             Budget::evals(1000),
+            &Objective::latency(),
         );
         assert!(n <= 45);
         assert!(db.len() <= 45);
@@ -146,14 +129,14 @@ mod tests {
         for jobs in [1, 4, 8] {
             let engine = ExecEngine::with_jobs(jobs);
             let mut db = Database::new();
-            let n = Explorer::explore_with(
-                &RandomExplorer::new(3),
+            let n = RandomExplorer::new(3).explore_scored_with(
                 &engine,
                 &sim,
                 &k,
                 &space,
                 &mut db,
                 Budget::evals(40),
+                &Objective::latency(),
             );
             assert_eq!(n, 40, "jobs={jobs}");
             match &reference {
@@ -170,23 +153,31 @@ mod tests {
         let sim = MerlinSimulator::new();
         let mut a = Database::new();
         let mut b = Database::new();
-        Explorer::explore(&RandomExplorer::new(9), &sim, &k, &space, &mut a, Budget::evals(20));
-        Explorer::explore(&RandomExplorer::new(9), &sim, &k, &space, &mut b, Budget::evals(20));
+        let obj = Objective::latency();
+        RandomExplorer::new(9).explore_scored(&sim, &k, &space, &mut a, Budget::evals(20), &obj);
+        RandomExplorer::new(9).explore_scored(&sim, &k, &space, &mut b, Budget::evals(20), &obj);
         assert_eq!(a.entries(), b.entries());
     }
 
     #[test]
     #[allow(deprecated)]
-    fn deprecated_shims_match_the_trait_methods() {
+    fn deprecated_scalar_shims_match_the_scored_methods() {
         let k = kernels::spmv_ellpack();
         let space = DesignSpace::from_kernel(&k);
         let sim = MerlinSimulator::new();
         let mut via_shim = Database::new();
-        let mut via_trait = Database::new();
+        let mut via_scored = Database::new();
         let e = RandomExplorer::new(11);
         let n1 = e.explore(&sim, &k, &space, &mut via_shim, Budget::evals(15));
-        let n2 = Explorer::explore(&e, &sim, &k, &space, &mut via_trait, Budget::evals(15));
+        let n2 = e.explore_scored(
+            &sim,
+            &k,
+            &space,
+            &mut via_scored,
+            Budget::evals(15),
+            &e.objective(),
+        );
         assert_eq!(n1, n2);
-        assert_eq!(via_shim.entries(), via_trait.entries());
+        assert_eq!(via_shim.entries(), via_scored.entries());
     }
 }

@@ -101,6 +101,13 @@ impl ReplayBuffer {
         true
     }
 
+    /// [`record`](Self::record) for an [`Evaluated`] record: the point and
+    /// tool result are buffered; the epoch and objective snapshot ride along
+    /// with the caller's record, not the buffer.
+    pub fn record_evaluated(&mut self, kernel: &str, ev: &crate::evaluated::Evaluated) -> bool {
+        self.record(kernel, ev.point.clone(), ev.result)
+    }
+
     /// Restores one entry without booking metrics or stats — the load/seed
     /// path, where the entries were already counted when first recorded.
     fn restore(&mut self, entry: DbEntry) {

@@ -6,7 +6,12 @@
 //! The crate ties the substrates together (Fig. 1a):
 //!
 //! * [`dbgen`] / [`explorer`] — build a [`db::Database`] of evaluated
-//!   designs with the three explorers of §4.1 (bottleneck, hybrid, random);
+//!   designs with the five explorers (bottleneck, hybrid, random, annealing,
+//!   and the GFlowNet-style trajectory sampler), all parameterized by an
+//!   [`objective::Objective`];
+//! * [`objective`] / [`pareto`] — what "better" means: scalar latency,
+//!   weighted-sum, or true multi-objective Pareto search with per-device
+//!   resource budgets, plus the incremental [`pareto::ParetoArchive`];
 //! * [`dataset`] — pre-process targets (§5.2.1: eq. 11 latency transform,
 //!   utilization fractions, BRAM split) into a trainable [`dataset::Dataset`];
 //! * [`trainer`] — train/evaluate the Table 2 models (RMSE, accuracy, F1,
@@ -51,11 +56,14 @@ pub mod db;
 pub mod dbgen;
 pub mod dse;
 pub mod error;
+pub mod evaluated;
 pub mod explorer;
 pub mod harness;
 pub mod inference;
 pub mod learn;
+pub mod objective;
 pub mod parallel;
+pub mod pareto;
 pub mod persist;
 pub mod report;
 pub mod rounds;
@@ -66,12 +74,15 @@ pub use artifact::{decode_predictor, encode_predictor, ArtifactMeta, META_SCHEMA
 pub use daemon::{run_daemon, Daemon, DaemonConfig, DaemonReport, DaemonStatus};
 pub use dataset::{Dataset, Normalizer};
 pub use db::{Database, DbEntry, DbError};
-pub use dse::{pareto_front, run_dse, run_dse_with_engine, DseConfig, DseOutcome};
+pub use dse::{pareto_front, run_dse, run_dse_with_engine, CandidateSampler, DseConfig, DseOutcome};
 pub use error::Error;
-pub use explorer::{Budget, Explorer};
+pub use evaluated::Evaluated;
+pub use explorer::{Budget, Explorer, GFlowExplorer};
 pub use harness::{EvalBackend, EvalError, Harness, HarnessBuilder, HarnessStats, RetryPolicy};
 pub use inference::{Prediction, Predictor, QuantPredictor};
 pub use learn::{ReplayBuffer, ReplayStats};
+pub use objective::{Objective, ObjectiveKind, ObjectiveWeights, ResourceBudget, Score};
+pub use pareto::{hypervolume, ParetoArchive};
 pub use parallel::{ExecEngine, ExecEngineBuilder};
 pub use report::{build_run_report, write_run_report};
 pub use rounds::{run_rounds, run_rounds_with_engine, CampaignDriver, RoundReport, RoundsConfig};

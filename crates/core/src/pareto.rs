@@ -1,0 +1,291 @@
+//! Incremental Pareto archive over (cycles, DSP, BRAM, LUT, FF).
+//!
+//! [`ParetoArchive`] maintains a mutually non-dominated set *as points
+//! arrive*, replacing the post-hoc [`pareto_front`](crate::dse::pareto_front)
+//! scan: explorations insert each evaluation and the archive is the front at
+//! every instant. Dominance is the standard minimization order over the five
+//! axes of [`AXES`]; ties are broken deterministically (first inserted wins
+//! on exact duplicates, lexicographically-largest member evicted when a
+//! bounded archive overflows).
+//!
+//! [`hypervolume`] estimates the dominated volume of a front with a seeded
+//! deterministic Monte-Carlo integration — exact 5-D hypervolume is
+//! superlinear in front size and unnecessary for the comparisons the bench
+//! makes.
+
+use crate::inference::Prediction;
+use merlin_sim::HlsResult;
+
+/// Number of objective axes: cycles, DSP, BRAM18, LUT, FF.
+pub const AXES: usize = 5;
+
+/// Objective axes of an oracle result: cycle count plus the four raw
+/// resource *counts*. Counts (not fractions) keep the axes integral, so
+/// `f64` comparisons below 2^53 are exact and dominance matches what an
+/// integer-space scan would compute.
+pub fn result_axes(r: &HlsResult) -> [f64; AXES] {
+    [
+        r.cycles as f64,
+        r.counts.dsp as f64,
+        r.counts.bram18 as f64,
+        r.counts.lut as f64,
+        r.counts.ff as f64,
+    ]
+}
+
+/// Objective axes of a surrogate prediction: predicted cycles plus the four
+/// predicted utilization fractions (the surrogate regresses fractions, not
+/// counts).
+pub fn prediction_axes(p: &Prediction) -> [f64; AXES] {
+    [p.cycles as f64, p.util.dsp, p.util.bram, p.util.lut, p.util.ff]
+}
+
+/// `a` weakly dominates `b`: no worse on every axis (minimization). Equal
+/// vectors weakly dominate each other.
+pub fn weakly_dominates(a: &[f64; AXES], b: &[f64; AXES]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// `a` strictly dominates `b`: no worse everywhere and better somewhere.
+pub fn strictly_dominates(a: &[f64; AXES], b: &[f64; AXES]) -> bool {
+    weakly_dominates(a, b) && a.iter().zip(b).any(|(x, y)| x < y)
+}
+
+/// One archived point: its objective axes and the payload it scores.
+/// (Persist fronts as the payload type — e.g. `Vec<Evaluated>` — rather
+/// than the archive itself; the serde shim cannot derive for generics.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveMember<T> {
+    /// Objective vector ([`result_axes`] / [`prediction_axes`]).
+    pub axes: [f64; AXES],
+    /// The design (or anything else) the axes belong to.
+    pub item: T,
+}
+
+/// A bounded, incremental Pareto front (minimization on all [`AXES`]).
+///
+/// Invariants:
+/// * members are mutually non-dominated (weak dominance — duplicates of an
+///   existing vector are rejected, so the *first* insertion wins a tie);
+/// * at most `capacity` members; on overflow the member with the
+///   lexicographically largest axes (worst latency, then resources) is
+///   evicted, biasing bounded archives toward the low-latency end of the
+///   front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoArchive<T> {
+    capacity: usize,
+    members: Vec<ArchiveMember<T>>,
+}
+
+impl<T> ParetoArchive<T> {
+    /// An archive holding at most `capacity` (>= 1) front members.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), members: Vec::new() }
+    }
+
+    /// An archive with no size bound.
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Current front size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Maximum front size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current front, in insertion order.
+    pub fn members(&self) -> &[ArchiveMember<T>] {
+        &self.members
+    }
+
+    /// Offers a point to the archive. Returns `true` iff the point is on
+    /// the front after the call (it may evict existing members; it is
+    /// rejected when an existing member weakly dominates it, so exact
+    /// duplicates keep the first-inserted copy — deterministic regardless
+    /// of exploration interleaving).
+    pub fn insert(&mut self, axes: [f64; AXES], item: T) -> bool {
+        if axes.iter().any(|v| v.is_nan()) {
+            return false;
+        }
+        if self.members.iter().any(|m| weakly_dominates(&m.axes, &axes)) {
+            return false;
+        }
+        self.members.retain(|m| !weakly_dominates(&axes, &m.axes));
+        self.members.push(ArchiveMember { axes, item });
+        if self.members.len() > self.capacity {
+            // Mutually non-dominated members always differ somewhere, so the
+            // lexicographic maximum is unique and eviction deterministic.
+            let worst = (0..self.members.len())
+                .max_by(|&a, &b| lex_cmp(&self.members[a].axes, &self.members[b].axes))
+                .expect("archive is non-empty");
+            let evicted_new = worst == self.members.len() - 1;
+            self.members.remove(worst);
+            return !evicted_new;
+        }
+        true
+    }
+
+    /// The front sorted lexicographically by axes (cycles first) — a stable
+    /// order for reports and tests.
+    pub fn front(&self) -> Vec<&ArchiveMember<T>> {
+        let mut f: Vec<&ArchiveMember<T>> = self.members.iter().collect();
+        f.sort_by(|a, b| lex_cmp(&a.axes, &b.axes));
+        f
+    }
+
+    /// The sorted axes of the front (see [`ParetoArchive::front`]).
+    pub fn front_axes(&self) -> Vec<[f64; AXES]> {
+        self.front().iter().map(|m| m.axes).collect()
+    }
+}
+
+fn lex_cmp(a: &[f64; AXES], b: &[f64; AXES]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Deterministic Monte-Carlo hypervolume of `front` w.r.t. `reference`
+/// (minimization: the volume between the front and the reference point that
+/// the front dominates).
+///
+/// Samples are drawn uniformly from the box `[ideal, reference]` where
+/// `ideal` is the componentwise minimum of the front; the estimate is the
+/// dominated fraction times the box volume. The same `seed` and `samples`
+/// always give the same value. `reference` should strictly exceed every
+/// front point on every axis, otherwise degenerate axes collapse the box
+/// (and the true 5-D volume) to zero.
+pub fn hypervolume(front: &[[f64; AXES]], reference: &[f64; AXES], samples: usize, seed: u64) -> f64 {
+    if front.is_empty() || samples == 0 {
+        return 0.0;
+    }
+    let mut ideal = [f64::INFINITY; AXES];
+    for p in front {
+        for (i, v) in p.iter().enumerate() {
+            ideal[i] = ideal[i].min(*v);
+        }
+    }
+    let mut widths = [0.0f64; AXES];
+    let mut volume = 1.0f64;
+    for i in 0..AXES {
+        widths[i] = (reference[i] - ideal[i]).max(0.0);
+        volume *= widths[i];
+    }
+    if volume <= 0.0 {
+        return 0.0;
+    }
+    // splitmix64: tiny, deterministic, dependency-free uniform stream.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut dominated = 0usize;
+    for _ in 0..samples {
+        let mut x = [0.0f64; AXES];
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = ideal[i] + widths[i] * next();
+        }
+        if front.iter().any(|p| weakly_dominates(p, &x)) {
+            dominated += 1;
+        }
+    }
+    volume * dominated as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_keeps_only_non_dominated_members() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(a.insert([10.0, 5.0, 5.0, 5.0, 5.0], "a"));
+        assert!(a.insert([5.0, 10.0, 5.0, 5.0, 5.0], "b"), "trade-off joins the front");
+        assert!(!a.insert([11.0, 6.0, 6.0, 6.0, 6.0], "c"), "dominated point rejected");
+        assert!(a.insert([4.0, 4.0, 4.0, 4.0, 4.0], "d"), "dominator evicts both");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.members()[0].item, "d");
+    }
+
+    #[test]
+    fn exact_duplicates_keep_the_first_insertion() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(a.insert([3.0, 3.0, 3.0, 3.0, 3.0], "first"));
+        assert!(!a.insert([3.0, 3.0, 3.0, 3.0, 3.0], "second"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.members()[0].item, "first");
+    }
+
+    #[test]
+    fn bounded_archive_evicts_the_lexicographically_largest() {
+        let mut a = ParetoArchive::new(2);
+        assert!(a.insert([1.0, 9.0, 0.0, 0.0, 0.0], "fast"));
+        assert!(a.insert([9.0, 1.0, 0.0, 0.0, 0.0], "cheap"));
+        // New trade-off overflows the bound; "cheap" (worst cycles) goes.
+        assert!(a.insert([5.0, 5.0, 0.0, 0.0, 0.0], "mid"));
+        let items: Vec<_> = a.front().iter().map(|m| m.item).collect();
+        assert_eq!(items, vec!["fast", "mid"]);
+        // A new member that is itself the lexicographic maximum is dropped
+        // immediately: insert reports it did not survive.
+        assert!(!a.insert([7.0, 2.0, 0.0, 0.0, 0.0], "late"));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn dominance_predicates() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 6.0];
+        assert!(weakly_dominates(&a, &b) && strictly_dominates(&a, &b));
+        assert!(weakly_dominates(&a, &a) && !strictly_dominates(&a, &a));
+        assert!(!weakly_dominates(&b, &a));
+    }
+
+    #[test]
+    fn nan_axes_are_rejected() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(!a.insert([f64::NAN, 0.0, 0.0, 0.0, 0.0], ()));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn hypervolume_of_the_ideal_corner_fills_the_box() {
+        // One point at the box's lower corner dominates every sample.
+        let front = [[0.0, 0.0, 0.0, 0.0, 0.0]];
+        let reference = [2.0, 1.0, 1.0, 1.0, 1.0];
+        let hv = hypervolume(&front, &reference, 4_000, 7);
+        assert!((hv - 2.0).abs() < 1e-9, "expected exactly the box volume, got {hv}");
+    }
+
+    #[test]
+    fn hypervolume_is_deterministic_and_monotone() {
+        let f1 = vec![[5.0, 5.0, 5.0, 5.0, 5.0]];
+        let mut f2 = f1.clone();
+        f2.push([2.0, 8.0, 8.0, 8.0, 8.0]);
+        let reference = [10.0; AXES];
+        let a = hypervolume(&f1, &reference, 8_000, 42);
+        let b = hypervolume(&f1, &reference, 8_000, 42);
+        assert_eq!(a, b, "same seed, same estimate");
+        let c = hypervolume(&f2, &reference, 8_000, 42);
+        assert!(c >= a, "adding a non-dominated point cannot shrink the volume");
+        assert_eq!(hypervolume(&[], &reference, 8_000, 42), 0.0);
+    }
+}

@@ -38,9 +38,11 @@
 
 use crate::db::Database;
 use crate::dse::{run_dse_with_engine, DseConfig};
+use crate::evaluated::Evaluated;
 use crate::harness::EvalBackend;
 use crate::inference::Predictor;
 use crate::learn::ReplayBuffer;
+use crate::pareto::ParetoArchive;
 use crate::parallel::ExecEngine;
 use crate::persist::atomic_write;
 use crate::trainer::TrainConfig;
@@ -119,6 +121,12 @@ pub struct KernelRound {
     /// Top-M candidates this round whose validation was lost to tool
     /// failure (they are *not* committed and may be retried next round).
     pub lost: usize,
+    /// Validated (tool-confirmed) Pareto front over this round's top
+    /// candidates: mutually non-dominated over cycles + the four resource
+    /// axes, feasible under the round's objective. Absent in pre-front
+    /// checkpoints, hence the serde default.
+    #[serde(default)]
+    pub front: Vec<Evaluated>,
 }
 
 /// Outcome of one full round.
@@ -465,6 +473,7 @@ impl<'a, B: EvalBackend + Sync> CampaignDriver<'a, B> {
         // model are stale.
         self.engine.clear_predictions();
 
+        let objective = cfg.dse.effective_objective();
         let mut per_kernel = Vec::with_capacity(self.kernels.len());
         for (ki, kernel) in self.kernels.iter().enumerate() {
             let outcome = run_dse_with_engine(
@@ -495,24 +504,34 @@ impl<'a, B: EvalBackend + Sync> CampaignDriver<'a, B> {
                     Ok(r) => {
                         self.db.insert(kernel.name(), point.clone(), r);
                         if let Some(buf) = self.replay.as_mut() {
-                            buf.record(kernel.name(), point.clone(), r);
+                            let ev = Evaluated::new(point.clone(), r, round, &objective);
+                            buf.record_evaluated(kernel.name(), &ev);
                         }
                         added += 1;
                     }
                     Err(_) => lost += 1,
                 }
             }
+            // The tool-confirmed view of this round's candidates: the best
+            // scalar drives the Fig. 7 speedup, the Pareto archive keeps the
+            // validated trade-off front (bounded; first-inserted wins ties).
+            let mut archive: ParetoArchive<Evaluated> = ParetoArchive::new(64);
             for (point, _) in &outcome.top {
                 if let Some(e) = self.db.get(kernel.name(), point) {
-                    if e.result.is_valid() && e.result.util.fits(cfg.dse.util_threshold) {
+                    if objective.feasible_result(&e.result) {
                         let c = e.result.cycles;
                         self.best_dse[ki] =
                             Some(self.best_dse[ki].map_or(c, |b: u64| b.min(c)));
+                        let ev = Evaluated::new(point.clone(), e.result, round, &objective);
+                        archive.insert(ev.axes(), ev);
                     }
                 }
             }
+            let front: Vec<Evaluated> =
+                archive.front().iter().map(|m| m.item.clone()).collect();
             obs::metrics::counter_add("rounds.designs_added", added as u64);
             obs::metrics::counter_add("rounds.validations_lost", lost as u64);
+            obs::metrics::counter_add("rounds.front_points", front.len() as u64);
             let initial = self.initial_best[ki].1;
             let speedup = match self.best_dse[ki] {
                 Some(b) if initial != u64::MAX => initial as f64 / b as f64,
@@ -525,6 +544,7 @@ impl<'a, B: EvalBackend + Sync> CampaignDriver<'a, B> {
                 speedup,
                 added,
                 lost,
+                front,
             });
         }
         let avg = per_kernel.iter().map(|k| k.speedup).sum::<f64>() / per_kernel.len() as f64;
@@ -688,6 +708,38 @@ mod tests {
                 assert!(b.speedup >= a.speedup - 1e-12, "{}: {} -> {}", a.kernel, a.speedup, b.speedup);
             }
         }
+    }
+
+    #[test]
+    fn every_round_publishes_a_validated_front() {
+        use crate::pareto::weakly_dominates;
+
+        let ks = vec![kernels::gemm_ncubed()];
+        let mut db = generate_database(&ks, &[("gemm-ncubed", 40)], 40, 51);
+        let cfg = RoundsConfig::quick();
+        let obj = cfg.dse.effective_objective();
+        let reports = run_rounds(&mut db, &ks, &cfg);
+        let mut saw_points = false;
+        for rep in &reports {
+            for kr in &rep.kernels {
+                let axes: Vec<_> = kr.front.iter().map(Evaluated::axes).collect();
+                for (i, ev) in kr.front.iter().enumerate() {
+                    saw_points = true;
+                    assert!(obj.feasible_result(&ev.result), "front members are feasible");
+                    assert_eq!(ev.epoch, rep.round, "front members carry their round");
+                    for (j, other) in axes.iter().enumerate() {
+                        if i != j {
+                            assert!(
+                                !weakly_dominates(other, &axes[i]),
+                                "round {} front must be mutually non-dominated",
+                                rep.round
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_points, "a healthy campaign publishes at least one front point");
     }
 
     #[test]

@@ -67,6 +67,22 @@ pub struct SurrogateSummary {
     pub modelled_vs_surrogate_speedup: f64,
 }
 
+/// Multi-objective accounting: Pareto-front sizes and resource-budget
+/// enforcement. All zeros for single-objective, unbudgeted runs (and for
+/// reports written before this summary existed — the field deserializes
+/// with a default, so the schema version is unchanged).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ParetoSummary {
+    /// Front points published: predicted fronts from the DSE
+    /// (`dse.front_points`) plus tool-validated fronts from the rounds loop
+    /// (`rounds.front_points`).
+    pub front_points: u64,
+    /// Returned DSE candidates that violated the resource budget. Stays 0
+    /// by construction unless a run found *no* budget-admissible candidate
+    /// and fell back to best-predicted.
+    pub budget_violations: u64,
+}
+
 /// The `run_report.json` schema.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -82,6 +98,9 @@ pub struct RunReport {
     pub oracle: OracleSummary,
     /// Surrogate accounting and modelled speedup.
     pub surrogate: SurrogateSummary,
+    /// Multi-objective (Pareto/budget) accounting.
+    #[serde(default)]
+    pub pareto: ParetoSummary,
     /// Every counter in the registry, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Every gauge in the registry, sorted by name.
@@ -143,6 +162,11 @@ impl RunReport {
             modelled_vs_surrogate_speedup,
         };
 
+        let pareto = ParetoSummary {
+            front_points: c("dse.front_points") + c("rounds.front_points"),
+            budget_violations: c("dse.budget_violations"),
+        };
+
         RunReport {
             schema_version: SCHEMA_VERSION,
             command: command.to_string(),
@@ -150,6 +174,7 @@ impl RunReport {
             stages,
             oracle,
             surrogate,
+            pareto,
             counters: snap.counters.clone(),
             gauges: snap.gauges.clone(),
             histograms: snap.histograms.clone(),
@@ -216,6 +241,8 @@ mod tests {
         metrics::counter_add("surrogate.inferences", 1000);
         metrics::counter_add("surrogate.busy_us", 2_000);
         metrics::counter_add("sim.evals", 10);
+        metrics::counter_add("dse.front_points", 4);
+        metrics::counter_add("rounds.front_points", 3);
         metrics::gauge_add("sim.modelled_hls_minutes", 50.0);
         metrics::observe_us("oracle.eval_us", 120);
         metrics::snapshot()
@@ -240,6 +267,25 @@ mod tests {
         // 2000us over 1000 inferences = 2us/inference; speedup = 1.5e8.
         assert_eq!(r.surrogate.mean_inference_us, 2.0);
         assert!((r.surrogate.modelled_vs_surrogate_speedup - 1.5e8).abs() < 1.0);
+        assert_eq!(r.pareto.front_points, 7, "dse + rounds front points");
+        assert_eq!(r.pareto.budget_violations, 0);
+    }
+
+    #[test]
+    fn pre_pareto_reports_still_parse() {
+        // A report serialized before the pareto summary existed must load
+        // with the default summary — same schema version.
+        let snap = MetricsSnapshot::default();
+        let r = RunReport::from_snapshot("dse", Duration::ZERO, &snap);
+        let json = r.to_json();
+        // Splice the "pareto" object (and its trailing comma) out of the
+        // serialized report, as if written by an older binary.
+        let start = json.find("\"pareto\"").expect("field serializes");
+        let brace = json[start..].find('}').expect("object closes") + start + 1;
+        let after = if json[brace..].starts_with(',') { brace + 1 } else { brace };
+        let stripped = format!("{}{}", &json[..start], &json[after..]);
+        let back = RunReport::from_json(&stripped).expect("parses without the field");
+        assert_eq!(back.pareto, ParetoSummary::default());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Database generation with the three explorers of §4.1 and Pareto analysis
-//! of the result.
+//! Database generation with the explorers of §4.1 and Pareto analysis of
+//! the result.
 //!
 //! ```sh
 //! cargo run --release --example explore_database
@@ -7,7 +7,7 @@
 
 use design_space::DesignSpace;
 use gnn_dse::explorer::{BottleneckExplorer, Budget, HybridExplorer, RandomExplorer};
-use gnn_dse::{pareto_front, Database, Explorer};
+use gnn_dse::{pareto_front, Database, Evaluated, Explorer, Objective};
 use hls_ir::kernels;
 use merlin_sim::MerlinSimulator;
 
@@ -16,15 +16,18 @@ fn main() {
     let space = DesignSpace::from_kernel(&kernel);
     let sim = MerlinSimulator::new();
     let mut db = Database::new();
+    // Every explorer is parameterized by an Objective; the default latency
+    // objective reproduces the classic "minimize cycles under eq. 7".
+    let objective = Objective::latency();
 
     // 1. The AutoDSE-style bottleneck optimizer finds high-quality designs.
-    let log = Explorer::explore(
-        &BottleneckExplorer::new(),
+    let log = BottleneckExplorer::new().explore_scored(
         &sim,
         &kernel,
         &space,
         &mut db,
         Budget::evals(80),
+        &objective,
     );
     println!(
         "bottleneck: {} evals, {:.0} modelled tool-minutes, best = {:?} cycles",
@@ -34,18 +37,25 @@ fn main() {
     );
 
     // 2. The hybrid explorer adds neighbors of the incumbents.
-    let log = Explorer::explore(
-        &HybridExplorer::with_seed(1),
+    let log = HybridExplorer::with_seed(1).explore_scored(
         &sim,
         &kernel,
         &space,
         &mut db,
         Budget::evals(60),
+        &objective,
     );
     println!("hybrid    : db now {} entries (best {:?})", db.len(), log.best.map(|(_, r)| r.cycles));
 
     // 3. The random explorer covers what the guided ones skip.
-    Explorer::explore(&RandomExplorer::new(2), &sim, &kernel, &space, &mut db, Budget::evals(60));
+    RandomExplorer::new(2).explore_scored(
+        &sim,
+        &kernel,
+        &space,
+        &mut db,
+        Budget::evals(60),
+        &objective,
+    );
     println!("random    : db now {} entries", db.len());
 
     // Database statistics (the Table 1 shape).
@@ -57,15 +67,15 @@ fn main() {
     }
 
     // Pareto frontier over (cycles, DSP, BRAM, LUT, FF).
-    let results: Vec<_> = db
+    let results: Vec<Evaluated> = db
         .of_kernel(kernel.name())
-        .map(|e| (e.point.clone(), e.result))
+        .map(|e| Evaluated::new(e.point.clone(), e.result, 0, &objective))
         .collect();
     let front = pareto_front(&results);
     println!("\nPareto-optimal designs ({} of {}):", front.len(), results.len());
     let mut rows: Vec<_> = front
         .iter()
-        .map(|&i| (results[i].1.cycles, results[i].1.counts.dsp, results[i].0.clone()))
+        .map(|&i| (results[i].result.cycles, results[i].result.counts.dsp, results[i].point.clone()))
         .collect();
     rows.sort_by_key(|(c, d, _)| (*c, *d));
     for (cycles, dsp, point) in rows.iter().take(8) {

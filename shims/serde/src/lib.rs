@@ -133,6 +133,21 @@ pub fn field<T: Deserialize>(
     }
 }
 
+/// [`field`] for `#[serde(default)]` fields: a missing key deserializes to
+/// `Default::default()` instead of erroring, so types can grow fields
+/// without invalidating previously written documents.
+pub fn field_or_default<T: Deserialize + Default>(
+    map: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error(format!("{context}.{name}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------------

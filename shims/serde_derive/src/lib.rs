@@ -9,7 +9,9 @@
 //! * tuple structs — encoded as a sequence;
 //! * enums with unit, tuple and struct variants — externally tagged, like
 //!   real serde (`"Variant"` / `{"Variant": ...}`);
-//! * `#[serde(skip)]` and `#[serde(skip, default = "path")]` on named fields.
+//! * `#[serde(skip)]` and `#[serde(skip, default = "path")]` on named fields;
+//! * `#[serde(default)]` on named fields — a missing key deserializes to
+//!   `Default::default()` instead of erroring (schema evolution).
 //!
 //! Generics are not supported (none of the workspace's serialized types are
 //! generic); deriving on a generic item produces a compile error.
@@ -24,6 +26,9 @@ struct FieldInfo {
     name: String,
     skip: bool,
     default_path: Option<String>,
+    /// Bare `#[serde(default)]`: deserialize a missing key as
+    /// `Default::default()` (the field still serializes normally).
+    default_missing: bool,
 }
 
 enum VariantShape {
@@ -58,9 +63,10 @@ fn is_ident(t: &TokenTree, s: &str) -> bool {
 /// Extracts serde attribute flags from the attribute token trees that
 /// precede a field or variant. `attrs` holds the *group* tokens that
 /// followed each `#`.
-fn parse_serde_attrs(attrs: &[TokenTree]) -> (bool, Option<String>) {
+fn parse_serde_attrs(attrs: &[TokenTree]) -> (bool, Option<String>, bool) {
     let mut skip = false;
     let mut default_path = None;
+    let mut default_missing = false;
     for attr in attrs {
         let TokenTree::Group(g) = attr else { continue };
         let inner: Vec<TokenTree> = g.stream().into_iter().collect();
@@ -83,12 +89,15 @@ fn parse_serde_attrs(attrs: &[TokenTree]) -> (bool, Option<String>) {
                     default_path = Some(s.trim_matches('"').to_string());
                 }
                 i += 3;
+            } else if is_ident(&args[i], "default") {
+                default_missing = true;
+                i += 1;
             } else {
                 i += 1;
             }
         }
     }
-    (skip, default_path)
+    (skip, default_path, default_missing)
 }
 
 /// Splits tokens on commas that sit at angle-bracket depth 0. Groups (parens,
@@ -139,8 +148,8 @@ fn parse_named_field(chunk: &[TokenTree]) -> Option<FieldInfo> {
         Some(TokenTree::Ident(id)) => id.to_string(),
         _ => return None,
     };
-    let (skip, default_path) = parse_serde_attrs(&attrs);
-    Some(FieldInfo { name, skip, default_path })
+    let (skip, default_path, default_missing) = parse_serde_attrs(&attrs);
+    Some(FieldInfo { name, skip, default_path, default_missing })
 }
 
 fn parse_named_fields(body: &TokenTree) -> Vec<FieldInfo> {
@@ -331,6 +340,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         None => inits
                             .push_str(&format!("{}: ::std::default::Default::default(),\n", f.name)),
                     }
+                } else if f.default_missing {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::field_or_default(map, \"{n}\", \"{name}\")?,\n",
+                        n = f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{n}: ::serde::field(map, \"{n}\", \"{name}\")?,\n",

@@ -2,10 +2,25 @@
 
 use design_space::{rules, DesignSpace};
 use gdse_gnn::{GraphBatch, GraphInput};
+use gnn_dse::explorer::HybridExplorer;
+use gnn_dse::objective::{Objective, ObjectiveWeights, ResourceBudget};
+use gnn_dse::pareto::{result_axes, strictly_dominates, AXES};
+use gnn_dse::{Budget, Database, Explorer, ParetoArchive};
 use hls_ir::kernels;
 use merlin_sim::MerlinSimulator;
 use proggraph::{build_graph_bidirectional, node_features};
 use proptest::prelude::*;
+
+/// splitmix64 — a deterministic value stream for building test inputs from
+/// one proptest-drawn seed.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// All thirteen kernels, addressable by a proptest index.
 fn kernel_names() -> &'static [&'static str] {
@@ -133,6 +148,106 @@ proptest! {
         for n in space.neighbors(&point) {
             prop_assert!(space.contains(&n));
             prop_assert_eq!(n.hamming_distance(&point), 1);
+        }
+    }
+
+    /// The incremental archive equals the brute-force Pareto front of the
+    /// same multiset, regardless of insertion order. Coordinates are drawn
+    /// from a tiny grid so duplicates and partial ties are common.
+    #[test]
+    fn archive_matches_brute_force_front(seed in any::<u64>(), n in 1usize..40) {
+        let pts: Vec<[f64; AXES]> = (0..n)
+            .map(|i| {
+                let mut p = [0.0; AXES];
+                for (k, v) in p.iter_mut().enumerate() {
+                    *v = (mix(seed, (i * AXES + k) as u64) % 5) as f64;
+                }
+                p
+            })
+            .collect();
+
+        // Brute force: deduplicate, then keep points no other strictly
+        // dominates (for distinct points, weak dominance is strict).
+        let mut distinct: Vec<[f64; AXES]> = Vec::new();
+        for p in &pts {
+            if !distinct.contains(p) {
+                distinct.push(*p);
+            }
+        }
+        let mut expected: Vec<[f64; AXES]> = distinct
+            .iter()
+            .filter(|p| !distinct.iter().any(|q| strictly_dominates(q, p)))
+            .copied()
+            .collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let mut forward = ParetoArchive::unbounded();
+        for p in &pts {
+            forward.insert(*p, ());
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| mix(seed ^ 0x5bf0_3635, i as u64));
+        let mut shuffled = ParetoArchive::unbounded();
+        for &i in &order {
+            shuffled.insert(pts[i], ());
+        }
+
+        prop_assert_eq!(forward.front_axes(), expected.clone());
+        prop_assert_eq!(shuffled.front_axes(), expected);
+    }
+
+    /// The weighted-sum optimum over any feasible evaluation set is attained
+    /// on its Pareto front — scalarized search loses nothing to the archive.
+    #[test]
+    fn weighted_optimum_lies_on_the_front(kidx in 0usize..13, seed in any::<u64>()) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let sim = MerlinSimulator::new();
+        let objective = Objective::weighted(ObjectiveWeights::default());
+        let mut archive: ParetoArchive<f64> = ParetoArchive::unbounded();
+        let mut global_best = f64::INFINITY;
+        for i in 0..32u64 {
+            let point = space.point_at(u128::from(mix(seed, i)) % space.size());
+            let r = sim.evaluate(&kernel, &space, &point);
+            if let Some(s) = objective.score_result(&r).scalar() {
+                archive.insert(result_axes(&r), s);
+                global_best = global_best.min(s);
+            }
+        }
+        if global_best.is_finite() {
+            let front_best =
+                archive.members().iter().map(|m| m.item).fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(front_best, global_best);
+        } else {
+            prop_assert!(archive.is_empty());
+        }
+    }
+
+    /// A budget-constrained exploration never returns a best design that
+    /// violates the budget (or the eq. 7 threshold).
+    #[test]
+    fn budgeted_explorer_never_returns_a_violating_best(
+        kidx in 0usize..13,
+        seed in any::<u64>(),
+        pct in 30u32..100,
+    ) {
+        let kernel = kernels::kernel_by_name(kernel_names()[kidx]).unwrap();
+        let space = DesignSpace::from_kernel(&kernel);
+        let cap = f64::from(pct) / 100.0;
+        let budget = ResourceBudget { dsp: Some(cap), bram: Some(cap), lut: Some(cap), ff: Some(cap) };
+        let objective = Objective::latency().with_budget(budget);
+        let mut db = Database::new();
+        let log = HybridExplorer::with_seed(seed).explore_scored(
+            &MerlinSimulator::new(),
+            &kernel,
+            &space,
+            &mut db,
+            Budget::evals(16),
+            &objective,
+        );
+        if let Some((_, r)) = log.best {
+            prop_assert!(objective.feasible_result(&r));
+            prop_assert!(budget.admits(&r.util));
         }
     }
 }
